@@ -1,0 +1,345 @@
+// Benchmarks regenerating the paper's evaluation, one per table row and
+// figure (see DESIGN.md's experiment index). The interesting output is the
+// custom metrics: rounds/n for the linear-time claims, rounds/(n·log n) for
+// Theorem 8, moves/n² for the quadratic PT claims — the *shape* of the
+// paper's complexity map. Absolute ns/op figures measure the simulator, not
+// the algorithms.
+package dynring_test
+
+import (
+	"testing"
+
+	"dynring"
+	"dynring/internal/catchtree"
+	"dynring/internal/expt"
+	"dynring/internal/ids"
+)
+
+// mustRun executes a config and fails the benchmark on error.
+func mustRun(b *testing.B, cfg dynring.Config) dynring.Result {
+	b.Helper()
+	res, err := dynring.Run(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res
+}
+
+// mustRows executes an experiment group and fails on any failed verdict.
+func mustRows(b *testing.B, f func() ([]expt.Row, error)) []expt.Row {
+	b.Helper()
+	rows, err := f()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, r := range rows {
+		if !r.OK {
+			b.Fatalf("experiment failed: %s", r)
+		}
+	}
+	return rows
+}
+
+// BenchmarkEngine_Step measures raw simulator throughput: one FSYNC round
+// with three agents on a 64-node ring under a random adversary.
+func BenchmarkEngine_Step(b *testing.B) {
+	w, err := dynring.NewWorld(dynring.Config{
+		Size:      64,
+		Landmark:  dynring.NoLandmark,
+		Algorithm: "PTBoundNoChirality",
+		Model:     dynring.SSyncPT,
+		Adversary: dynring.RandomEdges(0.5, 1),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := w.Step(); err != nil {
+			// The protocol may legitimately terminate: rebuild.
+			b.StopTimer()
+			w, err = dynring.NewWorld(dynring.Config{
+				Size:      64,
+				Landmark:  dynring.NoLandmark,
+				Algorithm: "PTBoundNoChirality",
+				Model:     dynring.SSyncPT,
+				Adversary: dynring.RandomEdges(0.5, int64(i)),
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+		}
+	}
+}
+
+// BenchmarkTable1_Impossibilities replays the Theorem 1/2 and
+// Observation 1/2 constructions.
+func BenchmarkTable1_Impossibilities(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		mustRows(b, expt.Table1)
+	}
+}
+
+// BenchmarkTable2_KnownN: Theorem 3 under the tight Figure 2 schedule.
+// Metric: rounds/n, expected to approach 3.
+func BenchmarkTable2_KnownN(b *testing.B) {
+	const n = 64
+	var rounds int
+	for i := 0; i < b.N; i++ {
+		res := mustRun(b, dynring.Config{
+			Size:      n,
+			Landmark:  dynring.NoLandmark,
+			Algorithm: "KnownNNoChirality",
+			Starts:    []int{0, 1},
+			Orients:   []dynring.GlobalDir{dynring.CCW, dynring.CCW},
+			Adversary: figure2Adversary{n: n},
+		})
+		rounds = res.Rounds
+	}
+	b.ReportMetric(float64(rounds)/float64(n), "rounds/n")
+}
+
+// figure2Adversary is the Figure 2 schedule expressed through the public
+// interface (the internal adversary package also ships it).
+type figure2Adversary struct{ n int }
+
+func (f figure2Adversary) Activate(_ int, w *dynring.World) []int {
+	ids := make([]int, w.NumAgents())
+	for i := range ids {
+		ids[i] = i
+	}
+	return ids
+}
+
+func (f figure2Adversary) MissingEdge(t int, _ *dynring.World, _ []dynring.Intent) int {
+	if t <= f.n-4 {
+		return 0
+	}
+	return f.n - 2
+}
+
+// BenchmarkTable2_LandmarkChirality: Theorem 6. Metric: rounds/n (O(n)).
+func BenchmarkTable2_LandmarkChirality(b *testing.B) {
+	const n = 128
+	var last int
+	for i := 0; i < b.N; i++ {
+		res := mustRun(b, dynring.Config{
+			Size:      n,
+			Landmark:  0,
+			Algorithm: "LandmarkWithChirality",
+			Starts:    []int{2, n/2 + 2},
+			Adversary: dynring.GreedyBlocking(),
+		})
+		if res.Terminated != 2 {
+			b.Fatal("not fully terminated")
+		}
+		last = res.Rounds
+	}
+	b.ReportMetric(float64(last)/float64(n), "rounds/n")
+}
+
+// BenchmarkTable2_LandmarkNoChirality: Theorem 8.
+// Metric: rounds/(n·⌈log n⌉) (O(n log n)).
+func BenchmarkTable2_LandmarkNoChirality(b *testing.B) {
+	const n = 32
+	var last int
+	for i := 0; i < b.N; i++ {
+		res := mustRun(b, dynring.Config{
+			Size:      n,
+			Landmark:  3,
+			Algorithm: "LandmarkNoChirality",
+			Starts:    []int{0, 2 * n / 3},
+			Orients:   []dynring.GlobalDir{dynring.CW, dynring.CCW},
+			Adversary: dynring.GreedyBlocking(),
+		})
+		if res.Terminated != 2 {
+			b.Fatal("not fully terminated")
+		}
+		last = res.Rounds
+	}
+	b.ReportMetric(float64(last)/float64(n*5), "rounds/nlogn")
+}
+
+// BenchmarkTable2_Unconscious: Theorem 5. Metric: exploration rounds/n.
+func BenchmarkTable2_Unconscious(b *testing.B) {
+	const n = 64
+	var explored int
+	for i := 0; i < b.N; i++ {
+		res := mustRun(b, dynring.Config{
+			Size:             n,
+			Landmark:         dynring.NoLandmark,
+			Algorithm:        "UnconsciousExploration",
+			Starts:           []int{0, 1},
+			Orients:          []dynring.GlobalDir{dynring.CW, dynring.CCW},
+			Adversary:        dynring.GreedyBlocking(),
+			StopWhenExplored: true,
+			MaxRounds:        64*n + 64,
+		})
+		if !res.Explored {
+			b.Fatal("not explored")
+		}
+		explored = res.ExploredRound + 1
+	}
+	b.ReportMetric(float64(explored)/float64(n), "rounds/n")
+}
+
+// BenchmarkTable3_Impossibilities replays the Theorem 9/10/11/19
+// constructions.
+func BenchmarkTable3_Impossibilities(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		mustRows(b, expt.Table3)
+	}
+}
+
+// BenchmarkTable4_PTBound: Theorem 12 under the frontier-guard adversary.
+// Metric: moves/n² (O(N²), quadratic lower-bound shape of Th 13).
+func BenchmarkTable4_PTBound(b *testing.B) {
+	const n = 32
+	var moves int
+	for i := 0; i < b.N; i++ {
+		res := mustRun(b, dynring.Config{
+			Size:      n,
+			Landmark:  dynring.NoLandmark,
+			Algorithm: "PTBoundWithChirality",
+			Starts:    []int{0, 1},
+			Adversary: dynring.FrontierGuarding(),
+		})
+		if !res.Explored || res.Terminated < 1 {
+			b.Fatal("run incomplete")
+		}
+		moves = res.TotalMoves
+	}
+	b.ReportMetric(float64(moves)/float64(n*n), "moves/n2")
+}
+
+// BenchmarkTable4_PTLandmark: Theorem 14. Metric: moves/n².
+func BenchmarkTable4_PTLandmark(b *testing.B) {
+	const n = 32
+	var moves int
+	for i := 0; i < b.N; i++ {
+		res := mustRun(b, dynring.Config{
+			Size:      n,
+			Landmark:  0,
+			Algorithm: "PTLandmarkWithChirality",
+			Starts:    []int{1, 2},
+			Adversary: dynring.FrontierGuarding(),
+		})
+		if !res.Explored || res.Terminated < 1 {
+			b.Fatal("run incomplete")
+		}
+		moves = res.TotalMoves
+	}
+	b.ReportMetric(float64(moves)/float64(n*n), "moves/n2")
+}
+
+// BenchmarkTable4_PT3Bound: Theorem 16 (three agents, no chirality).
+// Metric: moves/n².
+func BenchmarkTable4_PT3Bound(b *testing.B) {
+	const n = 18
+	var moves int
+	for i := 0; i < b.N; i++ {
+		res := mustRun(b, dynring.Config{
+			Size:      n,
+			Landmark:  dynring.NoLandmark,
+			Algorithm: "PTBoundNoChirality",
+			Starts:    []int{0, n / 3, 2 * n / 3},
+			Orients:   []dynring.GlobalDir{dynring.CW, dynring.CCW, dynring.CW},
+			Adversary: dynring.GreedyBlocking(),
+		})
+		if !res.Explored || res.Terminated < 1 {
+			b.Fatal("run incomplete")
+		}
+		moves = res.TotalMoves
+	}
+	b.ReportMetric(float64(moves)/float64(n*n), "moves/n2")
+}
+
+// BenchmarkTable4_ETBound: Theorem 20. Metric: moves/n².
+func BenchmarkTable4_ETBound(b *testing.B) {
+	const n = 12
+	var moves int
+	for i := 0; i < b.N; i++ {
+		res := mustRun(b, dynring.Config{
+			Size:      n,
+			Landmark:  dynring.NoLandmark,
+			Algorithm: "ETBoundNoChirality",
+			Starts:    []int{0, n / 3, 2 * n / 3},
+			Orients:   []dynring.GlobalDir{dynring.CW, dynring.CCW, dynring.CCW},
+			Adversary: dynring.RandomActivation(0.6, int64(i)+5, dynring.RandomEdges(0.4, int64(i)+11)),
+		})
+		if !res.Explored || res.Terminated < 1 {
+			b.Fatal("run incomplete")
+		}
+		moves = res.TotalMoves
+	}
+	b.ReportMetric(float64(moves)/float64(n*n), "moves/n2")
+}
+
+// BenchmarkTable4_ETUnconscious: Theorem 18. Metric: exploration rounds/n.
+func BenchmarkTable4_ETUnconscious(b *testing.B) {
+	const n = 32
+	var explored int
+	for i := 0; i < b.N; i++ {
+		res := mustRun(b, dynring.Config{
+			Size:             n,
+			Landmark:         dynring.NoLandmark,
+			Algorithm:        "ETUnconscious",
+			Starts:           []int{0, n / 2},
+			Adversary:        dynring.RandomActivation(0.6, int64(i)+3, dynring.GreedyBlocking()),
+			StopWhenExplored: true,
+			MaxRounds:        4000 * n,
+		})
+		if !res.Explored {
+			b.Fatal("not explored")
+		}
+		explored = res.ExploredRound + 1
+	}
+	b.ReportMetric(float64(explored)/float64(n), "rounds/n")
+}
+
+// BenchmarkFigure2 regenerates the tight schedule diagram run.
+func BenchmarkFigure2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := expt.Figure2Diagram(32); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure22 verifies the catch tree exhaustively.
+func BenchmarkFigure22(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := catchtree.Verify(32); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure9_IDs measures the ID derivation of Section 3.2.3.
+func BenchmarkFigure9_IDs(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if ids.Interleave(ids.FromRounds(2, 4, 0)) != 48 {
+			b.Fatal("wrong ID")
+		}
+	}
+}
+
+// BenchmarkFigure11_Schedule measures direction-schedule evaluation.
+func BenchmarkFigure11_Schedule(b *testing.B) {
+	sc := ids.NewSchedule(164)
+	count := 0
+	for i := 0; i < b.N; i++ {
+		if sc.Right(i) {
+			count++
+		}
+	}
+	_ = count
+}
+
+// BenchmarkExtension_Offline runs the offline-optimal baselines.
+func BenchmarkExtension_Offline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		mustRows(b, expt.Extensions)
+	}
+}

@@ -1,0 +1,154 @@
+// Command ringsim runs one exploration scenario and reports the outcome,
+// optionally with a space–time diagram of the whole run.
+//
+// Usage:
+//
+//	ringsim -algo LandmarkWithChirality -n 12 -landmark 0 -adversary random -p 0.5 -trace
+//	ringsim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"dynring"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "ringsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("ringsim", flag.ContinueOnError)
+	var (
+		algo     = fs.String("algo", "LandmarkWithChirality", "algorithm name (see -list)")
+		n        = fs.Int("n", 12, "ring size")
+		landmark = fs.Int("landmark", 0, "landmark node, or -1 for an anonymous ring")
+		advName  = fs.String("adversary", "random", "adversary: none|random|greedy|frontier|pin|persistent|prevent")
+		p        = fs.Float64("p", 0.5, "edge-removal probability for -adversary random")
+		seed     = fs.Int64("seed", 1, "adversary seed")
+		edge     = fs.Int("edge", 0, "edge for -adversary persistent")
+		pin      = fs.Int("pin", 0, "agent for -adversary pin")
+		actP     = fs.Float64("act", 1, "SSYNC activation probability (<1 wraps the adversary)")
+		rounds   = fs.Int("rounds", 0, "round budget (0 = default for the algorithm)")
+		starts   = fs.String("starts", "", "comma-separated start nodes (default: even spacing)")
+		orients  = fs.String("orients", "", "comma-separated orientations cw|ccw (default: all cw)")
+		showTr   = fs.Bool("trace", false, "print the space-time diagram")
+		stopExpl = fs.Bool("stop-explored", false, "stop as soon as the ring is explored")
+		list     = fs.Bool("list", false, "list registered algorithms and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, a := range dynring.Algorithms() {
+			fmt.Printf("%-30s %-28s agents=%d landmark=%-5v chirality=%-5v knowledge=%-13s %s\n",
+				a.Name, a.Paper, a.Agents, a.NeedsLandmark, a.NeedsChirality, a.Knowledge, a.Description)
+		}
+		return nil
+	}
+
+	adv, err := buildAdversary(*advName, *p, *seed, *edge, *pin)
+	if err != nil {
+		return err
+	}
+	if *actP < 1 {
+		adv = dynring.RandomActivation(*actP, *seed+1000, adv)
+	}
+	cfg := dynring.Config{
+		Size:             *n,
+		Landmark:         *landmark,
+		Algorithm:        *algo,
+		Adversary:        adv,
+		MaxRounds:        *rounds,
+		StopWhenExplored: *stopExpl,
+	}
+	if cfg.Starts, err = parseInts(*starts); err != nil {
+		return fmt.Errorf("bad -starts: %w", err)
+	}
+	if cfg.Orients, err = parseOrients(*orients); err != nil {
+		return fmt.Errorf("bad -orients: %w", err)
+	}
+	var rec *dynring.TraceRecorder
+	if *showTr {
+		rec = dynring.NewTrace(*n)
+		cfg.Observer = rec
+	}
+
+	res, err := dynring.Run(cfg)
+	if err != nil {
+		return err
+	}
+	if rec != nil {
+		if err := rec.Render(os.Stdout, dynring.TraceOptions{Landmark: *landmark, MaxRows: 80}); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("outcome:   %v after %d rounds\n", res.Outcome, res.Rounds)
+	fmt.Printf("explored:  %v (completed in round %d)\n", res.Explored, res.ExploredRound)
+	fmt.Printf("moves:     %v (total %d)\n", res.Moves, res.TotalMoves)
+	fmt.Printf("terminated:%d of %d agents, rounds %v\n", res.Terminated, len(res.TerminatedAt), res.TerminatedAt)
+	return nil
+}
+
+func buildAdversary(name string, p float64, seed int64, edge, pin int) (dynring.Adversary, error) {
+	switch name {
+	case "none":
+		return dynring.NoAdversary(), nil
+	case "random":
+		return dynring.RandomEdges(p, seed), nil
+	case "greedy":
+		return dynring.GreedyBlocking(), nil
+	case "frontier":
+		return dynring.FrontierGuarding(), nil
+	case "pin":
+		return dynring.PinAgent(pin), nil
+	case "persistent":
+		return dynring.KeepEdgeRemoved(edge), nil
+	case "prevent":
+		return dynring.PreventMeetings(), nil
+	default:
+		return nil, fmt.Errorf("unknown adversary %q", name)
+	}
+}
+
+func parseInts(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, part := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseOrients(s string) ([]dynring.GlobalDir, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]dynring.GlobalDir, 0, len(parts))
+	for _, part := range parts {
+		switch strings.TrimSpace(strings.ToLower(part)) {
+		case "cw":
+			out = append(out, dynring.CW)
+		case "ccw":
+			out = append(out, dynring.CCW)
+		default:
+			return nil, fmt.Errorf("orientation %q (want cw or ccw)", part)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,79 @@
+package main
+
+import (
+	"testing"
+
+	"dynring"
+)
+
+func TestParseInts(t *testing.T) {
+	tests := []struct {
+		give    string
+		want    []int
+		wantErr bool
+	}{
+		{give: "", want: nil},
+		{give: "1,2,3", want: []int{1, 2, 3}},
+		{give: " 4 , 5 ", want: []int{4, 5}},
+		{give: "x", wantErr: true},
+	}
+	for _, tt := range tests {
+		got, err := parseInts(tt.give)
+		if (err != nil) != tt.wantErr {
+			t.Errorf("parseInts(%q) error = %v", tt.give, err)
+			continue
+		}
+		if len(got) != len(tt.want) {
+			t.Errorf("parseInts(%q) = %v, want %v", tt.give, got, tt.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != tt.want[i] {
+				t.Errorf("parseInts(%q)[%d] = %d, want %d", tt.give, i, got[i], tt.want[i])
+			}
+		}
+	}
+}
+
+func TestParseOrients(t *testing.T) {
+	got, err := parseOrients("cw,CCW, cw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []dynring.GlobalDir{dynring.CW, dynring.CCW, dynring.CW}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("parseOrients = %v, want %v", got, want)
+		}
+	}
+	if _, err := parseOrients("up"); err == nil {
+		t.Fatal("bad orientation accepted")
+	}
+	if got, err := parseOrients(""); err != nil || got != nil {
+		t.Fatalf("empty input: %v, %v", got, err)
+	}
+}
+
+func TestBuildAdversary(t *testing.T) {
+	for _, name := range []string{"none", "random", "greedy", "frontier", "pin", "persistent", "prevent"} {
+		if _, err := buildAdversary(name, 0.5, 1, 0, 0); err != nil {
+			t.Errorf("buildAdversary(%q): %v", name, err)
+		}
+	}
+	if _, err := buildAdversary("bogus", 0.5, 1, 0, 0); err == nil {
+		t.Fatal("bogus adversary accepted")
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	if err := run([]string{"-algo", "KnownNNoChirality", "-n", "8", "-landmark", "-1",
+		"-adversary", "random", "-p", "0.4", "-seed", "3"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-algo", "Nope", "-n", "8"}); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+}

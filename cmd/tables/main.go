@@ -1,0 +1,68 @@
+// Command tables regenerates the paper's evaluation: Tables 1–4, the
+// figure experiments and the extension experiments, printing one verdict
+// row per claim (paper claim, concrete setup, measured outcome).
+//
+// Usage:
+//
+//	tables            # everything
+//	tables -only T2   # one table (T1..T4, F, X)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dynring/internal/expt"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "tables:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("tables", flag.ContinueOnError)
+	only := fs.String("only", "", "restrict to one group: T1, T2, T3, T4, F, E, X")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	groups := []struct {
+		key   string
+		title string
+		f     func() ([]expt.Row, error)
+	}{
+		{key: "T1", title: "Table 1 — FSYNC impossibility results", f: expt.Table1},
+		{key: "T2", title: "Table 2 — FSYNC possibility results", f: expt.Table2},
+		{key: "T3", title: "Table 3 — SSYNC impossibility results", f: expt.Table3},
+		{key: "T4", title: "Table 4 — SSYNC possibility results", f: expt.Table4},
+		{key: "F", title: "Figure experiments", f: expt.Figures},
+		{key: "E", title: "Errata ablations", f: expt.Errata},
+		{key: "X", title: "Extensions", f: expt.Extensions},
+	}
+	failures := 0
+	for _, g := range groups {
+		if *only != "" && !strings.EqualFold(*only, g.key) {
+			continue
+		}
+		fmt.Printf("\n%s\n%s\n", g.title, strings.Repeat("=", len(g.title)))
+		rows, err := g.f()
+		if err != nil {
+			return fmt.Errorf("%s: %w", g.key, err)
+		}
+		for _, r := range rows {
+			fmt.Println(r)
+			if !r.OK {
+				failures++
+			}
+		}
+	}
+	if failures > 0 {
+		return fmt.Errorf("%d experiment(s) failed", failures)
+	}
+	return nil
+}

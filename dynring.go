@@ -1,0 +1,309 @@
+// Package dynring is a laboratory for live (distributed, on-line)
+// exploration of dynamic rings, reproducing "Live Exploration of Dynamic
+// Rings" (Di Luna, Dobrev, Flocchini, Santoro; ICDCS 2016).
+//
+// It simulates teams of anonymous mobile agents on a 1-interval-connected
+// ring — a ring from which an adversary may remove one edge per round —
+// under the paper's Look–Compute–Move semantics, and ships every algorithm
+// the paper presents, every adversary its impossibility proofs construct,
+// and a harness that regenerates its feasibility and complexity results.
+//
+// Quick start:
+//
+//	res, err := dynring.Run(dynring.Config{
+//		Size:      12,
+//		Landmark:  0,
+//		Algorithm: "LandmarkWithChirality",
+//		Adversary: dynring.RandomEdges(0.5, 42),
+//	})
+//
+// See Algorithms for the registry and the examples directory for complete
+// programs.
+package dynring
+
+import (
+	"errors"
+	"fmt"
+
+	"dynring/internal/adversary"
+	"dynring/internal/agent"
+	"dynring/internal/core"
+	"dynring/internal/ring"
+	"dynring/internal/sim"
+	"dynring/internal/trace"
+)
+
+// Re-exported model types. The engine lives in internal packages; these
+// aliases form the public surface.
+type (
+	// Model selects the synchrony/transport regime (FSync, SSyncNS,
+	// SSyncPT, SSyncET).
+	Model = sim.Model
+	// Adversary controls the activation schedule and the missing edge.
+	Adversary = sim.Adversary
+	// Intent is an active agent's resolved decision, shown to adversaries.
+	Intent = sim.Intent
+	// World is the live simulation state passed to adversaries.
+	World = sim.World
+	// Result summarizes a finished run.
+	Result = sim.Result
+	// Outcome classifies how a run ended.
+	Outcome = sim.Outcome
+	// Observer receives one record per completed round.
+	Observer = sim.Observer
+	// RoundRecord describes one completed round.
+	RoundRecord = sim.RoundRecord
+	// AgentSnapshot is an agent's public state after a round.
+	AgentSnapshot = sim.AgentSnapshot
+	// Protocol is the behaviour an agent executes; implement it to plug in
+	// custom algorithms.
+	Protocol = agent.Protocol
+	// View is an agent's Look snapshot.
+	View = agent.View
+	// Decision is an agent's per-round decision.
+	Decision = agent.Decision
+	// Dir is an agent-relative direction.
+	Dir = agent.Dir
+	// GlobalDir is a global direction (CW or CCW), used for orientations.
+	GlobalDir = ring.GlobalDir
+	// TraceRecorder collects rounds and renders ASCII space–time diagrams.
+	TraceRecorder = trace.Recorder
+	// TraceOptions tune diagram rendering.
+	TraceOptions = trace.RenderOptions
+	// Algorithm describes a registered protocol: assumptions, guarantees
+	// and complexity, as claimed by the paper.
+	Algorithm = core.Spec
+)
+
+// Synchrony and transport models.
+const (
+	FSync   = sim.FSync
+	SSyncNS = sim.SSyncNS
+	SSyncPT = sim.SSyncPT
+	SSyncET = sim.SSyncET
+)
+
+// Orientation constants: an agent's private right maps to CW or CCW.
+const (
+	CW  = ring.CW
+	CCW = ring.CCW
+)
+
+// Sentinels.
+const (
+	// NoLandmark marks an anonymous ring.
+	NoLandmark = ring.NoLandmark
+	// NoEdge is an adversary's "remove nothing" answer.
+	NoEdge = sim.NoEdge
+)
+
+// Run outcomes.
+const (
+	OutcomeAllTerminated = sim.OutcomeAllTerminated
+	OutcomeHorizon       = sim.OutcomeHorizon
+	OutcomeExplored      = sim.OutcomeExplored
+	OutcomeCycle         = sim.OutcomeCycle
+)
+
+// Config describes one exploration run.
+type Config struct {
+	// Size is the number of ring nodes (≥ 3).
+	Size int
+	// Landmark is the landmark node, or NoLandmark (the default zero value
+	// is node 0 — set NoLandmark explicitly for anonymous rings).
+	Landmark int
+	// Algorithm is a registry name; see Algorithms.
+	Algorithm string
+	// Model overrides the algorithm's default regime (first entry of its
+	// spec). Usually left zero.
+	Model Model
+	// UpperBound is the known bound N for algorithms that require one;
+	// defaults to Size.
+	UpperBound int
+	// ExactSize is the known exact size for algorithms that require it;
+	// defaults to Size.
+	ExactSize int
+	// Starts are the agents' initial nodes; defaults to even spacing.
+	Starts []int
+	// Orients are the agents' orientations; defaults to all CW (chirality).
+	Orients []GlobalDir
+	// Adversary controls dynamics; nil means an always-connected ring.
+	Adversary Adversary
+	// MaxRounds bounds the run; defaults to a generous per-algorithm
+	// budget.
+	MaxRounds int
+	// StopWhenExplored ends the run at full coverage (useful for the
+	// unconscious algorithms). Terminating algorithms usually leave it
+	// false to observe termination.
+	StopWhenExplored bool
+	// FairnessBound overrides the SSYNC fairness horizon (0 = default).
+	FairnessBound int
+	// Observer optionally receives round records (e.g. a TraceRecorder).
+	Observer Observer
+	// DetectCycles enables configuration-cycle certificates when all
+	// components support fingerprints.
+	DetectCycles bool
+}
+
+// Errors returned by Run.
+var (
+	ErrUnknownAlgorithm = errors.New("dynring: unknown algorithm")
+	ErrRequirement      = errors.New("dynring: configuration violates the algorithm's assumptions")
+)
+
+// Run executes one exploration run described by cfg.
+func Run(cfg Config) (Result, error) {
+	w, err := NewWorld(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	spec, _ := core.Lookup(cfg.Algorithm)
+	maxRounds := cfg.MaxRounds
+	if maxRounds <= 0 {
+		maxRounds = DefaultBudget(spec, cfg.Size)
+	}
+	return sim.Run(w, sim.RunOptions{
+		MaxRounds:        maxRounds,
+		StopWhenExplored: cfg.StopWhenExplored,
+		DetectCycles:     cfg.DetectCycles,
+	})
+}
+
+// NewWorld validates cfg and assembles a World without running it, for
+// callers that want to drive rounds manually via World.Step.
+func NewWorld(cfg Config) (*World, error) {
+	spec, ok := core.Lookup(cfg.Algorithm)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q (known: %v)", ErrUnknownAlgorithm, cfg.Algorithm, core.Names())
+	}
+	r, err := ring.NewWithLandmark(cfg.Size, cfg.Landmark)
+	if err != nil {
+		return nil, err
+	}
+	if spec.NeedsLandmark && !r.HasLandmark() {
+		return nil, fmt.Errorf("%w: %s needs a landmark node", ErrRequirement, spec.Name)
+	}
+	starts := cfg.Starts
+	if starts == nil {
+		starts = make([]int, spec.Agents)
+		for i := range starts {
+			starts[i] = i * cfg.Size / spec.Agents
+		}
+	}
+	if len(starts) != spec.Agents {
+		return nil, fmt.Errorf("%w: %s uses %d agents, got %d starts",
+			ErrRequirement, spec.Name, spec.Agents, len(starts))
+	}
+	orients := cfg.Orients
+	if orients == nil {
+		orients = make([]GlobalDir, spec.Agents)
+		for i := range orients {
+			orients[i] = CW
+		}
+	}
+	if len(orients) != spec.Agents {
+		return nil, fmt.Errorf("%w: %s uses %d agents, got %d orientations",
+			ErrRequirement, spec.Name, spec.Agents, len(orients))
+	}
+	if spec.NeedsChirality {
+		for _, o := range orients {
+			if o != orients[0] {
+				return nil, fmt.Errorf("%w: %s assumes chirality (one common orientation)",
+					ErrRequirement, spec.Name)
+			}
+		}
+	}
+	params := core.Params{UpperBound: cfg.UpperBound, ExactSize: cfg.ExactSize}
+	if params.UpperBound == 0 {
+		params.UpperBound = cfg.Size
+	}
+	if params.ExactSize == 0 {
+		params.ExactSize = cfg.Size
+	}
+	if spec.Knowledge == core.KnowUpperBound && params.UpperBound < cfg.Size {
+		return nil, fmt.Errorf("%w: bound N=%d below ring size %d", ErrRequirement, params.UpperBound, cfg.Size)
+	}
+	if spec.Knowledge == core.KnowExactSize && params.ExactSize != cfg.Size {
+		return nil, fmt.Errorf("%w: %s needs the exact ring size", ErrRequirement, spec.Name)
+	}
+	protos, err := core.Build(spec.Name, spec.Agents, params)
+	if err != nil {
+		return nil, err
+	}
+	model := cfg.Model
+	if model == 0 {
+		model = spec.Models[0]
+	}
+	return sim.NewWorld(sim.Config{
+		Ring:          r,
+		Model:         model,
+		Starts:        starts,
+		Orients:       orients,
+		Protocols:     protos,
+		Adversary:     cfg.Adversary,
+		Observer:      cfg.Observer,
+		FairnessBound: cfg.FairnessBound,
+	})
+}
+
+// DefaultBudget returns a generous round budget for the algorithm's claimed
+// complexity on a ring of size n.
+func DefaultBudget(spec Algorithm, n int) int {
+	switch spec.Name {
+	case "KnownNNoChirality":
+		return 3*n + 16
+	case "StartFromLandmarkNoChirality", "LandmarkNoChirality":
+		return 8000*n + 8000
+	case "PTBoundWithChirality", "PTLandmarkWithChirality",
+		"PTBoundNoChirality", "PTLandmarkNoChirality", "ETBoundNoChirality":
+		return 900*n*n + 9000
+	default:
+		return 200*n + 4000
+	}
+}
+
+// Algorithms returns the registry of the paper's protocols, sorted by name.
+func Algorithms() []Algorithm { return core.All() }
+
+// LookupAlgorithm returns the spec registered under name.
+func LookupAlgorithm(name string) (Algorithm, bool) { return core.Lookup(name) }
+
+// NewTrace returns a recorder for a ring of n nodes; pass it as
+// Config.Observer and render with its Render method.
+func NewTrace(n int) *TraceRecorder { return trace.NewRecorder(n) }
+
+// Built-in adversaries. Custom strategies implement the Adversary
+// interface directly.
+
+// NoAdversary keeps the ring static and everyone active.
+func NoAdversary() Adversary { return adversary.None{} }
+
+// RandomEdges removes a uniformly random edge with probability p each round.
+func RandomEdges(p float64, seed int64) Adversary { return adversary.NewRandomEdge(p, seed) }
+
+// RandomActivation activates each agent independently with probability p
+// (never yielding an empty set) and delegates edge removal to edges (nil:
+// never remove). Only meaningful for the SSYNC models.
+func RandomActivation(p float64, seed int64, edges Adversary) Adversary {
+	return adversary.NewRandomActivation(p, seed, edges)
+}
+
+// KeepEdgeRemoved removes the same edge in every round.
+func KeepEdgeRemoved(edge int) Adversary { return adversary.PersistentEdge{Edge: edge} }
+
+// PinAgent always removes the edge the given agent is about to traverse
+// (Observation 1's strategy).
+func PinAgent(id int) Adversary { return adversary.TargetAgent{Agent: id} }
+
+// GreedyBlocking always removes an edge whose traversal would reach an
+// unvisited node — a strong heuristic worst case.
+func GreedyBlocking() Adversary { return adversary.GreedyBlocker{} }
+
+// FrontierGuarding blocks the highest-id agent about to reach an unvisited
+// node: the strategy behind the paper's Ω(N·n) move lower bound
+// (Figures 15/16).
+func FrontierGuarding() Adversary { return adversary.FrontierGuard{} }
+
+// PreventMeetings removes an edge only when two agents would otherwise end
+// a round on the same node (Observation 2's strategy).
+func PreventMeetings() Adversary { return adversary.PreventMeeting{} }

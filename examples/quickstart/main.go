@@ -1,0 +1,43 @@
+// Quickstart: two agents with a common orientation explore a 12-node
+// dynamic ring with a landmark, while an adversary removes a random edge
+// each round. Both agents explicitly terminate in O(n) rounds
+// (LandmarkWithChirality, Theorem 6 of the paper).
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"dynring"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "quickstart:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	res, err := dynring.Run(dynring.Config{
+		Size:      12,
+		Landmark:  0, // node 0 is observably different
+		Algorithm: "LandmarkWithChirality",
+		Adversary: dynring.RandomEdges(0.5, 2024),
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("explored the ring:      %v (last node reached in round %d)\n",
+		res.Explored, res.ExploredRound)
+	fmt.Printf("agents terminated:      %d of %d, in rounds %v\n",
+		res.Terminated, len(res.TerminatedAt), res.TerminatedAt)
+	fmt.Printf("edge traversals:        %v (total %d)\n", res.Moves, res.TotalMoves)
+	fmt.Printf("outcome:                %v after %d rounds\n", res.Outcome, res.Rounds)
+
+	fmt.Println("\navailable algorithms:")
+	for _, a := range dynring.Algorithms() {
+		fmt.Printf("  %-30s %s\n", a.Name, a.Description)
+	}
+	return nil
+}

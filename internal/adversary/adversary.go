@@ -1,0 +1,312 @@
+// Package adversary implements the edge-removal and activation strategies
+// used by the paper: benign and randomized stress adversaries for the
+// positive results, and one executable strategy per impossibility or
+// lower-bound proof (Observations 1–2, Theorems 1, 9, 10, 13/15, 19, and
+// the tight schedule of Figure 2).
+//
+// All strategies satisfy 1-interval connectivity (at most one edge removed
+// per round); the engine enforces it regardless.
+package adversary
+
+import (
+	"math/rand"
+
+	"dynring/internal/sim"
+)
+
+// Func adapts plain functions to sim.Adversary. Nil fields mean "activate
+// everyone" and "remove nothing".
+type Func struct {
+	ActivateFunc func(t int, w *sim.World) []int
+	EdgeFunc     func(t int, w *sim.World, intents []sim.Intent) int
+}
+
+var _ sim.Adversary = Func{}
+
+// Activate implements sim.Adversary.
+func (f Func) Activate(t int, w *sim.World) []int {
+	if f.ActivateFunc == nil {
+		return allAgents(w)
+	}
+	return f.ActivateFunc(t, w)
+}
+
+// MissingEdge implements sim.Adversary.
+func (f Func) MissingEdge(t int, w *sim.World, intents []sim.Intent) int {
+	if f.EdgeFunc == nil {
+		return sim.NoEdge
+	}
+	return f.EdgeFunc(t, w, intents)
+}
+
+func allAgents(w *sim.World) []int {
+	ids := make([]int, w.NumAgents())
+	for i := range ids {
+		ids[i] = i
+	}
+	return ids
+}
+
+// None removes no edge and activates everyone: a static ring.
+type None struct{}
+
+var _ sim.Adversary = None{}
+
+// Activate implements sim.Adversary.
+func (None) Activate(_ int, w *sim.World) []int { return allAgents(w) }
+
+// MissingEdge implements sim.Adversary.
+func (None) MissingEdge(int, *sim.World, []sim.Intent) int { return sim.NoEdge }
+
+// Fingerprint implements sim.Fingerprinter (the strategy is stateless).
+func (None) Fingerprint() string { return "none" }
+
+// PersistentEdge removes the same edge in every round, the simplest legal
+// dynamic behaviour; Theorem 11's partial-termination discussion and the
+// ET analyses build on it.
+type PersistentEdge struct {
+	// Edge is the edge to keep removed.
+	Edge int
+}
+
+var _ sim.Adversary = PersistentEdge{}
+
+// Activate implements sim.Adversary.
+func (p PersistentEdge) Activate(_ int, w *sim.World) []int { return allAgents(w) }
+
+// MissingEdge implements sim.Adversary.
+func (p PersistentEdge) MissingEdge(int, *sim.World, []sim.Intent) int { return p.Edge }
+
+// Fingerprint implements sim.Fingerprinter.
+func (p PersistentEdge) Fingerprint() string { return "persistent" }
+
+// RandomEdge removes a uniformly random edge with probability P each round
+// (otherwise none). It activates every agent; combine with RandomActivation
+// for SSYNC stress tests.
+type RandomEdge struct {
+	rng *rand.Rand
+	// P is the per-round removal probability in [0,1].
+	P float64
+}
+
+// NewRandomEdge returns a seeded random-edge adversary.
+func NewRandomEdge(p float64, seed int64) *RandomEdge {
+	return &RandomEdge{P: p, rng: rand.New(rand.NewSource(seed))}
+}
+
+var _ sim.Adversary = (*RandomEdge)(nil)
+
+// Activate implements sim.Adversary.
+func (r *RandomEdge) Activate(_ int, w *sim.World) []int { return allAgents(w) }
+
+// MissingEdge implements sim.Adversary.
+func (r *RandomEdge) MissingEdge(_ int, w *sim.World, _ []sim.Intent) int {
+	if r.rng.Float64() >= r.P {
+		return sim.NoEdge
+	}
+	return r.rng.Intn(w.Ring().Size())
+}
+
+// RandomActivation wraps another adversary's edge strategy with a random
+// fair activation schedule: each agent is active independently with
+// probability P, with a guaranteed non-empty set.
+type RandomActivation struct {
+	rng *rand.Rand
+	// Edges provides the missing-edge strategy (nil: never remove).
+	Edges sim.Adversary
+	// P is the per-agent activation probability in (0,1].
+	P float64
+}
+
+// NewRandomActivation returns a seeded random activation wrapper.
+func NewRandomActivation(p float64, seed int64, edges sim.Adversary) *RandomActivation {
+	return &RandomActivation{P: p, rng: rand.New(rand.NewSource(seed)), Edges: edges}
+}
+
+var _ sim.Adversary = (*RandomActivation)(nil)
+
+// Activate implements sim.Adversary.
+func (r *RandomActivation) Activate(_ int, w *sim.World) []int {
+	var ids []int
+	for i := 0; i < w.NumAgents(); i++ {
+		if w.AgentTerminated(i) {
+			continue
+		}
+		if r.rng.Float64() < r.P {
+			ids = append(ids, i)
+		}
+	}
+	if len(ids) == 0 {
+		// Guarantee progress: wake one live agent uniformly.
+		var live []int
+		for i := 0; i < w.NumAgents(); i++ {
+			if !w.AgentTerminated(i) {
+				live = append(live, i)
+			}
+		}
+		if len(live) > 0 {
+			ids = append(ids, live[r.rng.Intn(len(live))])
+		}
+	}
+	return ids
+}
+
+// MissingEdge implements sim.Adversary.
+func (r *RandomActivation) MissingEdge(t int, w *sim.World, intents []sim.Intent) int {
+	if r.Edges == nil {
+		return sim.NoEdge
+	}
+	return r.Edges.MissingEdge(t, w, intents)
+}
+
+// TargetAgent realizes Observation 1: it always removes the edge its target
+// agent is about to traverse, so a single agent can never leave its
+// starting node's reach.
+type TargetAgent struct {
+	// Agent is the victim's id.
+	Agent int
+}
+
+var _ sim.Adversary = TargetAgent{}
+
+// Activate implements sim.Adversary.
+func (a TargetAgent) Activate(_ int, w *sim.World) []int { return allAgents(w) }
+
+// MissingEdge implements sim.Adversary.
+func (a TargetAgent) MissingEdge(_ int, w *sim.World, intents []sim.Intent) int {
+	for _, in := range intents {
+		if in.Agent == a.Agent && in.Move {
+			return in.TargetEdge
+		}
+	}
+	// The victim may be asleep on a port: keep its edge away too.
+	if on, dir := w.AgentOnPort(a.Agent); on {
+		return w.Ring().Edge(w.AgentNode(a.Agent), dir)
+	}
+	return sim.NoEdge
+}
+
+// Fingerprint implements sim.Fingerprinter.
+func (a TargetAgent) Fingerprint() string { return "target" }
+
+// PreventMeeting realizes Observation 2: with two agents starting at
+// distinct nodes it removes an edge only when the agents would otherwise
+// end the round co-located, and never blocks both agents in the same round.
+// Crossings over the same edge are allowed (the model makes them
+// undetectable).
+type PreventMeeting struct{}
+
+var _ sim.Adversary = PreventMeeting{}
+
+// Activate implements sim.Adversary.
+func (PreventMeeting) Activate(_ int, w *sim.World) []int { return allAgents(w) }
+
+// MissingEdge implements sim.Adversary.
+func (PreventMeeting) MissingEdge(_ int, w *sim.World, intents []sim.Intent) int {
+	// Tentative next nodes assuming no removal.
+	next := make(map[int]int, w.NumAgents())
+	for i := 0; i < w.NumAgents(); i++ {
+		next[i] = w.AgentNode(i)
+	}
+	movers := make(map[int]sim.Intent, len(intents))
+	for _, in := range intents {
+		if in.Move {
+			next[in.Agent] = w.Ring().Neighbor(in.From, in.Dir)
+			movers[in.Agent] = in
+		}
+	}
+	// Sleeping agents on ports may be transported in PT.
+	if w.Model() == sim.SSyncPT {
+		for i := 0; i < w.NumAgents(); i++ {
+			if _, isActiveMover := movers[i]; isActiveMover {
+				continue
+			}
+			if on, dir := w.AgentOnPort(i); on {
+				next[i] = w.Ring().Neighbor(w.AgentNode(i), dir)
+				movers[i] = sim.Intent{
+					Agent: i, From: w.AgentNode(i), Move: true, Dir: dir,
+					TargetEdge: w.Ring().Edge(w.AgentNode(i), dir),
+				}
+			}
+		}
+	}
+	for i := 0; i < w.NumAgents(); i++ {
+		for j := i + 1; j < w.NumAgents(); j++ {
+			if next[i] != next[j] {
+				continue
+			}
+			// Block one of the movers involved; at least one of the two
+			// moves (otherwise they were already co-located).
+			if in, ok := movers[i]; ok {
+				return in.TargetEdge
+			}
+			if in, ok := movers[j]; ok {
+				return in.TargetEdge
+			}
+		}
+	}
+	return sim.NoEdge
+}
+
+// Fingerprint implements sim.Fingerprinter.
+func (PreventMeeting) Fingerprint() string { return "prevent-meeting" }
+
+// FrontierGuard realizes the move lower bounds of Theorems 13 and 15 and
+// the growing-δ run of Figure 15: among the agents about to reach an
+// unvisited node it blocks the one with the largest id, so the designated
+// runner is bounced at the coverage frontier while the pinned agent gains
+// one node per excursion; everyone else's frontier moves are blocked
+// outright. Against the PT algorithms this elicits Θ(N·n) ⊆ Ω(N·n)
+// traversals.
+type FrontierGuard struct{}
+
+var _ sim.Adversary = FrontierGuard{}
+
+// Activate implements sim.Adversary.
+func (FrontierGuard) Activate(_ int, w *sim.World) []int { return allAgents(w) }
+
+// MissingEdge implements sim.Adversary.
+func (FrontierGuard) MissingEdge(_ int, w *sim.World, intents []sim.Intent) int {
+	best := sim.NoEdge
+	bestID := -1
+	for _, in := range intents {
+		if !in.Move {
+			continue
+		}
+		target := w.Ring().Neighbor(in.From, in.Dir)
+		if !w.Visited(target) && in.Agent > bestID {
+			bestID = in.Agent
+			best = in.TargetEdge
+		}
+	}
+	return best
+}
+
+// Fingerprint implements sim.Fingerprinter.
+func (FrontierGuard) Fingerprint() string { return "frontier-guard" }
+
+// GreedyBlocker is a heuristic worst-case search adversary used in
+// ablations: it always removes the edge whose traversal would grow coverage
+// (ties: the lowest mover id), starving exploration as long as possible.
+type GreedyBlocker struct{}
+
+var _ sim.Adversary = GreedyBlocker{}
+
+// Activate implements sim.Adversary.
+func (GreedyBlocker) Activate(_ int, w *sim.World) []int { return allAgents(w) }
+
+// MissingEdge implements sim.Adversary.
+func (GreedyBlocker) MissingEdge(_ int, w *sim.World, intents []sim.Intent) int {
+	for _, in := range intents {
+		if !in.Move {
+			continue
+		}
+		if !w.Visited(w.Ring().Neighbor(in.From, in.Dir)) {
+			return in.TargetEdge
+		}
+	}
+	return sim.NoEdge
+}
+
+// Fingerprint implements sim.Fingerprinter.
+func (GreedyBlocker) Fingerprint() string { return "greedy" }

@@ -1,0 +1,64 @@
+package adversary
+
+import (
+	"strconv"
+
+	"dynring/internal/sim"
+)
+
+// NSStarvation is the scheduler of Theorem 9: in the NS model it activates
+// all agents that would not move, plus exactly one agent that would
+// (rotating fairly among the movers), and removes the edge that chosen
+// agent wants to traverse. No agent ever moves, every agent is activated
+// infinitely often, and exploration never progresses.
+type NSStarvation struct {
+	rot     int
+	firstID int
+}
+
+// NewNSStarvation returns a fresh strategy.
+func NewNSStarvation() *NSStarvation {
+	return &NSStarvation{firstID: -1}
+}
+
+var _ sim.Adversary = (*NSStarvation)(nil)
+
+// Activate implements sim.Adversary.
+func (a *NSStarvation) Activate(_ int, w *sim.World) []int {
+	var passive, movers []int
+	for i := 0; i < w.NumAgents(); i++ {
+		if w.AgentTerminated(i) {
+			continue
+		}
+		in, err := w.PeekGlobal(i)
+		if err != nil || !in.Move {
+			passive = append(passive, i)
+			continue
+		}
+		movers = append(movers, i)
+	}
+	a.firstID = -1
+	if len(movers) == 0 {
+		return passive
+	}
+	a.firstID = movers[a.rot%len(movers)]
+	a.rot = (a.rot + 1) % 6 // 6 = lcm(1,2,3); enough for ≤3 movers
+	return append(passive, a.firstID)
+}
+
+// MissingEdge implements sim.Adversary.
+func (a *NSStarvation) MissingEdge(_ int, _ *sim.World, intents []sim.Intent) int {
+	for _, in := range intents {
+		if in.Agent == a.firstID && in.Move {
+			return in.TargetEdge
+		}
+	}
+	return sim.NoEdge
+}
+
+// Fingerprint implements sim.Fingerprinter: decisions depend only on the
+// configuration and the bounded rotation counter, so repeated fingerprints
+// certify that the starved run loops forever.
+func (a *NSStarvation) Fingerprint() string {
+	return "ns:" + strconv.Itoa(a.rot)
+}

@@ -1,0 +1,237 @@
+// Package catchtree mechanizes the combinatorial core of Theorem 20 (the
+// termination argument for ETBoundNoChirality), illustrated by Figures 20,
+// 21 and 22 of the paper.
+//
+// In a hypothetical non-terminating run, three agents a, b, c keep catching
+// each other; each catch is an event Dxy ("x catches y while moving in
+// direction D") with D ∈ {L, R}. The proof shows that
+//
+//  1. an event Dxy can only be followed by D̄xz or D̄zx, where z is the
+//     third agent and D̄ the opposite direction;
+//  2. certain consecutive pairs are geometrically impossible once the
+//     agents' range complements are pairwise disjoint (Claims 4 and 5);
+//  3. the immediate-repeat loop Dxy : D̄xz : Dxy cannot recur forever in
+//     the ET model.
+//
+// Every maximal path of the catch tree rooted at Lab or Lac therefore dies
+// in a forbidden pair or a bounded loop, contradicting non-termination.
+// Verify replays this argument exhaustively.
+package catchtree
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Dir is a catch direction.
+type Dir int
+
+const (
+	// L is a catch while moving left.
+	L Dir = iota + 1
+	// R is a catch while moving right.
+	R
+)
+
+// Opposite returns the reverse direction.
+func (d Dir) Opposite() Dir {
+	if d == L {
+		return R
+	}
+	return L
+}
+
+// String implements fmt.Stringer.
+func (d Dir) String() string {
+	if d == L {
+		return "L"
+	}
+	return "R"
+}
+
+// Agent identifies one of the three agents, named as in the paper with the
+// range complements ordered A, B, C from left to right (Figure 21).
+type Agent int
+
+// The three agents.
+const (
+	A Agent = iota
+	B
+	C
+)
+
+// String implements fmt.Stringer.
+func (a Agent) String() string { return string(rune('a' + int(a))) }
+
+// Event is a catch: X catches Y while moving in direction D.
+type Event struct {
+	D    Dir
+	X, Y Agent
+}
+
+// String renders the paper's notation, e.g. "Lab".
+func (e Event) String() string { return fmt.Sprintf("%s%s%s", e.D, e.X, e.Y) }
+
+// third returns the agent that is neither x nor y.
+func third(x, y Agent) Agent { return A + B + C - x - y }
+
+// Successors returns the only two events that can follow e: after Dxy,
+// agent x moves in D̄ and may catch the third agent z, or z (moving in D̄)
+// may catch x.
+func (e Event) Successors() [2]Event {
+	z := third(e.X, e.Y)
+	d := e.D.Opposite()
+	return [2]Event{
+		{D: d, X: e.X, Y: z},
+		{D: d, X: z, Y: e.X},
+	}
+}
+
+// Pair is a consecutive pair of events.
+type Pair struct {
+	First, Then Event
+}
+
+// String implements fmt.Stringer.
+func (p Pair) String() string { return p.First.String() + ":" + p.Then.String() }
+
+// basePair is Claim 4: Lac cannot be immediately followed by Rba.
+var basePair = Pair{
+	First: Event{D: L, X: A, Y: C},
+	Then:  Event{D: R, X: B, Y: A},
+}
+
+// rotate applies the cyclic renaming a→b→c→a to a pair.
+func rotate(p Pair) Pair {
+	r := func(x Agent) Agent { return (x + 1) % 3 }
+	return Pair{
+		First: Event{D: p.First.D, X: r(p.First.X), Y: r(p.First.Y)},
+		Then:  Event{D: p.Then.D, X: r(p.Then.X), Y: r(p.Then.Y)},
+	}
+}
+
+// mirror applies the left/right reflection: directions flip and the
+// leftmost/rightmost agents swap (a↔c).
+func mirror(p Pair) Pair {
+	m := func(x Agent) Agent {
+		switch x {
+		case A:
+			return C
+		case C:
+			return A
+		default:
+			return B
+		}
+	}
+	return Pair{
+		First: Event{D: p.First.D.Opposite(), X: m(p.First.X), Y: m(p.First.Y)},
+		Then:  Event{D: p.Then.D.Opposite(), X: m(p.Then.X), Y: m(p.Then.Y)},
+	}
+}
+
+// ForbiddenPairs returns Claim 5: the closure of Claim 4 under rotation and
+// mirror symmetry — six consecutive pairs that cannot occur.
+func ForbiddenPairs() []Pair {
+	var out []Pair
+	p := basePair
+	for i := 0; i < 3; i++ {
+		out = append(out, p, mirror(p))
+		p = rotate(p)
+	}
+	return out
+}
+
+// Forbidden reports whether the pair (first, then) is in Claim 5's list.
+func Forbidden(first, then Event) bool {
+	for _, p := range ForbiddenPairs() {
+		if p.First == first && p.Then == then {
+			return true
+		}
+	}
+	return false
+}
+
+// Roots returns the two possible initial events (w.l.o.g., per the proof):
+// Lab and Lac.
+func Roots() []Event {
+	return []Event{
+		{D: L, X: A, Y: B},
+		{D: L, X: A, Y: C},
+	}
+}
+
+// Cut classifies how a branch of the catch tree dies.
+type Cut int
+
+const (
+	// CutForbidden: the next event would form a Claim 5 pair.
+	CutForbidden Cut = iota + 1
+	// CutLoop: the next event equals its grandparent (the bounded
+	// Dxy : D̄xz : Dxy oscillation, impossible to sustain under ET).
+	CutLoop
+)
+
+// Branch is one maximal path of the catch tree together with its cut.
+type Branch struct {
+	Path []Event
+	Cut  Cut
+}
+
+// Result summarizes an exhaustive verification.
+type Result struct {
+	// Branches holds every maximal path from the roots.
+	Branches []Branch
+	// Forbidden and Loops count the branch terminations by kind.
+	Forbidden int
+	// Loops counts branches ending in the bounded oscillation.
+	Loops int
+	// MaxDepth is the longest path encountered.
+	MaxDepth int
+}
+
+// ErrUnbounded reports a path exceeding the depth limit, which would refute
+// the proof's claim that every branch dies.
+var ErrUnbounded = errors.New("catchtree: path exceeds depth limit; catch tree is not finite")
+
+// Verify walks every path of the catch tree from both roots and checks that
+// each dies in a forbidden pair or a bounded loop within limit steps. The
+// paper's Figure 22 corresponds to the returned branches.
+func Verify(limit int) (Result, error) {
+	var res Result
+	var walk func(path []Event) error
+	walk = func(path []Event) error {
+		if len(path) > limit {
+			return fmt.Errorf("%w: %v", ErrUnbounded, path)
+		}
+		cur := path[len(path)-1]
+		for _, next := range cur.Successors() {
+			switch {
+			case Forbidden(cur, next):
+				branch := append(append([]Event(nil), path...), next)
+				res.Branches = append(res.Branches, Branch{Path: branch, Cut: CutForbidden})
+				res.Forbidden++
+				if len(branch) > res.MaxDepth {
+					res.MaxDepth = len(branch)
+				}
+			case len(path) >= 2 && path[len(path)-2] == next:
+				branch := append(append([]Event(nil), path...), next)
+				res.Branches = append(res.Branches, Branch{Path: branch, Cut: CutLoop})
+				res.Loops++
+				if len(branch) > res.MaxDepth {
+					res.MaxDepth = len(branch)
+				}
+			default:
+				if err := walk(append(path, next)); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	for _, root := range Roots() {
+		if err := walk([]Event{root}); err != nil {
+			return Result{}, err
+		}
+	}
+	return res, nil
+}

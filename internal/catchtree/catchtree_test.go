@@ -1,0 +1,85 @@
+package catchtree
+
+import "testing"
+
+// TestForbiddenPairsMatchClaim5 checks that the rotation/mirror closure of
+// Claim 4 reproduces exactly the six pairs listed in Claim 5 of the paper:
+// Lac:Rba, Lba:Rcb, Lcb:Rac, Rbc:Lab, Rca:Lbc, Rab:Lca.
+func TestForbiddenPairsMatchClaim5(t *testing.T) {
+	want := map[string]bool{
+		"Lac:Rba": true,
+		"Lba:Rcb": true,
+		"Lcb:Rac": true,
+		"Rbc:Lab": true,
+		"Rca:Lbc": true,
+		"Rab:Lca": true,
+	}
+	got := ForbiddenPairs()
+	if len(got) != len(want) {
+		t.Fatalf("got %d pairs, want %d: %v", len(got), len(want), got)
+	}
+	for _, p := range got {
+		if !want[p.String()] {
+			t.Errorf("unexpected forbidden pair %s", p)
+		}
+		delete(want, p.String())
+	}
+	for missing := range want {
+		t.Errorf("missing forbidden pair %s", missing)
+	}
+}
+
+// TestSuccessors checks the event succession rule: Dxy is followed by D̄xz
+// or D̄zx with z the third agent.
+func TestSuccessors(t *testing.T) {
+	lab := Event{D: L, X: A, Y: B}
+	succ := lab.Successors()
+	if succ[0].String() != "Rac" || succ[1].String() != "Rca" {
+		t.Fatalf("successors of Lab = %v, want [Rac Rca]", succ)
+	}
+	rcb := Event{D: R, X: C, Y: B}
+	succ = rcb.Successors()
+	if succ[0].String() != "Lca" || succ[1].String() != "Lac" {
+		t.Fatalf("successors of Rcb = %v, want [Lca Lac]", succ)
+	}
+}
+
+// TestVerifyFiniteness is the mechanized Theorem 20 argument (Figure 22):
+// every path of the catch tree from Lab or Lac dies in a forbidden pair or
+// a bounded loop — no infinite catching schedule exists.
+func TestVerifyFiniteness(t *testing.T) {
+	res, err := Verify(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Branches) == 0 {
+		t.Fatal("no branches explored")
+	}
+	if res.Forbidden == 0 || res.Loops == 0 {
+		t.Fatalf("expected both cut kinds, got forbidden=%d loops=%d", res.Forbidden, res.Loops)
+	}
+	for _, b := range res.Branches {
+		last := b.Path[len(b.Path)-1]
+		prev := b.Path[len(b.Path)-2]
+		switch b.Cut {
+		case CutForbidden:
+			if !Forbidden(prev, last) {
+				t.Errorf("branch %v marked forbidden but pair %s:%s is allowed", b.Path, prev, last)
+			}
+		case CutLoop:
+			if len(b.Path) < 3 || b.Path[len(b.Path)-3] != last {
+				t.Errorf("branch %v marked loop but does not repeat its grandparent", b.Path)
+			}
+		}
+	}
+	t.Logf("catch tree: %d branches, %d forbidden cuts, %d loop cuts, max depth %d",
+		len(res.Branches), res.Forbidden, res.Loops, res.MaxDepth)
+}
+
+// TestVerifyDepthLimit: an artificially small limit must be reported as an
+// unbounded path rather than silently truncated.
+func TestVerifyDepthLimit(t *testing.T) {
+	if _, err := Verify(1); err == nil {
+		t.Fatal("expected depth-limit error")
+	}
+}

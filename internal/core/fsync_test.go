@@ -1,0 +1,493 @@
+package core_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dynring/internal/adversary"
+	"dynring/internal/agent"
+	"dynring/internal/core"
+	"dynring/internal/ring"
+	"dynring/internal/sim"
+)
+
+// scenario assembles a run for the protocol tests.
+type scenario struct {
+	n        int
+	landmark int // ring.NoLandmark for anonymous rings
+	model    sim.Model
+	starts   []int
+	orients  []ring.GlobalDir
+	protos   []agent.Protocol
+	adv      sim.Adversary
+	max      int
+	stopExpl bool
+	fairness int
+}
+
+func (sc scenario) run(t *testing.T) sim.Result {
+	t.Helper()
+	r, err := ring.NewWithLandmark(sc.n, sc.landmark)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := sc.model
+	if model == 0 {
+		model = sim.FSync
+	}
+	w, err := sim.NewWorld(sim.Config{
+		Ring:          r,
+		Model:         model,
+		Starts:        sc.starts,
+		Orients:       sc.orients,
+		Protocols:     sc.protos,
+		Adversary:     sc.adv,
+		FairnessBound: sc.fairness,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(w, sim.RunOptions{MaxRounds: sc.max, StopWhenExplored: sc.stopExpl})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// checkSound asserts the fundamental safety property shared by every
+// terminating algorithm in the paper: a terminal state may be entered only
+// after the ring has been explored.
+func checkSound(t *testing.T, res sim.Result) {
+	t.Helper()
+	for i, tr := range res.TerminatedAt {
+		if tr < 0 {
+			continue
+		}
+		if !res.Explored {
+			t.Fatalf("agent %d terminated at round %d but the ring was never explored", i, tr)
+		}
+		if tr < res.ExploredRound {
+			t.Fatalf("agent %d terminated at round %d before exploration completed at round %d",
+				i, tr, res.ExploredRound)
+		}
+	}
+}
+
+func knownN(t *testing.T, bound int) []agent.Protocol {
+	t.Helper()
+	ps, err := core.Build("KnownNNoChirality", 2, core.Params{UpperBound: bound})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ps
+}
+
+func orients(a, b ring.GlobalDir) []ring.GlobalDir { return []ring.GlobalDir{a, b} }
+
+// TestKnownNStatic: on a static ring both agents explore and terminate at
+// exactly round 3N−6 (the only terminate guard), for every combination of
+// orientations and for shared or distinct starting nodes.
+func TestKnownNStatic(t *testing.T) {
+	tests := []struct {
+		name    string
+		n       int
+		starts  []int
+		orients []ring.GlobalDir
+	}{
+		{name: "same node, chirality", n: 9, starts: []int{4, 4}, orients: orients(ring.CW, ring.CW)},
+		{name: "same node, opposite", n: 9, starts: []int{4, 4}, orients: orients(ring.CW, ring.CCW)},
+		{name: "adjacent, chirality", n: 12, starts: []int{3, 4}, orients: orients(ring.CCW, ring.CCW)},
+		{name: "far apart, opposite", n: 15, starts: []int{0, 7}, orients: orients(ring.CW, ring.CCW)},
+		{name: "minimum ring", n: 3, starts: []int{0, 2}, orients: orients(ring.CW, ring.CW)},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			res := scenario{
+				n: tt.n, landmark: ring.NoLandmark,
+				starts: tt.starts, orients: tt.orients,
+				protos: knownN(t, tt.n), adv: adversary.None{},
+				max: 3*tt.n + 10,
+			}.run(t)
+			if !res.Explored {
+				t.Fatal("ring not explored")
+			}
+			checkSound(t, res)
+			want := 3*tt.n - 6
+			for i, tr := range res.TerminatedAt {
+				if tr != want {
+					t.Errorf("agent %d terminated at %d, want exactly %d", i, tr, want)
+				}
+			}
+		})
+	}
+}
+
+// TestKnownNFigure2 reproduces the tight schedule of Figure 2: exploration
+// completes exactly at the end of round 3n−7 (0-indexed), i.e. after 3n−6
+// rounds, matching the paper's claim that the 3N−6 bound is reached.
+func TestKnownNFigure2(t *testing.T) {
+	for _, n := range []int{8, 12, 21, 33} {
+		fig := adversary.Figure2{N: n}
+		res := scenario{
+			n: n, landmark: ring.NoLandmark,
+			starts:  fig.Starts(),
+			orients: orients(ring.CCW, ring.CCW), // private left = CW
+			protos:  knownN(t, n), adv: fig,
+			max: 3*n + 10,
+		}.run(t)
+		if !res.Explored {
+			t.Fatalf("n=%d: ring not explored", n)
+		}
+		checkSound(t, res)
+		if res.ExploredRound != 3*n-7 {
+			t.Errorf("n=%d: explored at round %d, want tight 3n-7 = %d", n, res.ExploredRound, 3*n-7)
+		}
+		for i, tr := range res.TerminatedAt {
+			if tr != 3*n-6 {
+				t.Errorf("n=%d: agent %d terminated at %d, want 3n-6 = %d", n, i, tr, 3*n-6)
+			}
+		}
+	}
+}
+
+// TestKnownNAdversaries: the 3N−6 guarantee holds against every adversary
+// in the suite, including a loose upper bound N > n.
+func TestKnownNAdversaries(t *testing.T) {
+	advs := map[string]sim.Adversary{
+		"none":       adversary.None{},
+		"random":     adversary.NewRandomEdge(0.7, 42),
+		"greedy":     adversary.GreedyBlocker{},
+		"frontier":   adversary.FrontierGuard{},
+		"target0":    adversary.TargetAgent{Agent: 0},
+		"target1":    adversary.TargetAgent{Agent: 1},
+		"persistent": adversary.PersistentEdge{Edge: 2},
+		"prevent":    adversary.PreventMeeting{},
+	}
+	for name, adv := range advs {
+		t.Run(name, func(t *testing.T) {
+			for _, tc := range []struct{ n, bound int }{{8, 8}, {10, 13}, {5, 9}} {
+				res := scenario{
+					n: tc.n, landmark: ring.NoLandmark,
+					starts:  []int{1, 4 % tc.n},
+					orients: orients(ring.CW, ring.CCW),
+					protos:  knownN(t, tc.bound), adv: adv,
+					max: 3*tc.bound + 10,
+				}.run(t)
+				if !res.Explored {
+					t.Fatalf("n=%d N=%d: not explored", tc.n, tc.bound)
+				}
+				checkSound(t, res)
+				want := 3*tc.bound - 6
+				for i, tr := range res.TerminatedAt {
+					if tr != want {
+						t.Errorf("n=%d N=%d: agent %d terminated at %d, want %d", tc.n, tc.bound, i, tr, want)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestKnownNQuick property-tests Theorem 3 under randomized dynamics: for
+// random ring sizes, starts, orientations and adversary seeds, the ring is
+// always explored and both agents terminate at round 3N−6.
+func TestKnownNQuick(t *testing.T) {
+	f := func(rawN uint8, s0, s1 uint8, o0, o1 bool, p uint8, seed int64) bool {
+		n := 3 + int(rawN)%20
+		bound := n + int(s0)%4
+		prob := float64(p%90+10) / 100
+		dir := func(b bool) ring.GlobalDir {
+			if b {
+				return ring.CW
+			}
+			return ring.CCW
+		}
+		protos, err := core.Build("KnownNNoChirality", 2, core.Params{UpperBound: bound})
+		if err != nil {
+			return false
+		}
+		r, err := ring.New(n)
+		if err != nil {
+			return false
+		}
+		w, err := sim.NewWorld(sim.Config{
+			Ring:      r,
+			Model:     sim.FSync,
+			Starts:    []int{int(s0) % n, int(s1) % n},
+			Orients:   []ring.GlobalDir{dir(o0), dir(o1)},
+			Protocols: protos,
+			Adversary: adversary.NewRandomEdge(prob, seed),
+		})
+		if err != nil {
+			return false
+		}
+		res, err := sim.Run(w, sim.RunOptions{MaxRounds: 3*bound + 5})
+		if err != nil {
+			return false
+		}
+		if !res.Explored || res.Terminated != 2 {
+			return false
+		}
+		for _, tr := range res.TerminatedAt {
+			if tr != 3*bound-6 {
+				return false
+			}
+		}
+		return res.ExploredRound <= 3*bound-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 250}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestUnconsciousExplores: Theorem 5 — exploration completes within O(n)
+// rounds without termination, for all orientation combinations and
+// adversaries.
+func TestUnconsciousExplores(t *testing.T) {
+	advs := map[string]sim.Adversary{
+		"none":       adversary.None{},
+		"random":     adversary.NewRandomEdge(0.6, 7),
+		"greedy":     adversary.GreedyBlocker{},
+		"frontier":   adversary.FrontierGuard{},
+		"target0":    adversary.TargetAgent{Agent: 0},
+		"persistent": adversary.PersistentEdge{Edge: 0},
+		"prevent":    adversary.PreventMeeting{},
+	}
+	for name, adv := range advs {
+		t.Run(name, func(t *testing.T) {
+			for _, n := range []int{3, 5, 8, 16, 32} {
+				for _, ors := range [][]ring.GlobalDir{
+					orients(ring.CW, ring.CW),
+					orients(ring.CW, ring.CCW),
+					orients(ring.CCW, ring.CW),
+				} {
+					protos := []agent.Protocol{
+						core.NewUnconsciousExploration(),
+						core.NewUnconsciousExploration(),
+					}
+					res := scenario{
+						n: n, landmark: ring.NoLandmark,
+						starts: []int{0, (n / 2)}, orients: ors,
+						protos: protos, adv: adv,
+						max: 64*n + 64, stopExpl: true,
+					}.run(t)
+					if !res.Explored {
+						t.Fatalf("%s n=%d orients=%v: not explored within 64n", name, n, ors)
+					}
+					if res.Terminated != 0 {
+						t.Fatalf("%s n=%d: unconscious protocol terminated", name, n)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestUnconsciousLinearTime measures the worst observed exploration time
+// across the adversary suite and checks it stays within a linear envelope,
+// the shape claimed by Theorem 5.
+func TestUnconsciousLinearTime(t *testing.T) {
+	worstRatio := 0.0
+	for _, n := range []int{8, 16, 32, 64} {
+		for _, adv := range []sim.Adversary{
+			adversary.None{}, adversary.GreedyBlocker{}, adversary.FrontierGuard{},
+			adversary.TargetAgent{Agent: 0}, adversary.NewRandomEdge(0.8, 3),
+		} {
+			protos := []agent.Protocol{
+				core.NewUnconsciousExploration(),
+				core.NewUnconsciousExploration(),
+			}
+			res := scenario{
+				n: n, landmark: ring.NoLandmark,
+				starts: []int{0, 1}, orients: orients(ring.CW, ring.CCW),
+				protos: protos, adv: adv,
+				max: 64*n + 64, stopExpl: true,
+			}.run(t)
+			if !res.Explored {
+				t.Fatalf("n=%d: not explored", n)
+			}
+			if ratio := float64(res.ExploredRound) / float64(n); ratio > worstRatio {
+				worstRatio = ratio
+			}
+		}
+	}
+	if worstRatio > 40 {
+		t.Fatalf("worst rounds/n ratio %.1f exceeds linear envelope", worstRatio)
+	}
+}
+
+// landmarkScenario runs a two-agent landmark protocol built by mk.
+func landmarkScenario(t *testing.T, mk func() agent.Protocol, n, lm int, starts []int,
+	ors []ring.GlobalDir, adv sim.Adversary, max int) sim.Result {
+	t.Helper()
+	return scenario{
+		n: n, landmark: lm,
+		starts: starts, orients: ors,
+		protos: []agent.Protocol{mk(), mk()},
+		adv:    adv, max: max,
+	}.run(t)
+}
+
+// TestLandmarkWithChirality: Theorem 6 — two agents with chirality on a
+// ring with a landmark always explore and both explicitly terminate, in
+// O(n) rounds, against the whole adversary suite.
+func TestLandmarkWithChirality(t *testing.T) {
+	advs := map[string]sim.Adversary{
+		"none":       adversary.None{},
+		"random":     adversary.NewRandomEdge(0.5, 11),
+		"greedy":     adversary.GreedyBlocker{},
+		"frontier":   adversary.FrontierGuard{},
+		"target0":    adversary.TargetAgent{Agent: 0},
+		"target1":    adversary.TargetAgent{Agent: 1},
+		"persistent": adversary.PersistentEdge{Edge: 3},
+		"prevent":    adversary.PreventMeeting{},
+	}
+	mk := func() agent.Protocol { return core.NewLandmarkWithChirality() }
+	for name, adv := range advs {
+		t.Run(name, func(t *testing.T) {
+			for _, tc := range []struct {
+				n, lm  int
+				starts []int
+			}{
+				{n: 6, lm: 0, starts: []int{2, 4}},
+				{n: 9, lm: 5, starts: []int{0, 1}},
+				{n: 9, lm: 5, starts: []int{3, 3}},
+				{n: 17, lm: 2, starts: []int{10, 16}},
+			} {
+				res := landmarkScenario(t, mk, tc.n, tc.lm, tc.starts,
+					orients(ring.CW, ring.CW), adv, 60*tc.n+100)
+				if !res.Explored {
+					t.Fatalf("%s n=%d: not explored", name, tc.n)
+				}
+				checkSound(t, res)
+				if res.Terminated != 2 {
+					t.Fatalf("%s n=%d: %d agents terminated, want explicit termination of both",
+						name, tc.n, res.Terminated)
+				}
+			}
+		})
+	}
+}
+
+// TestLandmarkWithChiralityLinearTime checks the O(n) shape of Theorem 6.
+func TestLandmarkWithChiralityLinearTime(t *testing.T) {
+	worst := 0.0
+	for _, n := range []int{8, 16, 32, 64, 128} {
+		for _, adv := range []sim.Adversary{
+			adversary.None{}, adversary.GreedyBlocker{}, adversary.TargetAgent{Agent: 0},
+			adversary.PersistentEdge{Edge: 1}, adversary.FrontierGuard{},
+		} {
+			res := landmarkScenario(t, func() agent.Protocol { return core.NewLandmarkWithChirality() },
+				n, 0, []int{1, n/2 + 1}, orients(ring.CW, ring.CW), adv, 60*n+100)
+			if res.Terminated != 2 {
+				t.Fatalf("n=%d: not all terminated", n)
+			}
+			last := 0
+			for _, tr := range res.TerminatedAt {
+				if tr > last {
+					last = tr
+				}
+			}
+			if ratio := float64(last) / float64(n); ratio > worst {
+				worst = ratio
+			}
+		}
+	}
+	if worst > 50 {
+		t.Fatalf("worst termination-round/n ratio %.1f breaks the linear envelope", worst)
+	}
+}
+
+// TestStartFromLandmarkNoChirality: Theorem 7 — both agents start at the
+// landmark, no chirality; exploration with explicit termination within the
+// algorithm's own O(n log n) budget.
+func TestStartFromLandmarkNoChirality(t *testing.T) {
+	advs := map[string]sim.Adversary{
+		"none":       adversary.None{},
+		"random":     adversary.NewRandomEdge(0.5, 23),
+		"greedy":     adversary.GreedyBlocker{},
+		"target0":    adversary.TargetAgent{Agent: 0},
+		"persistent": adversary.PersistentEdge{Edge: 1},
+	}
+	mk := func() agent.Protocol { return core.NewStartFromLandmarkNoChirality() }
+	for name, adv := range advs {
+		t.Run(name, func(t *testing.T) {
+			for _, n := range []int{5, 8, 13} {
+				for _, ors := range [][]ring.GlobalDir{
+					orients(ring.CW, ring.CW),
+					orients(ring.CW, ring.CCW),
+					orients(ring.CCW, ring.CW),
+				} {
+					res := landmarkScenario(t, mk, n, 0, []int{0, 0}, ors, adv, 4000*n)
+					if !res.Explored {
+						t.Fatalf("%s n=%d orients=%v: not explored", name, n, ors)
+					}
+					checkSound(t, res)
+					if res.Terminated != 2 {
+						t.Fatalf("%s n=%d orients=%v: %d terminated, want 2", name, n, ors, res.Terminated)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestLandmarkNoChirality: Theorem 8 — arbitrary starts, no chirality.
+func TestLandmarkNoChirality(t *testing.T) {
+	advs := map[string]sim.Adversary{
+		"none":       adversary.None{},
+		"random":     adversary.NewRandomEdge(0.5, 31),
+		"greedy":     adversary.GreedyBlocker{},
+		"target1":    adversary.TargetAgent{Agent: 1},
+		"persistent": adversary.PersistentEdge{Edge: 4},
+	}
+	mk := func() agent.Protocol { return core.NewLandmarkNoChirality() }
+	for name, adv := range advs {
+		t.Run(name, func(t *testing.T) {
+			for _, tc := range []struct {
+				n, lm  int
+				starts []int
+			}{
+				{n: 6, lm: 0, starts: []int{2, 5}},
+				{n: 8, lm: 3, starts: []int{0, 0}},
+				{n: 11, lm: 7, starts: []int{1, 6}},
+			} {
+				for _, ors := range [][]ring.GlobalDir{
+					orients(ring.CW, ring.CW),
+					orients(ring.CW, ring.CCW),
+				} {
+					res := landmarkScenario(t, mk, tc.n, tc.lm, tc.starts, ors, adv, 5000*tc.n)
+					if !res.Explored {
+						t.Fatalf("%s n=%d orients=%v: not explored", name, tc.n, ors)
+					}
+					checkSound(t, res)
+					if res.Terminated != 2 {
+						t.Fatalf("%s n=%d orients=%v starts=%v: %d terminated, want 2",
+							name, tc.n, ors, tc.starts, res.Terminated)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestDeterminism: identical configurations produce identical results.
+func TestDeterminism(t *testing.T) {
+	run := func() sim.Result {
+		return scenario{
+			n: 11, landmark: 4,
+			starts:  []int{2, 8},
+			orients: orients(ring.CW, ring.CW),
+			protos: []agent.Protocol{
+				core.NewLandmarkWithChirality(),
+				core.NewLandmarkWithChirality(),
+			},
+			adv: adversary.GreedyBlocker{}, max: 2000,
+		}.run(t)
+	}
+	a, b := run(), run()
+	if a.Rounds != b.Rounds || a.ExploredRound != b.ExploredRound ||
+		a.TotalMoves != b.TotalMoves || a.Terminated != b.Terminated {
+		t.Fatalf("nondeterministic results: %+v vs %+v", a, b)
+	}
+}

@@ -1,0 +1,213 @@
+package core_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dynring/internal/adversary"
+	"dynring/internal/agent"
+	"dynring/internal/core"
+	"dynring/internal/ring"
+	"dynring/internal/sim"
+)
+
+// hostileTie grants contested ports to the agent that minimizes immediate
+// progress: prefer the contender whose edge is missing this round is not
+// knowable here, so it simply inverts the default (highest id wins). The
+// model gives the adversary this power; the algorithms must not care.
+type hostileTie struct{}
+
+func (hostileTie) BreakTie(_ int, _ *sim.World, _ int, _ ring.GlobalDir, contenders []int) int {
+	return contenders[len(contenders)-1]
+}
+
+// TestLandmarkChiralityQuick: Theorem 6 under randomized placement,
+// landmark position, dynamics and hostile tie-breaking — both agents always
+// terminate soundly, with the engine invariant checker attached.
+func TestLandmarkChiralityQuick(t *testing.T) {
+	f := func(rawN, lm, s0, s1 uint8, p uint8, seed int64, flip bool) bool {
+		n := 4 + int(rawN)%16
+		r, err := ring.NewWithLandmark(n, int(lm)%n)
+		if err != nil {
+			return false
+		}
+		orient := ring.CW
+		if flip {
+			orient = ring.CCW
+		}
+		obs := &sim.InvariantObserver{Ring: r}
+		w, err := sim.NewWorld(sim.Config{
+			Ring:    r,
+			Model:   sim.FSync,
+			Starts:  []int{int(s0) % n, int(s1) % n},
+			Orients: []ring.GlobalDir{orient, orient},
+			Protocols: []agent.Protocol{
+				core.NewLandmarkWithChirality(),
+				core.NewLandmarkWithChirality(),
+			},
+			Adversary: adversary.NewRandomEdge(float64(p%90+10)/100, seed),
+			TieBreak:  hostileTie{},
+			Observer:  obs,
+		})
+		if err != nil {
+			return false
+		}
+		res, err := sim.Run(w, sim.RunOptions{MaxRounds: 80*n + 400})
+		if err != nil || obs.Err != nil {
+			return false
+		}
+		if !res.Explored || res.Terminated != 2 {
+			return false
+		}
+		for _, tr := range res.TerminatedAt {
+			if tr < res.ExploredRound {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLandmarkNoChiralityQuick: Theorem 8 under randomized placement,
+// orientations and dynamics — termination of both agents, soundly.
+func TestLandmarkNoChiralityQuick(t *testing.T) {
+	f := func(rawN, lm, s0, s1 uint8, p uint8, seed int64, o0, o1 bool) bool {
+		n := 4 + int(rawN)%10
+		r, err := ring.NewWithLandmark(n, int(lm)%n)
+		if err != nil {
+			return false
+		}
+		dir := func(b bool) ring.GlobalDir {
+			if b {
+				return ring.CW
+			}
+			return ring.CCW
+		}
+		obs := &sim.InvariantObserver{Ring: r}
+		w, err := sim.NewWorld(sim.Config{
+			Ring:    r,
+			Model:   sim.FSync,
+			Starts:  []int{int(s0) % n, int(s1) % n},
+			Orients: []ring.GlobalDir{dir(o0), dir(o1)},
+			Protocols: []agent.Protocol{
+				core.NewLandmarkNoChirality(),
+				core.NewLandmarkNoChirality(),
+			},
+			Adversary: adversary.NewRandomEdge(float64(p%90+10)/100, seed),
+			TieBreak:  hostileTie{},
+			Observer:  obs,
+		})
+		if err != nil {
+			return false
+		}
+		res, err := sim.Run(w, sim.RunOptions{MaxRounds: 8000*n + 8000})
+		if err != nil || obs.Err != nil {
+			return false
+		}
+		if !res.Explored || res.Terminated != 2 {
+			return false
+		}
+		for _, tr := range res.TerminatedAt {
+			if tr < res.ExploredRound {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestUnconsciousQuick: Theorem 5 under randomized everything.
+func TestUnconsciousQuick(t *testing.T) {
+	f := func(rawN, s0, s1 uint8, p uint8, seed int64, o0, o1 bool) bool {
+		n := 3 + int(rawN)%24
+		r, err := ring.New(n)
+		if err != nil {
+			return false
+		}
+		dir := func(b bool) ring.GlobalDir {
+			if b {
+				return ring.CW
+			}
+			return ring.CCW
+		}
+		obs := &sim.InvariantObserver{Ring: r}
+		w, err := sim.NewWorld(sim.Config{
+			Ring:    r,
+			Model:   sim.FSync,
+			Starts:  []int{int(s0) % n, int(s1) % n},
+			Orients: []ring.GlobalDir{dir(o0), dir(o1)},
+			Protocols: []agent.Protocol{
+				core.NewUnconsciousExploration(),
+				core.NewUnconsciousExploration(),
+			},
+			Adversary: adversary.NewRandomEdge(float64(p%90+10)/100, seed),
+			TieBreak:  hostileTie{},
+			Observer:  obs,
+		})
+		if err != nil {
+			return false
+		}
+		res, err := sim.Run(w, sim.RunOptions{MaxRounds: 64*n + 64, StopWhenExplored: true})
+		if err != nil || obs.Err != nil {
+			return false
+		}
+		return res.Explored && res.Terminated == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStartFromLandmarkQuick: Theorem 7 with both agents at the landmark.
+func TestStartFromLandmarkQuick(t *testing.T) {
+	f := func(rawN, lm uint8, p uint8, seed int64, o0, o1 bool) bool {
+		n := 4 + int(rawN)%10
+		lmn := int(lm) % n
+		r, err := ring.NewWithLandmark(n, lmn)
+		if err != nil {
+			return false
+		}
+		dir := func(b bool) ring.GlobalDir {
+			if b {
+				return ring.CW
+			}
+			return ring.CCW
+		}
+		w, err := sim.NewWorld(sim.Config{
+			Ring:    r,
+			Model:   sim.FSync,
+			Starts:  []int{lmn, lmn},
+			Orients: []ring.GlobalDir{dir(o0), dir(o1)},
+			Protocols: []agent.Protocol{
+				core.NewStartFromLandmarkNoChirality(),
+				core.NewStartFromLandmarkNoChirality(),
+			},
+			Adversary: adversary.NewRandomEdge(float64(p%90+10)/100, seed),
+		})
+		if err != nil {
+			return false
+		}
+		res, err := sim.Run(w, sim.RunOptions{MaxRounds: 8000*n + 8000})
+		if err != nil {
+			return false
+		}
+		if !res.Explored || res.Terminated != 2 {
+			return false
+		}
+		for _, tr := range res.TerminatedAt {
+			if tr < res.ExploredRound {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,296 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"dynring/internal/agent"
+	"dynring/internal/sim"
+)
+
+// Termination classifies what a protocol guarantees after exploration.
+type Termination int
+
+const (
+	// Explicit: every agent enters a terminal state (Section 2.1).
+	Explicit Termination = iota + 1
+	// Partial: at least one agent enters a terminal state.
+	Partial
+	// Unconscious: agents explore but never stop.
+	Unconscious
+)
+
+// String implements fmt.Stringer.
+func (t Termination) String() string {
+	switch t {
+	case Explicit:
+		return "explicit"
+	case Partial:
+		return "partial"
+	case Unconscious:
+		return "unconscious"
+	default:
+		return "invalid"
+	}
+}
+
+// Knowledge classifies a protocol's a-priori information about the ring.
+type Knowledge int
+
+const (
+	// KnowNothing: no information about the ring size.
+	KnowNothing Knowledge = iota + 1
+	// KnowUpperBound: an upper bound N ≥ n is available.
+	KnowUpperBound
+	// KnowExactSize: the exact ring size n is available.
+	KnowExactSize
+)
+
+// String implements fmt.Stringer.
+func (k Knowledge) String() string {
+	switch k {
+	case KnowNothing:
+		return "none"
+	case KnowUpperBound:
+		return "upper bound N"
+	case KnowExactSize:
+		return "exact n"
+	default:
+		return "invalid"
+	}
+}
+
+// Params carries the knowledge a protocol instance is constructed with.
+type Params struct {
+	// UpperBound is the known bound N (protocols with KnowUpperBound).
+	UpperBound int
+	// ExactSize is the known ring size n (protocols with KnowExactSize).
+	ExactSize int
+}
+
+// Spec describes a registered protocol: its assumptions, guarantees and
+// constructor. The registry drives the public facade, the experiment
+// harness and the table regeneration tool.
+type Spec struct {
+	// Name is the registry key, matching the paper's algorithm name.
+	Name string
+	// Paper cites the figure or theorem defining the algorithm.
+	Paper string
+	// Description is a one-line summary.
+	Description string
+	// Models lists the synchrony/transport regimes the algorithm is
+	// designed for.
+	Models []sim.Model
+	// Agents is the number of agents the algorithm employs.
+	Agents int
+	// NeedsChirality requires a common orientation across agents.
+	NeedsChirality bool
+	// NeedsLandmark requires a landmark node.
+	NeedsLandmark bool
+	// Knowledge is the required a-priori size information.
+	Knowledge Knowledge
+	// Termination is the guaranteed termination discipline.
+	Termination Termination
+	// TimeBound / MoveBound document the claimed complexity (informative).
+	TimeBound string
+	MoveBound string
+	// New constructs one fresh protocol instance.
+	New func(p Params) (agent.Protocol, error)
+}
+
+// registry holds all protocols of the paper, keyed by name.
+var registry = map[string]Spec{
+	"KnownNNoChirality": {
+		Name:        "KnownNNoChirality",
+		Paper:       "Figure 1, Theorem 3",
+		Description: "2 agents, known upper bound N, no chirality: explicit termination in 3N-6 rounds",
+		Models:      []sim.Model{sim.FSync},
+		Agents:      2,
+		Knowledge:   KnowUpperBound,
+		Termination: Explicit,
+		TimeBound:   "3N-6",
+		New: func(p Params) (agent.Protocol, error) {
+			return NewKnownNNoChirality(p.UpperBound)
+		},
+	},
+	"UnconsciousExploration": {
+		Name:        "UnconsciousExploration",
+		Paper:       "Figure 3, Theorem 5",
+		Description: "2 agents, no knowledge, no chirality: unconscious exploration in O(n) rounds",
+		Models:      []sim.Model{sim.FSync},
+		Agents:      2,
+		Knowledge:   KnowNothing,
+		Termination: Unconscious,
+		TimeBound:   "O(n)",
+		New: func(Params) (agent.Protocol, error) {
+			return NewUnconsciousExploration(), nil
+		},
+	},
+	"LandmarkWithChirality": {
+		Name:           "LandmarkWithChirality",
+		Paper:          "Figure 4, Theorem 6",
+		Description:    "2 agents, landmark, chirality: explicit termination in O(n) rounds",
+		Models:         []sim.Model{sim.FSync},
+		Agents:         2,
+		NeedsChirality: true,
+		NeedsLandmark:  true,
+		Knowledge:      KnowNothing,
+		Termination:    Explicit,
+		TimeBound:      "O(n)",
+		New: func(Params) (agent.Protocol, error) {
+			return NewLandmarkWithChirality(), nil
+		},
+	},
+	"StartFromLandmarkNoChirality": {
+		Name:          "StartFromLandmarkNoChirality",
+		Paper:         "Figure 8, Theorem 7",
+		Description:   "2 agents starting at the landmark, no chirality: explicit termination in O(n log n) rounds",
+		Models:        []sim.Model{sim.FSync},
+		Agents:        2,
+		NeedsLandmark: true,
+		Knowledge:     KnowNothing,
+		Termination:   Explicit,
+		TimeBound:     "O(n log n)",
+		New: func(Params) (agent.Protocol, error) {
+			return NewStartFromLandmarkNoChirality(), nil
+		},
+	},
+	"LandmarkNoChirality": {
+		Name:          "LandmarkNoChirality",
+		Paper:         "Figure 13, Theorem 8",
+		Description:   "2 agents, landmark, no chirality, arbitrary starts: explicit termination in O(n log n) rounds",
+		Models:        []sim.Model{sim.FSync},
+		Agents:        2,
+		NeedsLandmark: true,
+		Knowledge:     KnowNothing,
+		Termination:   Explicit,
+		TimeBound:     "O(n log n)",
+		New: func(Params) (agent.Protocol, error) {
+			return NewLandmarkNoChirality(), nil
+		},
+	},
+	"PTBoundWithChirality": {
+		Name:           "PTBoundWithChirality",
+		Paper:          "Figure 14, Theorem 12",
+		Description:    "PT, 2 agents, chirality, known bound N: partial termination in O(N^2) moves",
+		Models:         []sim.Model{sim.SSyncPT},
+		Agents:         2,
+		NeedsChirality: true,
+		Knowledge:      KnowUpperBound,
+		Termination:    Partial,
+		MoveBound:      "O(N^2)",
+		New: func(p Params) (agent.Protocol, error) {
+			return NewPTBoundWithChirality(p.UpperBound)
+		},
+	},
+	"PTLandmarkWithChirality": {
+		Name:           "PTLandmarkWithChirality",
+		Paper:          "Figure 17, Theorem 14",
+		Description:    "PT, 2 agents, chirality, landmark: partial termination in O(n^2) moves",
+		Models:         []sim.Model{sim.SSyncPT},
+		Agents:         2,
+		NeedsChirality: true,
+		NeedsLandmark:  true,
+		Knowledge:      KnowNothing,
+		Termination:    Partial,
+		MoveBound:      "O(n^2)",
+		New: func(Params) (agent.Protocol, error) {
+			return NewPTLandmarkWithChirality(), nil
+		},
+	},
+	"PTBoundNoChirality": {
+		Name:        "PTBoundNoChirality",
+		Paper:       "Figure 18, Theorem 16",
+		Description: "PT, 3 agents, known bound N, no chirality: partial termination in O(N^2) moves",
+		Models:      []sim.Model{sim.SSyncPT},
+		Agents:      3,
+		Knowledge:   KnowUpperBound,
+		Termination: Partial,
+		MoveBound:   "O(N^2)",
+		New: func(p Params) (agent.Protocol, error) {
+			return NewPTBoundNoChirality(p.UpperBound)
+		},
+	},
+	"PTLandmarkNoChirality": {
+		Name:          "PTLandmarkNoChirality",
+		Paper:         "Section 4.2.3-B, Theorem 17",
+		Description:   "PT, 3 agents, landmark, no chirality: partial termination in O(n^2) moves",
+		Models:        []sim.Model{sim.SSyncPT},
+		Agents:        3,
+		NeedsLandmark: true,
+		Knowledge:     KnowNothing,
+		Termination:   Partial,
+		MoveBound:     "O(n^2)",
+		New: func(Params) (agent.Protocol, error) {
+			return NewPTLandmarkNoChirality(), nil
+		},
+	},
+	"ETUnconscious": {
+		Name:           "ETUnconscious",
+		Paper:          "Theorem 18",
+		Description:    "ET, 2 agents, chirality: unconscious exploration",
+		Models:         []sim.Model{sim.SSyncET},
+		Agents:         2,
+		NeedsChirality: true,
+		Knowledge:      KnowNothing,
+		Termination:    Unconscious,
+		New: func(Params) (agent.Protocol, error) {
+			return NewETUnconscious(), nil
+		},
+	},
+	"ETBoundNoChirality": {
+		Name:        "ETBoundNoChirality",
+		Paper:       "Section 4.3.2, Theorem 20",
+		Description: "ET, 3 agents, exact n, no chirality: partial termination",
+		Models:      []sim.Model{sim.SSyncET},
+		Agents:      3,
+		Knowledge:   KnowExactSize,
+		Termination: Partial,
+		New: func(p Params) (agent.Protocol, error) {
+			return NewETBoundNoChirality(p.ExactSize)
+		},
+	},
+}
+
+// Lookup returns the Spec registered under name.
+func Lookup(name string) (Spec, bool) {
+	s, ok := registry[name]
+	return s, ok
+}
+
+// Names returns all registered protocol names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// All returns all specs sorted by name.
+func All() []Spec {
+	names := Names()
+	out := make([]Spec, 0, len(names))
+	for _, n := range names {
+		out = append(out, registry[n])
+	}
+	return out
+}
+
+// Build constructs count fresh instances of the named protocol.
+func Build(name string, count int, p Params) ([]agent.Protocol, error) {
+	spec, ok := Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("core: unknown protocol %q", name)
+	}
+	out := make([]agent.Protocol, count)
+	for i := range out {
+		inst, err := spec.New(p)
+		if err != nil {
+			return nil, fmt.Errorf("core: build %s: %w", name, err)
+		}
+		out[i] = inst
+	}
+	return out, nil
+}

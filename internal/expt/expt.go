@@ -1,0 +1,150 @@
+// Package expt is the experiment harness that regenerates the paper's
+// evaluation: every row of Tables 1–4 (feasibility, termination discipline,
+// and time/move complexity, positive results re-measured and impossibility
+// constructions re-executed) and every figure experiment (the tight
+// schedule of Figure 2, the ID examples of Figures 9–11, the symmetric
+// bounce of Figure 12, the quadratic runs of Figures 15/16, and the catch
+// tree of Figure 22), plus two extensions (offline-optimal baseline and
+// average-case curves).
+//
+// Each experiment returns Rows: a paper claim, the concrete setup, the
+// measured outcome, and a pass/fail verdict. cmd/tables prints them;
+// bench_test.go reports their metrics; the package tests assert every
+// verdict.
+package expt
+
+import (
+	"fmt"
+
+	"dynring/internal/agent"
+	"dynring/internal/ring"
+	"dynring/internal/sim"
+)
+
+// Row is one line of reproduced evaluation.
+type Row struct {
+	// ID is the experiment identifier from DESIGN.md (e.g. "T2.1").
+	ID string
+	// Claim is the paper's statement being reproduced.
+	Claim string
+	// Setup describes workload and parameters.
+	Setup string
+	// Measured is the observed outcome.
+	Measured string
+	// OK reports whether the observation matches the claim.
+	OK bool
+}
+
+// String renders the row for terminal output.
+func (r Row) String() string {
+	verdict := "PASS"
+	if !r.OK {
+		verdict = "FAIL"
+	}
+	return fmt.Sprintf("[%s] %-5s %s\n        setup:    %s\n        measured: %s",
+		verdict, r.ID, r.Claim, r.Setup, r.Measured)
+}
+
+// RunSpec is a declarative single-run configuration.
+type RunSpec struct {
+	N, Landmark int
+	Model       sim.Model
+	Starts      []int
+	Orients     []ring.GlobalDir
+	Protocols   []agent.Protocol
+	Adversary   sim.Adversary
+	MaxRounds   int
+	StopExpl    bool
+	Fairness    int
+	Observer    sim.Observer
+	Cycles      bool
+}
+
+// Execute runs one spec to completion.
+func Execute(spec RunSpec) (sim.Result, error) {
+	r, err := ring.NewWithLandmark(spec.N, spec.Landmark)
+	if err != nil {
+		return sim.Result{}, err
+	}
+	model := spec.Model
+	if model == 0 {
+		model = sim.FSync
+	}
+	w, err := sim.NewWorld(sim.Config{
+		Ring:          r,
+		Model:         model,
+		Starts:        spec.Starts,
+		Orients:       spec.Orients,
+		Protocols:     spec.Protocols,
+		Adversary:     spec.Adversary,
+		Observer:      spec.Observer,
+		FairnessBound: spec.Fairness,
+	})
+	if err != nil {
+		return sim.Result{}, err
+	}
+	return sim.Run(w, sim.RunOptions{
+		MaxRounds:        spec.MaxRounds,
+		StopWhenExplored: spec.StopExpl,
+		DetectCycles:     spec.Cycles,
+	})
+}
+
+// chirality returns k identical orientations.
+func chirality(k int, d ring.GlobalDir) []ring.GlobalDir {
+	out := make([]ring.GlobalDir, k)
+	for i := range out {
+		out[i] = d
+	}
+	return out
+}
+
+// lastTermination returns the largest termination round, or -1.
+func lastTermination(res sim.Result) int {
+	last := -1
+	for _, tr := range res.TerminatedAt {
+		if tr > last {
+			last = tr
+		}
+	}
+	return last
+}
+
+// soundTermination reports whether no agent terminated before the ring was
+// explored (the safety property shared by all terminating algorithms).
+func soundTermination(res sim.Result) bool {
+	for _, tr := range res.TerminatedAt {
+		if tr < 0 {
+			continue
+		}
+		if !res.Explored || tr < res.ExploredRound {
+			return false
+		}
+	}
+	return true
+}
+
+// ceilLog2 returns ⌈log₂ n⌉ for n ≥ 1.
+func ceilLog2(n int) int {
+	k, pow := 0, 1
+	for pow < n {
+		k++
+		pow <<= 1
+	}
+	return k
+}
+
+// All runs every experiment and concatenates the rows.
+func All() ([]Row, error) {
+	var out []Row
+	for _, f := range []func() ([]Row, error){
+		Table1, Table2, Table3, Table4, Figures, Errata, Extensions,
+	} {
+		rows, err := f()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rows...)
+	}
+	return out, nil
+}

@@ -1,0 +1,61 @@
+package expt
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestTable1 asserts every impossibility-construction row passes.
+func TestTable1(t *testing.T) { assertRows(t, Table1) }
+
+// TestTable2 asserts every FSYNC possibility row passes.
+func TestTable2(t *testing.T) { assertRows(t, Table2) }
+
+// TestTable3 asserts every SSYNC impossibility row passes.
+func TestTable3(t *testing.T) { assertRows(t, Table3) }
+
+// TestTable4 asserts every SSYNC possibility row passes.
+func TestTable4(t *testing.T) { assertRows(t, Table4) }
+
+// TestFigures asserts every figure experiment passes.
+func TestFigures(t *testing.T) { assertRows(t, Figures) }
+
+// TestErrata asserts the errata-ablation experiments pass (the literal
+// transcriptions fail on the separating schedules, the repaired ones work).
+func TestErrata(t *testing.T) { assertRows(t, Errata) }
+
+// TestExtensions asserts the extension experiments pass.
+func TestExtensions(t *testing.T) { assertRows(t, Extensions) }
+
+func assertRows(t *testing.T, f func() ([]Row, error)) {
+	t.Helper()
+	rows, err := f()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no rows produced")
+	}
+	for _, r := range rows {
+		if r.ID == "" || r.Claim == "" || r.Setup == "" || r.Measured == "" {
+			t.Errorf("incomplete row: %+v", r)
+		}
+		if !r.OK {
+			t.Errorf("experiment failed:\n%s", r)
+		} else {
+			t.Logf("%s", r)
+		}
+	}
+}
+
+// TestFigure2Diagram smoke-tests the diagram generator.
+func TestFigure2Diagram(t *testing.T) {
+	out, err := Figure2Diagram(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "round") || !strings.Contains(out, "x") {
+		t.Fatalf("diagram lacks expected markers:\n%s", out)
+	}
+	t.Logf("\n%s", out)
+}

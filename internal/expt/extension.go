@@ -1,0 +1,248 @@
+package expt
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dynring/internal/adversary"
+	"dynring/internal/agent"
+	"dynring/internal/core"
+	"dynring/internal/offline"
+	"dynring/internal/ring"
+	"dynring/internal/search"
+	"dynring/internal/sim"
+)
+
+// Extensions runs the experiments beyond the paper: the live-vs-offline
+// comparison (X1), average-case exploration time under random dynamics
+// (X2), the δ-recurrence sweep (X3), and the exact worst-case schedule
+// search (X4).
+func Extensions() ([]Row, error) {
+	var rows []Row
+	for _, f := range []func() (Row, error){offlineRow, randomCurveRow, recurrenceRow, exactWorstCaseRow} {
+		r, err := f()
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, r)
+	}
+	return rows, nil
+}
+
+// randomSchedule draws an oblivious edge schedule: each round, with
+// probability p, a uniformly random edge is missing.
+func randomSchedule(n, rounds int, p float64, seed int64) offline.EdgeSchedule {
+	rng := rand.New(rand.NewSource(seed))
+	missing := make([]int, rounds)
+	for i := range missing {
+		missing[i] = sim.NoEdge
+		if rng.Float64() < p {
+			missing[i] = rng.Intn(n)
+		}
+	}
+	return offline.EdgeSchedule{N: n, Missing: missing}
+}
+
+// offlineRow compares the live UnconsciousExploration (two agents, no
+// knowledge) against the offline optimum (full schedule known in advance)
+// on identical random dynamics. The live/offline ratio quantifies the
+// price of exploring without foresight.
+func offlineRow() (Row, error) {
+	type point struct {
+		n                int
+		live, off1, off2 int
+	}
+	var pts []point
+	for _, n := range []int{6, 8, 10} {
+		horizon := 64 * n
+		sched := randomSchedule(n, horizon, 0.5, int64(n)*1009)
+		r, err := ring.New(n)
+		if err != nil {
+			return Row{}, err
+		}
+		off1, ok1 := offline.OptimalCoverTime(r, sched, 0, horizon)
+		off2, ok2, err := offline.OptimalCoverTime2(r, sched, 0, n/2, horizon)
+		if err != nil {
+			return Row{}, err
+		}
+		res, err := Execute(RunSpec{
+			N: n, Landmark: ring.NoLandmark,
+			Starts:    []int{0, n / 2},
+			Orients:   []ring.GlobalDir{ring.CW, ring.CCW},
+			Protocols: []agent.Protocol{core.NewUnconsciousExploration(), core.NewUnconsciousExploration()},
+			Adversary: offline.ReplaySchedule{Sched: sched},
+			MaxRounds: horizon,
+			StopExpl:  true,
+		})
+		if err != nil {
+			return Row{}, err
+		}
+		if !ok1 || !ok2 || !res.Explored {
+			return Row{
+				ID:       "X1",
+				Claim:    "extension: live vs offline-optimal exploration",
+				Setup:    fmt.Sprintf("n=%d random schedule", n),
+				Measured: "a cover time was unattainable within the horizon",
+				OK:       false,
+			}, nil
+		}
+		pts = append(pts, point{n: n, live: res.ExploredRound + 1, off1: off1, off2: off2})
+	}
+	ok := true
+	measured := ""
+	for _, p := range pts {
+		// A clairvoyant pair can never be slower than the live pair on
+		// the same schedule. (A clairvoyant *single* walker can be: it
+		// has foresight but half the workforce, so off1 is reported
+		// without an ordering assertion.)
+		if p.off2 > p.live {
+			ok = false
+		}
+		measured += fmt.Sprintf("n=%d live=%d offline1=%d offline2=%d; ", p.n, p.live, p.off1, p.off2)
+	}
+	return Row{
+		ID:       "X1",
+		Claim:    "extension: offline optimum lower-bounds live exploration on identical dynamics",
+		Setup:    "random p=0.5 schedules, 2 live UnconsciousExploration agents vs 1- and 2-walker offline DP",
+		Measured: measured,
+		OK:       ok,
+	}, nil
+}
+
+// randomCurveRow measures average exploration time of the unconscious
+// protocol as a function of the edge-removal probability.
+func randomCurveRow() (Row, error) {
+	const n = 16
+	const seeds = 10
+	avg := make(map[float64]float64)
+	for _, p := range []float64{0.2, 0.5, 0.8} {
+		total := 0
+		for s := int64(0); s < seeds; s++ {
+			res, err := Execute(RunSpec{
+				N: n, Landmark: ring.NoLandmark,
+				Starts:    []int{0, n / 2},
+				Orients:   []ring.GlobalDir{ring.CW, ring.CCW},
+				Protocols: []agent.Protocol{core.NewUnconsciousExploration(), core.NewUnconsciousExploration()},
+				Adversary: adversary.NewRandomEdge(p, 7000+s),
+				MaxRounds: 64 * n,
+				StopExpl:  true,
+			})
+			if err != nil {
+				return Row{}, err
+			}
+			if !res.Explored {
+				return Row{
+					ID: "X2", Claim: "extension: average-case exploration under random dynamics",
+					Setup:    fmt.Sprintf("n=%d p=%.1f seed=%d", n, p, s),
+					Measured: "not explored within 64n rounds",
+					OK:       false,
+				}, nil
+			}
+			total += res.ExploredRound + 1
+		}
+		avg[p] = float64(total) / seeds
+	}
+	ok := avg[0.2] <= avg[0.8]*2 // denser removal should not make things faster by much
+	return Row{
+		ID:    "X2",
+		Claim: "extension: average exploration time grows mildly with removal density",
+		Setup: fmt.Sprintf("n=%d, %d seeds per density", n, seeds),
+		Measured: fmt.Sprintf("avg rounds: p=0.2→%.1f, p=0.5→%.1f, p=0.8→%.1f",
+			avg[0.2], avg[0.5], avg[0.8]),
+		OK: ok,
+	}, nil
+}
+
+// recurrenceRow sweeps the δ-recurrence bound (Section 1.1.3's related
+// dynamics class): the greedy blocker is capped so that no edge stays
+// missing more than δ consecutive rounds. Exploration by the unconscious
+// protocol should be fastest for δ = 1 and degrade monotonically-ish
+// towards the unconstrained adversary.
+func recurrenceRow() (Row, error) {
+	const n = 24
+	rounds := make(map[int]int)
+	deltas := []int{1, 2, 4, 8, 1 << 20}
+	for _, delta := range deltas {
+		res, err := Execute(RunSpec{
+			N: n, Landmark: ring.NoLandmark,
+			Starts:    []int{0, 1},
+			Orients:   []ring.GlobalDir{ring.CW, ring.CCW},
+			Protocols: []agent.Protocol{core.NewUnconsciousExploration(), core.NewUnconsciousExploration()},
+			Adversary: adversary.NewBoundedBlocking(adversary.GreedyBlocker{}, delta),
+			MaxRounds: 64*n + 64,
+			StopExpl:  true,
+		})
+		if err != nil {
+			return Row{}, err
+		}
+		if !res.Explored {
+			return Row{
+				ID: "X3", Claim: "extension: δ-recurrence sweep",
+				Setup:    fmt.Sprintf("n=%d δ=%d", n, delta),
+				Measured: "not explored within the horizon",
+				OK:       false,
+			}, nil
+		}
+		rounds[delta] = res.ExploredRound + 1
+	}
+	ok := rounds[1] <= rounds[1<<20]
+	return Row{
+		ID:    "X3",
+		Claim: "extension: δ-recurrent dynamics — faster edge recurrence speeds up exploration",
+		Setup: fmt.Sprintf("n=%d, greedy blocker capped at δ consecutive removals", n),
+		Measured: fmt.Sprintf("exploration rounds: δ=1→%d, δ=2→%d, δ=4→%d, δ=8→%d, δ=∞→%d",
+			rounds[1], rounds[2], rounds[4], rounds[8], rounds[1<<20]),
+		OK: ok,
+	}, nil
+}
+
+// exactWorstCaseRow enumerates every FSYNC edge-removal schedule on small
+// rings to compute the exact adversarial worst case of the catch-and-bounce
+// explorer, confirming Observation 3's 2n−3 lower bound by concrete
+// schedules, and confirms that dropping the chirality assumption makes
+// exploration preventable (the search finds the confining schedule itself).
+func exactWorstCaseRow() (Row, error) {
+	measured := ""
+	ok := true
+	for _, tc := range []struct{ n, horizon int }{{4, 10}, {5, 12}} {
+		res, err := search.MaxCoverTime(search.Config{
+			N: tc.n, Landmark: ring.NoLandmark,
+			Starts:  []int{0, 1},
+			Orients: []ring.GlobalDir{ring.CW, ring.CW},
+			Factory: func() ([]agent.Protocol, error) {
+				return []agent.Protocol{core.NewETUnconscious(), core.NewETUnconscious()}, nil
+			},
+			Horizon: tc.horizon,
+		})
+		if err != nil {
+			return Row{}, err
+		}
+		if res.Preventable || res.WorstCover < 2*tc.n-3 {
+			ok = false
+		}
+		measured += fmt.Sprintf("n=%d: exact worst=%d (2n−3=%d); ", tc.n, res.WorstCover, 2*tc.n-3)
+	}
+	noChir, err := search.MaxCoverTime(search.Config{
+		N: 4, Landmark: ring.NoLandmark,
+		Starts:  []int{0, 2},
+		Orients: []ring.GlobalDir{ring.CW, ring.CCW},
+		Factory: func() ([]agent.Protocol, error) {
+			return []agent.Protocol{core.NewETUnconscious(), core.NewETUnconscious()}, nil
+		},
+		Horizon: 10,
+	})
+	if err != nil {
+		return Row{}, err
+	}
+	if !noChir.Preventable {
+		ok = false
+	}
+	measured += fmt.Sprintf("without chirality: preventable=%v", noChir.Preventable)
+	return Row{
+		ID:       "X4",
+		Claim:    "extension: exact worst cases by exhaustive schedule search (meets Obs 3's 2n−3)",
+		Setup:    "catch-and-bounce explorer, all FSYNC schedules on R4/R5",
+		Measured: measured,
+		OK:       ok,
+	}, nil
+}

@@ -1,0 +1,234 @@
+package expt
+
+import (
+	"fmt"
+
+	"dynring/internal/adversary"
+	"dynring/internal/agent"
+	"dynring/internal/ring"
+	"dynring/internal/sim"
+)
+
+// Table1 reproduces the FSYNC impossibility results (Table 1 of the paper)
+// by executing the proofs' constructions.
+func Table1() ([]Row, error) {
+	var rows []Row
+
+	r, err := theorem1Row()
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, r)
+
+	r, err = theorem2Row()
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, r)
+
+	r, err = observation1Row()
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, r)
+
+	r, err = observation2Row()
+	if err != nil {
+		return nil, err
+	}
+	return append(rows, r), nil
+}
+
+// theorem1Row executes the Theorem 1 construction: record an execution E of
+// a partially terminating candidate under a meeting-preventing adversary on
+// a small ring; replay the same block pattern on a ring of size 8·r(E) with
+// the agents 4·r(E) apart. The candidate cannot distinguish the runs, so it
+// terminates equally early — with most of the large ring unexplored.
+func theorem1Row() (Row, error) {
+	const n = 6
+	timer := 24
+	mk := func() agent.Protocol { return &FixedTimer{Limit: timer} }
+
+	log := &adversary.BlockLog{}
+	resA, err := Execute(RunSpec{
+		N: n, Landmark: ring.NoLandmark,
+		Starts:    []int{0, n / 2},
+		Orients:   chirality(2, ring.CW),
+		Protocols: []agent.Protocol{mk(), mk()},
+		Adversary: &adversary.Recording{Inner: adversary.PreventMeeting{}, Log: log},
+		MaxRounds: 4 * timer,
+	})
+	if err != nil {
+		return Row{}, fmt.Errorf("theorem 1 phase A: %w", err)
+	}
+	rE := -1
+	for _, tr := range resA.TerminatedAt {
+		if tr >= 0 && (rE < 0 || tr < rE) {
+			rE = tr
+		}
+	}
+	if rE < 0 {
+		return Row{
+			ID:       "T1.1",
+			Claim:    "Th 1: no partial termination with 2 agents, no knowledge, no landmark",
+			Setup:    fmt.Sprintf("candidate FixedTimer(%d) on R%d under PreventMeeting", timer, n),
+			Measured: "candidate never terminated in phase A; construction needs a terminating run",
+			OK:       false,
+		}, nil
+	}
+
+	big := 8 * rE
+	resB, err := Execute(RunSpec{
+		N: big, Landmark: ring.NoLandmark,
+		Starts:    []int{0, 4 * rE},
+		Orients:   chirality(2, ring.CW),
+		Protocols: []agent.Protocol{mk(), mk()},
+		Adversary: &adversary.Replay{Log: log},
+		MaxRounds: rE + 2,
+	})
+	if err != nil {
+		return Row{}, fmt.Errorf("theorem 1 phase B: %w", err)
+	}
+	terminatedAtR := false
+	for _, tr := range resB.TerminatedAt {
+		if tr == rE {
+			terminatedAtR = true
+		}
+	}
+	unsound := terminatedAtR && !resB.Explored
+	return Row{
+		ID:    "T1.1",
+		Claim: "Th 1: no partial termination with 2 agents, no knowledge, no landmark",
+		Setup: fmt.Sprintf("record E on R%d (PreventMeeting), replay on R%d with agents 4r(E)=%d apart", n, big, 4*rE),
+		Measured: fmt.Sprintf("r(E)=%d; on R%d the same agent terminated at %d with %d/%d nodes unexplored",
+			rE, big, rE, big-countVisited(resB, big), big),
+		OK: unsound,
+	}, nil
+}
+
+// countVisited estimates visited nodes from the result: the run stopped at
+// termination, so coverage is what the agents reached.
+func countVisited(res sim.Result, n int) int {
+	// Result does not carry the visited set; derive a bound from moves:
+	// two walkers starting apart cover at most moves+2 nodes.
+	covered := res.TotalMoves + 2
+	if res.Explored {
+		return n
+	}
+	if covered > n {
+		covered = n
+	}
+	return covered
+}
+
+// theorem2Row demonstrates Theorem 2's symmetry argument with three
+// anonymous agents: equally spaced agents with identical protocols and
+// orientations take identical decisions forever, so a timer that suffices
+// on R(n) terminates identically on R(2n) — unexplored.
+func theorem2Row() (Row, error) {
+	const k = 3
+	const n = 9
+	// Enough for the k equally spaced agents to explore R(n) (each covers
+	// an interval of timer+1 ≥ n/k nodes) but leaving gaps on R(2n).
+	timer := n/k + 1
+	mk := func() agent.Protocol { return &FixedTimer{Limit: timer} }
+
+	spaced := func(size int) []int { return []int{0, size / 3, 2 * size / 3} }
+	small, err := Execute(RunSpec{
+		N: n, Landmark: ring.NoLandmark,
+		Starts:    spaced(n),
+		Orients:   chirality(k, ring.CW),
+		Protocols: []agent.Protocol{mk(), mk(), mk()},
+		Adversary: adversary.None{},
+		MaxRounds: 2 * timer,
+	})
+	if err != nil {
+		return Row{}, err
+	}
+	big, err := Execute(RunSpec{
+		N: 2 * n, Landmark: ring.NoLandmark,
+		Starts:    spaced(2 * n),
+		Orients:   chirality(k, ring.CW),
+		Protocols: []agent.Protocol{mk(), mk(), mk()},
+		Adversary: adversary.None{},
+		MaxRounds: 2 * timer,
+	})
+	if err != nil {
+		return Row{}, err
+	}
+	ok := small.Explored && small.Terminated == k && big.Terminated == k && !big.Explored
+	return Row{
+		ID:    "T1.2",
+		Claim: "Th 2: no partial termination for any number of anonymous agents without size knowledge",
+		Setup: fmt.Sprintf("%d anonymous agents, equally spaced, static rings R%d and R%d", k, n, 2*n),
+		Measured: fmt.Sprintf("R%d: explored=%v, all terminated at %d; R%d: all terminated identically, explored=%v",
+			n, small.Explored, lastTermination(small), 2*n, big.Explored),
+		OK: ok,
+	}, nil
+}
+
+// observation1Row: a single agent can be blocked forever (Observation 1 /
+// Corollary 1).
+func observation1Row() (Row, error) {
+	const n = 7
+	res, err := Execute(RunSpec{
+		N: n, Landmark: ring.NoLandmark,
+		Starts:    []int{3},
+		Orients:   chirality(1, ring.CW),
+		Protocols: []agent.Protocol{&FixedTimer{Limit: 1 << 30}},
+		Adversary: adversary.TargetAgent{Agent: 0},
+		MaxRounds: 500,
+	})
+	if err != nil {
+		return Row{}, err
+	}
+	ok := !res.Explored && res.TotalMoves == 0
+	return Row{
+		ID:       "T1.3",
+		Claim:    "Obs 1/Cor 1: one agent cannot explore — the adversary always removes its next edge",
+		Setup:    fmt.Sprintf("1 agent on R%d, TargetAgent adversary, %d rounds", n, res.Rounds),
+		Measured: fmt.Sprintf("moves=%d, explored=%v after %d rounds", res.TotalMoves, res.Explored, res.Rounds),
+		OK:       ok,
+	}, nil
+}
+
+// observation2Row: the adversary can prevent two agents from ever meeting.
+func observation2Row() (Row, error) {
+	const n = 8
+	var meet meetDetector
+	res, err := Execute(RunSpec{
+		N: n, Landmark: ring.NoLandmark,
+		Starts:    []int{0, 4},
+		Orients:   []ring.GlobalDir{ring.CW, ring.CCW},
+		Protocols: []agent.Protocol{&FixedTimer{Limit: 1 << 30}, &FixedTimer{Limit: 1 << 30}},
+		Adversary: adversary.PreventMeeting{},
+		MaxRounds: 2000,
+		Observer:  &meet,
+	})
+	if err != nil {
+		return Row{}, err
+	}
+	return Row{
+		ID:       "T1.4",
+		Claim:    "Obs 2: two agents can be prevented from meeting forever",
+		Setup:    fmt.Sprintf("2 agents walking towards each other on R%d, PreventMeeting, %d rounds", n, res.Rounds),
+		Measured: fmt.Sprintf("co-located rounds: %d of %d", meet.meetings, res.Rounds),
+		OK:       meet.meetings == 0,
+	}, nil
+}
+
+// meetDetector counts rounds in which two agents share a node.
+type meetDetector struct {
+	meetings int
+}
+
+func (m *meetDetector) ObserveRound(rec sim.RoundRecord) {
+	seen := make(map[int]bool, len(rec.Agents))
+	for _, a := range rec.Agents {
+		if seen[a.Node] {
+			m.meetings++
+			return
+		}
+		seen[a.Node] = true
+	}
+}

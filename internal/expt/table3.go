@@ -1,0 +1,184 @@
+package expt
+
+import (
+	"fmt"
+
+	"dynring/internal/adversary"
+	"dynring/internal/agent"
+	"dynring/internal/core"
+	"dynring/internal/ring"
+	"dynring/internal/sim"
+)
+
+// Table3 reproduces the SSYNC impossibility results (Table 3 of the paper)
+// by executing the proofs' adversaries against the paper's own algorithms
+// deprived of the assumption each theorem removes.
+func Table3() ([]Row, error) {
+	var rows []Row
+	for _, f := range []func() (Row, error){
+		theorem9Row, theorem10Row, theorem11Row, theorem19Row,
+	} {
+		r, err := f()
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, r)
+	}
+	return rows, nil
+}
+
+// theorem9Row: NS model — the starvation scheduler freezes any algorithm.
+// The run ends with a configuration-cycle certificate: it provably loops
+// forever with zero progress.
+func theorem9Row() (Row, error) {
+	const n = 9
+	protos, err := core.Build("PTBoundNoChirality", 3, core.Params{UpperBound: n})
+	if err != nil {
+		return Row{}, err
+	}
+	res, err := Execute(RunSpec{
+		N: n, Landmark: ring.NoLandmark,
+		Model:     sim.SSyncNS,
+		Starts:    []int{0, 3, 6},
+		Orients:   []ring.GlobalDir{ring.CW, ring.CCW, ring.CW},
+		Protocols: protos,
+		Adversary: adversary.NewNSStarvation(),
+		MaxRounds: 5000,
+		Cycles:    true,
+		Fairness:  1 << 20, // the NS scheduler is fair by construction
+	})
+	if err != nil {
+		return Row{}, err
+	}
+	ok := !res.Explored && res.TotalMoves == 0 && res.Outcome == sim.OutcomeCycle
+	return Row{
+		ID:    "T3.1",
+		Claim: "Th 9: NS model — exploration impossible with any number of agents",
+		Setup: fmt.Sprintf("3 agents on R%d, starvation scheduler (activate non-movers + one rotating mover, remove its edge)", n),
+		Measured: fmt.Sprintf("moves=%d, explored=%v, outcome=%v (cycle from round %d: certified infinite stall)",
+			res.TotalMoves, res.Explored, res.Outcome, res.CycleStart),
+		OK: ok,
+	}, nil
+}
+
+// theorem10Row: PT model, two agents without chirality — the alternation
+// strategy confines both agents forever.
+func theorem10Row() (Row, error) {
+	const n = 8
+	protos, err := core.Build("PTBoundWithChirality", 2, core.Params{UpperBound: n})
+	if err != nil {
+		return Row{}, err
+	}
+	res, err := Execute(RunSpec{
+		N: n, Landmark: ring.NoLandmark,
+		Model:  sim.SSyncPT,
+		Starts: []int{2, 3},
+		// Opposite orientations: the chirality assumption is removed.
+		Orients:   []ring.GlobalDir{ring.CW, ring.CCW},
+		Protocols: protos,
+		Adversary: adversary.NewAlternation(8),
+		MaxRounds: 20000,
+		Fairness:  1 << 20, // alternation activates one agent at a time
+	})
+	if err != nil {
+		return Row{}, err
+	}
+	ok := !res.Explored
+	return Row{
+		ID:    "T3.2",
+		Claim: "Th 10: PT model — 2 agents without chirality cannot explore",
+		Setup: fmt.Sprintf("PTBoundWithChirality misused with opposite orientations on R%d, alternation adversary", n),
+		Measured: fmt.Sprintf("explored=%v after %d rounds, %d terminated, moves=%d",
+			res.Explored, res.Rounds, res.Terminated, res.TotalMoves),
+		OK: ok,
+	}, nil
+}
+
+// theorem11Row: PT model — explicit termination of both agents is
+// impossible; with an edge perpetually removed, the paper's algorithms
+// deliver exactly their guarantee: one terminator, one perpetual waiter.
+func theorem11Row() (Row, error) {
+	const n = 9
+	protos, err := core.Build("PTBoundWithChirality", 2, core.Params{UpperBound: n})
+	if err != nil {
+		return Row{}, err
+	}
+	res, err := Execute(RunSpec{
+		N: n, Landmark: ring.NoLandmark,
+		Model:     sim.SSyncPT,
+		Starts:    []int{2, 6},
+		Orients:   chirality(2, ring.CW),
+		Protocols: protos,
+		Adversary: adversary.PersistentEdge{Edge: 0},
+		MaxRounds: 60000,
+	})
+	if err != nil {
+		return Row{}, err
+	}
+	ok := res.Explored && res.Terminated == 1 && soundTermination(res)
+	return Row{
+		ID:    "T3.3",
+		Claim: "Th 11: PT model — only partial termination is achievable",
+		Setup: fmt.Sprintf("PTBoundWithChirality on R%d with edge 0 perpetually removed", n),
+		Measured: fmt.Sprintf("explored=%v; %d of 2 agents terminated; the other waits on a port forever",
+			res.Explored, res.Terminated),
+		OK: ok,
+	}, nil
+}
+
+// theorem19Row: ET model — with only an upper bound (not the exact size),
+// partial termination is unsound: the confinement schedule makes a ring of
+// size n and a larger ring indistinguishable.
+func theorem19Row() (Row, error) {
+	const n = 6
+	const big = 8
+	mk := func() ([]agent.Protocol, error) {
+		// The ET algorithm *requires* exact n; feeding it n as if exact
+		// while the adversary may pick a larger ring is precisely the
+		// misuse Theorem 19 proves fatal.
+		return core.Build("ETBoundNoChirality", 3, core.Params{ExactSize: n})
+	}
+	protosA, err := mk()
+	if err != nil {
+		return Row{}, err
+	}
+	resA, err := Execute(RunSpec{
+		N: n, Landmark: ring.NoLandmark,
+		Model:     sim.SSyncET,
+		Starts:    []int{0, 2, 4},
+		Orients:   []ring.GlobalDir{ring.CW, ring.CCW, ring.CW},
+		Protocols: protosA,
+		Adversary: adversary.NewSegmentConfine(0, n-1),
+		MaxRounds: 60000,
+		Fairness:  1 << 20,
+	})
+	if err != nil {
+		return Row{}, err
+	}
+	protosB, err := mk()
+	if err != nil {
+		return Row{}, err
+	}
+	resB, err := Execute(RunSpec{
+		N: big, Landmark: ring.NoLandmark,
+		Model:     sim.SSyncET,
+		Starts:    []int{0, 2, 4},
+		Orients:   []ring.GlobalDir{ring.CW, ring.CCW, ring.CW},
+		Protocols: protosB,
+		Adversary: adversary.NewSegmentConfine(0, n-1),
+		MaxRounds: 60000,
+		Fairness:  1 << 20,
+	})
+	if err != nil {
+		return Row{}, err
+	}
+	ok := resA.Terminated >= 1 && resB.Terminated >= 1 && !resB.Explored
+	return Row{
+		ID:    "T3.4",
+		Claim: "Th 19: ET model — no partial termination with only a size bound",
+		Setup: fmt.Sprintf("ETBound believing n=%d, confined to segment [0..%d] on R%d and on R%d", n, n-1, n, big),
+		Measured: fmt.Sprintf("R%d: terminated=%d at %d; R%d: terminated=%d at %d with explored=%v",
+			n, resA.Terminated, lastTermination(resA), big, resB.Terminated, lastTermination(resB), resB.Explored),
+		OK: ok,
+	}, nil
+}

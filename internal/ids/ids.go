@@ -1,0 +1,134 @@
+// Package ids implements the identifier machinery of Section 3.2.3: the
+// bit-interleaved IDs that agents derive from the rounds of their first two
+// blocked moves and their landmark visit (Figures 9 and 10), and the
+// phase-based direction schedule d(ID, j) that lets two agents with distinct
+// IDs eventually move in a common direction for any required stretch
+// (Figure 11, Lemma 3).
+package ids
+
+import "strconv"
+
+// FromRounds derives the three ID components from the characteristic rounds
+// of the agent's run: r1 and r2 are the rounds of its first and second
+// blocked move, r3 the round of its first landmark visit strictly between
+// them (0 if none). It returns k1 = r1, k2 = r2 − max(r1, r3) and
+// k3 = max(0, r3 − r1), as defined in the paper.
+func FromRounds(r1, r2, r3 int) (k1, k2, k3 int) {
+	k1 = r1
+	m := r1
+	if r3 > m {
+		m = r3
+	}
+	k2 = r2 - m
+	k3 = r3 - r1
+	if k3 < 0 {
+		k3 = 0
+	}
+	return k1, k2, k3
+}
+
+// Interleave computes the agent ID from its three components: each k is
+// written in minimal binary, padded with leading zeros to the longest of the
+// three, and the ID's bits are k1's, k2's and k3's bits taken alternately
+// position by position. Validated against Figures 9 and 10.
+func Interleave(k1, k2, k3 int) int {
+	b1 := strconv.FormatInt(int64(k1), 2)
+	b2 := strconv.FormatInt(int64(k2), 2)
+	b3 := strconv.FormatInt(int64(k3), 2)
+	width := len(b1)
+	if len(b2) > width {
+		width = len(b2)
+	}
+	if len(b3) > width {
+		width = len(b3)
+	}
+	b1 = pad(b1, width)
+	b2 = pad(b2, width)
+	b3 = pad(b3, width)
+	id := 0
+	for i := 0; i < width; i++ {
+		id = id<<1 | int(b1[i]-'0')
+		id = id<<1 | int(b2[i]-'0')
+		id = id<<1 | int(b3[i]-'0')
+	}
+	return id
+}
+
+func pad(s string, width int) string {
+	for len(s) < width {
+		s = "0" + s
+	}
+	return s
+}
+
+// Schedule is the direction schedule of an agent with a fixed ID.
+//
+// Rounds are grouped in phases: round r belongs to phase j iff
+// 2^j ≤ r < 2^{j+1}. Let S(ID) = "10" ∘ binary(ID) ∘ "0", zero-padded on the
+// left to length 2^j̄ where j̄ is minimal with 2^j̄ ≥ len(S(ID)). In phase
+// j > j̄ the direction of round r is bit (r − 2^j) of Dup(S, 2^{j−j̄}), with
+// 0 = left and 1 = right; in earlier phases (and round 0) it is left.
+type Schedule struct {
+	id   int
+	s    string // padded S(ID)
+	jbar uint
+}
+
+// NewSchedule builds the schedule for the given ID (which must be ≥ 0).
+func NewSchedule(id int) Schedule {
+	s := "10" + strconv.FormatInt(int64(max(id, 0)), 2) + "0"
+	var jbar uint
+	for 1<<jbar < len(s) {
+		jbar++
+	}
+	return Schedule{id: id, s: pad(s, 1<<jbar), jbar: jbar}
+}
+
+// ID returns the identifier the schedule was built from.
+func (sc Schedule) ID() int { return sc.id }
+
+// S returns the padded characteristic string S(ID).
+func (sc Schedule) S() string { return sc.s }
+
+// Right reports whether the direction for round t is the agent's private
+// right (true) or left (false).
+func (sc Schedule) Right(t int) bool {
+	if t < 1 {
+		return false
+	}
+	// Phase of t: the largest j with 2^j <= t.
+	var j uint
+	for 1<<(j+1) <= t {
+		j++
+	}
+	if j <= sc.jbar {
+		return false
+	}
+	k := j - sc.jbar // each bit of s is duplicated 2^k times
+	idx := (t - 1<<j) >> k
+	return sc.s[idx] == '1'
+}
+
+// Switch reports whether the direction changes between rounds t−1 and t.
+func (sc Schedule) Switch(t int) bool {
+	if t < 1 {
+		return false
+	}
+	return sc.Right(t) != sc.Right(t-1)
+}
+
+// Dup returns the string obtained from s by repeating each character k
+// times, e.g. Dup("1010", 2) = "11001100". Exported for tests and for the
+// figure regeneration tool.
+func Dup(s string, k int) string {
+	if k <= 1 {
+		return s
+	}
+	out := make([]byte, 0, len(s)*k)
+	for i := 0; i < len(s); i++ {
+		for j := 0; j < k; j++ {
+			out = append(out, s[i])
+		}
+	}
+	return string(out)
+}

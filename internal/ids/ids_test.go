@@ -1,0 +1,223 @@
+package ids
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestInterleaveFigure9 checks the worked example of Figure 9: agent a has
+// r1=2, r2=4, no landmark visit (ID 48); agent b has r1=3, r2=7 (ID 164).
+func TestInterleaveFigure9(t *testing.T) {
+	tests := []struct {
+		name       string
+		r1, r2, r3 int
+		wantK      [3]int
+		wantID     int
+	}{
+		{name: "agent a", r1: 2, r2: 4, r3: 0, wantK: [3]int{2, 2, 0}, wantID: 48},
+		{name: "agent b", r1: 3, r2: 7, r3: 0, wantK: [3]int{3, 4, 0}, wantID: 164},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			k1, k2, k3 := FromRounds(tt.r1, tt.r2, tt.r3)
+			if k1 != tt.wantK[0] || k2 != tt.wantK[1] || k3 != tt.wantK[2] {
+				t.Fatalf("FromRounds(%d,%d,%d) = (%d,%d,%d), want %v",
+					tt.r1, tt.r2, tt.r3, k1, k2, k3, tt.wantK)
+			}
+			if id := Interleave(k1, k2, k3); id != tt.wantID {
+				t.Fatalf("Interleave(%d,%d,%d) = %d, want %d", k1, k2, k3, id, tt.wantID)
+			}
+		})
+	}
+}
+
+// TestInterleaveFigure10 checks the worked example of Figure 10, where
+// agent a crosses the landmark between its two blocked rounds (r3 ≠ 0).
+func TestInterleaveFigure10(t *testing.T) {
+	tests := []struct {
+		name       string
+		r1, r2, r3 int
+		wantID     int
+	}{
+		{name: "agent a", r1: 2, r2: 5, r3: 4, wantID: 42},
+		{name: "agent b", r1: 6, r2: 8, r3: 0, wantID: 304},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			k1, k2, k3 := FromRounds(tt.r1, tt.r2, tt.r3)
+			if id := Interleave(k1, k2, k3); id != tt.wantID {
+				t.Fatalf("ID for rounds (%d,%d,%d) = %d, want %d", tt.r1, tt.r2, tt.r3, id, tt.wantID)
+			}
+		})
+	}
+}
+
+// TestInterleaveInjective verifies that distinct (k1,k2,k3) triples with
+// equal bit-widths produce distinct IDs, the property Theorem 7 relies on:
+// "two IDs are equal if and only if their ki's are equal".
+func TestInterleaveInjective(t *testing.T) {
+	seen := make(map[int][3]int)
+	const lim = 12
+	for k1 := 0; k1 < lim; k1++ {
+		for k2 := 0; k2 < lim; k2++ {
+			for k3 := 0; k3 < lim; k3++ {
+				id := Interleave(k1, k2, k3)
+				if prev, dup := seen[id]; dup {
+					t.Fatalf("collision: %v and (%d,%d,%d) both map to %d", prev, k1, k2, k3, id)
+				}
+				seen[id] = [3]int{k1, k2, k3}
+			}
+		}
+	}
+}
+
+func TestDup(t *testing.T) {
+	tests := []struct {
+		s    string
+		k    int
+		want string
+	}{
+		{s: "1010", k: 2, want: "11001100"},
+		{s: "10", k: 1, want: "10"},
+		{s: "1", k: 4, want: "1111"},
+		{s: "", k: 3, want: ""},
+	}
+	for _, tt := range tests {
+		if got := Dup(tt.s, tt.k); got != tt.want {
+			t.Errorf("Dup(%q,%d) = %q, want %q", tt.s, tt.k, got, tt.want)
+		}
+	}
+}
+
+// TestScheduleID1 checks the schedule of Figure 11: for ID = 1,
+// S(ID) = "1010" (already of power-of-two length, j̄ = 2). Phases 0..2 are
+// all-left; phase 3 (rounds 8..15) follows Dup("1010",2) = "11001100";
+// phase 4 (rounds 16..31) follows Dup("1010",4).
+func TestScheduleID1(t *testing.T) {
+	sc := NewSchedule(1)
+	if sc.S() != "1010" {
+		t.Fatalf("S(1) = %q, want %q", sc.S(), "1010")
+	}
+	for r := 0; r < 8; r++ {
+		if sc.Right(r) {
+			t.Fatalf("round %d: want left in phases j ≤ j̄", r)
+		}
+	}
+	wantPhase3 := "11001100"
+	for i, b := range []byte(wantPhase3) {
+		if got := sc.Right(8 + i); got != (b == '1') {
+			t.Fatalf("round %d: Right = %v, want %v", 8+i, got, b == '1')
+		}
+	}
+	wantPhase4 := Dup("1010", 4)
+	for i, b := range []byte(wantPhase4) {
+		if got := sc.Right(16 + i); got != (b == '1') {
+			t.Fatalf("round %d: Right = %v, want %v", 16+i, got, b == '1')
+		}
+	}
+}
+
+// TestScheduleSwitch verifies that Switch flags exactly the rounds where
+// the direction differs from the previous round.
+func TestScheduleSwitch(t *testing.T) {
+	sc := NewSchedule(5)
+	for r := 1; r < 1024; r++ {
+		want := sc.Right(r) != sc.Right(r-1)
+		if got := sc.Switch(r); got != want {
+			t.Fatalf("Switch(%d) = %v, want %v", r, got, want)
+		}
+	}
+}
+
+// longestCommonRun returns the longest run of rounds in [1,limit) in which
+// the two schedules agree (same = true) or disagree (same = false).
+func longestCommonRun(a, b Schedule, limit int, same bool) int {
+	best, cur := 0, 0
+	for r := 1; r < limit; r++ {
+		if (a.Right(r) == b.Right(r)) == same {
+			cur++
+			if cur > best {
+				best = cur
+			}
+		} else {
+			cur = 0
+		}
+	}
+	return best
+}
+
+// TestLemma3CommonDirection is the heart of Lemma 3: for any two distinct
+// IDs and any target run length L, by round 32·((len+3)·L)+1 there is a
+// stretch of ≥ L rounds in which the agents' schedules agree, and a stretch
+// of ≥ L rounds in which they disagree (covering both the equal- and
+// opposite-orientation cases), and each schedule individually holds each
+// direction for ≥ L consecutive rounds.
+func TestLemma3CommonDirection(t *testing.T) {
+	const L = 40 // stands in for c·n
+	ids := []int{0, 1, 2, 3, 7, 12, 48, 164, 42, 304, 1023}
+	for i, a := range ids {
+		for _, b := range ids[i+1:] {
+			sa, sb := NewSchedule(a), NewSchedule(b)
+			lenBits := len(sa.S())
+			if len(sb.S()) > lenBits {
+				lenBits = len(sb.S())
+			}
+			limit := 32*(lenBits+3)*L + 2
+			if got := longestCommonRun(sa, sb, limit, true); got < L {
+				t.Errorf("IDs %d,%d: longest agreeing run %d < %d", a, b, got, L)
+			}
+			if got := longestCommonRun(sa, sb, limit, false); got < L {
+				t.Errorf("IDs %d,%d: longest disagreeing run %d < %d", a, b, got, L)
+			}
+		}
+	}
+}
+
+// TestLemma3BothDirections: every schedule eventually moves in both
+// directions for arbitrarily long stretches (last claim of Lemma 3).
+func TestLemma3BothDirections(t *testing.T) {
+	const L = 64
+	for _, id := range []int{0, 1, 5, 48, 164, 500} {
+		sc := NewSchedule(id)
+		limit := 32*(len(sc.S())+3)*L + 2
+		runR, runL, curR, curL := 0, 0, 0, 0
+		for r := 1; r < limit; r++ {
+			if sc.Right(r) {
+				curR++
+				curL = 0
+			} else {
+				curL++
+				curR = 0
+			}
+			if curR > runR {
+				runR = curR
+			}
+			if curL > runL {
+				runL = curL
+			}
+		}
+		if runR < L || runL < L {
+			t.Errorf("ID %d: direction runs right=%d left=%d, want ≥ %d", id, runR, runL, L)
+		}
+	}
+}
+
+// TestScheduleQuick property-tests structural invariants of the schedule
+// for random IDs: S always starts "10" and ends "0" after unpadding, and
+// phase boundaries never index out of range.
+func TestScheduleQuick(t *testing.T) {
+	f := func(raw uint16) bool {
+		id := int(raw)
+		sc := NewSchedule(id)
+		if len(sc.S())&(len(sc.S())-1) != 0 {
+			return false // padded length must be a power of two
+		}
+		for r := 0; r < 4096; r++ {
+			sc.Right(r) // must not panic
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

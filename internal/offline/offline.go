@@ -1,0 +1,197 @@
+// Package offline computes optimal centralized exploration schedules for a
+// dynamic ring whose full edge-removal schedule is known in advance — the
+// "off-line, post-mortem" setting the paper contrasts with its live
+// algorithms (Section 1.1.3, following Michail–Spirakis and
+// Erlebach–Hoffmann–Kammer). It serves as the baseline for the
+// live-vs-offline comparison experiment.
+//
+// On a ring, the set of nodes a single walker has visited is always a
+// contiguous arc around its start, so the exact optimum is a dynamic
+// program over (clockwise extent, counter-clockwise extent, position),
+// O(T·n³) overall. A joint two-walker optimum over the product state space
+// is provided for small rings.
+package offline
+
+import (
+	"fmt"
+
+	"dynring/internal/ring"
+	"dynring/internal/sim"
+)
+
+// EdgeSchedule is an oblivious dynamics schedule: Missing[t] is the edge
+// absent in round t (or sim.NoEdge). Rounds beyond the slice keep all edges
+// present.
+type EdgeSchedule struct {
+	N       int
+	Missing []int
+}
+
+// At returns the missing edge in round t.
+func (s EdgeSchedule) At(t int) int {
+	if t < 0 || t >= len(s.Missing) {
+		return sim.NoEdge
+	}
+	return s.Missing[t]
+}
+
+// edgePresent reports whether the edge leaving node v (absolute index) in
+// direction d exists in round t.
+func (s EdgeSchedule) edgePresent(r *ring.Ring, t, v int, d ring.GlobalDir) bool {
+	return r.Edge(v, d) != s.At(t)
+}
+
+// walker is a DP state for one agent: its position and coverage arc,
+// all relative to its start node (cw = max clockwise reach, ccw = max
+// counter-clockwise reach, pos ∈ [-ccw, cw]).
+type walker struct {
+	cw, ccw, pos int8
+}
+
+// OptimalCoverTime returns the minimum number of rounds a single walker
+// starting at node start needs to visit every node, given the full
+// schedule, and whether it is achievable within maxRounds.
+func OptimalCoverTime(r *ring.Ring, sched EdgeSchedule, start, maxRounds int) (int, bool) {
+	n := r.Size()
+	if n == 1 {
+		return 0, true
+	}
+	frontier := map[walker]bool{{}: true}
+	for t := 0; t < maxRounds; t++ {
+		next := make(map[walker]bool, len(frontier)*2)
+		for st := range frontier {
+			// Stay.
+			next[st] = true
+			node := r.Node(start + int(st.pos))
+			// Clockwise.
+			if sched.edgePresent(r, t, node, ring.CW) {
+				ns := st
+				ns.pos++
+				if ns.pos > ns.cw {
+					ns.cw = ns.pos
+				}
+				if int(ns.cw)+int(ns.ccw) >= n-1 {
+					return t + 1, true
+				}
+				next[ns] = true
+			}
+			// Counter-clockwise.
+			if sched.edgePresent(r, t, node, ring.CCW) {
+				ns := st
+				ns.pos--
+				if -ns.pos > ns.ccw {
+					ns.ccw = -ns.pos
+				}
+				if int(ns.cw)+int(ns.ccw) >= n-1 {
+					return t + 1, true
+				}
+				next[ns] = true
+			}
+		}
+		frontier = next
+	}
+	return 0, false
+}
+
+// pairState is the joint DP state for two walkers.
+type pairState struct {
+	a, b walker
+}
+
+// OptimalCoverTime2 returns the minimum number of rounds two coordinated
+// walkers need to jointly visit every node. The state space is O(n⁶);
+// rings larger than MaxTwoWalkerRing are rejected.
+func OptimalCoverTime2(r *ring.Ring, sched EdgeSchedule, startA, startB, maxRounds int) (int, bool, error) {
+	n := r.Size()
+	if n > MaxTwoWalkerRing {
+		return 0, false, fmt.Errorf("offline: ring size %d exceeds two-walker limit %d", n, MaxTwoWalkerRing)
+	}
+	covered := func(s pairState) bool {
+		// The two arcs [startA-ccwA, startA+cwA] and [startB-ccwB,
+		// startB+cwB] must jointly cover all n nodes.
+		seen := make([]bool, n)
+		mark := func(start int, w walker) {
+			for d := -int(w.ccw); d <= int(w.cw); d++ {
+				seen[r.Node(start+d)] = true
+			}
+		}
+		mark(startA, s.a)
+		mark(startB, s.b)
+		for _, v := range seen {
+			if !v {
+				return false
+			}
+		}
+		return true
+	}
+	initial := pairState{}
+	if covered(initial) {
+		return 0, true, nil
+	}
+	frontier := map[pairState]bool{initial: true}
+	for t := 0; t < maxRounds; t++ {
+		next := make(map[pairState]bool, len(frontier)*4)
+		for st := range frontier {
+			for _, na := range moveOptions(r, sched, t, startA, st.a) {
+				for _, nb := range moveOptions(r, sched, t, startB, st.b) {
+					ns := pairState{a: na, b: nb}
+					if covered(ns) {
+						return t + 1, true, nil
+					}
+					next[ns] = true
+				}
+			}
+		}
+		frontier = next
+	}
+	return 0, false, nil
+}
+
+// MaxTwoWalkerRing bounds OptimalCoverTime2's ring size.
+const MaxTwoWalkerRing = 12
+
+func moveOptions(r *ring.Ring, sched EdgeSchedule, t, start int, w walker) []walker {
+	out := []walker{w}
+	node := r.Node(start + int(w.pos))
+	if sched.edgePresent(r, t, node, ring.CW) {
+		ns := w
+		ns.pos++
+		if ns.pos > ns.cw {
+			ns.cw = ns.pos
+		}
+		out = append(out, ns)
+	}
+	if sched.edgePresent(r, t, node, ring.CCW) {
+		ns := w
+		ns.pos--
+		if -ns.pos > ns.ccw {
+			ns.ccw = -ns.pos
+		}
+		out = append(out, ns)
+	}
+	return out
+}
+
+// ReplaySchedule runs an oblivious EdgeSchedule as a sim.Adversary with
+// full activation, so live algorithms can be compared against the offline
+// optimum on identical dynamics.
+type ReplaySchedule struct {
+	// Sched is the oblivious schedule to replay.
+	Sched EdgeSchedule
+}
+
+var _ sim.Adversary = ReplaySchedule{}
+
+// Activate implements sim.Adversary.
+func (a ReplaySchedule) Activate(_ int, w *sim.World) []int {
+	ids := make([]int, w.NumAgents())
+	for i := range ids {
+		ids[i] = i
+	}
+	return ids
+}
+
+// MissingEdge implements sim.Adversary.
+func (a ReplaySchedule) MissingEdge(t int, _ *sim.World, _ []sim.Intent) int {
+	return a.Sched.At(t)
+}

@@ -1,0 +1,97 @@
+package offline
+
+import (
+	"testing"
+
+	"dynring/internal/ring"
+	"dynring/internal/sim"
+)
+
+func staticSchedule(n, rounds int) EdgeSchedule {
+	missing := make([]int, rounds)
+	for i := range missing {
+		missing[i] = sim.NoEdge
+	}
+	return EdgeSchedule{N: n, Missing: missing}
+}
+
+func TestOptimalCoverStatic(t *testing.T) {
+	r, err := ring.New(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := OptimalCoverTime(r, staticSchedule(5, 20), 0, 20)
+	if !ok || got != 4 {
+		t.Fatalf("static cover time = %d (ok=%v), want 4", got, ok)
+	}
+}
+
+func TestOptimalCoverBrokenRing(t *testing.T) {
+	// Edge 4 (between nodes 4 and 0) permanently missing: the ring is a
+	// path 0..4. Starting from the middle, the optimum is 2 + 4 = 6.
+	r, err := ring.New(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := EdgeSchedule{N: 5, Missing: make([]int, 40)}
+	for i := range sched.Missing {
+		sched.Missing[i] = 4
+	}
+	got, ok := OptimalCoverTime(r, sched, 2, 40)
+	if !ok || got != 6 {
+		t.Fatalf("path cover time = %d (ok=%v), want 6", got, ok)
+	}
+}
+
+func TestOptimalCoverInfeasible(t *testing.T) {
+	r, err := ring.New(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The walker is locked at node 0 by removing whichever edge it could
+	// use is impossible for a schedule (one edge per round), so instead
+	// give it too little time.
+	if _, ok := OptimalCoverTime(r, staticSchedule(5, 3), 0, 3); ok {
+		t.Fatal("4 moves cannot fit in 3 rounds")
+	}
+}
+
+func TestOptimalCoverTwoWalkers(t *testing.T) {
+	r, err := ring.New(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := OptimalCoverTime2(r, staticSchedule(5, 20), 0, 2, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok || got != 2 {
+		t.Fatalf("two-walker cover time = %d (ok=%v), want 2", got, ok)
+	}
+}
+
+func TestOptimalCoverTwoWalkersTooBig(t *testing.T) {
+	r, err := ring.New(MaxTwoWalkerRing + 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := OptimalCoverTime2(r, staticSchedule(r.Size(), 5), 0, 1, 5); err == nil {
+		t.Fatal("expected size-limit error")
+	}
+}
+
+// TestOfflineNeverWorseThanLive sanity-checks the baseline direction: the
+// offline optimum under a schedule can never exceed the horizon needed by
+// a live walker on the same schedule (here: static, n-1 steps).
+func TestOfflineNeverWorseThanLive(t *testing.T) {
+	for _, n := range []int{4, 7, 11} {
+		r, err := ring.New(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, ok := OptimalCoverTime(r, staticSchedule(n, 4*n), 0, 4*n)
+		if !ok || got > n-1 {
+			t.Fatalf("n=%d: offline optimum %d worse than trivial %d", n, got, n-1)
+		}
+	}
+}

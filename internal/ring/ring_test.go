@@ -1,0 +1,107 @@
+package ring
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func mustRing(t *testing.T, n int) *Ring {
+	t.Helper()
+	r, err := New(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(2); !errors.Is(err, ErrTooSmall) {
+		t.Fatalf("New(2) error = %v, want ErrTooSmall", err)
+	}
+	if _, err := NewWithLandmark(5, 5); err == nil {
+		t.Fatal("NewWithLandmark(5,5) should fail: landmark out of range")
+	}
+	if _, err := NewWithLandmark(5, NoLandmark); err != nil {
+		t.Fatalf("NewWithLandmark(5, NoLandmark) error = %v", err)
+	}
+	r, err := NewWithLandmark(5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.HasLandmark() || r.Landmark() != 3 || !r.IsLandmark(3) || r.IsLandmark(2) {
+		t.Fatal("landmark accessors inconsistent")
+	}
+}
+
+func TestNeighborAndEdge(t *testing.T) {
+	r := mustRing(t, 5)
+	tests := []struct {
+		node     int
+		dir      GlobalDir
+		wantNode int
+		wantEdge int
+	}{
+		{node: 0, dir: CW, wantNode: 1, wantEdge: 0},
+		{node: 4, dir: CW, wantNode: 0, wantEdge: 4},
+		{node: 0, dir: CCW, wantNode: 4, wantEdge: 4},
+		{node: 3, dir: CCW, wantNode: 2, wantEdge: 2},
+	}
+	for _, tt := range tests {
+		if got := r.Neighbor(tt.node, tt.dir); got != tt.wantNode {
+			t.Errorf("Neighbor(%d,%v) = %d, want %d", tt.node, tt.dir, got, tt.wantNode)
+		}
+		if got := r.Edge(tt.node, tt.dir); got != tt.wantEdge {
+			t.Errorf("Edge(%d,%v) = %d, want %d", tt.node, tt.dir, got, tt.wantEdge)
+		}
+	}
+}
+
+func TestEdgeEndpoints(t *testing.T) {
+	r := mustRing(t, 7)
+	for e := 0; e < 7; e++ {
+		u, v := r.EdgeEndpoints(e)
+		if u != e || v != (e+1)%7 {
+			t.Errorf("EdgeEndpoints(%d) = (%d,%d)", e, u, v)
+		}
+	}
+}
+
+func TestDist(t *testing.T) {
+	r := mustRing(t, 6)
+	if d := r.CWDist(4, 1); d != 3 {
+		t.Errorf("CWDist(4,1) = %d, want 3", d)
+	}
+	if d := r.Dist(0, 5); d != 1 {
+		t.Errorf("Dist(0,5) = %d, want 1", d)
+	}
+	if d := r.Dist(0, 3); d != 3 {
+		t.Errorf("Dist(0,3) = %d, want 3", d)
+	}
+}
+
+// TestRingQuick property-tests the coherence of Neighbor/Edge/Node for
+// random rings and positions: walking CW then CCW returns to the start,
+// the edge used leaving v clockwise equals the edge used leaving its
+// neighbour counter-clockwise, and Node is idempotent.
+func TestRingQuick(t *testing.T) {
+	f := func(rawN uint8, rawV int16) bool {
+		n := 3 + int(rawN)%61
+		r, err := New(n)
+		if err != nil {
+			return false
+		}
+		v := r.Node(int(rawV))
+		w := r.Neighbor(v, CW)
+		if r.Neighbor(w, CCW) != v {
+			return false
+		}
+		if r.Edge(v, CW) != r.Edge(w, CCW) {
+			return false
+		}
+		return r.Node(v) == v && r.ValidEdge(r.Edge(v, CW))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,184 @@
+// Package search computes exact adversarial worst cases on small rings by
+// exhaustive enumeration of FSYNC edge-removal schedules. In FSYNC the
+// adversary's only weapon is the choice of the missing edge each round
+// (n+1 options including "none"), so for a deterministic protocol the
+// execution tree is finite and the true worst-case exploration time within
+// a horizon is computable.
+//
+// This turns the paper's worst-case statements into exact measurements on
+// small instances: Observation 3's 2n−3 lower bound is met or exceeded by
+// a concrete schedule the search returns, and single-agent exploration
+// (Corollary 1) is confirmed preventable forever.
+//
+// States are memoized per round via the world fingerprint (positions,
+// ports, protocol memory, visited set) whenever every protocol supports
+// fingerprints; otherwise the search is a plain bounded DFS.
+package search
+
+import (
+	"fmt"
+	"strings"
+
+	"dynring/internal/agent"
+	"dynring/internal/ring"
+	"dynring/internal/sim"
+)
+
+// Config describes the instance to search.
+type Config struct {
+	// N is the ring size (keep it small: the tree has (N+1)^Horizon paths
+	// before pruning).
+	N int
+	// Landmark is the landmark node or ring.NoLandmark.
+	Landmark int
+	// Starts and Orients place the agents.
+	Starts  []int
+	Orients []ring.GlobalDir
+	// Factory builds a fresh set of protocol instances for one run.
+	Factory func() ([]agent.Protocol, error)
+	// Horizon bounds the schedule length.
+	Horizon int
+}
+
+// Result is the outcome of an exhaustive search.
+type Result struct {
+	// WorstCover is the maximum exploration time (rounds until full
+	// coverage) over all schedules that do not prevent exploration
+	// within the horizon.
+	WorstCover int
+	// WorstSchedule is a schedule achieving WorstCover (missing edge per
+	// round, sim.NoEdge entries meaning none).
+	WorstSchedule []int
+	// Preventable reports that some schedule kept the ring unexplored for
+	// the whole horizon.
+	Preventable bool
+	// PreventingSchedule is such a schedule when Preventable.
+	PreventingSchedule []int
+	// Nodes is the number of search-tree nodes expanded.
+	Nodes int
+}
+
+// scripted replays a fixed prefix of edge removals.
+type scripted struct {
+	edges []int
+}
+
+func (s *scripted) Activate(_ int, w *sim.World) []int {
+	ids := make([]int, w.NumAgents())
+	for i := range ids {
+		ids[i] = i
+	}
+	return ids
+}
+
+func (s *scripted) MissingEdge(t int, _ *sim.World, _ []sim.Intent) int {
+	if t < len(s.edges) {
+		return s.edges[t]
+	}
+	return sim.NoEdge
+}
+
+// Fingerprint implements sim.Fingerprinter: the replayed prefix carries no
+// hidden state beyond the round number, which the memo key includes.
+func (s *scripted) Fingerprint() string { return "" }
+
+// MaxCoverTime runs the exhaustive search.
+func MaxCoverTime(cfg Config) (Result, error) {
+	if cfg.Horizon <= 0 {
+		return Result{}, fmt.Errorf("search: non-positive horizon")
+	}
+	res := Result{WorstCover: -1}
+	seen := make(map[string]bool)
+
+	// replay builds a world and applies the schedule prefix, returning the
+	// world (positioned after len(edges) rounds) or nil if exploration
+	// completed earlier, along with the completion round.
+	replay := func(edges []int) (*sim.World, int, error) {
+		r, err := ring.NewWithLandmark(cfg.N, cfg.Landmark)
+		if err != nil {
+			return nil, 0, err
+		}
+		protos, err := cfg.Factory()
+		if err != nil {
+			return nil, 0, err
+		}
+		w, err := sim.NewWorld(sim.Config{
+			Ring:      r,
+			Model:     sim.FSync,
+			Starts:    cfg.Starts,
+			Orients:   cfg.Orients,
+			Protocols: protos,
+			Adversary: &scripted{edges: edges},
+		})
+		if err != nil {
+			return nil, 0, err
+		}
+		for t := 0; t < len(edges); t++ {
+			if w.Explored() {
+				return nil, w.ExploredRound() + 1, nil
+			}
+			if err := w.Step(); err != nil {
+				return nil, 0, err
+			}
+		}
+		if w.Explored() {
+			return nil, w.ExploredRound() + 1, nil
+		}
+		return w, 0, nil
+	}
+
+	var dfs func(edges []int) error
+	dfs = func(edges []int) error {
+		res.Nodes++
+		w, cover, err := replay(edges)
+		if err != nil {
+			return err
+		}
+		if w == nil {
+			if cover > res.WorstCover {
+				res.WorstCover = cover
+				res.WorstSchedule = append([]int(nil), edges...)
+			}
+			return nil
+		}
+		if len(edges) >= cfg.Horizon {
+			if !res.Preventable {
+				res.Preventable = true
+				res.PreventingSchedule = append([]int(nil), edges...)
+			}
+			return nil
+		}
+		if fp, ok := w.Fingerprint(); ok {
+			key := keyOf(len(edges), fp, w)
+			if seen[key] {
+				return nil
+			}
+			seen[key] = true
+		}
+		for e := -1; e < cfg.N; e++ {
+			if err := dfs(append(edges, e)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := dfs(nil); err != nil {
+		return Result{}, err
+	}
+	return res, nil
+}
+
+// keyOf builds the memo key: round, full configuration fingerprint and the
+// visited set.
+func keyOf(round int, fp string, w *sim.World) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d|%s|", round, fp)
+	for v := 0; v < w.Ring().Size(); v++ {
+		if w.Visited(v) {
+			b.WriteByte('1')
+		} else {
+			b.WriteByte('0')
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,220 @@
+package sim
+
+import (
+	"fmt"
+
+	"dynring/internal/agent"
+	"dynring/internal/ring"
+)
+
+// Step executes one round: activation, Look, Compute, adversarial edge
+// removal, port resolution under mutual exclusion, movement, and transport.
+// It returns ErrAllTerminated once no live agent remains.
+func (w *World) Step() error {
+	if w.AllTerminated() {
+		return ErrAllTerminated
+	}
+	t := w.round
+
+	active, err := w.selectActive(t)
+	if err != nil {
+		return err
+	}
+
+	// Look + Compute: snapshots are taken before anything changes, so all
+	// active agents observe the same configuration.
+	decisions := make(map[int]agent.Decision, len(active))
+	for _, id := range active {
+		v := w.viewOf(id)
+		d, stepErr := w.agents[id].proto.Step(v)
+		if stepErr != nil {
+			return fmt.Errorf("%w: agent %d in round %d: %v", ErrProtocolFault, id, t, stepErr)
+		}
+		decisions[id] = d
+		w.agents[id].lastSeen = t
+	}
+
+	// Fix intents and let the adversary pick the missing edge (at most one:
+	// 1-interval connectivity).
+	intents := make([]Intent, 0, len(active))
+	for _, id := range active {
+		intents = append(intents, w.intentOf(id, decisions[id]))
+	}
+	missing := NoEdge
+	if w.adv != nil {
+		missing = w.adv.MissingEdge(t, w, intents)
+		if missing != NoEdge && !w.ring.ValidEdge(missing) {
+			return fmt.Errorf("%w: edge %d in round %d", ErrInvalidEdge, missing, t)
+		}
+	}
+	// ET veto: an agent whose transport debt exceeded the fairness bound
+	// was force-activated this round; the ET model guarantees it acts in a
+	// round where its edge is present, so the engine refuses to remove
+	// that edge now.
+	if w.model == SSyncET && missing != NoEdge {
+		for _, id := range active {
+			a := w.agents[id]
+			if a.etDebt >= w.fairness && a.onPort && w.ring.Edge(a.node, a.portDir) == missing {
+				missing = NoEdge
+				break
+			}
+		}
+	}
+	w.missingEdge = missing
+
+	// Resolution phase 1: releases. Agents abandoning their port step into
+	// the node interior before grabs are processed.
+	for _, id := range active {
+		a := w.agents[id]
+		d := decisions[id]
+		if !a.onPort {
+			continue
+		}
+		if d.Terminate || d.Dir == agent.NoDir || w.toGlobal(id, d.Dir) != a.portDir {
+			a.onPort = false
+		}
+	}
+
+	// Resolution phase 2: grabs, in mutual exclusion. Ties go to the
+	// lowest id unless a TieBreaker is installed.
+	type portKey struct {
+		node int
+		dir  ring.GlobalDir
+	}
+	requests := make(map[portKey][]int)
+	var order []portKey
+	for _, id := range active {
+		a := w.agents[id]
+		d := decisions[id]
+		if d.Terminate || d.Dir == agent.NoDir {
+			continue
+		}
+		g := w.toGlobal(id, d.Dir)
+		if a.onPort && a.portDir == g {
+			continue // already positioned; cannot fail
+		}
+		k := portKey{node: a.node, dir: g}
+		if _, seen := requests[k]; !seen {
+			order = append(order, k)
+		}
+		requests[k] = append(requests[k], id)
+	}
+	for _, k := range order {
+		contenders := requests[k]
+		if w.portHolder(k.node, k.dir) != -1 {
+			continue // occupied by a sleeper or a keeper: everyone fails
+		}
+		winner := contenders[0]
+		if len(contenders) > 1 && w.tie != nil {
+			chosen := w.tie.BreakTie(t, w, k.node, k.dir, contenders)
+			for _, c := range contenders {
+				if c == chosen {
+					winner = chosen
+					break
+				}
+			}
+		}
+		a := w.agents[winner]
+		a.onPort = true
+		a.portDir = k.dir
+	}
+
+	// Movement phase for active agents.
+	for _, id := range active {
+		a := w.agents[id]
+		d := decisions[id]
+		a.failed = false
+		switch {
+		case d.Terminate:
+			a.term = true
+			a.moved = false
+			w.termAt[id] = t
+		case d.Dir == agent.NoDir:
+			a.moved = false
+		case !a.onPort:
+			// Wanted to move but lost the port race.
+			a.moved = false
+			a.failed = true
+		default:
+			edge := w.ring.Edge(a.node, a.portDir)
+			if edge != missing {
+				a.node = w.ring.Neighbor(a.node, a.portDir)
+				a.onPort = false
+				a.moved = true
+				a.moves++
+				w.visit(a.node)
+			} else {
+				a.moved = false
+			}
+		}
+	}
+
+	// Transport / debt accounting for agents sleeping on ports.
+	activeSet := make(map[int]bool, len(active))
+	for _, id := range active {
+		activeSet[id] = true
+	}
+	for id, a := range w.agents {
+		if a.term || activeSet[id] || !a.onPort {
+			continue
+		}
+		present := w.ring.Edge(a.node, a.portDir) != missing
+		switch w.model {
+		case SSyncPT:
+			if present {
+				a.node = w.ring.Neighbor(a.node, a.portDir)
+				a.onPort = false
+				a.moved = true
+				a.moves++
+				w.visit(a.node)
+			}
+		case SSyncET:
+			if present {
+				a.etDebt++
+			}
+		}
+	}
+	for _, id := range active {
+		w.agents[id].etDebt = 0
+	}
+
+	if w.obs != nil {
+		w.obs.ObserveRound(RoundRecord{
+			Round:       t,
+			Active:      active,
+			MissingEdge: missing,
+			Agents:      w.snapshotAll(),
+		})
+	}
+	w.missingEdge = NoEdge
+	w.round++
+	return nil
+}
+
+// selectActive computes the activation set for round t, applying fairness
+// forcing in SSYNC models.
+func (w *World) selectActive(t int) ([]int, error) {
+	if w.model == FSync || w.adv == nil {
+		return w.liveIDs(), nil
+	}
+	ids := sortedUniqueLive(w, w.adv.Activate(t, w))
+	forced := false
+	for id, a := range w.agents {
+		if a.term {
+			continue
+		}
+		starving := t-a.lastSeen > w.fairness
+		etDue := w.model == SSyncET && a.onPort && a.etDebt >= w.fairness
+		if starving || etDue {
+			ids = append(ids, id)
+			forced = true
+		}
+	}
+	if forced {
+		ids = sortedUniqueLive(w, ids)
+	}
+	if len(ids) == 0 {
+		return nil, fmt.Errorf("%w: round %d", ErrEmptyActivation, t)
+	}
+	return ids, nil
+}

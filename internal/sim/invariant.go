@@ -1,0 +1,92 @@
+package sim
+
+import (
+	"fmt"
+
+	"dynring/internal/ring"
+)
+
+// InvariantObserver validates the engine's model invariants round by round;
+// it is used by the property-based test suite and available to any caller
+// who wants runtime checking of a custom adversary or protocol:
+//
+//   - at most one agent occupies each port (mutual exclusion);
+//   - every agent moves at most one edge per round, and only over an edge
+//     that was present in that round (1-interval connectivity);
+//   - terminated agents never move or un-terminate;
+//   - the missing edge is a valid edge index or NoEdge.
+//
+// The first violation is retained in Err; subsequent rounds are still
+// scanned but do not overwrite it.
+type InvariantObserver struct {
+	// Ring is the topology the run uses.
+	Ring *ring.Ring
+	// Err holds the first violation found, if any.
+	Err error
+
+	prev []AgentSnapshot
+}
+
+var _ Observer = (*InvariantObserver)(nil)
+
+// ObserveRound implements Observer.
+func (o *InvariantObserver) ObserveRound(rec RoundRecord) {
+	defer func() { o.prev = rec.Agents }()
+
+	fail := func(format string, args ...any) {
+		if o.Err == nil {
+			o.Err = fmt.Errorf("round %d: %s", rec.Round, fmt.Sprintf(format, args...))
+		}
+	}
+
+	if rec.MissingEdge != NoEdge && !o.Ring.ValidEdge(rec.MissingEdge) {
+		fail("invalid missing edge %d", rec.MissingEdge)
+	}
+
+	type portKey struct {
+		node int
+		dir  ring.GlobalDir
+	}
+	ports := make(map[portKey]int, len(rec.Agents))
+	for id, a := range rec.Agents {
+		if !a.OnPort {
+			continue
+		}
+		k := portKey{node: a.Node, dir: a.PortDir}
+		if other, taken := ports[k]; taken {
+			fail("agents %d and %d share port (%d,%v)", other, id, a.Node, a.PortDir)
+		}
+		ports[k] = id
+	}
+
+	if o.prev == nil {
+		return
+	}
+	for id, a := range rec.Agents {
+		p := o.prev[id]
+		if p.Node == a.Node {
+			continue
+		}
+		if o.Ring.Dist(p.Node, a.Node) != 1 {
+			fail("agent %d jumped from %d to %d", id, p.Node, a.Node)
+		}
+		if p.Terminated {
+			fail("terminated agent %d moved from %d to %d", id, p.Node, a.Node)
+		}
+		// The traversed edge must have been present this round.
+		var used int
+		if o.Ring.Neighbor(p.Node, ring.CW) == a.Node {
+			used = o.Ring.Edge(p.Node, ring.CW)
+		} else {
+			used = o.Ring.Edge(p.Node, ring.CCW)
+		}
+		if used == rec.MissingEdge {
+			fail("agent %d crossed missing edge %d", id, used)
+		}
+	}
+	for id, a := range rec.Agents {
+		if o.prev[id].Terminated && !a.Terminated {
+			fail("agent %d un-terminated", id)
+		}
+	}
+}

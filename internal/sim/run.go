@@ -1,0 +1,132 @@
+package sim
+
+import "fmt"
+
+// Outcome classifies how a run ended.
+type Outcome int
+
+const (
+	// OutcomeAllTerminated means every agent entered its terminal state.
+	OutcomeAllTerminated Outcome = iota + 1
+	// OutcomeHorizon means the round budget was exhausted.
+	OutcomeHorizon
+	// OutcomeExplored means the run stopped early because the ring was
+	// fully explored (only with RunOptions.StopWhenExplored).
+	OutcomeExplored
+	// OutcomeCycle means the full configuration repeated: the run would
+	// continue forever without progress. This is a certificate of
+	// non-termination for deterministic components.
+	OutcomeCycle
+)
+
+// String implements fmt.Stringer.
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeAllTerminated:
+		return "all-terminated"
+	case OutcomeHorizon:
+		return "horizon"
+	case OutcomeExplored:
+		return "explored"
+	case OutcomeCycle:
+		return "cycle"
+	default:
+		return "invalid"
+	}
+}
+
+// RunOptions bound a run.
+type RunOptions struct {
+	// MaxRounds is the round budget; it must be positive.
+	MaxRounds int
+	// StopWhenExplored ends the run as soon as all nodes are visited,
+	// which is useful for unconscious (never-terminating) protocols.
+	StopWhenExplored bool
+	// DetectCycles enables configuration-cycle certificates. It requires
+	// every protocol (and the adversary, if any) to implement
+	// Fingerprinter; otherwise it is silently inactive.
+	DetectCycles bool
+}
+
+// Result summarizes a finished run.
+type Result struct {
+	// Outcome classifies the stop reason.
+	Outcome Outcome
+	// Rounds is the number of rounds executed.
+	Rounds int
+	// Explored reports full node coverage; ExploredRound is the round the
+	// last node was first visited (-1 if never).
+	Explored      bool
+	ExploredRound int
+	// TerminatedAt holds, per agent, the round it terminated (-1 if it
+	// did not); Terminated is the count of terminated agents.
+	TerminatedAt []int
+	Terminated   int
+	// Moves holds per-agent edge-traversal counts; TotalMoves their sum.
+	Moves      []int
+	TotalMoves int
+	// CycleStart is the earlier round with an identical configuration when
+	// Outcome is OutcomeCycle.
+	CycleStart int
+}
+
+// Run drives w until all agents terminate, the horizon is reached, the ring
+// is explored (if requested), or a configuration cycle is certified.
+func Run(w *World, opts RunOptions) (Result, error) {
+	if opts.MaxRounds <= 0 {
+		return Result{}, fmt.Errorf("%w: non-positive MaxRounds", ErrConfig)
+	}
+	var seen map[string]int
+	if opts.DetectCycles {
+		seen = make(map[string]int)
+	}
+	outcome := OutcomeHorizon
+	cycleStart := -1
+loop:
+	for w.Round() < opts.MaxRounds {
+		if w.AllTerminated() {
+			outcome = OutcomeAllTerminated
+			break
+		}
+		if opts.StopWhenExplored && w.Explored() {
+			outcome = OutcomeExplored
+			break
+		}
+		if seen != nil {
+			if sig, ok := w.Fingerprint(); ok {
+				if prev, dup := seen[sig]; dup {
+					outcome = OutcomeCycle
+					cycleStart = prev
+					break loop
+				}
+				seen[sig] = w.Round()
+			}
+		}
+		if err := w.Step(); err != nil {
+			return Result{}, err
+		}
+	}
+	if w.AllTerminated() {
+		outcome = OutcomeAllTerminated
+	} else if opts.StopWhenExplored && w.Explored() && outcome == OutcomeHorizon {
+		outcome = OutcomeExplored
+	}
+	res := Result{
+		Outcome:       outcome,
+		Rounds:        w.Round(),
+		Explored:      w.Explored(),
+		ExploredRound: w.ExploredRound(),
+		TerminatedAt:  make([]int, w.NumAgents()),
+		Moves:         make([]int, w.NumAgents()),
+		TotalMoves:    w.TotalMoves(),
+		CycleStart:    cycleStart,
+	}
+	for i := 0; i < w.NumAgents(); i++ {
+		res.TerminatedAt[i] = w.TerminatedRound(i)
+		if res.TerminatedAt[i] >= 0 {
+			res.Terminated++
+		}
+		res.Moves[i] = w.AgentMoves(i)
+	}
+	return res, nil
+}

@@ -1,0 +1,72 @@
+package sim
+
+import (
+	"testing"
+
+	"dynring/internal/agent"
+	"dynring/internal/ring"
+)
+
+// pickHighest is a TieBreaker granting contested ports to the highest id —
+// the opposite of the engine default.
+type pickHighest struct{}
+
+func (pickHighest) BreakTie(_ int, _ *World, _ int, _ ring.GlobalDir, contenders []int) int {
+	return contenders[len(contenders)-1]
+}
+
+// pickBogus returns an id that is not contending; the engine must fall back
+// to a legal winner.
+type pickBogus struct{}
+
+func (pickBogus) BreakTie(_ int, _ *World, _ int, _ ring.GlobalDir, _ []int) int {
+	return -99
+}
+
+func TestTieBreakerOverride(t *testing.T) {
+	r := ring6(t)
+	p0 := &scripted{moves: repeat(agent.Move(agent.Right), 2)}
+	p1 := &scripted{moves: repeat(agent.Move(agent.Right), 2)}
+	w := mustWorld(t, Config{
+		Ring:      r,
+		Model:     FSync,
+		Starts:    []int{0, 0},
+		Orients:   []ring.GlobalDir{ring.CW, ring.CW},
+		Protocols: []agent.Protocol{p0, p1},
+		Adversary: edgeOnce{edge: 0, rounds: map[int]bool{0: true}},
+		TieBreak:  pickHighest{},
+	})
+	if err := w.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if on, _ := w.AgentOnPort(1); !on {
+		t.Fatal("tie breaker should have granted the port to agent 1")
+	}
+	if on, _ := w.AgentOnPort(0); on {
+		t.Fatal("agent 0 should have lost the race")
+	}
+}
+
+func TestTieBreakerBogusChoiceFallsBack(t *testing.T) {
+	r := ring6(t)
+	p0 := &scripted{moves: repeat(agent.Move(agent.Right), 1)}
+	p1 := &scripted{moves: repeat(agent.Move(agent.Right), 1)}
+	w := mustWorld(t, Config{
+		Ring:      r,
+		Model:     FSync,
+		Starts:    []int{0, 0},
+		Orients:   []ring.GlobalDir{ring.CW, ring.CW},
+		Protocols: []agent.Protocol{p0, p1},
+		Adversary: edgeOnce{edge: 0, rounds: map[int]bool{0: true}},
+		TieBreak:  pickBogus{},
+	})
+	if err := w.Step(); err != nil {
+		t.Fatal(err)
+	}
+	// Exactly one agent must hold the port despite the bogus answer.
+	on0, _ := w.AgentOnPort(0)
+	on1, _ := w.AgentOnPort(1)
+	if on0 == on1 {
+		t.Fatalf("port occupancy inconsistent: %v/%v", on0, on1)
+	}
+}

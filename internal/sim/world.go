@@ -1,0 +1,516 @@
+// Package sim implements the paper's execution model (Section 2.1): a
+// discrete-round engine over a 1-interval-connected dynamic ring in which
+// agents perform Look–Compute–Move with mutually exclusive port access,
+// under a fully synchronous (FSYNC) or semi-synchronous (SSYNC) activation
+// schedule, the latter with the No Simultaneity (NS), Passive Transport (PT)
+// or Eventual Transport (ET) treatment of agents sleeping on ports.
+//
+// The engine is deterministic given its inputs: protocols are deterministic
+// by contract, default tie-breaking is by lowest agent id, and adversaries
+// receive explicit access to the world plus the agents' resolved intents, so
+// randomized strategies must carry their own seeded source.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"dynring/internal/agent"
+	"dynring/internal/ring"
+)
+
+// NoEdge is the adversary's answer for "no edge removed this round".
+const NoEdge = -1
+
+// Model selects the synchrony/transport regime of a run.
+type Model int
+
+const (
+	// FSync activates every agent in every round.
+	FSync Model = iota + 1
+	// SSyncNS is semi-synchronous with No Simultaneity: sleeping agents
+	// never move.
+	SSyncNS
+	// SSyncPT is semi-synchronous with Passive Transport: an agent
+	// sleeping on a port is carried over the edge whenever it is present.
+	SSyncPT
+	// SSyncET is semi-synchronous with Eventual Transport: sleeping agents
+	// never move, but an agent sleeping on a port whose edge appears
+	// infinitely often is eventually activated in a round where the edge
+	// is present (enforced by the engine's fairness monitor).
+	SSyncET
+)
+
+// String implements fmt.Stringer.
+func (m Model) String() string {
+	switch m {
+	case FSync:
+		return "FSYNC"
+	case SSyncNS:
+		return "SSYNC/NS"
+	case SSyncPT:
+		return "SSYNC/PT"
+	case SSyncET:
+		return "SSYNC/ET"
+	default:
+		return "invalid"
+	}
+}
+
+// SemiSynchronous reports whether the model admits sleeping agents.
+func (m Model) SemiSynchronous() bool { return m != FSync }
+
+// Intent describes, for the adversary, what an active agent resolved to do
+// this round (after Compute, before movement).
+type Intent struct {
+	// Agent is the agent id.
+	Agent int
+	// From is the agent's node at the beginning of the round.
+	From int
+	// Move reports whether the agent wants to traverse an edge.
+	Move bool
+	// Dir is the desired global direction; meaningful only when Move.
+	Dir ring.GlobalDir
+	// TargetEdge is the edge the agent would traverse, or NoEdge.
+	TargetEdge int
+	// Terminate reports whether the agent enters its terminal state.
+	Terminate bool
+}
+
+// Adversary jointly controls the activation schedule and the missing edge.
+// Both methods may inspect the world freely (the proof adversaries are
+// omniscient) and may use World.Peek to predict agents' decisions.
+type Adversary interface {
+	// Activate returns the ids of the agents active in round t. It is not
+	// consulted in FSYNC. The engine filters terminated agents, removes
+	// duplicates and adds agents forced by the fairness monitors; if the
+	// resulting set is empty while live agents remain, the run aborts with
+	// ErrEmptyActivation.
+	Activate(t int, w *World) []int
+
+	// MissingEdge returns the edge absent in round t, or NoEdge. It is
+	// called after the active agents' decisions are fixed and receives
+	// them as intents. Returning an invalid index aborts the run.
+	MissingEdge(t int, w *World, intents []Intent) int
+}
+
+// TieBreaker optionally resolves port contention. contenders is sorted and
+// has at least two entries; the returned id must be one of them.
+type TieBreaker interface {
+	BreakTie(t int, w *World, node int, dir ring.GlobalDir, contenders []int) int
+}
+
+// Fingerprinter is implemented by protocols and adversaries whose
+// decision-relevant memory can be summarized in a bounded string. When every
+// component of a run provides fingerprints, the runner can certify infinite
+// non-progress by detecting a repeated configuration.
+type Fingerprinter interface {
+	Fingerprint() string
+}
+
+// Observer receives one record per completed round.
+type Observer interface {
+	ObserveRound(rec RoundRecord)
+}
+
+// AgentSnapshot is an agent's public configuration after a round.
+type AgentSnapshot struct {
+	Node       int
+	OnPort     bool
+	PortDir    ring.GlobalDir
+	Terminated bool
+	Moved      bool
+	State      string
+}
+
+// RoundRecord describes one completed round.
+type RoundRecord struct {
+	Round       int
+	Active      []int
+	MissingEdge int
+	Agents      []AgentSnapshot
+}
+
+// Config assembles a world.
+type Config struct {
+	// Ring is the footprint topology.
+	Ring *ring.Ring
+	// Model is the synchrony/transport regime.
+	Model Model
+	// Starts holds each agent's initial node (agents may share nodes).
+	Starts []int
+	// Orients maps each agent's private Right to a global direction.
+	// Common orientation for all agents models chirality.
+	Orients []ring.GlobalDir
+	// Protocols holds one protocol instance per agent. Instances must be
+	// distinct (each owns private memory) but all agents run the same
+	// algorithm in the paper's setting.
+	Protocols []agent.Protocol
+	// Adversary controls dynamics; nil means always-connected ring with
+	// full activation.
+	Adversary Adversary
+	// TieBreak optionally overrides lowest-id port contention resolution.
+	TieBreak TieBreaker
+	// Observer optionally receives round records.
+	Observer Observer
+	// FairnessBound is the maximum number of consecutive rounds an SSYNC
+	// agent may sleep before the engine force-activates it, and the
+	// maximum ET transport debt (rounds its edge was present while it
+	// slept on the port) before force-activation with an edge-removal
+	// veto. Zero selects DefaultFairnessBound(n).
+	FairnessBound int
+}
+
+// DefaultFairnessBound is the default SSYNC fairness horizon for a ring of
+// size n: long enough that the paper's adversarial constructions fit inside
+// a fair prefix, short enough that runs stay finite.
+func DefaultFairnessBound(n int) int { return 16*n + 64 }
+
+// Errors reported by the engine.
+var (
+	ErrAllTerminated     = errors.New("sim: all agents terminated")
+	ErrEmptyActivation   = errors.New("sim: adversary produced an empty activation set")
+	ErrInvalidEdge       = errors.New("sim: adversary removed an invalid edge")
+	ErrConfig            = errors.New("sim: invalid configuration")
+	ErrProtocolFault     = errors.New("sim: protocol fault")
+	ErrInvariantViolated = errors.New("sim: internal invariant violated")
+)
+
+type agentRT struct {
+	node     int
+	onPort   bool
+	portDir  ring.GlobalDir // valid when onPort
+	term     bool
+	moved    bool
+	failed   bool
+	orient   ring.GlobalDir // global direction of the agent's private Right
+	proto    agent.Protocol
+	moves    int
+	lastSeen int // round of last activation
+	etDebt   int // rounds the edge at its port was present while it slept
+}
+
+// World is the mutable run state.
+type World struct {
+	ring     *ring.Ring
+	model    Model
+	agents   []*agentRT
+	adv      Adversary
+	tie      TieBreaker
+	obs      Observer
+	fairness int
+
+	round        int
+	missingEdge  int // edge missing in the round being resolved
+	visited      []bool
+	visitedCount int
+	exploredAt   int // round after which all nodes had been visited; -1 if not yet
+	termAt       []int
+}
+
+// NewWorld validates cfg and builds the initial configuration. All starting
+// nodes count as visited.
+func NewWorld(cfg Config) (*World, error) {
+	if cfg.Ring == nil {
+		return nil, fmt.Errorf("%w: nil ring", ErrConfig)
+	}
+	switch cfg.Model {
+	case FSync, SSyncNS, SSyncPT, SSyncET:
+	default:
+		return nil, fmt.Errorf("%w: unknown model %d", ErrConfig, int(cfg.Model))
+	}
+	m := len(cfg.Starts)
+	if m == 0 {
+		return nil, fmt.Errorf("%w: no agents", ErrConfig)
+	}
+	if len(cfg.Orients) != m || len(cfg.Protocols) != m {
+		return nil, fmt.Errorf("%w: starts/orients/protocols length mismatch (%d/%d/%d)",
+			ErrConfig, m, len(cfg.Orients), len(cfg.Protocols))
+	}
+	fair := cfg.FairnessBound
+	if fair <= 0 {
+		fair = DefaultFairnessBound(cfg.Ring.Size())
+	}
+	w := &World{
+		ring:        cfg.Ring,
+		model:       cfg.Model,
+		adv:         cfg.Adversary,
+		tie:         cfg.TieBreak,
+		obs:         cfg.Observer,
+		fairness:    fair,
+		missingEdge: NoEdge,
+		visited:     make([]bool, cfg.Ring.Size()),
+		exploredAt:  -1,
+		termAt:      make([]int, m),
+	}
+	w.agents = make([]*agentRT, m)
+	for i := 0; i < m; i++ {
+		if cfg.Starts[i] < 0 || cfg.Starts[i] >= cfg.Ring.Size() {
+			return nil, fmt.Errorf("%w: agent %d start %d out of range", ErrConfig, i, cfg.Starts[i])
+		}
+		if cfg.Orients[i] != ring.CW && cfg.Orients[i] != ring.CCW {
+			return nil, fmt.Errorf("%w: agent %d has invalid orientation", ErrConfig, i)
+		}
+		if cfg.Protocols[i] == nil {
+			return nil, fmt.Errorf("%w: agent %d has nil protocol", ErrConfig, i)
+		}
+		w.agents[i] = &agentRT{
+			node:     cfg.Starts[i],
+			orient:   cfg.Orients[i],
+			proto:    cfg.Protocols[i],
+			lastSeen: -1,
+		}
+		w.termAt[i] = -1
+		w.visit(cfg.Starts[i])
+	}
+	return w, nil
+}
+
+func (w *World) visit(node int) {
+	if !w.visited[node] {
+		w.visited[node] = true
+		w.visitedCount++
+		if w.visitedCount == w.ring.Size() && w.exploredAt < 0 {
+			w.exploredAt = w.round
+		}
+	}
+}
+
+// Ring returns the footprint topology.
+func (w *World) Ring() *ring.Ring { return w.ring }
+
+// Model returns the synchrony/transport regime.
+func (w *World) Model() Model { return w.model }
+
+// Round returns the index of the next round to execute (0-based).
+func (w *World) Round() int { return w.round }
+
+// NumAgents returns the number of agents.
+func (w *World) NumAgents() int { return len(w.agents) }
+
+// AgentNode returns agent i's current node.
+func (w *World) AgentNode(i int) int { return w.agents[i].node }
+
+// AgentOnPort reports whether agent i sits on a port and, if so, the global
+// direction of that port.
+func (w *World) AgentOnPort(i int) (bool, ring.GlobalDir) {
+	a := w.agents[i]
+	return a.onPort, a.portDir
+}
+
+// AgentTerminated reports whether agent i has entered its terminal state.
+func (w *World) AgentTerminated(i int) bool { return w.agents[i].term }
+
+// AgentOrient returns the global direction of agent i's private Right.
+func (w *World) AgentOrient(i int) ring.GlobalDir { return w.agents[i].orient }
+
+// AgentMoves returns the number of edge traversals agent i has performed.
+func (w *World) AgentMoves(i int) int { return w.agents[i].moves }
+
+// AgentState returns agent i's protocol state label.
+func (w *World) AgentState(i int) string { return w.agents[i].proto.State() }
+
+// AgentLastActive returns the round agent i was last activated, or -1.
+func (w *World) AgentLastActive(i int) int { return w.agents[i].lastSeen }
+
+// TotalMoves returns the sum of all agents' edge traversals.
+func (w *World) TotalMoves() int {
+	total := 0
+	for _, a := range w.agents {
+		total += a.moves
+	}
+	return total
+}
+
+// Visited reports whether node v has been visited.
+func (w *World) Visited(v int) bool { return w.visited[w.ring.Node(v)] }
+
+// VisitedCount returns the number of distinct visited nodes.
+func (w *World) VisitedCount() int { return w.visitedCount }
+
+// Explored reports whether every node has been visited.
+func (w *World) Explored() bool { return w.visitedCount == w.ring.Size() }
+
+// ExploredRound returns the round in which the last unvisited node was
+// reached, or -1.
+func (w *World) ExploredRound() int { return w.exploredAt }
+
+// TerminatedRound returns the round agent i terminated in, or -1.
+func (w *World) TerminatedRound(i int) int { return w.termAt[i] }
+
+// AllTerminated reports whether every agent has terminated.
+func (w *World) AllTerminated() bool {
+	for _, a := range w.agents {
+		if !a.term {
+			return false
+		}
+	}
+	return true
+}
+
+// AnyTerminated reports whether at least one agent has terminated.
+func (w *World) AnyTerminated() bool {
+	for _, a := range w.agents {
+		if a.term {
+			return true
+		}
+	}
+	return false
+}
+
+// MissingEdgeNow returns the edge missing in the round currently being
+// resolved (valid while adversary callbacks and observers run), or NoEdge.
+func (w *World) MissingEdgeNow() int { return w.missingEdge }
+
+// toGlobal maps agent i's private direction to a global one.
+func (w *World) toGlobal(i int, d agent.Dir) ring.GlobalDir {
+	if d == agent.Right {
+		return w.agents[i].orient
+	}
+	return w.agents[i].orient.Opposite()
+}
+
+// toLocal maps a global direction to agent i's private one.
+func (w *World) toLocal(i int, g ring.GlobalDir) agent.Dir {
+	if g == w.agents[i].orient {
+		return agent.Right
+	}
+	return agent.Left
+}
+
+// portHolder returns the id of the agent occupying the given port, or -1.
+func (w *World) portHolder(node int, dir ring.GlobalDir) int {
+	for id, a := range w.agents {
+		if a.onPort && a.node == node && a.portDir == dir {
+			return id
+		}
+	}
+	return -1
+}
+
+// viewOf builds agent i's Look snapshot of the current configuration.
+func (w *World) viewOf(i int) agent.View {
+	a := w.agents[i]
+	v := agent.View{
+		AtLandmark: w.ring.IsLandmark(a.node),
+		Moved:      a.moved,
+		Failed:     a.failed,
+	}
+	if a.onPort {
+		v.OnPort = true
+		v.PortDir = w.toLocal(i, a.portDir)
+	}
+	for id, b := range w.agents {
+		if id == i || b.node != a.node {
+			continue
+		}
+		if !b.onPort {
+			v.OthersInNode++
+			continue
+		}
+		if w.toLocal(i, b.portDir) == agent.Left {
+			v.OthersOnLeftPort++
+		} else {
+			v.OthersOnRightPort++
+		}
+	}
+	return v
+}
+
+// Peek returns the decision agent i would take if activated right now, by
+// running a clone of its protocol on the current snapshot. The world and the
+// agent are left untouched.
+func (w *World) Peek(i int) (agent.Decision, error) {
+	if w.agents[i].term {
+		return agent.Decision{Terminate: true}, nil
+	}
+	clone := w.agents[i].proto.Clone()
+	d, err := clone.Step(w.viewOf(i))
+	if err != nil {
+		return agent.Decision{}, fmt.Errorf("%w: peek agent %d: %v", ErrProtocolFault, i, err)
+	}
+	return d, nil
+}
+
+// PeekGlobal is Peek resolved to a global intent.
+func (w *World) PeekGlobal(i int) (Intent, error) {
+	d, err := w.Peek(i)
+	if err != nil {
+		return Intent{}, err
+	}
+	return w.intentOf(i, d), nil
+}
+
+func (w *World) intentOf(i int, d agent.Decision) Intent {
+	in := Intent{Agent: i, From: w.agents[i].node, TargetEdge: NoEdge, Terminate: d.Terminate}
+	if !d.Terminate && d.Dir != agent.NoDir {
+		in.Move = true
+		in.Dir = w.toGlobal(i, d.Dir)
+		in.TargetEdge = w.ring.Edge(in.From, in.Dir)
+	}
+	return in
+}
+
+// Fingerprint summarizes the full configuration when every protocol (and the
+// adversary, if stateful) supports fingerprints; ok is false otherwise.
+func (w *World) Fingerprint() (sig string, ok bool) {
+	var b strings.Builder
+	for id, a := range w.agents {
+		fp, good := a.proto.(Fingerprinter)
+		if !good {
+			return "", false
+		}
+		fmt.Fprintf(&b, "a%d:%d,%t,%d,%t,%t,%t|%s;", id, a.node, a.onPort, int(a.portDir), a.term, a.moved, a.failed, fp.Fingerprint())
+	}
+	if w.adv != nil {
+		fp, good := w.adv.(Fingerprinter)
+		if !good {
+			return "", false
+		}
+		b.WriteString("adv:" + fp.Fingerprint())
+	}
+	return b.String(), true
+}
+
+// snapshotAll captures the post-round public state for observers.
+func (w *World) snapshotAll() []AgentSnapshot {
+	out := make([]AgentSnapshot, len(w.agents))
+	for i, a := range w.agents {
+		out[i] = AgentSnapshot{
+			Node:       a.node,
+			OnPort:     a.onPort,
+			PortDir:    a.portDir,
+			Terminated: a.term,
+			Moved:      a.moved,
+			State:      a.proto.State(),
+		}
+	}
+	return out
+}
+
+// liveIDs returns all non-terminated agent ids in ascending order.
+func (w *World) liveIDs() []int {
+	var ids []int
+	for id, a := range w.agents {
+		if !a.term {
+			ids = append(ids, id)
+		}
+	}
+	return ids
+}
+
+func sortedUniqueLive(w *World, ids []int) []int {
+	seen := make(map[int]bool, len(ids))
+	var out []int
+	for _, id := range ids {
+		if id < 0 || id >= len(w.agents) || w.agents[id].term || seen[id] {
+			continue
+		}
+		seen[id] = true
+		out = append(out, id)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,144 @@
+// Package trace records simulation rounds and renders them as ASCII
+// space–time diagrams in the style of the paper's schedule figures
+// (Figure 2, Figure 16): one row per round, one column per node, agents
+// shown at their positions with port markers, and the missing edge marked
+// in the gap between its endpoints.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"dynring/internal/ring"
+	"dynring/internal/sim"
+)
+
+// Recorder collects round records; it implements sim.Observer.
+type Recorder struct {
+	n    int
+	recs []sim.RoundRecord
+}
+
+// NewRecorder returns a recorder for a ring of n nodes.
+func NewRecorder(n int) *Recorder {
+	return &Recorder{n: n}
+}
+
+var _ sim.Observer = (*Recorder)(nil)
+
+// ObserveRound implements sim.Observer.
+func (r *Recorder) ObserveRound(rec sim.RoundRecord) {
+	r.recs = append(r.recs, rec)
+}
+
+// Rounds returns the number of recorded rounds.
+func (r *Recorder) Rounds() int { return len(r.recs) }
+
+// Records returns the recorded rounds (shared slice; callers must not
+// modify it).
+func (r *Recorder) Records() []sim.RoundRecord { return r.recs }
+
+// RenderOptions tune the diagram.
+type RenderOptions struct {
+	// Landmark marks a node column with a '*' in the header;
+	// ring.NoLandmark disables it.
+	Landmark int
+	// MaxRows caps the number of rendered rows; when exceeded, the head
+	// and tail are shown around an elision marker. Zero renders all.
+	MaxRows int
+}
+
+// Render writes the space–time diagram. Each node occupies a two-character
+// cell: the agent id (or '.' for empty, '*' for several), plus a port
+// marker: '>' when the agent sits on the clockwise port, '<' on the
+// counter-clockwise port. An 'x' in the gap between two cells marks the
+// missing edge (the gap after the last column is the wrap-around edge).
+func (r *Recorder) Render(w io.Writer, opts RenderOptions) error {
+	if _, err := fmt.Fprint(w, r.header(opts)); err != nil {
+		return err
+	}
+	rows := r.recs
+	if opts.MaxRows > 0 && len(rows) > opts.MaxRows {
+		head := rows[:opts.MaxRows/2]
+		tail := rows[len(rows)-(opts.MaxRows-len(head)):]
+		for _, rec := range head {
+			if _, err := io.WriteString(w, r.renderRow(rec)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "  ... %d rounds elided ...\n", len(rows)-opts.MaxRows); err != nil {
+			return err
+		}
+		rows = tail
+	}
+	for _, rec := range rows {
+		if _, err := io.WriteString(w, r.renderRow(rec)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (r *Recorder) header(opts RenderOptions) string {
+	var b strings.Builder
+	b.WriteString("round |")
+	for v := 0; v < r.n; v++ {
+		mark := " "
+		if opts.Landmark != ring.NoLandmark && v == opts.Landmark {
+			mark = "*"
+		}
+		fmt.Fprintf(&b, "%s%2d", mark, v)
+	}
+	b.WriteString("\n------+")
+	b.WriteString(strings.Repeat("---", r.n))
+	b.WriteString("\n")
+	return b.String()
+}
+
+func (r *Recorder) renderRow(rec sim.RoundRecord) string {
+	cells := make([]string, r.n)
+	for i := range cells {
+		cells[i] = " ."
+	}
+	for id, a := range rec.Agents {
+		sym := byte('0' + id%10)
+		cell := " "
+		switch {
+		case a.Terminated:
+			cell = "#"
+		case a.OnPort && a.PortDir == ring.CW:
+			cell = ">"
+		case a.OnPort && a.PortDir == ring.CCW:
+			cell = "<"
+		}
+		if cells[a.Node] != " ." {
+			cells[a.Node] = " *"
+			continue
+		}
+		cells[a.Node] = cell + string(sym)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%5d |", rec.Round)
+	for v := 0; v < r.n; v++ {
+		gap := " "
+		if rec.MissingEdge != sim.NoEdge && rec.MissingEdge == v-1 {
+			gap = "x"
+		}
+		b.WriteString(gap)
+		b.WriteString(cells[v])
+	}
+	if rec.MissingEdge == r.n-1 {
+		b.WriteString(" x")
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+// RenderString is Render into a string.
+func (r *Recorder) RenderString(opts RenderOptions) string {
+	var b strings.Builder
+	// strings.Builder's Write never fails.
+	_ = r.Render(&b, opts)
+	return b.String()
+}

@@ -1,0 +1,90 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"dynring/internal/ring"
+	"dynring/internal/sim"
+)
+
+func sampleRecords() []sim.RoundRecord {
+	return []sim.RoundRecord{
+		{
+			Round:       0,
+			MissingEdge: 2,
+			Agents: []sim.AgentSnapshot{
+				{Node: 0},
+				{Node: 3, OnPort: true, PortDir: ring.CW},
+			},
+		},
+		{
+			Round:       1,
+			MissingEdge: 4, // wrap-around edge on a 5-ring
+			Agents: []sim.AgentSnapshot{
+				{Node: 1},
+				{Node: 3, OnPort: true, PortDir: ring.CCW},
+			},
+		},
+		{
+			Round:       2,
+			MissingEdge: sim.NoEdge,
+			Agents: []sim.AgentSnapshot{
+				{Node: 2, Terminated: true},
+				{Node: 2},
+			},
+		},
+	}
+}
+
+func TestRenderDiagram(t *testing.T) {
+	r := NewRecorder(5)
+	for _, rec := range sampleRecords() {
+		r.ObserveRound(rec)
+	}
+	if r.Rounds() != 3 {
+		t.Fatalf("Rounds = %d", r.Rounds())
+	}
+	out := r.RenderString(RenderOptions{Landmark: 3})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "* 3") {
+		t.Errorf("landmark marker missing in header %q", lines[0])
+	}
+	// Round 0: agent 0 at node 0, agent 1 on the CW port of node 3, and
+	// the missing edge 2 between nodes 2 and 3.
+	row0 := lines[2]
+	if !strings.Contains(row0, " 0") || !strings.Contains(row0, ">1") {
+		t.Errorf("row 0 misses agents: %q", row0)
+	}
+	if !strings.Contains(row0, "x") {
+		t.Errorf("row 0 misses edge marker: %q", row0)
+	}
+	// Round 1: CCW port marker and the wrap-around edge at the line end.
+	row1 := lines[3]
+	if !strings.Contains(row1, "<1") || !strings.HasSuffix(row1, "x") {
+		t.Errorf("row 1 wrong: %q", row1)
+	}
+	// Round 2: terminated agent marker and shared-node star.
+	row2 := lines[4]
+	if !strings.Contains(row2, "*") {
+		t.Errorf("row 2 should collapse two agents on one node to '*': %q", row2)
+	}
+}
+
+func TestRenderElision(t *testing.T) {
+	r := NewRecorder(4)
+	for i := 0; i < 50; i++ {
+		r.ObserveRound(sim.RoundRecord{Round: i, MissingEdge: sim.NoEdge,
+			Agents: []sim.AgentSnapshot{{Node: i % 4}}})
+	}
+	out := r.RenderString(RenderOptions{Landmark: ring.NoLandmark, MaxRows: 10})
+	if !strings.Contains(out, "rounds elided") {
+		t.Fatalf("missing elision marker:\n%s", out)
+	}
+	if got := strings.Count(out, "\n"); got > 14 {
+		t.Fatalf("too many lines (%d):\n%s", got, out)
+	}
+}
