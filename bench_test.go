@@ -3,10 +3,12 @@
 // custom metrics: rounds/n for the linear-time claims, rounds/(n·log n) for
 // Theorem 8, moves/n² for the quadratic PT claims — the *shape* of the
 // paper's complexity map. Absolute ns/op figures measure the simulator, not
-// the algorithms.
+// the algorithms. BenchmarkSweep measures batch throughput of the
+// Scenario/Sweep executor (scenarios/op via the reported metric).
 package dynring_test
 
 import (
+	"context"
 	"testing"
 
 	"dynring"
@@ -15,10 +17,10 @@ import (
 	"dynring/internal/ids"
 )
 
-// mustRun executes a config and fails the benchmark on error.
-func mustRun(b *testing.B, cfg dynring.Config) dynring.Result {
+// mustRun executes a scenario and fails the benchmark on error.
+func mustRun(b *testing.B, sc dynring.Scenario) dynring.Result {
 	b.Helper()
-	res, err := dynring.Run(cfg)
+	res, err := sc.Run()
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -40,37 +42,67 @@ func mustRows(b *testing.B, f func() ([]expt.Row, error)) []expt.Row {
 	return rows
 }
 
-// BenchmarkEngine_Step measures raw simulator throughput: one FSYNC round
+// BenchmarkEngine_Step measures raw simulator throughput: one SSYNC/PT round
 // with three agents on a 64-node ring under a random adversary.
 func BenchmarkEngine_Step(b *testing.B) {
-	w, err := dynring.NewWorld(dynring.Config{
-		Size:      64,
-		Landmark:  dynring.NoLandmark,
-		Algorithm: "PTBoundNoChirality",
-		Model:     dynring.SSyncPT,
-		Adversary: dynring.RandomEdges(0.5, 1),
-	})
-	if err != nil {
-		b.Fatal(err)
+	newWorld := func(seed int64) *dynring.World {
+		w, err := dynring.Scenario{
+			Size:         64,
+			Landmark:     dynring.NoLandmark,
+			Algorithm:    "PTBoundNoChirality",
+			Model:        dynring.SSyncPT,
+			NewAdversary: dynring.RandomEdgesFactory(0.5),
+			Seed:         seed,
+		}.NewWorld()
+		if err != nil {
+			b.Fatal(err)
+		}
+		return w
 	}
+	w := newWorld(1)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := w.Step(); err != nil {
 			// The protocol may legitimately terminate: rebuild.
 			b.StopTimer()
-			w, err = dynring.NewWorld(dynring.Config{
-				Size:      64,
-				Landmark:  dynring.NoLandmark,
-				Algorithm: "PTBoundNoChirality",
-				Model:     dynring.SSyncPT,
-				Adversary: dynring.RandomEdges(0.5, int64(i)),
-			})
-			if err != nil {
-				b.Fatal(err)
-			}
+			w = newWorld(int64(i))
 			b.StartTimer()
 		}
 	}
+}
+
+// BenchmarkSweep measures batch throughput of the concurrent executor: a
+// 4-algorithm × 2-size × 4-seed grid per iteration.
+func BenchmarkSweep(b *testing.B) {
+	sw := dynring.Sweep{
+		Base: dynring.Scenario{
+			Landmark:     0,
+			NewAdversary: dynring.RandomEdgesFactory(0.4),
+		},
+		Algorithms: []string{
+			"KnownNNoChirality", "UnconsciousExploration",
+			"LandmarkWithChirality", "PTLandmarkWithChirality",
+		},
+		Sizes: []int{8, 16},
+		Seeds: []int64{1, 2, 3, 4},
+	}
+	scenarios, err := sw.Scenarios()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		results, err := sw.Run(context.Background())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range results {
+			if r.Err != nil {
+				b.Fatal(r.Err)
+			}
+		}
+	}
+	b.ReportMetric(float64(len(scenarios)), "scenarios/op")
 }
 
 // BenchmarkTable1_Impossibilities replays the Theorem 1/2 and
@@ -87,13 +119,13 @@ func BenchmarkTable2_KnownN(b *testing.B) {
 	const n = 64
 	var rounds int
 	for i := 0; i < b.N; i++ {
-		res := mustRun(b, dynring.Config{
-			Size:      n,
-			Landmark:  dynring.NoLandmark,
-			Algorithm: "KnownNNoChirality",
-			Starts:    []int{0, 1},
-			Orients:   []dynring.GlobalDir{dynring.CCW, dynring.CCW},
-			Adversary: figure2Adversary{n: n},
+		res := mustRun(b, dynring.Scenario{
+			Size:         n,
+			Landmark:     dynring.NoLandmark,
+			Algorithm:    "KnownNNoChirality",
+			Starts:       []int{0, 1},
+			Orients:      []dynring.GlobalDir{dynring.CCW, dynring.CCW},
+			NewAdversary: dynring.Fixed(figure2Adversary{n: n}),
 		})
 		rounds = res.Rounds
 	}
@@ -124,12 +156,12 @@ func BenchmarkTable2_LandmarkChirality(b *testing.B) {
 	const n = 128
 	var last int
 	for i := 0; i < b.N; i++ {
-		res := mustRun(b, dynring.Config{
-			Size:      n,
-			Landmark:  0,
-			Algorithm: "LandmarkWithChirality",
-			Starts:    []int{2, n/2 + 2},
-			Adversary: dynring.GreedyBlocking(),
+		res := mustRun(b, dynring.Scenario{
+			Size:         n,
+			Landmark:     0,
+			Algorithm:    "LandmarkWithChirality",
+			Starts:       []int{2, n/2 + 2},
+			NewAdversary: dynring.Fixed(dynring.GreedyBlocking()),
 		})
 		if res.Terminated != 2 {
 			b.Fatal("not fully terminated")
@@ -145,13 +177,13 @@ func BenchmarkTable2_LandmarkNoChirality(b *testing.B) {
 	const n = 32
 	var last int
 	for i := 0; i < b.N; i++ {
-		res := mustRun(b, dynring.Config{
-			Size:      n,
-			Landmark:  3,
-			Algorithm: "LandmarkNoChirality",
-			Starts:    []int{0, 2 * n / 3},
-			Orients:   []dynring.GlobalDir{dynring.CW, dynring.CCW},
-			Adversary: dynring.GreedyBlocking(),
+		res := mustRun(b, dynring.Scenario{
+			Size:         n,
+			Landmark:     3,
+			Algorithm:    "LandmarkNoChirality",
+			Starts:       []int{0, 2 * n / 3},
+			Orients:      []dynring.GlobalDir{dynring.CW, dynring.CCW},
+			NewAdversary: dynring.Fixed(dynring.GreedyBlocking()),
 		})
 		if res.Terminated != 2 {
 			b.Fatal("not fully terminated")
@@ -166,13 +198,13 @@ func BenchmarkTable2_Unconscious(b *testing.B) {
 	const n = 64
 	var explored int
 	for i := 0; i < b.N; i++ {
-		res := mustRun(b, dynring.Config{
+		res := mustRun(b, dynring.Scenario{
 			Size:             n,
 			Landmark:         dynring.NoLandmark,
 			Algorithm:        "UnconsciousExploration",
 			Starts:           []int{0, 1},
 			Orients:          []dynring.GlobalDir{dynring.CW, dynring.CCW},
-			Adversary:        dynring.GreedyBlocking(),
+			NewAdversary:     dynring.Fixed(dynring.GreedyBlocking()),
 			StopWhenExplored: true,
 			MaxRounds:        64*n + 64,
 		})
@@ -198,12 +230,12 @@ func BenchmarkTable4_PTBound(b *testing.B) {
 	const n = 32
 	var moves int
 	for i := 0; i < b.N; i++ {
-		res := mustRun(b, dynring.Config{
-			Size:      n,
-			Landmark:  dynring.NoLandmark,
-			Algorithm: "PTBoundWithChirality",
-			Starts:    []int{0, 1},
-			Adversary: dynring.FrontierGuarding(),
+		res := mustRun(b, dynring.Scenario{
+			Size:         n,
+			Landmark:     dynring.NoLandmark,
+			Algorithm:    "PTBoundWithChirality",
+			Starts:       []int{0, 1},
+			NewAdversary: dynring.Fixed(dynring.FrontierGuarding()),
 		})
 		if !res.Explored || res.Terminated < 1 {
 			b.Fatal("run incomplete")
@@ -218,12 +250,12 @@ func BenchmarkTable4_PTLandmark(b *testing.B) {
 	const n = 32
 	var moves int
 	for i := 0; i < b.N; i++ {
-		res := mustRun(b, dynring.Config{
-			Size:      n,
-			Landmark:  0,
-			Algorithm: "PTLandmarkWithChirality",
-			Starts:    []int{1, 2},
-			Adversary: dynring.FrontierGuarding(),
+		res := mustRun(b, dynring.Scenario{
+			Size:         n,
+			Landmark:     0,
+			Algorithm:    "PTLandmarkWithChirality",
+			Starts:       []int{1, 2},
+			NewAdversary: dynring.Fixed(dynring.FrontierGuarding()),
 		})
 		if !res.Explored || res.Terminated < 1 {
 			b.Fatal("run incomplete")
@@ -239,13 +271,13 @@ func BenchmarkTable4_PT3Bound(b *testing.B) {
 	const n = 18
 	var moves int
 	for i := 0; i < b.N; i++ {
-		res := mustRun(b, dynring.Config{
-			Size:      n,
-			Landmark:  dynring.NoLandmark,
-			Algorithm: "PTBoundNoChirality",
-			Starts:    []int{0, n / 3, 2 * n / 3},
-			Orients:   []dynring.GlobalDir{dynring.CW, dynring.CCW, dynring.CW},
-			Adversary: dynring.GreedyBlocking(),
+		res := mustRun(b, dynring.Scenario{
+			Size:         n,
+			Landmark:     dynring.NoLandmark,
+			Algorithm:    "PTBoundNoChirality",
+			Starts:       []int{0, n / 3, 2 * n / 3},
+			Orients:      []dynring.GlobalDir{dynring.CW, dynring.CCW, dynring.CW},
+			NewAdversary: dynring.Fixed(dynring.GreedyBlocking()),
 		})
 		if !res.Explored || res.Terminated < 1 {
 			b.Fatal("run incomplete")
@@ -260,13 +292,15 @@ func BenchmarkTable4_ETBound(b *testing.B) {
 	const n = 12
 	var moves int
 	for i := 0; i < b.N; i++ {
-		res := mustRun(b, dynring.Config{
+		res := mustRun(b, dynring.Scenario{
 			Size:      n,
 			Landmark:  dynring.NoLandmark,
 			Algorithm: "ETBoundNoChirality",
 			Starts:    []int{0, n / 3, 2 * n / 3},
 			Orients:   []dynring.GlobalDir{dynring.CW, dynring.CCW, dynring.CCW},
-			Adversary: dynring.RandomActivation(0.6, int64(i)+5, dynring.RandomEdges(0.4, int64(i)+11)),
+			NewAdversary: dynring.RandomActivationFactory(0.6,
+				dynring.RandomEdgesFactory(0.4)),
+			Seed: int64(i) + 5,
 		})
 		if !res.Explored || res.Terminated < 1 {
 			b.Fatal("run incomplete")
@@ -281,12 +315,14 @@ func BenchmarkTable4_ETUnconscious(b *testing.B) {
 	const n = 32
 	var explored int
 	for i := 0; i < b.N; i++ {
-		res := mustRun(b, dynring.Config{
-			Size:             n,
-			Landmark:         dynring.NoLandmark,
-			Algorithm:        "ETUnconscious",
-			Starts:           []int{0, n / 2},
-			Adversary:        dynring.RandomActivation(0.6, int64(i)+3, dynring.GreedyBlocking()),
+		res := mustRun(b, dynring.Scenario{
+			Size:      n,
+			Landmark:  dynring.NoLandmark,
+			Algorithm: "ETUnconscious",
+			Starts:    []int{0, n / 2},
+			NewAdversary: dynring.RandomActivationFactory(0.6,
+				func(int64) dynring.Adversary { return dynring.GreedyBlocking() }),
+			Seed:             int64(i) + 3,
 			StopWhenExplored: true,
 			MaxRounds:        4000 * n,
 		})

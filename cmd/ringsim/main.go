@@ -1,30 +1,45 @@
-// Command ringsim runs one exploration scenario and reports the outcome,
-// optionally with a space–time diagram of the whole run.
+// Command ringsim runs exploration scenarios and reports the outcome:
+// a single run (optionally with a space–time diagram of the whole round
+// history), or a whole scenario grid executed concurrently via the Sweep
+// API.
 //
 // Usage:
 //
 //	ringsim -algo LandmarkWithChirality -n 12 -landmark 0 -adversary random -p 0.5 -trace
+//	ringsim -sweep -algos KnownNNoChirality,UnconsciousExploration -sizes 8,16,32 -seeds 1,2,3 -adversaries random,greedy
+//	ringsim -sweep -sizes 8,16 -json
 //	ringsim -list
+//
+// Sweeps are cancellable: an interrupt (Ctrl-C) stops the grid and prints
+// the aggregate of the scenarios finished so far.
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"time"
 
 	"dynring"
+	"dynring/internal/sweep"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, os.Stdout, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "ringsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(ctx context.Context, out io.Writer, args []string) error {
 	fs := flag.NewFlagSet("ringsim", flag.ContinueOnError)
 	var (
 		algo     = fs.String("algo", "LandmarkWithChirality", "algorithm name (see -list)")
@@ -42,90 +57,256 @@ func run(args []string) error {
 		showTr   = fs.Bool("trace", false, "print the space-time diagram")
 		stopExpl = fs.Bool("stop-explored", false, "stop as soon as the ring is explored")
 		list     = fs.Bool("list", false, "list registered algorithms and exit")
+		jsonOut  = fs.Bool("json", false, "emit JSON instead of text")
+
+		sweepMode = fs.Bool("sweep", false, "run a scenario grid instead of a single scenario")
+		algos     = fs.String("algos", "", "sweep: comma-separated algorithm axis (default: -algo)")
+		sizes     = fs.String("sizes", "", "sweep: comma-separated ring-size axis (default: -n)")
+		seeds     = fs.String("seeds", "", "sweep: comma-separated seed axis (default: -seed)")
+		advAxis   = fs.String("adversaries", "", "sweep: comma-separated adversary axis (default: -adversary)")
+		workers   = fs.Int("workers", 0, "sweep: worker pool size (0 = NumCPU)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *showTr && (*jsonOut || *sweepMode) {
+		return fmt.Errorf("-trace renders a text diagram and cannot be combined with -json or -sweep")
+	}
 	if *list {
 		for _, a := range dynring.Algorithms() {
-			fmt.Printf("%-30s %-28s agents=%d landmark=%-5v chirality=%-5v knowledge=%-13s %s\n",
+			fmt.Fprintf(out, "%-30s %-28s agents=%d landmark=%-5v chirality=%-5v knowledge=%-13s %s\n",
 				a.Name, a.Paper, a.Agents, a.NeedsLandmark, a.NeedsChirality, a.Knowledge, a.Description)
 		}
 		return nil
 	}
 
-	adv, err := buildAdversary(*advName, *p, *seed, *edge, *pin)
-	if err != nil {
-		return err
-	}
-	if *actP < 1 {
-		adv = dynring.RandomActivation(*actP, *seed+1000, adv)
-	}
-	cfg := dynring.Config{
+	base := dynring.Scenario{
 		Size:             *n,
 		Landmark:         *landmark,
 		Algorithm:        *algo,
-		Adversary:        adv,
+		Seed:             *seed,
 		MaxRounds:        *rounds,
 		StopWhenExplored: *stopExpl,
 	}
-	if cfg.Starts, err = parseInts(*starts); err != nil {
+	var err error
+	if base.Starts, err = parseInts(*starts); err != nil {
 		return fmt.Errorf("bad -starts: %w", err)
 	}
-	if cfg.Orients, err = parseOrients(*orients); err != nil {
+	if base.Orients, err = parseOrients(*orients); err != nil {
 		return fmt.Errorf("bad -orients: %w", err)
 	}
-	var rec *dynring.TraceRecorder
-	if *showTr {
-		rec = dynring.NewTrace(*n)
-		cfg.Observer = rec
+
+	if *sweepMode {
+		return runSweep(ctx, out, base, sweepFlags{
+			algos: *algos, sizes: *sizes, seeds: *seeds,
+			adversaries: *advAxis, defaultAdv: *advName,
+			workers: *workers, p: *p, edge: *edge, pin: *pin, actP: *actP,
+			jsonOut: *jsonOut,
+		})
 	}
 
-	res, err := dynring.Run(cfg)
+	factory, err := adversaryFactory(*advName, *p, *edge, *pin, *actP)
 	if err != nil {
 		return err
 	}
+	base.AdversaryLabel = *advName
+	base.NewAdversary = factory
+	var rec *dynring.TraceRecorder
+	if *showTr {
+		rec = dynring.NewTrace(*n)
+		base.Observer = rec
+	}
+
+	res, err := base.RunContext(ctx)
+	if err != nil {
+		return err
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		return enc.Encode(res)
+	}
 	if rec != nil {
-		if err := rec.Render(os.Stdout, dynring.TraceOptions{Landmark: *landmark, MaxRows: 80}); err != nil {
+		if err := rec.Render(out, dynring.TraceOptions{Landmark: *landmark, MaxRows: 80}); err != nil {
 			return err
 		}
 	}
-	fmt.Printf("outcome:   %v after %d rounds\n", res.Outcome, res.Rounds)
-	fmt.Printf("explored:  %v (completed in round %d)\n", res.Explored, res.ExploredRound)
-	fmt.Printf("moves:     %v (total %d)\n", res.Moves, res.TotalMoves)
-	fmt.Printf("terminated:%d of %d agents, rounds %v\n", res.Terminated, len(res.TerminatedAt), res.TerminatedAt)
+	fmt.Fprintf(out, "outcome:   %v after %d rounds\n", res.Outcome, res.Rounds)
+	fmt.Fprintf(out, "explored:  %v (completed in round %d)\n", res.Explored, res.ExploredRound)
+	fmt.Fprintf(out, "moves:     %v (total %d)\n", res.Moves, res.TotalMoves)
+	fmt.Fprintf(out, "terminated:%d of %d agents, rounds %v\n", res.Terminated, len(res.TerminatedAt), res.TerminatedAt)
 	return nil
 }
 
-func buildAdversary(name string, p float64, seed int64, edge, pin int) (dynring.Adversary, error) {
+// sweepFlags carries the sweep-mode command line. defaultAdv is the single
+// -adversary value, used when no -adversaries axis is given.
+type sweepFlags struct {
+	algos, sizes, seeds, adversaries string
+	defaultAdv                       string
+	workers                          int
+	p                                float64
+	edge, pin                        int
+	actP                             float64
+	jsonOut                          bool
+}
+
+// sweepJSON is the -sweep -json output document.
+type sweepJSON struct {
+	Scenarios []scenarioJSON   `json:"scenarios"`
+	Aggregate []dynring.AggRow `json:"aggregate"`
+	Cancelled bool             `json:"cancelled,omitempty"`
+}
+
+// scenarioJSON flattens one SweepResult for encoding (error as string).
+type scenarioJSON struct {
+	Name   string         `json:"name"`
+	Result dynring.Result `json:"result"`
+	Error  string         `json:"error,omitempty"`
+	WallMS float64        `json:"wall_ms"`
+}
+
+func runSweep(ctx context.Context, out io.Writer, base dynring.Scenario, f sweepFlags) error {
+	sw := dynring.Sweep{Base: base, Workers: f.workers}
+	var err error
+	if f.algos != "" {
+		sw.Algorithms = splitList(f.algos)
+	}
+	if sw.Sizes, err = parseInts(f.sizes); err != nil {
+		return fmt.Errorf("bad -sizes: %w", err)
+	}
+	if sw.Seeds, err = parseInt64s(f.seeds); err != nil {
+		return fmt.Errorf("bad -seeds: %w", err)
+	}
+	advNames := splitList(f.adversaries)
+	if advNames == nil {
+		advNames = []string{f.defaultAdv}
+	}
+	for _, name := range advNames {
+		factory, ferr := adversaryFactory(name, f.p, f.edge, f.pin, f.actP)
+		if ferr != nil {
+			return ferr
+		}
+		sw.Adversaries = append(sw.Adversaries, dynring.SweepAdversary{Name: name, New: factory})
+	}
+	grid, err := sw.Scenarios()
+	if err != nil {
+		return err
+	}
+
+	start := time.Now()
+	ch, err := sw.Stream(ctx)
+	if err != nil {
+		return err
+	}
+	var results []dynring.SweepResult
+	for r := range ch {
+		results = append(results, r)
+		if !f.jsonOut {
+			status := r.Result.Outcome.String()
+			if r.Err != nil {
+				status = "error: " + r.Err.Error()
+			}
+			fmt.Fprintf(out, "[%4d] %-60s %-16s rounds=%-7d moves=%-7d %.1fms\n",
+				r.Index, r.Scenario.Name, status, r.Result.Rounds, r.Result.TotalMoves,
+				float64(r.Wall.Microseconds())/1000)
+		}
+	}
+	cancelled := ctx.Err() != nil
+	agg := dynring.Aggregate(results)
+
+	if f.jsonOut {
+		doc := sweepJSON{Aggregate: agg, Cancelled: cancelled}
+		for _, r := range results {
+			sj := scenarioJSON{Name: r.Scenario.Name, Result: r.Result,
+				WallMS: float64(r.Wall.Microseconds()) / 1000}
+			if r.Err != nil {
+				sj.Error = r.Err.Error()
+			}
+			doc.Scenarios = append(doc.Scenarios, sj)
+		}
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		return enc.Encode(doc)
+	}
+
+	fmt.Fprintf(out, "\n%d of %d scenarios in %.1fms (workers=%d)\n",
+		len(results), len(grid), float64(time.Since(start).Microseconds())/1000,
+		sweep.Workers(sw.Workers, len(grid)))
+	if cancelled {
+		fmt.Fprintln(out, "sweep cancelled; aggregate covers finished scenarios only")
+	}
+	for _, row := range agg {
+		fmt.Fprintln(out, row)
+	}
+	return nil
+}
+
+// adversaryFactory builds the named adversary axis entry. Seeded strategies
+// consume the per-scenario seed; the rest ignore it.
+func adversaryFactory(name string, p float64, edge, pin int, actP float64) (dynring.AdversaryFactory, error) {
+	var base dynring.AdversaryFactory
 	switch name {
 	case "none":
-		return dynring.NoAdversary(), nil
+		base = dynring.Fixed(dynring.NoAdversary())
 	case "random":
-		return dynring.RandomEdges(p, seed), nil
+		base = dynring.RandomEdgesFactory(p)
 	case "greedy":
-		return dynring.GreedyBlocking(), nil
+		base = dynring.Fixed(dynring.GreedyBlocking())
 	case "frontier":
-		return dynring.FrontierGuarding(), nil
+		base = dynring.Fixed(dynring.FrontierGuarding())
 	case "pin":
-		return dynring.PinAgent(pin), nil
+		base = dynring.Fixed(dynring.PinAgent(pin))
 	case "persistent":
-		return dynring.KeepEdgeRemoved(edge), nil
+		base = dynring.Fixed(dynring.KeepEdgeRemoved(edge))
 	case "prevent":
-		return dynring.PreventMeetings(), nil
+		base = dynring.Fixed(dynring.PreventMeetings())
 	default:
 		return nil, fmt.Errorf("unknown adversary %q", name)
 	}
+	if actP < 1 {
+		return dynring.RandomActivationFactory(actP, base), nil
+	}
+	return base, nil
+}
+
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]string, 0, len(parts))
+	for _, part := range parts {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
 }
 
 func parseInts(s string) ([]int, error) {
-	if s == "" {
+	parts := splitList(s)
+	if parts == nil {
 		return nil, nil
 	}
-	parts := strings.Split(s, ",")
 	out := make([]int, 0, len(parts))
 	for _, part := range parts {
-		v, err := strconv.Atoi(strings.TrimSpace(part))
+		v, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseInt64s(s string) ([]int64, error) {
+	parts := splitList(s)
+	if parts == nil {
+		return nil, nil
+	}
+	out := make([]int64, 0, len(parts))
+	for _, part := range parts {
+		v, err := strconv.ParseInt(part, 10, 64)
 		if err != nil {
 			return nil, err
 		}
@@ -135,13 +316,13 @@ func parseInts(s string) ([]int, error) {
 }
 
 func parseOrients(s string) ([]dynring.GlobalDir, error) {
-	if s == "" {
+	parts := splitList(s)
+	if parts == nil {
 		return nil, nil
 	}
-	parts := strings.Split(s, ",")
 	out := make([]dynring.GlobalDir, 0, len(parts))
 	for _, part := range parts {
-		switch strings.TrimSpace(strings.ToLower(part)) {
+		switch strings.ToLower(part) {
 		case "cw":
 			out = append(out, dynring.CW)
 		case "ccw":

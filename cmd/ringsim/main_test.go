@@ -1,6 +1,10 @@
 package main
 
 import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
 	"testing"
 
 	"dynring"
@@ -54,26 +58,115 @@ func TestParseOrients(t *testing.T) {
 	}
 }
 
-func TestBuildAdversary(t *testing.T) {
+func TestAdversaryFactory(t *testing.T) {
 	for _, name := range []string{"none", "random", "greedy", "frontier", "pin", "persistent", "prevent"} {
-		if _, err := buildAdversary(name, 0.5, 1, 0, 0); err != nil {
-			t.Errorf("buildAdversary(%q): %v", name, err)
+		factory, err := adversaryFactory(name, 0.5, 0, 0, 1)
+		if err != nil {
+			t.Errorf("adversaryFactory(%q): %v", name, err)
+			continue
+		}
+		if factory(1) == nil {
+			t.Errorf("adversaryFactory(%q) built a nil adversary", name)
 		}
 	}
-	if _, err := buildAdversary("bogus", 0.5, 1, 0, 0); err == nil {
+	if _, err := adversaryFactory("bogus", 0.5, 0, 0, 1); err == nil {
 		t.Fatal("bogus adversary accepted")
 	}
 }
 
 func TestRunEndToEnd(t *testing.T) {
-	if err := run([]string{"-algo", "KnownNNoChirality", "-n", "8", "-landmark", "-1",
+	ctx := context.Background()
+	var out bytes.Buffer
+	if err := run(ctx, &out, []string{"-algo", "KnownNNoChirality", "-n", "8", "-landmark", "-1",
 		"-adversary", "random", "-p", "0.4", "-seed", "3"}); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"-list"}); err != nil {
+	if !strings.Contains(out.String(), "outcome:") {
+		t.Fatalf("missing outcome in output:\n%s", out.String())
+	}
+	if err := run(ctx, &out, []string{"-list"}); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"-algo", "Nope", "-n", "8"}); err == nil {
+	if err := run(ctx, &out, []string{"-algo", "Nope", "-n", "8"}); err == nil {
 		t.Fatal("unknown algorithm accepted")
+	}
+}
+
+// TestRunJSON: single-run -json output decodes into a Result.
+func TestRunJSON(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(context.Background(), &out, []string{"-algo", "KnownNNoChirality",
+		"-n", "8", "-landmark", "-1", "-adversary", "none", "-json"}); err != nil {
+		t.Fatal(err)
+	}
+	var res dynring.Result
+	if err := json.Unmarshal(out.Bytes(), &res); err != nil {
+		t.Fatalf("output is not a JSON Result: %v\n%s", err, out.String())
+	}
+	if !res.Explored {
+		t.Fatalf("unexpected result: %+v", res)
+	}
+}
+
+// TestRunSweep drives a small grid end-to-end through the CLI.
+func TestRunSweep(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(context.Background(), &out, []string{"-sweep",
+		"-algos", "KnownNNoChirality,UnconsciousExploration",
+		"-sizes", "6,8", "-seeds", "1,2", "-adversaries", "none,greedy",
+		"-landmark", "-1", "-orients", "cw,ccw", "-stop-explored"}); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "16 of 16 scenarios in") {
+		t.Fatalf("expected 16-scenario sweep summary, got:\n%s", text)
+	}
+	if !strings.Contains(text, "KnownNNoChirality") || !strings.Contains(text, "greedy") {
+		t.Fatalf("aggregate rows missing:\n%s", text)
+	}
+}
+
+// TestRunSweepDefaultAdversary: with no -adversaries axis, the sweep falls
+// back to the single -adversary flag rather than running adversary-free.
+func TestRunSweepDefaultAdversary(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(context.Background(), &out, []string{"-sweep",
+		"-algos", "KnownNNoChirality", "-sizes", "8", "-landmark", "-1",
+		"-adversary", "greedy"}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "greedy") || strings.Contains(out.String(), "static") {
+		t.Fatalf("sweep did not adopt the -adversary default:\n%s", out.String())
+	}
+	// -trace cannot silently vanish in sweep or JSON mode.
+	if err := run(context.Background(), &out, []string{"-sweep", "-trace", "-sizes", "8"}); err == nil {
+		t.Fatal("-sweep -trace accepted")
+	}
+	if err := run(context.Background(), &out, []string{"-json", "-trace"}); err == nil {
+		t.Fatal("-json -trace accepted")
+	}
+}
+
+// TestRunSweepJSON: the -sweep -json document decodes and carries one entry
+// per scenario plus aggregate rows.
+func TestRunSweepJSON(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(context.Background(), &out, []string{"-sweep",
+		"-algos", "KnownNNoChirality", "-sizes", "6,8,10", "-seeds", "5",
+		"-adversaries", "none", "-landmark", "-1", "-json"}); err != nil {
+		t.Fatal(err)
+	}
+	var doc sweepJSON
+	if err := json.Unmarshal(out.Bytes(), &doc); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, out.String())
+	}
+	if len(doc.Scenarios) != 3 || len(doc.Aggregate) != 3 {
+		t.Fatalf("got %d scenarios / %d aggregate rows, want 3/3",
+			len(doc.Scenarios), len(doc.Aggregate))
+	}
+	for _, s := range doc.Scenarios {
+		if s.Error != "" {
+			t.Fatalf("scenario %s failed: %s", s.Name, s.Error)
+		}
 	}
 }

@@ -2,13 +2,18 @@
 // figure experiments and the extension experiments, printing one verdict
 // row per claim (paper claim, concrete setup, measured outcome).
 //
+// The experiments themselves run on the public Scenario/Sweep API, so the
+// ensemble rows execute concurrently on the shared worker pool.
+//
 // Usage:
 //
 //	tables            # everything
-//	tables -only T2   # one table (T1..T4, F, X)
+//	tables -only T2   # one table (T1..T4, F, E, X)
+//	tables -json      # machine-readable rows
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -27,6 +32,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("tables", flag.ContinueOnError)
 	only := fs.String("only", "", "restrict to one group: T1, T2, T3, T4, F, E, X")
+	jsonOut := fs.Bool("json", false, "emit the rows as JSON, grouped by table")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -44,21 +50,40 @@ func run(args []string) error {
 		{key: "E", title: "Errata ablations", f: expt.Errata},
 		{key: "X", title: "Extensions", f: expt.Extensions},
 	}
+	type group struct {
+		Key   string     `json:"key"`
+		Title string     `json:"title"`
+		Rows  []expt.Row `json:"rows"`
+	}
+	var doc []group
 	failures := 0
 	for _, g := range groups {
 		if *only != "" && !strings.EqualFold(*only, g.key) {
 			continue
 		}
-		fmt.Printf("\n%s\n%s\n", g.title, strings.Repeat("=", len(g.title)))
 		rows, err := g.f()
 		if err != nil {
 			return fmt.Errorf("%s: %w", g.key, err)
 		}
 		for _, r := range rows {
-			fmt.Println(r)
 			if !r.OK {
 				failures++
 			}
+		}
+		if *jsonOut {
+			doc = append(doc, group{Key: g.key, Title: g.title, Rows: rows})
+			continue
+		}
+		fmt.Printf("\n%s\n%s\n", g.title, strings.Repeat("=", len(g.title)))
+		for _, r := range rows {
+			fmt.Println(r)
+		}
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(doc); err != nil {
+			return err
 		}
 	}
 	if failures > 0 {

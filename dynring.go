@@ -23,7 +23,6 @@ package dynring
 
 import (
 	"errors"
-	"fmt"
 
 	"dynring/internal/adversary"
 	"dynring/internal/agent"
@@ -75,12 +74,16 @@ type (
 	Algorithm = core.Spec
 )
 
-// Synchrony and transport models.
+// Synchrony and transport models. ModelDefault is the explicit "use the
+// algorithm's default regime" sentinel — it is the zero value of Model, so
+// a Config or Scenario that leaves Model unset selects the first entry of
+// the algorithm's spec.
 const (
-	FSync   = sim.FSync
-	SSyncNS = sim.SSyncNS
-	SSyncPT = sim.SSyncPT
-	SSyncET = sim.SSyncET
+	ModelDefault = sim.ModelDefault
+	FSync        = sim.FSync
+	SSyncNS      = sim.SSyncNS
+	SSyncPT      = sim.SSyncPT
+	SSyncET      = sim.SSyncET
 )
 
 // Orientation constants: an agent's private right maps to CW or CCW.
@@ -151,99 +154,45 @@ var (
 	ErrRequirement      = errors.New("dynring: configuration violates the algorithm's assumptions")
 )
 
-// Run executes one exploration run described by cfg.
-func Run(cfg Config) (Result, error) {
-	w, err := NewWorld(cfg)
-	if err != nil {
-		return Result{}, err
-	}
-	spec, _ := core.Lookup(cfg.Algorithm)
-	maxRounds := cfg.MaxRounds
-	if maxRounds <= 0 {
-		maxRounds = DefaultBudget(spec, cfg.Size)
-	}
-	return sim.Run(w, sim.RunOptions{
-		MaxRounds:        maxRounds,
+// Scenario converts the legacy single-shot configuration into the
+// Scenario/Sweep v1 form. The live adversary instance, if any, is wrapped
+// via Fixed — replaying the scenario therefore reuses that instance; build
+// new Config values (or real AdversaryFactory scenarios) for independent
+// replays of stateful adversaries.
+func (cfg Config) Scenario() Scenario {
+	s := Scenario{
+		Size:             cfg.Size,
+		Landmark:         cfg.Landmark,
+		Algorithm:        cfg.Algorithm,
+		Model:            cfg.Model,
+		UpperBound:       cfg.UpperBound,
+		ExactSize:        cfg.ExactSize,
+		Starts:           cfg.Starts,
+		Orients:          cfg.Orients,
+		MaxRounds:        cfg.MaxRounds,
 		StopWhenExplored: cfg.StopWhenExplored,
+		FairnessBound:    cfg.FairnessBound,
 		DetectCycles:     cfg.DetectCycles,
-	})
+		Observer:         cfg.Observer,
+	}
+	if cfg.Adversary != nil {
+		s.NewAdversary = Fixed(cfg.Adversary)
+	}
+	return s
+}
+
+// Run executes one exploration run described by cfg. It is a thin wrapper
+// over cfg.Scenario().Run(); new code should use Scenario (and Sweep for
+// batches) directly.
+func Run(cfg Config) (Result, error) {
+	return cfg.Scenario().Run()
 }
 
 // NewWorld validates cfg and assembles a World without running it, for
-// callers that want to drive rounds manually via World.Step.
+// callers that want to drive rounds manually via World.Step. It is a thin
+// wrapper over cfg.Scenario().NewWorld().
 func NewWorld(cfg Config) (*World, error) {
-	spec, ok := core.Lookup(cfg.Algorithm)
-	if !ok {
-		return nil, fmt.Errorf("%w: %q (known: %v)", ErrUnknownAlgorithm, cfg.Algorithm, core.Names())
-	}
-	r, err := ring.NewWithLandmark(cfg.Size, cfg.Landmark)
-	if err != nil {
-		return nil, err
-	}
-	if spec.NeedsLandmark && !r.HasLandmark() {
-		return nil, fmt.Errorf("%w: %s needs a landmark node", ErrRequirement, spec.Name)
-	}
-	starts := cfg.Starts
-	if starts == nil {
-		starts = make([]int, spec.Agents)
-		for i := range starts {
-			starts[i] = i * cfg.Size / spec.Agents
-		}
-	}
-	if len(starts) != spec.Agents {
-		return nil, fmt.Errorf("%w: %s uses %d agents, got %d starts",
-			ErrRequirement, spec.Name, spec.Agents, len(starts))
-	}
-	orients := cfg.Orients
-	if orients == nil {
-		orients = make([]GlobalDir, spec.Agents)
-		for i := range orients {
-			orients[i] = CW
-		}
-	}
-	if len(orients) != spec.Agents {
-		return nil, fmt.Errorf("%w: %s uses %d agents, got %d orientations",
-			ErrRequirement, spec.Name, spec.Agents, len(orients))
-	}
-	if spec.NeedsChirality {
-		for _, o := range orients {
-			if o != orients[0] {
-				return nil, fmt.Errorf("%w: %s assumes chirality (one common orientation)",
-					ErrRequirement, spec.Name)
-			}
-		}
-	}
-	params := core.Params{UpperBound: cfg.UpperBound, ExactSize: cfg.ExactSize}
-	if params.UpperBound == 0 {
-		params.UpperBound = cfg.Size
-	}
-	if params.ExactSize == 0 {
-		params.ExactSize = cfg.Size
-	}
-	if spec.Knowledge == core.KnowUpperBound && params.UpperBound < cfg.Size {
-		return nil, fmt.Errorf("%w: bound N=%d below ring size %d", ErrRequirement, params.UpperBound, cfg.Size)
-	}
-	if spec.Knowledge == core.KnowExactSize && params.ExactSize != cfg.Size {
-		return nil, fmt.Errorf("%w: %s needs the exact ring size", ErrRequirement, spec.Name)
-	}
-	protos, err := core.Build(spec.Name, spec.Agents, params)
-	if err != nil {
-		return nil, err
-	}
-	model := cfg.Model
-	if model == 0 {
-		model = spec.Models[0]
-	}
-	return sim.NewWorld(sim.Config{
-		Ring:          r,
-		Model:         model,
-		Starts:        starts,
-		Orients:       orients,
-		Protocols:     protos,
-		Adversary:     cfg.Adversary,
-		Observer:      cfg.Observer,
-		FairnessBound: cfg.FairnessBound,
-	})
+	return cfg.Scenario().NewWorld()
 }
 
 // DefaultBudget returns a generous round budget for the algorithm's claimed

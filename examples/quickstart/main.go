@@ -1,10 +1,14 @@
-// Quickstart: two agents with a common orientation explore a 12-node
-// dynamic ring with a landmark, while an adversary removes a random edge
-// each round. Both agents explicitly terminate in O(n) rounds
-// (LandmarkWithChirality, Theorem 6 of the paper).
+// Quickstart: one validated scenario, then a small concurrent sweep.
+//
+// First, two agents with a common orientation explore a 12-node dynamic
+// ring with a landmark while an adversary removes a random edge each round;
+// both agents explicitly terminate in O(n) rounds (LandmarkWithChirality,
+// Theorem 6 of the paper). Then the same scenario is swept across ring
+// sizes and seeds on all CPU cores, and the aggregate per size is printed.
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 
@@ -19,12 +23,19 @@ func main() {
 }
 
 func run() error {
-	res, err := dynring.Run(dynring.Config{
-		Size:      12,
-		Landmark:  0, // node 0 is observably different
-		Algorithm: "LandmarkWithChirality",
-		Adversary: dynring.RandomEdges(0.5, 2024),
-	})
+	// One scenario: validated before execution, replayable by value.
+	scenario := dynring.Scenario{
+		Size:           12,
+		Landmark:       0, // node 0 is observably different
+		Algorithm:      "LandmarkWithChirality",
+		NewAdversary:   dynring.RandomEdgesFactory(0.5),
+		AdversaryLabel: "random(0.5)",
+		Seed:           2024,
+	}
+	if err := scenario.Validate(); err != nil {
+		return err
+	}
+	res, err := scenario.Run()
 	if err != nil {
 		return err
 	}
@@ -34,6 +45,21 @@ func run() error {
 		res.Terminated, len(res.TerminatedAt), res.TerminatedAt)
 	fmt.Printf("edge traversals:        %v (total %d)\n", res.Moves, res.TotalMoves)
 	fmt.Printf("outcome:                %v after %d rounds\n", res.Outcome, res.Rounds)
+
+	// A small sweep: the same scenario across sizes × seeds, run
+	// concurrently with deterministic per-scenario seeds.
+	results, err := dynring.Sweep{
+		Base:  scenario,
+		Sizes: []int{8, 12, 16, 24},
+		Seeds: []int64{1, 2, 3, 4, 5},
+	}.Run(context.Background())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nsweep of %d scenarios (4 sizes × 5 seeds):\n", len(results))
+	for _, row := range dynring.Aggregate(results) {
+		fmt.Println(row)
+	}
 
 	fmt.Println("\navailable algorithms:")
 	for _, a := range dynring.Algorithms() {

@@ -1,0 +1,3 @@
+module dynring
+
+go 1.24

@@ -3,16 +3,16 @@ package expt
 import (
 	"fmt"
 
+	"dynring"
 	"dynring/internal/adversary"
-	"dynring/internal/agent"
 	"dynring/internal/core"
-	"dynring/internal/ring"
 )
 
 // Errata runs the ablation experiments for the transcription errata of
 // DESIGN.md: each row executes a verbatim ("literal") transcription of the
 // paper's pseudocode side by side with the repaired variant on the
-// adversarial schedule that separates them.
+// adversarial schedule that separates them. The literal variants are not in
+// the registry, so the scenarios build them through NewProtocols.
 func Errata() ([]Row, error) {
 	var rows []Row
 	for _, f := range []func() (Row, error){erratumE1Row, erratumE2Row} {
@@ -32,22 +32,24 @@ func Errata() ([]Row, error) {
 func erratumE1Row() (Row, error) {
 	const n = 8
 	run := func(mk func(int) (*core.KnownNNoChirality, error)) (explored bool, terminated int, err error) {
-		p0, err := mk(n)
-		if err != nil {
-			return false, 0, err
-		}
-		p1, err := mk(n)
-		if err != nil {
-			return false, 0, err
-		}
-		res, err := Execute(RunSpec{
-			N: n, Landmark: ring.NoLandmark,
-			Starts:    []int{1, 4},
-			Orients:   []ring.GlobalDir{ring.CW, ring.CCW},
-			Protocols: []agent.Protocol{p0, p1},
-			Adversary: adversary.TargetAgent{Agent: 0},
-			MaxRounds: 6 * n,
-		})
+		res, err := dynring.Scenario{
+			Size: n, Landmark: dynring.NoLandmark,
+			Starts:  []int{1, 4},
+			Orients: []dynring.GlobalDir{dynring.CW, dynring.CCW},
+			NewProtocols: func() ([]dynring.Protocol, error) {
+				p0, err := mk(n)
+				if err != nil {
+					return nil, err
+				}
+				p1, err := mk(n)
+				if err != nil {
+					return nil, err
+				}
+				return []dynring.Protocol{p0, p1}, nil
+			},
+			NewAdversary: dynring.Fixed(adversary.TargetAgent{Agent: 0}),
+			MaxRounds:    6 * n,
+		}.Run()
 		if err != nil {
 			return false, 0, err
 		}
@@ -77,15 +79,17 @@ func erratumE1Row() (Row, error) {
 func erratumE2Row() (Row, error) {
 	const n = 8
 	run := func(mk func() *core.UnconsciousExploration) (bool, error) {
-		res, err := Execute(RunSpec{
-			N: n, Landmark: ring.NoLandmark,
-			Starts:    []int{0, 4},
-			Orients:   chirality(2, ring.CW),
-			Protocols: []agent.Protocol{mk(), mk()},
-			Adversary: adversary.TargetAgent{Agent: 0},
-			MaxRounds: 64*n + 64,
-			StopExpl:  true,
-		})
+		res, err := dynring.Scenario{
+			Size: n, Landmark: dynring.NoLandmark,
+			Starts:  []int{0, 4},
+			Orients: chirality(2, dynring.CW),
+			NewProtocols: func() ([]dynring.Protocol, error) {
+				return []dynring.Protocol{mk(), mk()}, nil
+			},
+			NewAdversary:     dynring.Fixed(adversary.TargetAgent{Agent: 0}),
+			MaxRounds:        64*n + 64,
+			StopWhenExplored: true,
+		}.Run()
 		if err != nil {
 			return false, err
 		}

@@ -11,14 +11,19 @@
 // measured outcome, and a pass/fail verdict. cmd/tables prints them;
 // bench_test.go reports their metrics; the package tests assert every
 // verdict.
+//
+// The harness runs entirely on the public Scenario/Sweep API: single
+// constructions are dynring.Scenario values (using NewProtocols for the
+// strawman protocols and the deliberate-misuse impossibility runs), and the
+// size × adversary ensembles are dynring.Sweep grids executed on the shared
+// worker pool.
 package expt
 
 import (
+	"context"
 	"fmt"
 
-	"dynring/internal/agent"
-	"dynring/internal/ring"
-	"dynring/internal/sim"
+	"dynring"
 )
 
 // Row is one line of reproduced evaluation.
@@ -45,54 +50,24 @@ func (r Row) String() string {
 		verdict, r.ID, r.Claim, r.Setup, r.Measured)
 }
 
-// RunSpec is a declarative single-run configuration.
-type RunSpec struct {
-	N, Landmark int
-	Model       sim.Model
-	Starts      []int
-	Orients     []ring.GlobalDir
-	Protocols   []agent.Protocol
-	Adversary   sim.Adversary
-	MaxRounds   int
-	StopExpl    bool
-	Fairness    int
-	Observer    sim.Observer
-	Cycles      bool
-}
-
-// Execute runs one spec to completion.
-func Execute(spec RunSpec) (sim.Result, error) {
-	r, err := ring.NewWithLandmark(spec.N, spec.Landmark)
+// sweepAll runs a sweep grid to completion and fails on the first
+// scenario-level error; experiment rows inspect the per-run Results.
+func sweepAll(sw dynring.Sweep) ([]dynring.SweepResult, error) {
+	results, err := sw.Run(context.Background())
 	if err != nil {
-		return sim.Result{}, err
+		return nil, err
 	}
-	model := spec.Model
-	if model == 0 {
-		model = sim.FSync
+	for _, r := range results {
+		if r.Err != nil {
+			return nil, fmt.Errorf("%s: %w", r.Scenario.Name, r.Err)
+		}
 	}
-	w, err := sim.NewWorld(sim.Config{
-		Ring:          r,
-		Model:         model,
-		Starts:        spec.Starts,
-		Orients:       spec.Orients,
-		Protocols:     spec.Protocols,
-		Adversary:     spec.Adversary,
-		Observer:      spec.Observer,
-		FairnessBound: spec.Fairness,
-	})
-	if err != nil {
-		return sim.Result{}, err
-	}
-	return sim.Run(w, sim.RunOptions{
-		MaxRounds:        spec.MaxRounds,
-		StopWhenExplored: spec.StopExpl,
-		DetectCycles:     spec.Cycles,
-	})
+	return results, nil
 }
 
 // chirality returns k identical orientations.
-func chirality(k int, d ring.GlobalDir) []ring.GlobalDir {
-	out := make([]ring.GlobalDir, k)
+func chirality(k int, d dynring.GlobalDir) []dynring.GlobalDir {
+	out := make([]dynring.GlobalDir, k)
 	for i := range out {
 		out[i] = d
 	}
@@ -100,7 +75,7 @@ func chirality(k int, d ring.GlobalDir) []ring.GlobalDir {
 }
 
 // lastTermination returns the largest termination round, or -1.
-func lastTermination(res sim.Result) int {
+func lastTermination(res dynring.Result) int {
 	last := -1
 	for _, tr := range res.TerminatedAt {
 		if tr > last {
@@ -112,7 +87,7 @@ func lastTermination(res sim.Result) int {
 
 // soundTermination reports whether no agent terminated before the ring was
 // explored (the safety property shared by all terminating algorithms).
-func soundTermination(res sim.Result) bool {
+func soundTermination(res dynring.Result) bool {
 	for _, tr := range res.TerminatedAt {
 		if tr < 0 {
 			continue

@@ -3,9 +3,10 @@ package expt
 import (
 	"fmt"
 	"math/rand"
+	"strconv"
 
+	"dynring"
 	"dynring/internal/adversary"
-	"dynring/internal/agent"
 	"dynring/internal/core"
 	"dynring/internal/offline"
 	"dynring/internal/ring"
@@ -65,15 +66,15 @@ func offlineRow() (Row, error) {
 		if err != nil {
 			return Row{}, err
 		}
-		res, err := Execute(RunSpec{
-			N: n, Landmark: ring.NoLandmark,
-			Starts:    []int{0, n / 2},
-			Orients:   []ring.GlobalDir{ring.CW, ring.CCW},
-			Protocols: []agent.Protocol{core.NewUnconsciousExploration(), core.NewUnconsciousExploration()},
-			Adversary: offline.ReplaySchedule{Sched: sched},
-			MaxRounds: horizon,
-			StopExpl:  true,
-		})
+		res, err := dynring.Scenario{
+			Size: n, Landmark: dynring.NoLandmark,
+			Algorithm:        "UnconsciousExploration",
+			Starts:           []int{0, n / 2},
+			Orients:          []dynring.GlobalDir{dynring.CW, dynring.CCW},
+			NewAdversary:     dynring.Fixed(offline.ReplaySchedule{Sched: sched}),
+			MaxRounds:        horizon,
+			StopWhenExplored: true,
+		}.Run()
 		if err != nil {
 			return Row{}, err
 		}
@@ -110,45 +111,58 @@ func offlineRow() (Row, error) {
 }
 
 // randomCurveRow measures average exploration time of the unconscious
-// protocol as a function of the edge-removal probability.
+// protocol as a function of the edge-removal probability, as one sweep:
+// the density axis rides on the adversary axis, the repetition axis on the
+// seed axis.
 func randomCurveRow() (Row, error) {
 	const n = 16
 	const seeds = 10
-	avg := make(map[float64]float64)
-	for _, p := range []float64{0.2, 0.5, 0.8} {
-		total := 0
-		for s := int64(0); s < seeds; s++ {
-			res, err := Execute(RunSpec{
-				N: n, Landmark: ring.NoLandmark,
-				Starts:    []int{0, n / 2},
-				Orients:   []ring.GlobalDir{ring.CW, ring.CCW},
-				Protocols: []agent.Protocol{core.NewUnconsciousExploration(), core.NewUnconsciousExploration()},
-				Adversary: adversary.NewRandomEdge(p, 7000+s),
-				MaxRounds: 64 * n,
-				StopExpl:  true,
-			})
-			if err != nil {
-				return Row{}, err
-			}
-			if !res.Explored {
-				return Row{
-					ID: "X2", Claim: "extension: average-case exploration under random dynamics",
-					Setup:    fmt.Sprintf("n=%d p=%.1f seed=%d", n, p, s),
-					Measured: "not explored within 64n rounds",
-					OK:       false,
-				}, nil
-			}
-			total += res.ExploredRound + 1
-		}
-		avg[p] = float64(total) / seeds
+	densities := []float64{0.2, 0.5, 0.8}
+	advs := make([]dynring.SweepAdversary, 0, len(densities))
+	for _, p := range densities {
+		advs = append(advs, dynring.SweepAdversary{
+			Name: fmt.Sprintf("p%.1f", p),
+			New:  dynring.RandomEdgesFactory(p),
+		})
 	}
-	ok := avg[0.2] <= avg[0.8]*2 // denser removal should not make things faster by much
+	seedAxis := make([]int64, seeds)
+	for i := range seedAxis {
+		seedAxis[i] = 7000 + int64(i)
+	}
+	results, err := sweepAll(dynring.Sweep{
+		Base: dynring.Scenario{
+			Size: n, Landmark: dynring.NoLandmark,
+			Algorithm:        "UnconsciousExploration",
+			Orients:          []dynring.GlobalDir{dynring.CW, dynring.CCW},
+			MaxRounds:        64 * n,
+			StopWhenExplored: true,
+		},
+		Seeds:       seedAxis,
+		Adversaries: advs,
+	})
+	if err != nil {
+		return Row{}, fmt.Errorf("random curve sweep: %w", err)
+	}
+	total := make(map[string]int)
+	for _, r := range results {
+		if !r.Result.Explored {
+			return Row{
+				ID: "X2", Claim: "extension: average-case exploration under random dynamics",
+				Setup:    r.Scenario.Name,
+				Measured: "not explored within 64n rounds",
+				OK:       false,
+			}, nil
+		}
+		total[r.Scenario.AdversaryLabel] += r.Result.ExploredRound + 1
+	}
+	avg := func(label string) float64 { return float64(total[label]) / seeds }
+	ok := avg("p0.2") <= avg("p0.8")*2 // denser removal should not make things faster by much
 	return Row{
 		ID:    "X2",
 		Claim: "extension: average exploration time grows mildly with removal density",
-		Setup: fmt.Sprintf("n=%d, %d seeds per density", n, seeds),
+		Setup: fmt.Sprintf("sweep: n=%d, %d seeds per density", n, seeds),
 		Measured: fmt.Sprintf("avg rounds: p=0.2→%.1f, p=0.5→%.1f, p=0.8→%.1f",
-			avg[0.2], avg[0.5], avg[0.8]),
+			avg("p0.2"), avg("p0.5"), avg("p0.8")),
 		OK: ok,
 	}, nil
 }
@@ -160,36 +174,47 @@ func randomCurveRow() (Row, error) {
 // towards the unconstrained adversary.
 func recurrenceRow() (Row, error) {
 	const n = 24
-	rounds := make(map[int]int)
 	deltas := []int{1, 2, 4, 8, 1 << 20}
+	advs := make([]dynring.SweepAdversary, 0, len(deltas))
 	for _, delta := range deltas {
-		res, err := Execute(RunSpec{
-			N: n, Landmark: ring.NoLandmark,
-			Starts:    []int{0, 1},
-			Orients:   []ring.GlobalDir{ring.CW, ring.CCW},
-			Protocols: []agent.Protocol{core.NewUnconsciousExploration(), core.NewUnconsciousExploration()},
-			Adversary: adversary.NewBoundedBlocking(adversary.GreedyBlocker{}, delta),
-			MaxRounds: 64*n + 64,
-			StopExpl:  true,
+		advs = append(advs, dynring.SweepAdversary{
+			Name: "delta" + strconv.Itoa(delta),
+			New: func(int64) dynring.Adversary {
+				return adversary.NewBoundedBlocking(adversary.GreedyBlocker{}, delta)
+			},
 		})
-		if err != nil {
-			return Row{}, err
-		}
-		if !res.Explored {
+	}
+	results, err := sweepAll(dynring.Sweep{
+		Base: dynring.Scenario{
+			Size: n, Landmark: dynring.NoLandmark,
+			Algorithm:        "UnconsciousExploration",
+			Starts:           []int{0, 1},
+			Orients:          []dynring.GlobalDir{dynring.CW, dynring.CCW},
+			MaxRounds:        64*n + 64,
+			StopWhenExplored: true,
+		},
+		Adversaries: advs,
+	})
+	if err != nil {
+		return Row{}, fmt.Errorf("recurrence sweep: %w", err)
+	}
+	rounds := make(map[int]int)
+	for i, r := range results {
+		if !r.Result.Explored {
 			return Row{
 				ID: "X3", Claim: "extension: δ-recurrence sweep",
-				Setup:    fmt.Sprintf("n=%d δ=%d", n, delta),
+				Setup:    r.Scenario.Name,
 				Measured: "not explored within the horizon",
 				OK:       false,
 			}, nil
 		}
-		rounds[delta] = res.ExploredRound + 1
+		rounds[deltas[i]] = r.Result.ExploredRound + 1
 	}
 	ok := rounds[1] <= rounds[1<<20]
 	return Row{
 		ID:    "X3",
 		Claim: "extension: δ-recurrent dynamics — faster edge recurrence speeds up exploration",
-		Setup: fmt.Sprintf("n=%d, greedy blocker capped at δ consecutive removals", n),
+		Setup: fmt.Sprintf("sweep: n=%d, greedy blocker capped at δ consecutive removals", n),
 		Measured: fmt.Sprintf("exploration rounds: δ=1→%d, δ=2→%d, δ=4→%d, δ=8→%d, δ=∞→%d",
 			rounds[1], rounds[2], rounds[4], rounds[8], rounds[1<<20]),
 		OK: ok,
@@ -209,8 +234,8 @@ func exactWorstCaseRow() (Row, error) {
 			N: tc.n, Landmark: ring.NoLandmark,
 			Starts:  []int{0, 1},
 			Orients: []ring.GlobalDir{ring.CW, ring.CW},
-			Factory: func() ([]agent.Protocol, error) {
-				return []agent.Protocol{core.NewETUnconscious(), core.NewETUnconscious()}, nil
+			Factory: func() ([]dynring.Protocol, error) {
+				return []dynring.Protocol{core.NewETUnconscious(), core.NewETUnconscious()}, nil
 			},
 			Horizon: tc.horizon,
 		})
@@ -226,8 +251,8 @@ func exactWorstCaseRow() (Row, error) {
 		N: 4, Landmark: ring.NoLandmark,
 		Starts:  []int{0, 2},
 		Orients: []ring.GlobalDir{ring.CW, ring.CCW},
-		Factory: func() ([]agent.Protocol, error) {
-			return []agent.Protocol{core.NewETUnconscious(), core.NewETUnconscious()}, nil
+		Factory: func() ([]dynring.Protocol, error) {
+			return []dynring.Protocol{core.NewETUnconscious(), core.NewETUnconscious()}, nil
 		},
 		Horizon: 10,
 	})

@@ -3,14 +3,10 @@ package expt
 import (
 	"fmt"
 
+	"dynring"
 	"dynring/internal/adversary"
-	"dynring/internal/agent"
 	"dynring/internal/catchtree"
-	"dynring/internal/core"
 	"dynring/internal/ids"
-	"dynring/internal/ring"
-	"dynring/internal/sim"
-	"dynring/internal/trace"
 )
 
 // Figures reproduces the paper's figure experiments.
@@ -28,44 +24,34 @@ func Figures() ([]Row, error) {
 	return rows, nil
 }
 
+// figure2Scenario is the tight Figure 2 schedule against KnownNNoChirality.
+func figure2Scenario(n int) dynring.Scenario {
+	fig := adversary.Figure2{N: n}
+	return dynring.Scenario{
+		Size: n, Landmark: dynring.NoLandmark,
+		Algorithm:    "KnownNNoChirality",
+		Starts:       fig.Starts(),
+		Orients:      chirality(2, dynring.CCW),
+		NewAdversary: dynring.Fixed(fig),
+		MaxRounds:    3 * n,
+	}
+}
+
 // Figure2Diagram runs the tight schedule and renders its space–time
 // diagram; cmd/figures prints it.
 func Figure2Diagram(n int) (string, error) {
-	fig := adversary.Figure2{N: n}
-	protos, err := core.Build("KnownNNoChirality", 2, core.Params{UpperBound: n})
-	if err != nil {
+	rec := dynring.NewTrace(n)
+	sc := figure2Scenario(n)
+	sc.Observer = rec
+	if _, err := sc.Run(); err != nil {
 		return "", err
 	}
-	rec := trace.NewRecorder(n)
-	if _, err := Execute(RunSpec{
-		N: n, Landmark: ring.NoLandmark,
-		Starts:    fig.Starts(),
-		Orients:   chirality(2, ring.CCW),
-		Protocols: protos,
-		Adversary: fig,
-		MaxRounds: 3 * n,
-		Observer:  rec,
-	}); err != nil {
-		return "", err
-	}
-	return rec.RenderString(trace.RenderOptions{Landmark: ring.NoLandmark, MaxRows: 60}), nil
+	return rec.RenderString(dynring.TraceOptions{Landmark: dynring.NoLandmark, MaxRows: 60}), nil
 }
 
 func figure2Row() (Row, error) {
 	const n = 12
-	fig := adversary.Figure2{N: n}
-	protos, err := core.Build("KnownNNoChirality", 2, core.Params{UpperBound: n})
-	if err != nil {
-		return Row{}, err
-	}
-	res, err := Execute(RunSpec{
-		N: n, Landmark: ring.NoLandmark,
-		Starts:    fig.Starts(),
-		Orients:   chirality(2, ring.CCW),
-		Protocols: protos,
-		Adversary: fig,
-		MaxRounds: 3 * n,
-	})
+	res, err := figure2Scenario(n).Run()
 	if err != nil {
 		return Row{}, err
 	}
@@ -85,7 +71,7 @@ type stateScan struct {
 	seen map[string]bool
 }
 
-func (s *stateScan) ObserveRound(rec sim.RoundRecord) {
+func (s *stateScan) ObserveRound(rec dynring.RoundRecord) {
 	if s.seen == nil {
 		s.seen = make(map[string]bool)
 	}
@@ -103,18 +89,15 @@ func (s *stateScan) ObserveRound(rec sim.RoundRecord) {
 func figure6Row() (Row, error) {
 	const n = 9
 	scan := &stateScan{}
-	res, err := Execute(RunSpec{
-		N: n, Landmark: 0,
-		Starts:  []int{2, 3},
-		Orients: chirality(2, ring.CW), // private left = CCW
-		Protocols: []agent.Protocol{
-			core.NewLandmarkWithChirality(),
-			core.NewLandmarkWithChirality(),
-		},
-		Adversary: adversary.PersistentEdge{Edge: 1},
-		MaxRounds: 80 * n,
-		Observer:  scan,
-	})
+	res, err := dynring.Scenario{
+		Size: n, Landmark: 0,
+		Algorithm:    "LandmarkWithChirality",
+		Starts:       []int{2, 3},
+		Orients:      chirality(2, dynring.CW), // private left = CCW
+		NewAdversary: dynring.Fixed(adversary.PersistentEdge{Edge: 1}),
+		MaxRounds:    80 * n,
+		Observer:     scan,
+	}.Run()
 	if err != nil {
 		return Row{}, err
 	}
@@ -183,18 +166,15 @@ func figure11Row() (Row, error) {
 func figure12Row() (Row, error) {
 	const n = 7            // odd: the antipodal edge is equidistant from the landmark
 	blocked := (n - 1) / 2 // edge between nodes 3 and 4
-	res, err := Execute(RunSpec{
-		N: n, Landmark: 0,
-		Starts: []int{0, 0},
+	res, err := dynring.Scenario{
+		Size: n, Landmark: 0,
+		Algorithm: "StartFromLandmarkNoChirality",
+		Starts:    []int{0, 0},
 		// Opposite global walks: both move "left" in their own frame.
-		Orients: []ring.GlobalDir{ring.CCW, ring.CW},
-		Protocols: []agent.Protocol{
-			core.NewStartFromLandmarkNoChirality(),
-			core.NewStartFromLandmarkNoChirality(),
-		},
-		Adversary: adversary.PersistentEdge{Edge: blocked},
-		MaxRounds: 40 * n,
-	})
+		Orients:      []dynring.GlobalDir{dynring.CCW, dynring.CW},
+		NewAdversary: dynring.Fixed(adversary.PersistentEdge{Edge: blocked}),
+		MaxRounds:    40 * n,
+	}.Run()
 	if err != nil {
 		return Row{}, err
 	}

@@ -3,11 +3,20 @@ package expt
 import (
 	"fmt"
 
+	"dynring"
 	"dynring/internal/adversary"
-	"dynring/internal/agent"
-	"dynring/internal/ring"
-	"dynring/internal/sim"
 )
+
+// timers returns a protocol factory building k fresh FixedTimer agents.
+func timers(k, limit int) func() ([]dynring.Protocol, error) {
+	return func() ([]dynring.Protocol, error) {
+		out := make([]dynring.Protocol, k)
+		for i := range out {
+			out[i] = &FixedTimer{Limit: limit}
+		}
+		return out, nil
+	}
+}
 
 // Table1 reproduces the FSYNC impossibility results (Table 1 of the paper)
 // by executing the proofs' constructions.
@@ -47,17 +56,16 @@ func Table1() ([]Row, error) {
 func theorem1Row() (Row, error) {
 	const n = 6
 	timer := 24
-	mk := func() agent.Protocol { return &FixedTimer{Limit: timer} }
 
 	log := &adversary.BlockLog{}
-	resA, err := Execute(RunSpec{
-		N: n, Landmark: ring.NoLandmark,
-		Starts:    []int{0, n / 2},
-		Orients:   chirality(2, ring.CW),
-		Protocols: []agent.Protocol{mk(), mk()},
-		Adversary: &adversary.Recording{Inner: adversary.PreventMeeting{}, Log: log},
-		MaxRounds: 4 * timer,
-	})
+	resA, err := dynring.Scenario{
+		Size: n, Landmark: dynring.NoLandmark,
+		Starts:       []int{0, n / 2},
+		Orients:      chirality(2, dynring.CW),
+		NewProtocols: timers(2, timer),
+		NewAdversary: dynring.Fixed(&adversary.Recording{Inner: adversary.PreventMeeting{}, Log: log}),
+		MaxRounds:    4 * timer,
+	}.Run()
 	if err != nil {
 		return Row{}, fmt.Errorf("theorem 1 phase A: %w", err)
 	}
@@ -78,14 +86,14 @@ func theorem1Row() (Row, error) {
 	}
 
 	big := 8 * rE
-	resB, err := Execute(RunSpec{
-		N: big, Landmark: ring.NoLandmark,
-		Starts:    []int{0, 4 * rE},
-		Orients:   chirality(2, ring.CW),
-		Protocols: []agent.Protocol{mk(), mk()},
-		Adversary: &adversary.Replay{Log: log},
-		MaxRounds: rE + 2,
-	})
+	resB, err := dynring.Scenario{
+		Size: big, Landmark: dynring.NoLandmark,
+		Starts:       []int{0, 4 * rE},
+		Orients:      chirality(2, dynring.CW),
+		NewProtocols: timers(2, timer),
+		NewAdversary: dynring.Fixed(&adversary.Replay{Log: log}),
+		MaxRounds:    rE + 2,
+	}.Run()
 	if err != nil {
 		return Row{}, fmt.Errorf("theorem 1 phase B: %w", err)
 	}
@@ -108,7 +116,7 @@ func theorem1Row() (Row, error) {
 
 // countVisited estimates visited nodes from the result: the run stopped at
 // termination, so coverage is what the agents reached.
-func countVisited(res sim.Result, n int) int {
+func countVisited(res dynring.Result, n int) int {
 	// Result does not carry the visited set; derive a bound from moves:
 	// two walkers starting apart cover at most moves+2 nodes.
 	covered := res.TotalMoves + 2
@@ -131,28 +139,27 @@ func theorem2Row() (Row, error) {
 	// Enough for the k equally spaced agents to explore R(n) (each covers
 	// an interval of timer+1 ≥ n/k nodes) but leaving gaps on R(2n).
 	timer := n/k + 1
-	mk := func() agent.Protocol { return &FixedTimer{Limit: timer} }
 
 	spaced := func(size int) []int { return []int{0, size / 3, 2 * size / 3} }
-	small, err := Execute(RunSpec{
-		N: n, Landmark: ring.NoLandmark,
-		Starts:    spaced(n),
-		Orients:   chirality(k, ring.CW),
-		Protocols: []agent.Protocol{mk(), mk(), mk()},
-		Adversary: adversary.None{},
-		MaxRounds: 2 * timer,
-	})
+	small, err := dynring.Scenario{
+		Size: n, Landmark: dynring.NoLandmark,
+		Starts:       spaced(n),
+		Orients:      chirality(k, dynring.CW),
+		NewProtocols: timers(k, timer),
+		NewAdversary: dynring.Fixed(adversary.None{}),
+		MaxRounds:    2 * timer,
+	}.Run()
 	if err != nil {
 		return Row{}, err
 	}
-	big, err := Execute(RunSpec{
-		N: 2 * n, Landmark: ring.NoLandmark,
-		Starts:    spaced(2 * n),
-		Orients:   chirality(k, ring.CW),
-		Protocols: []agent.Protocol{mk(), mk(), mk()},
-		Adversary: adversary.None{},
-		MaxRounds: 2 * timer,
-	})
+	big, err := dynring.Scenario{
+		Size: 2 * n, Landmark: dynring.NoLandmark,
+		Starts:       spaced(2 * n),
+		Orients:      chirality(k, dynring.CW),
+		NewProtocols: timers(k, timer),
+		NewAdversary: dynring.Fixed(adversary.None{}),
+		MaxRounds:    2 * timer,
+	}.Run()
 	if err != nil {
 		return Row{}, err
 	}
@@ -171,14 +178,14 @@ func theorem2Row() (Row, error) {
 // Corollary 1).
 func observation1Row() (Row, error) {
 	const n = 7
-	res, err := Execute(RunSpec{
-		N: n, Landmark: ring.NoLandmark,
-		Starts:    []int{3},
-		Orients:   chirality(1, ring.CW),
-		Protocols: []agent.Protocol{&FixedTimer{Limit: 1 << 30}},
-		Adversary: adversary.TargetAgent{Agent: 0},
-		MaxRounds: 500,
-	})
+	res, err := dynring.Scenario{
+		Size: n, Landmark: dynring.NoLandmark,
+		Starts:       []int{3},
+		Orients:      chirality(1, dynring.CW),
+		NewProtocols: timers(1, 1<<30),
+		NewAdversary: dynring.Fixed(adversary.TargetAgent{Agent: 0}),
+		MaxRounds:    500,
+	}.Run()
 	if err != nil {
 		return Row{}, err
 	}
@@ -196,15 +203,15 @@ func observation1Row() (Row, error) {
 func observation2Row() (Row, error) {
 	const n = 8
 	var meet meetDetector
-	res, err := Execute(RunSpec{
-		N: n, Landmark: ring.NoLandmark,
-		Starts:    []int{0, 4},
-		Orients:   []ring.GlobalDir{ring.CW, ring.CCW},
-		Protocols: []agent.Protocol{&FixedTimer{Limit: 1 << 30}, &FixedTimer{Limit: 1 << 30}},
-		Adversary: adversary.PreventMeeting{},
-		MaxRounds: 2000,
-		Observer:  &meet,
-	})
+	res, err := dynring.Scenario{
+		Size: n, Landmark: dynring.NoLandmark,
+		Starts:       []int{0, 4},
+		Orients:      []dynring.GlobalDir{dynring.CW, dynring.CCW},
+		NewProtocols: timers(2, 1<<30),
+		NewAdversary: dynring.Fixed(adversary.PreventMeeting{}),
+		MaxRounds:    2000,
+		Observer:     &meet,
+	}.Run()
 	if err != nil {
 		return Row{}, err
 	}
@@ -222,7 +229,7 @@ type meetDetector struct {
 	meetings int
 }
 
-func (m *meetDetector) ObserveRound(rec sim.RoundRecord) {
+func (m *meetDetector) ObserveRound(rec dynring.RoundRecord) {
 	seen := make(map[int]bool, len(rec.Agents))
 	for _, a := range rec.Agents {
 		if seen[a.Node] {

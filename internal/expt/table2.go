@@ -3,22 +3,21 @@ package expt
 import (
 	"fmt"
 
+	"dynring"
 	"dynring/internal/adversary"
-	"dynring/internal/agent"
-	"dynring/internal/core"
-	"dynring/internal/ring"
-	"dynring/internal/sim"
 )
 
-// fsyncSuite is the adversary suite used for the FSYNC positive sweeps.
-func fsyncSuite(seed int64) map[string]sim.Adversary {
-	return map[string]sim.Adversary{
-		"none":       adversary.None{},
-		"random":     adversary.NewRandomEdge(0.6, seed),
-		"greedy":     adversary.GreedyBlocker{},
-		"frontier":   adversary.FrontierGuard{},
-		"target0":    adversary.TargetAgent{Agent: 0},
-		"persistent": adversary.PersistentEdge{Edge: 1},
+// fsyncSuite is the adversary axis used for the FSYNC positive sweeps:
+// stateless proof strategies plus a seeded random stressor (each scenario
+// draws a fresh instance from its derived seed).
+func fsyncSuite() []dynring.SweepAdversary {
+	return []dynring.SweepAdversary{
+		{Name: "none", New: dynring.Fixed(adversary.None{})},
+		{Name: "random", New: func(seed int64) dynring.Adversary { return adversary.NewRandomEdge(0.6, seed) }},
+		{Name: "greedy", New: dynring.Fixed(adversary.GreedyBlocker{})},
+		{Name: "frontier", New: dynring.Fixed(adversary.FrontierGuard{})},
+		{Name: "target0", New: dynring.Fixed(adversary.TargetAgent{Agent: 0})},
+		{Name: "persistent", New: dynring.Fixed(adversary.PersistentEdge{Edge: 1})},
 	}
 }
 
@@ -42,33 +41,31 @@ func Table2() ([]Row, error) {
 // knownNRow: Theorem 3 — termination at exactly 3N−6 on every schedule,
 // tight per Figure 2.
 func knownNRow() (Row, error) {
+	results, err := sweepAll(dynring.Sweep{
+		Base: dynring.Scenario{
+			Landmark:  dynring.NoLandmark,
+			Algorithm: "KnownNNoChirality",
+			Orients:   []dynring.GlobalDir{dynring.CW, dynring.CCW},
+		},
+		Sizes:       []int{8, 16, 32},
+		Seeds:       []int64{17},
+		Adversaries: fsyncSuite(),
+	})
+	if err != nil {
+		return Row{}, fmt.Errorf("knownN sweep: %w", err)
+	}
 	worstOK := true
-	for _, n := range []int{8, 16, 32} {
-		for name, adv := range fsyncSuite(17) {
-			protos, err := core.Build("KnownNNoChirality", 2, core.Params{UpperBound: n})
-			if err != nil {
-				return Row{}, err
-			}
-			res, err := Execute(RunSpec{
-				N: n, Landmark: ring.NoLandmark,
-				Starts:    []int{1, n / 2},
-				Orients:   []ring.GlobalDir{ring.CW, ring.CCW},
-				Protocols: protos,
-				Adversary: adv,
-				MaxRounds: 3 * n,
-			})
-			if err != nil {
-				return Row{}, fmt.Errorf("knownN %s n=%d: %w", name, n, err)
-			}
-			if !res.Explored || res.Terminated != 2 || lastTermination(res) != 3*n-6 || !soundTermination(res) {
-				worstOK = false
-			}
+	for _, r := range results {
+		n := r.Scenario.Size
+		res := r.Result
+		if !res.Explored || res.Terminated != 2 || lastTermination(res) != 3*n-6 || !soundTermination(res) {
+			worstOK = false
 		}
 	}
 	return Row{
 		ID:       "T2.1",
 		Claim:    "Th 3: 2 agents, known bound N, no chirality — explicit termination in exactly 3N−6 rounds",
-		Setup:    "n ∈ {8,16,32}, 6 adversaries, mixed orientations",
+		Setup:    "sweep: n ∈ {8,16,32} × 6 adversaries, mixed orientations",
 		Measured: "explored and both terminated at 3N−6 in every run",
 		OK:       worstOK,
 	}, nil
@@ -76,33 +73,33 @@ func knownNRow() (Row, error) {
 
 // landmarkChiralityRow: Theorem 6 — O(n) time with landmark and chirality.
 func landmarkChiralityRow() (Row, error) {
+	results, err := sweepAll(dynring.Sweep{
+		Base: dynring.Scenario{
+			Landmark:  0,
+			Algorithm: "LandmarkWithChirality",
+		},
+		Sizes:       []int{16, 32, 64, 128},
+		Seeds:       []int64{19},
+		Adversaries: fsyncSuite(),
+	})
+	if err != nil {
+		return Row{}, fmt.Errorf("landmark-chirality sweep: %w", err)
+	}
 	worst := 0.0
 	allOK := true
-	for _, n := range []int{16, 32, 64, 128} {
-		for name, adv := range fsyncSuite(19) {
-			res, err := Execute(RunSpec{
-				N: n, Landmark: 0,
-				Starts:    []int{2, n/2 + 2},
-				Orients:   chirality(2, ring.CW),
-				Protocols: []agent.Protocol{core.NewLandmarkWithChirality(), core.NewLandmarkWithChirality()},
-				Adversary: adv,
-				MaxRounds: 80*n + 200,
-			})
-			if err != nil {
-				return Row{}, fmt.Errorf("landmark-chirality %s n=%d: %w", name, n, err)
-			}
-			if res.Terminated != 2 || !res.Explored || !soundTermination(res) {
-				allOK = false
-			}
-			if ratio := float64(lastTermination(res)) / float64(n); ratio > worst {
-				worst = ratio
-			}
+	for _, r := range results {
+		res := r.Result
+		if res.Terminated != 2 || !res.Explored || !soundTermination(res) {
+			allOK = false
+		}
+		if ratio := float64(lastTermination(res)) / float64(r.Scenario.Size); ratio > worst {
+			worst = ratio
 		}
 	}
 	return Row{
 		ID:       "T2.2",
 		Claim:    "Th 6: 2 agents, landmark + chirality — explicit termination in O(n)",
-		Setup:    "n ∈ {16..128}, 6 adversaries",
+		Setup:    "sweep: n ∈ {16..128} × 6 adversaries",
 		Measured: fmt.Sprintf("all runs explored and fully terminated; worst rounds/n = %.1f (bounded constant)", worst),
 		OK:       allOK && worst < 50,
 	}, nil
@@ -110,34 +107,36 @@ func landmarkChiralityRow() (Row, error) {
 
 // landmarkNoChiralityRow: Theorems 7/8 — O(n log n) without chirality.
 func landmarkNoChiralityRow() (Row, error) {
+	results, err := sweepAll(dynring.Sweep{
+		Base: dynring.Scenario{
+			Landmark:  3,
+			Algorithm: "LandmarkNoChirality",
+			Orients:   []dynring.GlobalDir{dynring.CW, dynring.CCW},
+		},
+		Sizes:       []int{8, 16, 32},
+		Seeds:       []int64{23},
+		Adversaries: fsyncSuite(),
+	})
+	if err != nil {
+		return Row{}, fmt.Errorf("landmark-nochirality sweep: %w", err)
+	}
 	worst := 0.0
 	allOK := true
-	for _, n := range []int{8, 16, 32} {
-		for name, adv := range fsyncSuite(23) {
-			res, err := Execute(RunSpec{
-				N: n, Landmark: 3 % n,
-				Starts:    []int{0, 2 * n / 3},
-				Orients:   []ring.GlobalDir{ring.CW, ring.CCW},
-				Protocols: []agent.Protocol{core.NewLandmarkNoChirality(), core.NewLandmarkNoChirality()},
-				Adversary: adv,
-				MaxRounds: 6000*n + 5000,
-			})
-			if err != nil {
-				return Row{}, fmt.Errorf("landmark-nochirality %s n=%d: %w", name, n, err)
-			}
-			if res.Terminated != 2 || !res.Explored || !soundTermination(res) {
-				allOK = false
-			}
-			denom := float64(n * ceilLog2(n))
-			if ratio := float64(lastTermination(res)) / denom; ratio > worst {
-				worst = ratio
-			}
+	for _, r := range results {
+		res := r.Result
+		n := r.Scenario.Size
+		if res.Terminated != 2 || !res.Explored || !soundTermination(res) {
+			allOK = false
+		}
+		denom := float64(n * ceilLog2(n))
+		if ratio := float64(lastTermination(res)) / denom; ratio > worst {
+			worst = ratio
 		}
 	}
 	return Row{
 		ID:       "T2.3",
 		Claim:    "Th 8: 2 agents, landmark, no chirality — explicit termination in O(n log n)",
-		Setup:    "n ∈ {8,16,32}, 6 adversaries, opposite orientations",
+		Setup:    "sweep: n ∈ {8,16,32} × 6 adversaries, opposite orientations",
 		Measured: fmt.Sprintf("all runs explored and fully terminated; worst rounds/(n·⌈log n⌉) = %.1f", worst),
 		OK:       allOK && worst < 3000,
 	}, nil
@@ -146,34 +145,35 @@ func landmarkNoChiralityRow() (Row, error) {
 // unconsciousRow: Theorem 5 — O(n) unconscious exploration with no
 // knowledge.
 func unconsciousRow() (Row, error) {
+	results, err := sweepAll(dynring.Sweep{
+		Base: dynring.Scenario{
+			Landmark:         dynring.NoLandmark,
+			Algorithm:        "UnconsciousExploration",
+			Orients:          []dynring.GlobalDir{dynring.CW, dynring.CCW},
+			StopWhenExplored: true,
+		},
+		Sizes:       []int{8, 16, 32, 64},
+		Seeds:       []int64{29},
+		Adversaries: fsyncSuite(),
+	})
+	if err != nil {
+		return Row{}, fmt.Errorf("unconscious sweep: %w", err)
+	}
 	worst := 0.0
 	allOK := true
-	for _, n := range []int{8, 16, 32, 64} {
-		for name, adv := range fsyncSuite(29) {
-			res, err := Execute(RunSpec{
-				N: n, Landmark: ring.NoLandmark,
-				Starts:    []int{0, 1},
-				Orients:   []ring.GlobalDir{ring.CW, ring.CCW},
-				Protocols: []agent.Protocol{core.NewUnconsciousExploration(), core.NewUnconsciousExploration()},
-				Adversary: adv,
-				MaxRounds: 64*n + 64,
-				StopExpl:  true,
-			})
-			if err != nil {
-				return Row{}, fmt.Errorf("unconscious %s n=%d: %w", name, n, err)
-			}
-			if !res.Explored || res.Terminated != 0 {
-				allOK = false
-			}
-			if ratio := float64(res.ExploredRound) / float64(n); ratio > worst {
-				worst = ratio
-			}
+	for _, r := range results {
+		res := r.Result
+		if !res.Explored || res.Terminated != 0 {
+			allOK = false
+		}
+		if ratio := float64(res.ExploredRound) / float64(r.Scenario.Size); ratio > worst {
+			worst = ratio
 		}
 	}
 	return Row{
 		ID:       "T2.4",
 		Claim:    "Th 5: 2 agents, no knowledge, no chirality — unconscious exploration in O(n)",
-		Setup:    "n ∈ {8..64}, 6 adversaries",
+		Setup:    "sweep: n ∈ {8..64} × 6 adversaries",
 		Measured: fmt.Sprintf("always explored, never terminated; worst explored-round/n = %.1f", worst),
 		OK:       allOK && worst < 40,
 	}, nil
@@ -185,18 +185,14 @@ func unconsciousRow() (Row, error) {
 func lowerBound2nRow() (Row, error) {
 	const n = 24
 	fig := adversary.Figure2{N: n}
-	protos, err := core.Build("KnownNNoChirality", 2, core.Params{UpperBound: n})
-	if err != nil {
-		return Row{}, err
-	}
-	res, err := Execute(RunSpec{
-		N: n, Landmark: ring.NoLandmark,
-		Starts:    fig.Starts(),
-		Orients:   chirality(2, ring.CCW),
-		Protocols: protos,
-		Adversary: fig,
-		MaxRounds: 3 * n,
-	})
+	res, err := dynring.Scenario{
+		Size: n, Landmark: dynring.NoLandmark,
+		Algorithm:    "KnownNNoChirality",
+		Starts:       fig.Starts(),
+		Orients:      chirality(2, dynring.CCW),
+		NewAdversary: dynring.Fixed(fig),
+		MaxRounds:    3 * n,
+	}.Run()
 	if err != nil {
 		return Row{}, err
 	}
@@ -217,19 +213,18 @@ func lowerBound2nRow() (Row, error) {
 func theorem4Row() (Row, error) {
 	const bigN = 16
 	timer := bigN - 3
-	mk := func() agent.Protocol { return &FixedTimer{Limit: timer} }
 	// The timer explores every ring up to size timer+1 from adjacent
 	// starts, but not R(bigN).
 	smallOK := true
 	for n := 3; n <= timer+1; n++ {
-		res, err := Execute(RunSpec{
-			N: n, Landmark: ring.NoLandmark,
-			Starts:    []int{0, 1},
-			Orients:   chirality(2, ring.CW),
-			Protocols: []agent.Protocol{mk(), mk()},
-			Adversary: adversary.None{},
-			MaxRounds: 2 * bigN,
-		})
+		res, err := dynring.Scenario{
+			Size: n, Landmark: dynring.NoLandmark,
+			Starts:       []int{0, 1},
+			Orients:      chirality(2, dynring.CW),
+			NewProtocols: timers(2, timer),
+			NewAdversary: dynring.Fixed(adversary.None{}),
+			MaxRounds:    2 * bigN,
+		}.Run()
 		if err != nil {
 			return Row{}, err
 		}
@@ -237,14 +232,14 @@ func theorem4Row() (Row, error) {
 			smallOK = false
 		}
 	}
-	big, err := Execute(RunSpec{
-		N: bigN, Landmark: ring.NoLandmark,
-		Starts:    []int{0, 1},
-		Orients:   chirality(2, ring.CW),
-		Protocols: []agent.Protocol{mk(), mk()},
-		Adversary: adversary.None{},
-		MaxRounds: 2 * bigN,
-	})
+	big, err := dynring.Scenario{
+		Size: bigN, Landmark: dynring.NoLandmark,
+		Starts:       []int{0, 1},
+		Orients:      chirality(2, dynring.CW),
+		NewProtocols: timers(2, timer),
+		NewAdversary: dynring.Fixed(adversary.None{}),
+		MaxRounds:    2 * bigN,
+	}.Run()
 	if err != nil {
 		return Row{}, err
 	}

@@ -3,16 +3,16 @@ package expt
 import (
 	"fmt"
 
+	"dynring"
 	"dynring/internal/adversary"
-	"dynring/internal/agent"
 	"dynring/internal/core"
-	"dynring/internal/ring"
-	"dynring/internal/sim"
 )
 
 // Table3 reproduces the SSYNC impossibility results (Table 3 of the paper)
 // by executing the proofs' adversaries against the paper's own algorithms
-// deprived of the assumption each theorem removes.
+// deprived of the assumption each theorem removes. The misuse runs build
+// their protocols through NewProtocols: Scenario.Validate would (rightly)
+// reject the violated assumption on the registry path.
 func Table3() ([]Row, error) {
 	var rows []Row
 	for _, f := range []func() (Row, error){
@@ -32,25 +32,21 @@ func Table3() ([]Row, error) {
 // forever with zero progress.
 func theorem9Row() (Row, error) {
 	const n = 9
-	protos, err := core.Build("PTBoundNoChirality", 3, core.Params{UpperBound: n})
+	res, err := dynring.Scenario{
+		Size: n, Landmark: dynring.NoLandmark,
+		Algorithm:     "PTBoundNoChirality",
+		Model:         dynring.SSyncNS,
+		Starts:        []int{0, 3, 6},
+		Orients:       []dynring.GlobalDir{dynring.CW, dynring.CCW, dynring.CW},
+		NewAdversary:  func(int64) dynring.Adversary { return adversary.NewNSStarvation() },
+		MaxRounds:     5000,
+		DetectCycles:  true,
+		FairnessBound: 1 << 20, // the NS scheduler is fair by construction
+	}.Run()
 	if err != nil {
 		return Row{}, err
 	}
-	res, err := Execute(RunSpec{
-		N: n, Landmark: ring.NoLandmark,
-		Model:     sim.SSyncNS,
-		Starts:    []int{0, 3, 6},
-		Orients:   []ring.GlobalDir{ring.CW, ring.CCW, ring.CW},
-		Protocols: protos,
-		Adversary: adversary.NewNSStarvation(),
-		MaxRounds: 5000,
-		Cycles:    true,
-		Fairness:  1 << 20, // the NS scheduler is fair by construction
-	})
-	if err != nil {
-		return Row{}, err
-	}
-	ok := !res.Explored && res.TotalMoves == 0 && res.Outcome == sim.OutcomeCycle
+	ok := !res.Explored && res.TotalMoves == 0 && res.Outcome == dynring.OutcomeCycle
 	return Row{
 		ID:    "T3.1",
 		Claim: "Th 9: NS model — exploration impossible with any number of agents",
@@ -65,21 +61,20 @@ func theorem9Row() (Row, error) {
 // strategy confines both agents forever.
 func theorem10Row() (Row, error) {
 	const n = 8
-	protos, err := core.Build("PTBoundWithChirality", 2, core.Params{UpperBound: n})
-	if err != nil {
-		return Row{}, err
-	}
-	res, err := Execute(RunSpec{
-		N: n, Landmark: ring.NoLandmark,
-		Model:  sim.SSyncPT,
+	res, err := dynring.Scenario{
+		Size: n, Landmark: dynring.NoLandmark,
+		Model:  dynring.SSyncPT,
 		Starts: []int{2, 3},
-		// Opposite orientations: the chirality assumption is removed.
-		Orients:   []ring.GlobalDir{ring.CW, ring.CCW},
-		Protocols: protos,
-		Adversary: adversary.NewAlternation(8),
-		MaxRounds: 20000,
-		Fairness:  1 << 20, // alternation activates one agent at a time
-	})
+		// Opposite orientations: the chirality assumption is removed, so
+		// the protocols are built directly, bypassing the registry check.
+		Orients: []dynring.GlobalDir{dynring.CW, dynring.CCW},
+		NewProtocols: func() ([]dynring.Protocol, error) {
+			return core.Build("PTBoundWithChirality", 2, core.Params{UpperBound: n})
+		},
+		NewAdversary:  func(int64) dynring.Adversary { return adversary.NewAlternation(8) },
+		MaxRounds:     20000,
+		FairnessBound: 1 << 20, // alternation activates one agent at a time
+	}.Run()
 	if err != nil {
 		return Row{}, err
 	}
@@ -99,19 +94,15 @@ func theorem10Row() (Row, error) {
 // deliver exactly their guarantee: one terminator, one perpetual waiter.
 func theorem11Row() (Row, error) {
 	const n = 9
-	protos, err := core.Build("PTBoundWithChirality", 2, core.Params{UpperBound: n})
-	if err != nil {
-		return Row{}, err
-	}
-	res, err := Execute(RunSpec{
-		N: n, Landmark: ring.NoLandmark,
-		Model:     sim.SSyncPT,
-		Starts:    []int{2, 6},
-		Orients:   chirality(2, ring.CW),
-		Protocols: protos,
-		Adversary: adversary.PersistentEdge{Edge: 0},
-		MaxRounds: 60000,
-	})
+	res, err := dynring.Scenario{
+		Size: n, Landmark: dynring.NoLandmark,
+		Algorithm:    "PTBoundWithChirality",
+		Model:        dynring.SSyncPT,
+		Starts:       []int{2, 6},
+		Orients:      chirality(2, dynring.CW),
+		NewAdversary: dynring.Fixed(adversary.PersistentEdge{Edge: 0}),
+		MaxRounds:    60000,
+	}.Run()
 	if err != nil {
 		return Row{}, err
 	}
@@ -132,43 +123,30 @@ func theorem11Row() (Row, error) {
 func theorem19Row() (Row, error) {
 	const n = 6
 	const big = 8
-	mk := func() ([]agent.Protocol, error) {
-		// The ET algorithm *requires* exact n; feeding it n as if exact
-		// while the adversary may pick a larger ring is precisely the
-		// misuse Theorem 19 proves fatal.
+	// The ET algorithm *requires* exact n; feeding it n as if exact while
+	// the adversary may pick a larger ring is precisely the misuse
+	// Theorem 19 proves fatal — hence NewProtocols, which skips the
+	// exact-size validation a registry scenario would enforce.
+	mk := func() ([]dynring.Protocol, error) {
 		return core.Build("ETBoundNoChirality", 3, core.Params{ExactSize: n})
 	}
-	protosA, err := mk()
+	run := func(size int) (dynring.Result, error) {
+		return dynring.Scenario{
+			Size: size, Landmark: dynring.NoLandmark,
+			Model:         dynring.SSyncET,
+			Starts:        []int{0, 2, 4},
+			Orients:       []dynring.GlobalDir{dynring.CW, dynring.CCW, dynring.CW},
+			NewProtocols:  mk,
+			NewAdversary:  func(int64) dynring.Adversary { return adversary.NewSegmentConfine(0, n-1) },
+			MaxRounds:     60000,
+			FairnessBound: 1 << 20,
+		}.Run()
+	}
+	resA, err := run(n)
 	if err != nil {
 		return Row{}, err
 	}
-	resA, err := Execute(RunSpec{
-		N: n, Landmark: ring.NoLandmark,
-		Model:     sim.SSyncET,
-		Starts:    []int{0, 2, 4},
-		Orients:   []ring.GlobalDir{ring.CW, ring.CCW, ring.CW},
-		Protocols: protosA,
-		Adversary: adversary.NewSegmentConfine(0, n-1),
-		MaxRounds: 60000,
-		Fairness:  1 << 20,
-	})
-	if err != nil {
-		return Row{}, err
-	}
-	protosB, err := mk()
-	if err != nil {
-		return Row{}, err
-	}
-	resB, err := Execute(RunSpec{
-		N: big, Landmark: ring.NoLandmark,
-		Model:     sim.SSyncET,
-		Starts:    []int{0, 2, 4},
-		Orients:   []ring.GlobalDir{ring.CW, ring.CCW, ring.CW},
-		Protocols: protosB,
-		Adversary: adversary.NewSegmentConfine(0, n-1),
-		MaxRounds: 60000,
-		Fairness:  1 << 20,
-	})
+	resB, err := run(big)
 	if err != nil {
 		return Row{}, err
 	}

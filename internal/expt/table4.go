@@ -3,11 +3,8 @@ package expt
 import (
 	"fmt"
 
+	"dynring"
 	"dynring/internal/adversary"
-	"dynring/internal/agent"
-	"dynring/internal/core"
-	"dynring/internal/ring"
-	"dynring/internal/sim"
 )
 
 // Table4 reproduces the SSYNC possibility results (Table 4 of the paper):
@@ -28,53 +25,51 @@ func Table4() ([]Row, error) {
 	return rows, nil
 }
 
-// ptSweep runs a two- or three-agent PT protocol across sizes and a small
+// ptSuite is the adversary axis for the PT sweeps: worst-case proof
+// strategies plus seeded random stress (edge removal and sleepy schedules).
+func ptSuite() []dynring.SweepAdversary {
+	return []dynring.SweepAdversary{
+		{Name: "frontier", New: dynring.Fixed(adversary.FrontierGuard{})},
+		{Name: "greedy", New: dynring.Fixed(adversary.GreedyBlocker{})},
+		{Name: "random", New: func(seed int64) dynring.Adversary {
+			return adversary.NewRandomActivation(0.6, seed, adversary.NewRandomEdge(0.5, seed+13))
+		}},
+		{Name: "sleepy", New: func(seed int64) dynring.Adversary {
+			return adversary.NewRandomActivation(0.5, seed+29, nil)
+		}},
+	}
+}
+
+// ptSweep runs a two- or three-agent PT protocol across sizes and the PT
 // adversary suite, returning the worst moves/bound² ratio.
 func ptSweep(name string, agents int, landmark bool, sizes []int) (worst float64, allOK bool, err error) {
+	base := dynring.Scenario{
+		Algorithm: name,
+		Landmark:  dynring.NoLandmark,
+	}
+	if landmark {
+		base.Landmark = 0
+	}
+	if agents == 3 {
+		base.Orients = []dynring.GlobalDir{dynring.CW, dynring.CCW, dynring.CW}
+	}
+	results, err := sweepAll(dynring.Sweep{
+		Base:        base,
+		Sizes:       sizes,
+		Adversaries: ptSuite(),
+	})
+	if err != nil {
+		return 0, false, fmt.Errorf("%s sweep: %w", name, err)
+	}
 	allOK = true
-	for _, n := range sizes {
-		params := core.Params{}
-		lm := ring.NoLandmark
-		if landmark {
-			lm = 0
-		} else {
-			params.UpperBound = n
+	for _, r := range results {
+		res := r.Result
+		n := r.Scenario.Size
+		if !res.Explored || res.Terminated < 1 || !soundTermination(res) {
+			allOK = false
 		}
-		advs := map[string]sim.Adversary{
-			"frontier": adversary.FrontierGuard{},
-			"greedy":   adversary.GreedyBlocker{},
-			"random":   adversary.NewRandomActivation(0.6, int64(n), adversary.NewRandomEdge(0.5, int64(n)+13)),
-			"sleepy":   adversary.NewRandomActivation(0.5, int64(n)+29, nil),
-		}
-		for advName, adv := range advs {
-			protos, buildErr := core.Build(name, agents, params)
-			if buildErr != nil {
-				return 0, false, buildErr
-			}
-			starts := []int{0, n / 2}
-			orients := chirality(2, ring.CW)
-			if agents == 3 {
-				starts = []int{0, n / 3, 2 * n / 3}
-				orients = []ring.GlobalDir{ring.CW, ring.CCW, ring.CW}
-			}
-			res, runErr := Execute(RunSpec{
-				N: n, Landmark: lm,
-				Model:     sim.SSyncPT,
-				Starts:    starts,
-				Orients:   orients,
-				Protocols: protos,
-				Adversary: adv,
-				MaxRounds: 600*n*n + 6000,
-			})
-			if runErr != nil {
-				return 0, false, fmt.Errorf("%s %s n=%d: %w", name, advName, n, runErr)
-			}
-			if !res.Explored || res.Terminated < 1 || !soundTermination(res) {
-				allOK = false
-			}
-			if ratio := float64(res.TotalMoves) / float64(n*n); ratio > worst {
-				worst = ratio
-			}
+		if ratio := float64(res.TotalMoves) / float64(n*n); ratio > worst {
+			worst = ratio
 		}
 	}
 	return worst, allOK, nil
@@ -88,7 +83,7 @@ func ptBoundRow() (Row, error) {
 	return Row{
 		ID:       "T4.1",
 		Claim:    "Th 12: PT, 2 agents, chirality + bound N — partial termination in O(N²) moves",
-		Setup:    "N=n ∈ {8,16,32}, 4 adversaries (frontier/greedy/random/sleepy)",
+		Setup:    "sweep: N=n ∈ {8,16,32} × 4 adversaries (frontier/greedy/random/sleepy)",
 		Measured: fmt.Sprintf("all runs explored with ≥1 terminator; worst moves/N² = %.2f", worst),
 		OK:       ok && worst < 20,
 	}, nil
@@ -102,7 +97,7 @@ func ptLandmarkRow() (Row, error) {
 	return Row{
 		ID:       "T4.2",
 		Claim:    "Th 14: PT, 2 agents, chirality + landmark — partial termination in O(n²) moves",
-		Setup:    "n ∈ {8,16,32}, 4 adversaries",
+		Setup:    "sweep: n ∈ {8,16,32} × 4 adversaries",
 		Measured: fmt.Sprintf("all runs explored with ≥1 terminator; worst moves/n² = %.2f", worst),
 		OK:       ok && worst < 20,
 	}, nil
@@ -116,7 +111,7 @@ func pt3BoundRow() (Row, error) {
 	return Row{
 		ID:       "T4.3",
 		Claim:    "Th 16: PT, 3 agents, bound N, no chirality — partial termination in O(N²) moves",
-		Setup:    "N=n ∈ {9,18}, 4 adversaries, mixed orientations",
+		Setup:    "sweep: N=n ∈ {9,18} × 4 adversaries, mixed orientations",
 		Measured: fmt.Sprintf("all runs explored with ≥1 terminator; worst moves/N² = %.2f", worst),
 		OK:       ok && worst < 20,
 	}, nil
@@ -130,84 +125,82 @@ func pt3LandmarkRow() (Row, error) {
 	return Row{
 		ID:       "T4.4",
 		Claim:    "Th 17: PT, 3 agents, landmark, no chirality — partial termination in O(n²) moves",
-		Setup:    "n ∈ {9,18}, 4 adversaries, mixed orientations",
+		Setup:    "sweep: n ∈ {9,18} × 4 adversaries, mixed orientations",
 		Measured: fmt.Sprintf("all runs explored with ≥1 terminator; worst moves/n² = %.2f", worst),
 		OK:       ok && worst < 20,
 	}, nil
 }
 
 func etUnconsciousRow() (Row, error) {
+	results, err := sweepAll(dynring.Sweep{
+		Base: dynring.Scenario{
+			Landmark:         dynring.NoLandmark,
+			Algorithm:        "ETUnconscious",
+			StopWhenExplored: true,
+			MaxRounds:        2000*32 + 4000, // the n=32 budget, for every size
+		},
+		Sizes: []int{8, 16, 32},
+		Adversaries: []dynring.SweepAdversary{
+			{Name: "greedy", New: dynring.Fixed(adversary.GreedyBlocker{})},
+			{Name: "sleepy", New: func(seed int64) dynring.Adversary {
+				return adversary.NewRandomActivation(0.5, seed+3, adversary.NewRandomEdge(0.4, seed+5))
+			}},
+		},
+	})
+	if err != nil {
+		return Row{}, fmt.Errorf("et-unconscious sweep: %w", err)
+	}
 	allOK := true
 	worst := 0.0
-	for _, n := range []int{8, 16, 32} {
-		for name, adv := range map[string]sim.Adversary{
-			"greedy": adversary.GreedyBlocker{},
-			"sleepy": adversary.NewRandomActivation(0.5, int64(n)+3, adversary.NewRandomEdge(0.4, int64(n)+5)),
-		} {
-			res, err := Execute(RunSpec{
-				N: n, Landmark: ring.NoLandmark,
-				Model:     sim.SSyncET,
-				Starts:    []int{0, n / 2},
-				Orients:   chirality(2, ring.CW),
-				Protocols: []agent.Protocol{core.NewETUnconscious(), core.NewETUnconscious()},
-				Adversary: adv,
-				MaxRounds: 2000*n + 4000,
-				StopExpl:  true,
-			})
-			if err != nil {
-				return Row{}, fmt.Errorf("et-unconscious %s n=%d: %w", name, n, err)
-			}
-			if !res.Explored || res.Terminated != 0 {
-				allOK = false
-			}
-			if ratio := float64(res.ExploredRound) / float64(n); ratio > worst {
-				worst = ratio
-			}
+	for _, r := range results {
+		res := r.Result
+		if !res.Explored || res.Terminated != 0 {
+			allOK = false
+		}
+		if ratio := float64(res.ExploredRound) / float64(r.Scenario.Size); ratio > worst {
+			worst = ratio
 		}
 	}
 	return Row{
 		ID:       "T4.5",
 		Claim:    "Th 18: ET, 2 agents, chirality — unconscious exploration",
-		Setup:    "n ∈ {8,16,32}, greedy + random sleepy schedules",
+		Setup:    "sweep: n ∈ {8,16,32} × {greedy, random sleepy} schedules",
 		Measured: fmt.Sprintf("always explored without terminating; worst explored-round/n = %.1f", worst),
 		OK:       allOK,
 	}, nil
 }
 
 func etBoundRow() (Row, error) {
+	results, err := sweepAll(dynring.Sweep{
+		Base: dynring.Scenario{
+			Landmark:  dynring.NoLandmark,
+			Algorithm: "ETBoundNoChirality",
+			Orients:   []dynring.GlobalDir{dynring.CW, dynring.CCW, dynring.CCW},
+		},
+		Sizes: []int{6, 9, 12},
+		Adversaries: []dynring.SweepAdversary{
+			{Name: "greedy", New: dynring.Fixed(adversary.GreedyBlocker{})},
+			{Name: "frontier", New: dynring.Fixed(adversary.FrontierGuard{})},
+			{Name: "persistent", New: dynring.Fixed(adversary.PersistentEdge{Edge: 2})},
+			{Name: "sleepy", New: func(seed int64) dynring.Adversary {
+				return adversary.NewRandomActivation(0.6, seed+7, adversary.NewRandomEdge(0.4, seed+11))
+			}},
+		},
+	})
+	if err != nil {
+		return Row{}, fmt.Errorf("et-bound sweep: %w", err)
+	}
 	allOK := true
-	for _, n := range []int{6, 9, 12} {
-		for name, adv := range map[string]sim.Adversary{
-			"greedy":     adversary.GreedyBlocker{},
-			"frontier":   adversary.FrontierGuard{},
-			"persistent": adversary.PersistentEdge{Edge: 2},
-			"sleepy":     adversary.NewRandomActivation(0.6, int64(n)+7, adversary.NewRandomEdge(0.4, int64(n)+11)),
-		} {
-			protos, err := core.Build("ETBoundNoChirality", 3, core.Params{ExactSize: n})
-			if err != nil {
-				return Row{}, err
-			}
-			res, err := Execute(RunSpec{
-				N: n, Landmark: ring.NoLandmark,
-				Model:     sim.SSyncET,
-				Starts:    []int{0, n / 3, 2 * n / 3},
-				Orients:   []ring.GlobalDir{ring.CW, ring.CCW, ring.CCW},
-				Protocols: protos,
-				Adversary: adv,
-				MaxRounds: 900*n*n + 9000,
-			})
-			if err != nil {
-				return Row{}, fmt.Errorf("et-bound %s n=%d: %w", name, n, err)
-			}
-			if !res.Explored || res.Terminated < 1 || !soundTermination(res) {
-				allOK = false
-			}
+	for _, r := range results {
+		res := r.Result
+		if !res.Explored || res.Terminated < 1 || !soundTermination(res) {
+			allOK = false
 		}
 	}
 	return Row{
 		ID:       "T4.6",
 		Claim:    "Th 20: ET, 3 agents, exact n, no chirality — partial termination",
-		Setup:    "n ∈ {6,9,12}, 4 adversaries, mixed orientations",
+		Setup:    "sweep: n ∈ {6,9,12} × 4 adversaries, mixed orientations",
 		Measured: "all runs explored with ≥1 terminator, terminations sound",
 		OK:       allOK,
 	}, nil
@@ -218,25 +211,25 @@ func etBoundRow() (Row, error) {
 // zero while moves/N stays unbounded (quadratic growth, Figure 15's
 // growing δ).
 func moveLowerBoundRow() (Row, error) {
+	results, err := sweepAll(dynring.Sweep{
+		Base: dynring.Scenario{
+			Landmark:  dynring.NoLandmark,
+			Algorithm: "PTBoundWithChirality",
+			Starts:    []int{0, 1},
+		},
+		Sizes: []int{8, 16, 32, 64},
+		Adversaries: []dynring.SweepAdversary{
+			{Name: "frontier", New: dynring.Fixed(adversary.FrontierGuard{})},
+		},
+	})
+	if err != nil {
+		return Row{}, fmt.Errorf("move lower bound sweep: %w", err)
+	}
 	ratios := make(map[int]float64)
 	moves := make(map[int]int)
-	for _, n := range []int{8, 16, 32, 64} {
-		protos, err := core.Build("PTBoundWithChirality", 2, core.Params{UpperBound: n})
-		if err != nil {
-			return Row{}, err
-		}
-		res, err := Execute(RunSpec{
-			N: n, Landmark: ring.NoLandmark,
-			Model:     sim.SSyncPT,
-			Starts:    []int{0, 1},
-			Orients:   chirality(2, ring.CW),
-			Protocols: protos,
-			Adversary: adversary.FrontierGuard{},
-			MaxRounds: 400 * n * n,
-		})
-		if err != nil {
-			return Row{}, err
-		}
+	for _, r := range results {
+		res := r.Result
+		n := r.Scenario.Size
 		if !res.Explored || res.Terminated < 1 {
 			return Row{
 				ID:       "T4.7",
@@ -259,7 +252,7 @@ func moveLowerBoundRow() (Row, error) {
 	return Row{
 		ID:    "T4.7",
 		Claim: "Th 13/15: any PT exploration needs Ω(N·n) edge traversals (Figure 15/16 dynamics)",
-		Setup: "FrontierGuard adversary vs PTBoundWithChirality, N=n ∈ {8..64}",
+		Setup: "sweep: FrontierGuard adversary vs PTBoundWithChirality, N=n ∈ {8..64}",
 		Measured: fmt.Sprintf("moves: %v; moves/n² ∈ [%.2f, %.2f] — quadratic shape with bounded constant",
 			moves, minVal(ratios), maxVal(ratios)),
 		OK: quadratic && bounded,

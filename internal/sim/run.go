@@ -1,6 +1,9 @@
 package sim
 
-import "fmt"
+import (
+	"context"
+	"fmt"
+)
 
 // Outcome classifies how a run ended.
 type Outcome int
@@ -73,6 +76,17 @@ type Result struct {
 // Run drives w until all agents terminate, the horizon is reached, the ring
 // is explored (if requested), or a configuration cycle is certified.
 func Run(w *World, opts RunOptions) (Result, error) {
+	return RunContext(context.Background(), w, opts)
+}
+
+// ctxCheckMask controls how often RunContext polls ctx: every round whose
+// index has these low bits clear (64 rounds). Polling is cheap but not free,
+// and a round is microseconds, so cancellation stays prompt either way.
+const ctxCheckMask = 63
+
+// RunContext is Run with cooperative cancellation: the loop polls ctx every
+// few rounds and returns ctx.Err() (and a zero Result) once it is done.
+func RunContext(ctx context.Context, w *World, opts RunOptions) (Result, error) {
 	if opts.MaxRounds <= 0 {
 		return Result{}, fmt.Errorf("%w: non-positive MaxRounds", ErrConfig)
 	}
@@ -84,6 +98,11 @@ func Run(w *World, opts RunOptions) (Result, error) {
 	cycleStart := -1
 loop:
 	for w.Round() < opts.MaxRounds {
+		if w.Round()&ctxCheckMask == 0 {
+			if err := ctx.Err(); err != nil {
+				return Result{}, err
+			}
+		}
 		if w.AllTerminated() {
 			outcome = OutcomeAllTerminated
 			break

@@ -28,8 +28,15 @@ const NoEdge = -1
 type Model int
 
 const (
+	// ModelDefault is the explicit "no model chosen" sentinel: callers that
+	// see it substitute an algorithm-specific default (the first entry of
+	// the protocol's spec). It is the zero value on purpose, so a Model
+	// field left unset reads as "default" rather than as a valid regime.
+	// The engine itself rejects it: resolve the default before NewWorld.
+	ModelDefault Model = 0
+
 	// FSync activates every agent in every round.
-	FSync Model = iota + 1
+	FSync Model = iota
 	// SSyncNS is semi-synchronous with No Simultaneity: sleeping agents
 	// never move.
 	SSyncNS
@@ -46,6 +53,8 @@ const (
 // String implements fmt.Stringer.
 func (m Model) String() string {
 	switch m {
+	case ModelDefault:
+		return "default"
 	case FSync:
 		return "FSYNC"
 	case SSyncNS:

@@ -1,0 +1,129 @@
+// Package sweep provides the concurrency machinery behind dynring.Sweep:
+// an ordered worker pool that fans a fixed job grid out over a bounded
+// number of goroutines while delivering results in submission order, plus
+// deterministic per-scenario seed derivation. It is deliberately ignorant
+// of scenarios and simulation — it schedules opaque jobs — so the public
+// package owns the domain types and this package can be tested in
+// microseconds.
+package sweep
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a requested worker count: non-positive means
+// runtime.NumCPU(), and the count is capped at jobs (when jobs is known)
+// so tiny grids do not spawn idle goroutines.
+func Workers(requested, jobs int) int {
+	w := requested
+	if w <= 0 {
+		w = runtime.NumCPU()
+	}
+	if jobs > 0 && w > jobs {
+		w = jobs
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Ordered runs jobs 0..n-1 on at most workers goroutines, calling emit with
+// each result in strict index order (from a single goroutine). Workers pull
+// the next index from a shared counter, so a slow job delays only the
+// emission of later results, not their execution.
+//
+// Cancellation: once ctx is done, idle workers stop picking up jobs,
+// in-flight jobs keep whatever cancellation behaviour run implements, and
+// emission ceases. emit may return false to abort the remaining grid (the
+// in-flight jobs are cancelled through a derived context). Ordered returns
+// ctx.Err() of the parent context.
+func Ordered[T any](ctx context.Context, n, workers int, run func(ctx context.Context, i int) T, emit func(i int, v T) bool) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	parent := ctx
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	workers = Workers(workers, n)
+
+	type slot struct {
+		i int
+		v T
+	}
+	out := make(chan slot, workers)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || ctx.Err() != nil {
+					return
+				}
+				v := run(ctx, i)
+				select {
+				case out <- slot{i: i, v: v}:
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(out)
+	}()
+
+	// Reorder: results arrive in completion order; hold them until their
+	// index is next. The buffer is bounded by the worker count.
+	pending := make(map[int]T, workers)
+	nextEmit := 0
+	emitting := true
+	for s := range out {
+		if !emitting {
+			continue // drain so workers blocked on out can exit
+		}
+		pending[s.i] = s.v
+		for {
+			v, ok := pending[nextEmit]
+			if !ok {
+				break
+			}
+			delete(pending, nextEmit)
+			if !emit(nextEmit, v) {
+				emitting = false
+				cancel()
+				break
+			}
+			nextEmit++
+		}
+	}
+	return parent.Err()
+}
+
+// DeriveSeed deterministically derives a per-scenario seed from a base seed
+// and the scenario's grid coordinates, using a splitmix64 chain. Equal
+// inputs always give equal outputs — across processes, platforms and worker
+// counts — while differing in any coordinate decorrelates the stream.
+func DeriveSeed(base int64, coords ...int) int64 {
+	h := splitmix64(uint64(base))
+	for _, c := range coords {
+		h = splitmix64(h ^ uint64(int64(c)))
+	}
+	return int64(h)
+}
+
+// splitmix64 is the finalizer of the SplitMix64 generator (Steele, Lea,
+// Flood 2014): a cheap, well-mixed 64-bit permutation.
+func splitmix64(z uint64) uint64 {
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

@@ -1,0 +1,316 @@
+package dynring
+
+import (
+	"context"
+	"fmt"
+
+	"dynring/internal/core"
+	"dynring/internal/ring"
+	"dynring/internal/sim"
+)
+
+// AdversaryFactory constructs a fresh adversary for one run. Scenarios carry
+// factories rather than live adversary instances so a scenario value stays
+// replayable: stateful strategies (seeded randomness, alternation counters,
+// recording logs) are rebuilt from scratch, with the same seed, every time
+// the scenario is executed.
+type AdversaryFactory func(seed int64) Adversary
+
+// Fixed adapts a ready-made adversary instance into an AdversaryFactory that
+// ignores the seed. Use it for the stateless proof strategies (GreedyBlocking,
+// FrontierGuarding, PinAgent, ...); for seeded strategies prefer a factory
+// that consumes the seed, so sweeps decorrelate their runs.
+func Fixed(a Adversary) AdversaryFactory {
+	return func(int64) Adversary { return a }
+}
+
+// RandomEdgesFactory is the seeded-per-run counterpart of RandomEdges: each
+// run draws its edge removals from the scenario's own seed.
+func RandomEdgesFactory(p float64) AdversaryFactory {
+	return func(seed int64) Adversary { return RandomEdges(p, seed) }
+}
+
+// RandomActivationFactory is the seeded-per-run counterpart of
+// RandomActivation. The edge strategy is itself a factory (nil: never remove
+// an edge) and receives a seed derived from the run's seed.
+func RandomActivationFactory(p float64, edges AdversaryFactory) AdversaryFactory {
+	return func(seed int64) Adversary {
+		var inner Adversary
+		if edges != nil {
+			inner = edges(seed + 1)
+		}
+		return RandomActivation(p, seed, inner)
+	}
+}
+
+// Scenario fully describes one exploration run as a plain value: topology,
+// algorithm, regime, initial configuration, a-priori knowledge, dynamics and
+// budget. Unlike Config it carries an adversary *constructor*, so the same
+// Scenario value replays to the same Result, and it separates validation
+// (Validate) from execution (Run / NewWorld).
+//
+// The zero value of most fields means "use the algorithm's default":
+// Starts defaults to even spacing, Orients to all-CW, Model to the first
+// regime of the algorithm's spec, UpperBound/ExactSize to Size, and
+// MaxRounds to DefaultBudget.
+type Scenario struct {
+	// Name is an optional label (sweeps fill it with the grid coordinates).
+	Name string
+	// AdversaryLabel optionally names the dynamics; Aggregate keys on it.
+	AdversaryLabel string
+
+	// Size is the number of ring nodes (≥ 3).
+	Size int
+	// Landmark is the landmark node, or NoLandmark (the zero value is node
+	// 0 — set NoLandmark explicitly for anonymous rings).
+	Landmark int
+
+	// Algorithm is a registry name; see Algorithms. Ignored when
+	// NewProtocols is set.
+	Algorithm string
+	// NewProtocols optionally builds the agents directly, bypassing the
+	// registry and its assumption checks. It exists for custom protocols
+	// and for deliberately misusing an algorithm (the impossibility
+	// experiments run chirality algorithms with mixed orientations, and ET
+	// algorithms fed a wrong exact size). The factory must return fresh
+	// instances on every call.
+	NewProtocols func() ([]Protocol, error)
+
+	// Model overrides the algorithm's default regime; leave ModelDefault
+	// to use the first entry of its spec (FSync for custom protocols).
+	Model Model
+	// UpperBound is the known bound N for algorithms that require one;
+	// defaults to Size.
+	UpperBound int
+	// ExactSize is the known exact size for algorithms that require it;
+	// defaults to Size.
+	ExactSize int
+
+	// Starts are the agents' initial nodes; defaults to even spacing.
+	Starts []int
+	// Orients are the agents' orientations; defaults to all CW (chirality).
+	Orients []GlobalDir
+
+	// NewAdversary constructs the dynamics for one run, receiving Seed;
+	// nil means an always-connected ring with full activation.
+	NewAdversary AdversaryFactory
+	// Seed is passed to NewAdversary; sweeps derive it per scenario.
+	Seed int64
+
+	// MaxRounds bounds the run; defaults to DefaultBudget for the
+	// algorithm on a ring of Size nodes.
+	MaxRounds int
+	// StopWhenExplored ends the run at full coverage (useful for the
+	// unconscious algorithms).
+	StopWhenExplored bool
+	// FairnessBound overrides the SSYNC fairness horizon (0 = default).
+	FairnessBound int
+	// DetectCycles enables configuration-cycle certificates when all
+	// components support fingerprints.
+	DetectCycles bool
+	// Observer optionally receives round records (e.g. a TraceRecorder).
+	// Sweeps drop it: one observer shared across concurrent runs would
+	// race.
+	Observer Observer
+}
+
+// resolved is a validated scenario with every default filled in, ready to
+// assemble a World.
+type resolved struct {
+	ring      *ring.Ring
+	spec      Algorithm // zero for custom protocol factories
+	protos    []Protocol
+	starts    []int
+	orients   []GlobalDir
+	model     Model
+	maxRounds int
+}
+
+// resolve validates s and fills in defaults. It is the single source of
+// truth behind Validate, NewWorld and Run. With build=false the registry
+// protocols are not constructed (validation needs only the spec); a
+// NewProtocols factory is still invoked either way, since the agent count is
+// known only to it.
+func (s Scenario) resolve(build bool) (resolved, error) {
+	var r resolved
+
+	if s.NewProtocols == nil {
+		spec, ok := core.Lookup(s.Algorithm)
+		if !ok {
+			return r, fmt.Errorf("%w: %q (known: %v)", ErrUnknownAlgorithm, s.Algorithm, core.Names())
+		}
+		r.spec = spec
+	}
+
+	rg, err := ring.NewWithLandmark(s.Size, s.Landmark)
+	if err != nil {
+		return r, err
+	}
+	r.ring = rg
+
+	agents := 0
+	if s.NewProtocols != nil {
+		protos, err := s.NewProtocols()
+		if err != nil {
+			return r, err
+		}
+		if len(protos) == 0 {
+			return r, fmt.Errorf("%w: NewProtocols returned no agents", ErrRequirement)
+		}
+		r.protos = protos
+		agents = len(protos)
+	} else {
+		agents = r.spec.Agents
+		if r.spec.NeedsLandmark && !rg.HasLandmark() {
+			return r, fmt.Errorf("%w: %s needs a landmark node", ErrRequirement, r.spec.Name)
+		}
+	}
+
+	r.starts = s.Starts
+	if r.starts == nil {
+		r.starts = make([]int, agents)
+		for i := range r.starts {
+			r.starts[i] = i * s.Size / agents
+		}
+	}
+	if len(r.starts) != agents {
+		return r, fmt.Errorf("%w: %s uses %d agents, got %d starts",
+			ErrRequirement, s.algoLabel(), agents, len(r.starts))
+	}
+	r.orients = s.Orients
+	if r.orients == nil {
+		r.orients = make([]GlobalDir, agents)
+		for i := range r.orients {
+			r.orients[i] = CW
+		}
+	}
+	if len(r.orients) != agents {
+		return r, fmt.Errorf("%w: %s uses %d agents, got %d orientations",
+			ErrRequirement, s.algoLabel(), agents, len(r.orients))
+	}
+
+	if s.NewProtocols == nil {
+		if r.spec.NeedsChirality {
+			for _, o := range r.orients {
+				if o != r.orients[0] {
+					return r, fmt.Errorf("%w: %s assumes chirality (one common orientation)",
+						ErrRequirement, r.spec.Name)
+				}
+			}
+		}
+		params := core.Params{UpperBound: s.UpperBound, ExactSize: s.ExactSize}
+		if params.UpperBound == 0 {
+			params.UpperBound = s.Size
+		}
+		if params.ExactSize == 0 {
+			params.ExactSize = s.Size
+		}
+		if r.spec.Knowledge == core.KnowUpperBound && params.UpperBound < s.Size {
+			return r, fmt.Errorf("%w: bound N=%d below ring size %d", ErrRequirement, params.UpperBound, s.Size)
+		}
+		if r.spec.Knowledge == core.KnowExactSize && params.ExactSize != s.Size {
+			return r, fmt.Errorf("%w: %s needs the exact ring size", ErrRequirement, r.spec.Name)
+		}
+		if build {
+			protos, err := core.Build(r.spec.Name, agents, params)
+			if err != nil {
+				return r, err
+			}
+			r.protos = protos
+		}
+	}
+
+	r.model = s.Model
+	if r.model == ModelDefault {
+		if s.NewProtocols == nil {
+			r.model = r.spec.Models[0]
+		} else {
+			r.model = FSync
+		}
+	}
+	switch r.model {
+	case FSync, SSyncNS, SSyncPT, SSyncET:
+	default:
+		return r, fmt.Errorf("%w: unknown model %d", ErrRequirement, int(r.model))
+	}
+
+	r.maxRounds = s.MaxRounds
+	if r.maxRounds <= 0 {
+		r.maxRounds = DefaultBudget(r.spec, s.Size)
+	}
+	return r, nil
+}
+
+// algoLabel names the scenario's algorithm for error messages.
+func (s Scenario) algoLabel() string {
+	if s.NewProtocols != nil {
+		return "custom protocols"
+	}
+	return s.Algorithm
+}
+
+// Validate checks the scenario against the algorithm's assumptions without
+// executing anything: registry membership, ring well-formedness, landmark
+// and chirality requirements, start/orientation counts, and knowledge
+// parameters. Errors wrap ErrUnknownAlgorithm or ErrRequirement.
+//
+// Registry protocols are not constructed; a NewProtocols factory, however,
+// is invoked (and its result discarded) — the agent count the other checks
+// need is known only to it.
+func (s Scenario) Validate() error {
+	_, err := s.resolve(false)
+	return err
+}
+
+// newWorld assembles a World from a resolved scenario, constructing a fresh
+// adversary from the factory.
+func (s Scenario) newWorld(r resolved) (*World, error) {
+	var adv Adversary
+	if s.NewAdversary != nil {
+		adv = s.NewAdversary(s.Seed)
+	}
+	return sim.NewWorld(sim.Config{
+		Ring:          r.ring,
+		Model:         r.model,
+		Starts:        r.starts,
+		Orients:       r.orients,
+		Protocols:     r.protos,
+		Adversary:     adv,
+		Observer:      s.Observer,
+		FairnessBound: s.FairnessBound,
+	})
+}
+
+// NewWorld validates s and assembles a World without running it, for callers
+// that want to drive rounds manually via World.Step. Each call constructs
+// fresh protocol and adversary instances.
+func (s Scenario) NewWorld() (*World, error) {
+	r, err := s.resolve(true)
+	if err != nil {
+		return nil, err
+	}
+	return s.newWorld(r)
+}
+
+// Run executes the scenario to completion.
+func (s Scenario) Run() (Result, error) {
+	return s.RunContext(context.Background())
+}
+
+// RunContext executes the scenario, polling ctx for cooperative
+// cancellation. On cancellation it returns ctx.Err() and a zero Result.
+func (s Scenario) RunContext(ctx context.Context) (Result, error) {
+	r, err := s.resolve(true)
+	if err != nil {
+		return Result{}, err
+	}
+	w, err := s.newWorld(r)
+	if err != nil {
+		return Result{}, err
+	}
+	return sim.RunContext(ctx, w, sim.RunOptions{
+		MaxRounds:        r.maxRounds,
+		StopWhenExplored: s.StopWhenExplored,
+		DetectCycles:     s.DetectCycles,
+	})
+}

@@ -1,0 +1,218 @@
+package dynring_test
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"dynring"
+)
+
+// validationCases enumerates the configuration-validation error paths. Each
+// case is expressed once and asserted against both the new Scenario.Validate
+// and the legacy NewWorld(Config) wrapper, which must agree.
+var validationCases = []struct {
+	name string
+	sc   dynring.Scenario
+	want error
+}{
+	{
+		name: "unknown algorithm",
+		sc:   dynring.Scenario{Size: 8, Algorithm: "Nope"},
+		want: dynring.ErrUnknownAlgorithm,
+	},
+	{
+		name: "missing landmark",
+		sc: dynring.Scenario{Size: 8, Landmark: dynring.NoLandmark,
+			Algorithm: "LandmarkWithChirality"},
+		want: dynring.ErrRequirement,
+	},
+	{
+		name: "wrong start count",
+		sc: dynring.Scenario{Size: 8, Landmark: dynring.NoLandmark,
+			Algorithm: "KnownNNoChirality", Starts: []int{0, 1, 2}},
+		want: dynring.ErrRequirement,
+	},
+	{
+		name: "wrong orientation count",
+		sc: dynring.Scenario{Size: 8, Landmark: dynring.NoLandmark,
+			Algorithm: "KnownNNoChirality",
+			Orients:   []dynring.GlobalDir{dynring.CW}},
+		want: dynring.ErrRequirement,
+	},
+	{
+		name: "chirality violated",
+		sc: dynring.Scenario{Size: 8, Landmark: 0,
+			Algorithm: "LandmarkWithChirality",
+			Orients:   []dynring.GlobalDir{dynring.CW, dynring.CCW}},
+		want: dynring.ErrRequirement,
+	},
+	{
+		name: "bound below size",
+		sc: dynring.Scenario{Size: 8, Landmark: dynring.NoLandmark,
+			Algorithm: "KnownNNoChirality", UpperBound: 5},
+		want: dynring.ErrRequirement,
+	},
+	{
+		name: "wrong exact size",
+		sc: dynring.Scenario{Size: 8, Landmark: dynring.NoLandmark,
+			Algorithm: "ETBoundNoChirality", ExactSize: 5,
+			Orients: []dynring.GlobalDir{dynring.CW, dynring.CCW, dynring.CW}},
+		want: dynring.ErrRequirement,
+	},
+	{
+		name: "valid",
+		sc: dynring.Scenario{Size: 8, Landmark: 0,
+			Algorithm: "LandmarkWithChirality"},
+		want: nil,
+	},
+}
+
+// scenarioConfig mirrors a Scenario back into the legacy Config for the
+// parity assertions (the fields the validation cases use).
+func scenarioConfig(sc dynring.Scenario) dynring.Config {
+	return dynring.Config{
+		Size:       sc.Size,
+		Landmark:   sc.Landmark,
+		Algorithm:  sc.Algorithm,
+		Model:      sc.Model,
+		UpperBound: sc.UpperBound,
+		ExactSize:  sc.ExactSize,
+		Starts:     sc.Starts,
+		Orients:    sc.Orients,
+		MaxRounds:  sc.MaxRounds,
+	}
+}
+
+func TestScenarioValidate(t *testing.T) {
+	for _, tt := range validationCases {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.sc.Validate()
+			if tt.want == nil {
+				if err != nil {
+					t.Fatalf("Validate() = %v, want nil", err)
+				}
+				return
+			}
+			if !errors.Is(err, tt.want) {
+				t.Fatalf("Validate() = %v, want %v", err, tt.want)
+			}
+		})
+	}
+}
+
+// TestLegacyNewWorldValidationParity: the legacy Config path must reject
+// exactly what Scenario.Validate rejects — it is a wrapper, not a second
+// implementation.
+func TestLegacyNewWorldValidationParity(t *testing.T) {
+	for _, tt := range validationCases {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := dynring.NewWorld(scenarioConfig(tt.sc))
+			if tt.want == nil {
+				if err != nil {
+					t.Fatalf("NewWorld() = %v, want nil", err)
+				}
+				return
+			}
+			if !errors.Is(err, tt.want) {
+				t.Fatalf("NewWorld() = %v, want %v", err, tt.want)
+			}
+		})
+	}
+}
+
+// TestScenarioValidateCustomProtocols: the NewProtocols escape hatch skips
+// registry assumption checks but still validates counts.
+func TestScenarioValidateCustomProtocols(t *testing.T) {
+	custom := dynring.Scenario{
+		Size: 8, Landmark: dynring.NoLandmark,
+		NewProtocols: func() ([]dynring.Protocol, error) {
+			return []dynring.Protocol{}, nil
+		},
+	}
+	if err := custom.Validate(); !errors.Is(err, dynring.ErrRequirement) {
+		t.Fatalf("empty NewProtocols: Validate() = %v, want ErrRequirement", err)
+	}
+	noAlgo := dynring.Scenario{Size: 8, Landmark: dynring.NoLandmark}
+	if err := noAlgo.Validate(); !errors.Is(err, dynring.ErrUnknownAlgorithm) {
+		t.Fatalf("no algorithm: Validate() = %v, want ErrUnknownAlgorithm", err)
+	}
+}
+
+// TestScenarioRunMatchesLegacyRun: a deterministic scenario produces the
+// same Result through both entry points.
+func TestScenarioRunMatchesLegacyRun(t *testing.T) {
+	sc := dynring.Scenario{
+		Size: 12, Landmark: 0,
+		Algorithm:    "LandmarkWithChirality",
+		NewAdversary: dynring.Fixed(dynring.GreedyBlocking()),
+	}
+	a, err := sc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := dynring.Run(dynring.Config{
+		Size: 12, Landmark: 0,
+		Algorithm: "LandmarkWithChirality",
+		Adversary: dynring.GreedyBlocking(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("Scenario.Run and legacy Run diverge:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestScenarioReplayable: a scenario with a seeded adversary factory is a
+// value — running it twice gives identical results, because every run
+// rebuilds the adversary from the same seed.
+func TestScenarioReplayable(t *testing.T) {
+	sc := dynring.Scenario{
+		Size: 10, Landmark: dynring.NoLandmark,
+		Algorithm:    "KnownNNoChirality",
+		NewAdversary: dynring.RandomEdgesFactory(0.5),
+		Seed:         99,
+	}
+	a, err := sc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("replay diverged:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestModelDefault: the explicit sentinel is the zero value and resolves to
+// the algorithm's first declared regime; an explicit model overrides it.
+func TestModelDefault(t *testing.T) {
+	var zero dynring.Model
+	if zero != dynring.ModelDefault {
+		t.Fatalf("ModelDefault is not the zero Model: %v", dynring.ModelDefault)
+	}
+	w, err := dynring.Scenario{
+		Size: 8, Landmark: dynring.NoLandmark,
+		Algorithm: "PTBoundWithChirality", // spec default: SSYNC/PT
+	}.NewWorld()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := w.Model(); got != dynring.SSyncPT {
+		t.Fatalf("default model = %v, want %v", got, dynring.SSyncPT)
+	}
+	w, err = dynring.Scenario{
+		Size: 8, Landmark: dynring.NoLandmark,
+		Algorithm: "PTBoundWithChirality",
+		Model:     dynring.SSyncNS,
+	}.NewWorld()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := w.Model(); got != dynring.SSyncNS {
+		t.Fatalf("override model = %v, want %v", got, dynring.SSyncNS)
+	}
+}
