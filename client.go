@@ -1,0 +1,290 @@
+package dynring
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// This file is the Go client of the ringsimd sweep service
+// (internal/service, cmd/ringsimd) and the wire types its HTTP API speaks.
+// The types live in the root package so remote submission uses the same
+// vocabulary as local execution: build a SweepSpec, and either materialize
+// it locally (SweepSpec.Sweep) or hand it to a Client.
+
+// JobStatus is the service's snapshot of one sweep job.
+type JobStatus struct {
+	ID string `json:"id"`
+	// State is "running", "done" or "cancelled".
+	State string `json:"state"`
+	// Total is the grid size; Completed counts settled scenarios (finished,
+	// served from cache, or cancelled); Errors counts settled scenarios
+	// that carry an error.
+	Total     int `json:"total"`
+	Completed int `json:"completed"`
+	Errors    int `json:"errors"`
+	// CacheHits counts scenarios served from the result cache.
+	CacheHits int       `json:"cache_hits"`
+	Created   time.Time `json:"created"`
+}
+
+// Done reports whether the job has settled (every scenario completed,
+// whether by running, cache hit, or cancellation).
+func (s JobStatus) Done() bool { return s.State != "running" }
+
+// ResultRow is one line of a job's NDJSON result stream, in grid order.
+// Every field is a deterministic function of the scenario, so the stream of
+// a completed job is byte-identical across repeats and worker counts; in
+// particular there is deliberately no cache/wall-time field here — those
+// live in JobStatus and ServiceStats.
+type ResultRow struct {
+	Index       int    `json:"index"`
+	Name        string `json:"name"`
+	Fingerprint string `json:"fingerprint"`
+	// Result is set when the run finished; Error carries validation, engine
+	// or cancellation failures.
+	Result *Result `json:"result,omitempty"`
+	Error  string  `json:"error,omitempty"`
+}
+
+// CacheStats snapshots the service's result cache.
+type CacheStats struct {
+	// Size and Capacity count entries; Capacity 0 means the cache is
+	// disabled.
+	Size     int `json:"size"`
+	Capacity int `json:"capacity"`
+	// Hits and Misses count Get outcomes since startup.
+	Hits   uint64 `json:"hits"`
+	Misses uint64 `json:"misses"`
+}
+
+// ServiceStats is the /statsz document.
+type ServiceStats struct {
+	// Jobs counts the jobs currently retained (settled jobs are evicted
+	// beyond the server's job-history bound, so this is not monotonic);
+	// ActiveJobs counts those still running.
+	Jobs       int `json:"jobs"`
+	ActiveJobs int `json:"active_jobs"`
+	// Workers is the shared pool size.
+	Workers int `json:"workers"`
+	// Executions counts scenarios actually run (cache misses); cache hits
+	// do not execute anything and are visible in Cache.Hits instead.
+	Executions uint64     `json:"executions"`
+	Cache      CacheStats `json:"cache"`
+}
+
+// Client talks to a ringsimd service. The zero value is not usable; call
+// NewClient. Methods are safe for concurrent use.
+type Client struct {
+	// BaseURL is the service root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// HTTPClient defaults to http.DefaultClient. Result streams are
+	// long-lived: give it no overall Timeout (use the ctx instead).
+	HTTPClient *http.Client
+}
+
+// NewClient returns a client for the service at baseURL.
+func NewClient(baseURL string) *Client {
+	return &Client{BaseURL: strings.TrimRight(baseURL, "/")}
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// errorDoc is the service's error body.
+type errorDoc struct {
+	Error string `json:"error"`
+}
+
+// do issues a request and decodes a JSON body into out (when non-nil).
+// Non-2xx responses are turned into errors carrying the server's message.
+func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		buf, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return remoteError(resp)
+	}
+	if out == nil {
+		_, err = io.Copy(io.Discard, resp.Body)
+		return err
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// remoteError converts a non-2xx response into an error, preferring the
+// server's JSON error message.
+func remoteError(resp *http.Response) error {
+	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	var doc errorDoc
+	if json.Unmarshal(raw, &doc) == nil && doc.Error != "" {
+		return fmt.Errorf("dynring: server %s: %s", resp.Status, doc.Error)
+	}
+	return fmt.Errorf("dynring: server %s: %s", resp.Status, bytes.TrimSpace(raw))
+}
+
+// SubmitSweep submits a grid and returns the new job's status. The job runs
+// on the server regardless of what happens to this client; cancel it with
+// CancelSweep.
+func (c *Client) SubmitSweep(ctx context.Context, spec SweepSpec) (JobStatus, error) {
+	var st JobStatus
+	err := c.do(ctx, http.MethodPost, "/v1/sweeps", spec, &st)
+	return st, err
+}
+
+// SweepStatus fetches a job's status.
+func (c *Client) SweepStatus(ctx context.Context, id string) (JobStatus, error) {
+	var st JobStatus
+	err := c.do(ctx, http.MethodGet, "/v1/sweeps/"+id, nil, &st)
+	return st, err
+}
+
+// CancelSweep cancels a job and returns its post-cancellation status.
+// Cancelling a settled job is a no-op.
+func (c *Client) CancelSweep(ctx context.Context, id string) (JobStatus, error) {
+	var st JobStatus
+	err := c.do(ctx, http.MethodDelete, "/v1/sweeps/"+id, nil, &st)
+	return st, err
+}
+
+// ServiceStats fetches the /statsz counters.
+func (c *Client) ServiceStats(ctx context.Context) (ServiceStats, error) {
+	var st ServiceStats
+	err := c.do(ctx, http.MethodGet, "/statsz", nil, &st)
+	return st, err
+}
+
+// StreamResults streams a job's results in grid order, calling fn once per
+// row as each becomes available; it blocks until the job settles, ctx is
+// cancelled, or fn returns an error (which aborts the stream and is
+// returned).
+func (c *Client) StreamResults(ctx context.Context, id string, fn func(ResultRow) error) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/sweeps/"+id+"/results", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return remoteError(resp)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var row ResultRow
+		if err := json.Unmarshal(line, &row); err != nil {
+			return fmt.Errorf("dynring: bad result row: %w", err)
+		}
+		if err := fn(row); err != nil {
+			return err
+		}
+	}
+	return sc.Err()
+}
+
+// RunSweep submits the grid, waits for every result, and returns them in
+// grid order as SweepResults — the same shape local Sweep.Run yields, so
+// Aggregate and existing reporting code work unchanged. Scenario values are
+// reconstructed by expanding the spec locally (also validating it before
+// anything is sent); Wall is zero, since the server deliberately does not
+// report nondeterministic timings. On ctx cancellation the server-side job
+// is cancelled too.
+func (c *Client) RunSweep(ctx context.Context, spec SweepSpec) ([]SweepResult, error) {
+	return c.RunSweepFunc(ctx, spec, nil, nil)
+}
+
+// RunSweepFunc is RunSweep with progress hooks: onStart (when non-nil) is
+// called once with the created job's status, and onRow with each
+// reconstructed result as it streams in — which is how cmd/ringsim renders
+// live remote sweeps. On any failure after submission the server-side job
+// is cancelled best-effort, and the results collected so far are returned
+// with the error.
+func (c *Client) RunSweepFunc(ctx context.Context, spec SweepSpec, onStart func(JobStatus), onRow func(SweepResult)) ([]SweepResult, error) {
+	sw, err := spec.Sweep()
+	if err != nil {
+		return nil, err
+	}
+	scenarios, err := sw.Scenarios()
+	if err != nil {
+		return nil, err
+	}
+	st, err := c.SubmitSweep(ctx, spec)
+	if err != nil {
+		return nil, err
+	}
+	if onStart != nil {
+		onStart(st)
+	}
+	if st.Total != len(scenarios) {
+		c.abandonSweep(st.ID)
+		return nil, fmt.Errorf("dynring: server expanded %d scenarios, local expansion has %d", st.Total, len(scenarios))
+	}
+	out := make([]SweepResult, 0, len(scenarios))
+	err = c.StreamResults(ctx, st.ID, func(row ResultRow) error {
+		if row.Index < 0 || row.Index >= len(scenarios) {
+			return fmt.Errorf("dynring: result index %d out of range", row.Index)
+		}
+		r := SweepResult{Index: row.Index, Scenario: scenarios[row.Index]}
+		if row.Error != "" {
+			r.Err = errors.New(row.Error)
+		} else if row.Result != nil {
+			r.Result = *row.Result
+		}
+		out = append(out, r)
+		if onRow != nil {
+			onRow(r)
+		}
+		return nil
+	})
+	if err != nil {
+		// On any failure — cancellation or a broken stream — cancel the
+		// server-side job; it would otherwise keep burning pool slots with
+		// no consumer.
+		c.abandonSweep(st.ID)
+		return out, err
+	}
+	return out, nil
+}
+
+// abandonSweep best-effort-cancels a job this client no longer consumes,
+// on its own short deadline (the caller's ctx may already be dead).
+func (c *Client) abandonSweep(id string) {
+	cctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	_, _ = c.CancelSweep(cctx, id)
+}

@@ -1,0 +1,162 @@
+package dynring_test
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+
+	"dynring"
+	"dynring/internal/service"
+)
+
+// newTestService boots an in-process ringsimd and a client pointed at it.
+func newTestService(t *testing.T, opts service.Options) (*dynring.Client, *service.Manager) {
+	t.Helper()
+	m := service.New(opts)
+	t.Cleanup(m.Close)
+	srv := httptest.NewServer(service.NewHandler(m))
+	t.Cleanup(srv.Close)
+	return dynring.NewClient(srv.URL), m
+}
+
+func clientSpec() dynring.SweepSpec {
+	return dynring.SweepSpec{
+		Base:        dynring.ScenarioSpec{Landmark: 0},
+		Algorithms:  []string{"KnownNNoChirality", "LandmarkWithChirality"},
+		Sizes:       []int{6, 8},
+		Seeds:       []int64{1, 2},
+		Adversaries: []dynring.AdversarySpec{{Kind: "random", P: 0.4}},
+	}
+}
+
+// TestClientRunSweepMatchesLocal is the remote/local determinism gate: the
+// same SweepSpec executed through a ringsimd service yields exactly the
+// Results a local Sweep.Run produces, row for row.
+func TestClientRunSweepMatchesLocal(t *testing.T) {
+	client, _ := newTestService(t, service.Options{Workers: 4, CacheSize: 256})
+	ctx := context.Background()
+
+	remote, err := client.RunSweep(ctx, clientSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, err := clientSpec().Sweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := sw.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(remote) != len(local) {
+		t.Fatalf("remote %d results, local %d", len(remote), len(local))
+	}
+	for i := range local {
+		if remote[i].Err != nil || local[i].Err != nil {
+			t.Fatalf("row %d errs: remote %v local %v", i, remote[i].Err, local[i].Err)
+		}
+		if !reflect.DeepEqual(remote[i].Result, local[i].Result) {
+			t.Fatalf("row %d diverges:\nremote %+v\nlocal  %+v", i, remote[i].Result, local[i].Result)
+		}
+		if remote[i].Scenario.Name != local[i].Scenario.Name {
+			t.Fatalf("row %d names: %q vs %q", i, remote[i].Scenario.Name, local[i].Scenario.Name)
+		}
+	}
+
+	// Aggregate — the paper-facing output — is interchangeable too.
+	ra, la := dynring.Aggregate(remote), dynring.Aggregate(local)
+	if !reflect.DeepEqual(ra, la) {
+		t.Fatalf("aggregates diverge:\n%v\n%v", ra, la)
+	}
+}
+
+func TestClientStatusStreamAndStats(t *testing.T) {
+	client, _ := newTestService(t, service.Options{Workers: 2, CacheSize: 64})
+	ctx := context.Background()
+
+	st, err := client.SubmitSweep(ctx, clientSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ID == "" || st.Total != 8 {
+		t.Fatalf("submit status %+v", st)
+	}
+
+	var rows []dynring.ResultRow
+	err = client.StreamResults(ctx, st.ID, func(r dynring.ResultRow) error {
+		rows = append(rows, r)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != st.Total {
+		t.Fatalf("streamed %d rows, want %d", len(rows), st.Total)
+	}
+	for i, r := range rows {
+		if r.Index != i || r.Name == "" || len(r.Fingerprint) != 32 || r.Result == nil {
+			t.Fatalf("row %d malformed: %+v", i, r)
+		}
+	}
+
+	after, err := client.SweepStatus(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !after.Done() || after.State != "done" || after.Completed != after.Total {
+		t.Fatalf("final status %+v", after)
+	}
+
+	stats, err := client.ServiceStats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Jobs != 1 || stats.Executions != uint64(st.Total) || stats.Workers != 2 {
+		t.Fatalf("service stats %+v", stats)
+	}
+
+	// A fn error aborts the stream and surfaces.
+	sentinel := errors.New("stop")
+	err = client.StreamResults(ctx, st.ID, func(dynring.ResultRow) error { return sentinel })
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("stream error = %v", err)
+	}
+}
+
+func TestClientErrors(t *testing.T) {
+	client, _ := newTestService(t, service.Options{Workers: 1, CacheSize: 4})
+	ctx := context.Background()
+
+	// Server-side validation failures carry the server's message.
+	bad := clientSpec()
+	bad.Algorithms = []string{"NoSuchAlgorithm"}
+	if _, err := client.SubmitSweep(ctx, bad); err == nil {
+		t.Fatal("bad spec accepted")
+	}
+	// RunSweep validates locally before submitting anything.
+	if _, err := client.RunSweep(ctx, bad); err == nil {
+		t.Fatal("RunSweep accepted a bad spec")
+	}
+
+	if _, err := client.SweepStatus(ctx, "nope"); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+	if err := client.StreamResults(ctx, "nope", func(dynring.ResultRow) error { return nil }); err == nil {
+		t.Fatal("unknown stream id accepted")
+	}
+
+	// Cancel round trip through the client.
+	st, err := client.SubmitSweep(ctx, clientSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := client.CancelSweep(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.State != "cancelled" && after.State != "done" {
+		t.Fatalf("state after cancel %q", after.State)
+	}
+}

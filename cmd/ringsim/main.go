@@ -8,10 +8,15 @@
 //	ringsim -algo LandmarkWithChirality -n 12 -landmark 0 -adversary random -p 0.5 -trace
 //	ringsim -sweep -algos KnownNNoChirality,UnconsciousExploration -sizes 8,16,32 -seeds 1,2,3 -adversaries random,greedy
 //	ringsim -sweep -sizes 8,16 -json
+//	ringsim -sweep -sizes 8,16 -dry-run
+//	ringsim -sweep -sizes 8,16 -server http://127.0.0.1:8080
 //	ringsim -list
 //
 // Sweeps are cancellable: an interrupt (Ctrl-C) stops the grid and prints
-// the aggregate of the scenarios finished so far.
+// the aggregate of the scenarios finished so far. -dry-run prints the
+// expanded, validated grid (name + fingerprint — the ringsimd cache keys)
+// without executing anything; -server submits the grid to a ringsimd
+// service instead of running it in-process.
 package main
 
 import (
@@ -65,6 +70,8 @@ func run(ctx context.Context, out io.Writer, args []string) error {
 		seeds     = fs.String("seeds", "", "sweep: comma-separated seed axis (default: -seed)")
 		advAxis   = fs.String("adversaries", "", "sweep: comma-separated adversary axis (default: -adversary)")
 		workers   = fs.Int("workers", 0, "sweep: worker pool size (0 = NumCPU)")
+		dryRun    = fs.Bool("dry-run", false, "print the expanded grid (name + fingerprint) without executing")
+		server    = fs.String("server", "", "sweep: submit the grid to a ringsimd service at this URL instead of running locally")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -101,16 +108,39 @@ func run(ctx context.Context, out io.Writer, args []string) error {
 			algos: *algos, sizes: *sizes, seeds: *seeds,
 			adversaries: *advAxis, defaultAdv: *advName,
 			workers: *workers, p: *p, edge: *edge, pin: *pin, actP: *actP,
-			jsonOut: *jsonOut,
+			jsonOut: *jsonOut, dryRun: *dryRun, server: *server,
 		})
 	}
+	if *server != "" {
+		return fmt.Errorf("-server submits grids: combine it with -sweep")
+	}
 
-	factory, err := adversaryFactory(*advName, *p, *edge, *pin, *actP)
+	spec, err := adversarySpec(*advName, *p, *edge, *pin, *actP)
 	if err != nil {
 		return err
 	}
-	base.AdversaryLabel = *advName
+	factory, err := spec.Factory()
+	if err != nil {
+		return err
+	}
+	base.AdversaryLabel = spec.Label()
 	base.NewAdversary = factory
+	if *dryRun {
+		// Fingerprint the scenario exactly as this mode would execute it —
+		// not via sweep expansion, which derives a different seed — but take
+		// the display name from a 1-element expansion so the grid-name
+		// format has a single source of truth.
+		fp, err := base.Fingerprint()
+		if err != nil {
+			return err
+		}
+		scs, err := dynring.Sweep{Base: base}.Scenarios()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "[   0] %-60s fp=%s\n1 scenarios\n", scs[0].Name, fp)
+		return nil
+	}
 	var rec *dynring.TraceRecorder
 	if *showTr {
 		rec = dynring.NewTrace(*n)
@@ -148,6 +178,8 @@ type sweepFlags struct {
 	edge, pin                        int
 	actP                             float64
 	jsonOut                          bool
+	dryRun                           bool
+	server                           string
 }
 
 // sweepJSON is the -sweep -json output document.
@@ -166,49 +198,103 @@ type scenarioJSON struct {
 }
 
 func runSweep(ctx context.Context, out io.Writer, base dynring.Scenario, f sweepFlags) error {
-	sw := dynring.Sweep{Base: base, Workers: f.workers}
-	var err error
-	if f.algos != "" {
-		sw.Algorithms = splitList(f.algos)
-	}
-	if sw.Sizes, err = parseInts(f.sizes); err != nil {
+	sizes, err := parseInts(f.sizes)
+	if err != nil {
 		return fmt.Errorf("bad -sizes: %w", err)
 	}
-	if sw.Seeds, err = parseInt64s(f.seeds); err != nil {
+	seeds, err := parseInt64s(f.seeds)
+	if err != nil {
 		return fmt.Errorf("bad -seeds: %w", err)
 	}
 	advNames := splitList(f.adversaries)
 	if advNames == nil {
 		advNames = []string{f.defaultAdv}
 	}
+	var advSpecs []dynring.AdversarySpec
 	for _, name := range advNames {
-		factory, ferr := adversaryFactory(name, f.p, f.edge, f.pin, f.actP)
+		spec, serr := adversarySpec(name, f.p, f.edge, f.pin, f.actP)
+		if serr != nil {
+			return serr
+		}
+		advSpecs = append(advSpecs, spec)
+	}
+
+	sw := dynring.Sweep{Base: base, Workers: f.workers, Sizes: sizes, Seeds: seeds}
+	if f.algos != "" {
+		sw.Algorithms = splitList(f.algos)
+	}
+	for _, spec := range advSpecs {
+		factory, ferr := spec.Factory()
 		if ferr != nil {
 			return ferr
 		}
-		sw.Adversaries = append(sw.Adversaries, dynring.SweepAdversary{Name: name, New: factory})
+		sw.Adversaries = append(sw.Adversaries, dynring.SweepAdversary{Name: spec.Label(), New: factory})
 	}
-	grid, err := sw.Scenarios()
-	if err != nil {
-		return err
+	if f.dryRun {
+		return printGrid(out, sw)
 	}
 
 	start := time.Now()
-	ch, err := sw.Stream(ctx)
-	if err != nil {
-		return err
-	}
+	var total int
 	var results []dynring.SweepResult
-	for r := range ch {
-		results = append(results, r)
-		if !f.jsonOut {
-			status := r.Result.Outcome.String()
-			if r.Err != nil {
-				status = "error: " + r.Err.Error()
+	printRow := func(r dynring.SweepResult) {
+		status := r.Result.Outcome.String()
+		if r.Err != nil {
+			status = "error: " + r.Err.Error()
+		}
+		fmt.Fprintf(out, "[%4d] %-60s %-16s rounds=%-7d moves=%-7d %.1fms\n",
+			r.Index, r.Scenario.Name, status, r.Result.Rounds, r.Result.TotalMoves,
+			float64(r.Wall.Microseconds())/1000)
+	}
+
+	if f.server != "" {
+		// The base carries no factory here — adversaries travel as the
+		// spec axis — so the wire conversion cannot fail on dynamics.
+		baseSpec, serr := base.Spec()
+		if serr != nil {
+			return serr
+		}
+		spec := dynring.SweepSpec{
+			Base:        baseSpec,
+			Algorithms:  sw.Algorithms,
+			Sizes:       sizes,
+			Seeds:       seeds,
+			Adversaries: advSpecs,
+		}
+		onStart := func(st dynring.JobStatus) {
+			// RunSweepFunc has already checked the server's expansion
+			// against the local one, so Total is the grid size.
+			total = st.Total
+			if !f.jsonOut {
+				fmt.Fprintf(out, "submitted %s (%d scenarios) to %s\n", st.ID, st.Total, f.server)
 			}
-			fmt.Fprintf(out, "[%4d] %-60s %-16s rounds=%-7d moves=%-7d %.1fms\n",
-				r.Index, r.Scenario.Name, status, r.Result.Rounds, r.Result.TotalMoves,
-				float64(r.Wall.Microseconds())/1000)
+		}
+		onRow := func(r dynring.SweepResult) {
+			if !f.jsonOut {
+				printRow(r)
+			}
+		}
+		// RunSweepFunc cancels the server-side job on any failure; an
+		// interrupt falls through to report the partial aggregate.
+		results, err = dynring.NewClient(f.server).RunSweepFunc(ctx, spec, onStart, onRow)
+		if err != nil && ctx.Err() == nil {
+			return err
+		}
+	} else {
+		grid, serr := sw.Scenarios()
+		if serr != nil {
+			return serr
+		}
+		total = len(grid)
+		ch, serr := sw.Stream(ctx)
+		if serr != nil {
+			return serr
+		}
+		for r := range ch {
+			results = append(results, r)
+			if !f.jsonOut {
+				printRow(r)
+			}
 		}
 	}
 	cancelled := ctx.Err() != nil
@@ -229,9 +315,14 @@ func runSweep(ctx context.Context, out io.Writer, base dynring.Scenario, f sweep
 		return enc.Encode(doc)
 	}
 
-	fmt.Fprintf(out, "\n%d of %d scenarios in %.1fms (workers=%d)\n",
-		len(results), len(grid), float64(time.Since(start).Microseconds())/1000,
-		sweep.Workers(sw.Workers, len(grid)))
+	// In server mode the grid ran on the service's shared pool, not on any
+	// local worker count, so don't report one.
+	pool := fmt.Sprintf("workers=%d", sweep.Workers(sw.Workers, total))
+	if f.server != "" {
+		pool = "remote " + f.server
+	}
+	fmt.Fprintf(out, "\n%d of %d scenarios in %.1fms (%s)\n",
+		len(results), total, float64(time.Since(start).Microseconds())/1000, pool)
 	if cancelled {
 		fmt.Fprintln(out, "sweep cancelled; aggregate covers finished scenarios only")
 	}
@@ -241,32 +332,50 @@ func runSweep(ctx context.Context, out io.Writer, base dynring.Scenario, f sweep
 	return nil
 }
 
-// adversaryFactory builds the named adversary axis entry. Seeded strategies
-// consume the per-scenario seed; the rest ignore it.
-func adversaryFactory(name string, p float64, edge, pin int, actP float64) (dynring.AdversaryFactory, error) {
-	var base dynring.AdversaryFactory
+// printGrid expands the sweep and prints each scenario's grid name and
+// fingerprint — the exact cache keys a ringsimd service would use — without
+// executing anything.
+func printGrid(out io.Writer, sw dynring.Sweep) error {
+	scenarios, err := sw.Scenarios()
+	if err != nil {
+		return err
+	}
+	for i, sc := range scenarios {
+		fp, err := sc.Fingerprint()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "[%4d] %-60s fp=%s\n", i, sc.Name, fp)
+	}
+	fmt.Fprintf(out, "%d scenarios\n", len(scenarios))
+	return nil
+}
+
+// adversarySpec maps the CLI adversary flags to the serializable spec the
+// sweep axes, fingerprints and the remote API share. Act 0 is the spec's
+// "unset" value, so -act must be positive: a silent p=0 activation wrap
+// (or a silent full-activation fallback) would invert the dynamics.
+func adversarySpec(name string, p float64, edge, pin int, actP float64) (dynring.AdversarySpec, error) {
+	spec := dynring.AdversarySpec{Kind: name}
 	switch name {
-	case "none":
-		base = dynring.Fixed(dynring.NoAdversary())
 	case "random":
-		base = dynring.RandomEdgesFactory(p)
-	case "greedy":
-		base = dynring.Fixed(dynring.GreedyBlocking())
-	case "frontier":
-		base = dynring.Fixed(dynring.FrontierGuarding())
-	case "pin":
-		base = dynring.Fixed(dynring.PinAgent(pin))
+		spec.P = p
 	case "persistent":
-		base = dynring.Fixed(dynring.KeepEdgeRemoved(edge))
-	case "prevent":
-		base = dynring.Fixed(dynring.PreventMeetings())
-	default:
-		return nil, fmt.Errorf("unknown adversary %q", name)
+		spec.Edge = edge
+	case "pin":
+		spec.Pin = pin
+	}
+	if actP <= 0 || actP > 1 {
+		return dynring.AdversarySpec{}, fmt.Errorf("-act %g: activation probability must be in (0,1]", actP)
 	}
 	if actP < 1 {
-		return dynring.RandomActivationFactory(actP, base), nil
+		spec.Act = actP
 	}
-	return base, nil
+	// Reject unknown kinds here, before a sweep axis is built from them.
+	if _, err := spec.Factory(); err != nil {
+		return dynring.AdversarySpec{}, err
+	}
+	return spec, nil
 }
 
 func splitList(s string) []string {

@@ -1,8 +1,11 @@
 package main
 
 import (
+	"net/http/httptest"
+
 	"bytes"
 	"context"
+	"dynring/internal/service"
 	"encoding/json"
 	"strings"
 	"testing"
@@ -58,19 +61,29 @@ func TestParseOrients(t *testing.T) {
 	}
 }
 
-func TestAdversaryFactory(t *testing.T) {
+func TestAdversarySpecFlags(t *testing.T) {
 	for _, name := range []string{"none", "random", "greedy", "frontier", "pin", "persistent", "prevent"} {
-		factory, err := adversaryFactory(name, 0.5, 0, 0, 1)
+		spec, err := adversarySpec(name, 0.5, 0, 0, 1)
 		if err != nil {
-			t.Errorf("adversaryFactory(%q): %v", name, err)
+			t.Errorf("adversarySpec(%q): %v", name, err)
+			continue
+		}
+		factory, err := spec.Factory()
+		if err != nil {
+			t.Errorf("Factory(%q): %v", name, err)
 			continue
 		}
 		if factory(1) == nil {
-			t.Errorf("adversaryFactory(%q) built a nil adversary", name)
+			t.Errorf("adversarySpec(%q) built a nil adversary", name)
 		}
 	}
-	if _, err := adversaryFactory("bogus", 0.5, 0, 0, 1); err == nil {
+	if _, err := adversarySpec("bogus", 0.5, 0, 0, 1); err == nil {
 		t.Fatal("bogus adversary accepted")
+	}
+	// Act 0 is the wire "unset" value, so a non-positive -act must be
+	// rejected rather than silently running with full activation.
+	if _, err := adversarySpec("random", 0.5, 0, 0, 0); err == nil {
+		t.Fatal("-act 0 accepted")
 	}
 }
 
@@ -168,5 +181,106 @@ func TestRunSweepJSON(t *testing.T) {
 		if s.Error != "" {
 			t.Fatalf("scenario %s failed: %s", s.Name, s.Error)
 		}
+	}
+}
+
+// TestDryRun: -dry-run prints the expanded grid with fingerprints and runs
+// nothing (it must be instant even for huge budgets).
+func TestDryRun(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(context.Background(), &out, []string{"-sweep", "-dry-run",
+		"-algos", "KnownNNoChirality,UnconsciousExploration", "-sizes", "8,16",
+		"-seeds", "1,2,3", "-landmark", "-1", "-adversary", "random", "-p", "0.5"}); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "12 scenarios") {
+		t.Fatalf("missing grid total:\n%s", text)
+	}
+	if got := strings.Count(text, "fp="); got != 12 {
+		t.Fatalf("%d fingerprints, want 12:\n%s", got, text)
+	}
+	// The parameterized adversary label is part of every grid name.
+	if !strings.Contains(text, "random(p=0.5)") {
+		t.Fatalf("adversary label missing:\n%s", text)
+	}
+	if strings.Contains(text, "outcome") || strings.Contains(text, "rounds=") {
+		t.Fatalf("dry run appears to have executed scenarios:\n%s", text)
+	}
+
+	// Single-scenario mode previews exactly the scenario single-run mode
+	// executes — same seed, same fingerprint (no sweep-style derivation).
+	out.Reset()
+	if err := run(context.Background(), &out, []string{"-dry-run",
+		"-algo", "LandmarkWithChirality", "-n", "12", "-seed", "5"}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "1 scenarios") {
+		t.Fatalf("single dry run:\n%s", out.String())
+	}
+	want, err := (dynring.Scenario{
+		Size: 12, Landmark: 0, Algorithm: "LandmarkWithChirality", Seed: 5,
+		AdversaryLabel: "random(p=0.5)", NewAdversary: dynring.RandomEdgesFactory(0.5),
+	}).Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "fp="+want) {
+		t.Fatalf("single dry-run fingerprint is not the executed scenario's (want %s):\n%s", want, out.String())
+	}
+
+	// Invalid grids still fail fast.
+	if err := run(context.Background(), &out, []string{"-sweep", "-dry-run",
+		"-algos", "Nope", "-sizes", "8"}); err == nil {
+		t.Fatal("dry run accepted an invalid grid")
+	}
+}
+
+// TestServerMode: -sweep -server submits the grid to a ringsimd service and
+// renders the same report shape as local execution.
+func TestServerMode(t *testing.T) {
+	mgr := service.New(service.Options{Workers: 2, CacheSize: 64})
+	defer mgr.Close()
+	srv := httptest.NewServer(service.NewHandler(mgr))
+	defer srv.Close()
+
+	args := []string{"-sweep", "-algos", "KnownNNoChirality", "-sizes", "6,8",
+		"-seeds", "1,2", "-landmark", "-1", "-adversary", "random", "-p", "0.4"}
+	var remote bytes.Buffer
+	if err := run(context.Background(), &remote, append(args, "-server", srv.URL)); err != nil {
+		t.Fatal(err)
+	}
+	text := remote.String()
+	if !strings.Contains(text, "submitted sw-") {
+		t.Fatalf("no submission line:\n%s", text)
+	}
+	if !strings.Contains(text, "4 of 4 scenarios") {
+		t.Fatalf("missing completion summary:\n%s", text)
+	}
+	// Two aggregate cells (n=6 and n=8), two seeds each.
+	if !strings.Contains(text, "KnownNNoChirality") || strings.Count(text, "runs=2") != 2 {
+		t.Fatalf("missing aggregate:\n%s", text)
+	}
+
+	// JSON mode decodes to the same document shape as local sweeps.
+	var jsonOut bytes.Buffer
+	if err := run(context.Background(), &jsonOut, append(args, "-server", srv.URL, "-json")); err != nil {
+		t.Fatal(err)
+	}
+	var doc sweepJSON
+	if err := json.Unmarshal(jsonOut.Bytes(), &doc); err != nil {
+		t.Fatalf("%v:\n%s", err, jsonOut.String())
+	}
+	if len(doc.Scenarios) != 4 || len(doc.Aggregate) == 0 {
+		t.Fatalf("remote JSON doc: %+v", doc)
+	}
+
+	// -server without -sweep is rejected; so is an unreachable server.
+	var scratch bytes.Buffer
+	if err := run(context.Background(), &scratch, []string{"-server", srv.URL}); err == nil {
+		t.Fatal("-server accepted without -sweep")
+	}
+	if err := run(context.Background(), &scratch, append(args, "-server", "http://127.0.0.1:1")); err == nil {
+		t.Fatal("unreachable server did not error")
 	}
 }

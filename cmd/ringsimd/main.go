@@ -1,0 +1,87 @@
+// Command ringsimd is the long-running sweep service: it accepts scenario
+// grids over HTTP, schedules them on one shared worker pool (fair
+// round-robin between jobs), and serves results from a content-addressed
+// cache keyed by Scenario.Fingerprint, so repeated or overlapping grids
+// skip recomputation entirely.
+//
+// Usage:
+//
+//	ringsimd -addr :8080 -workers 8 -cache 4096
+//
+// API (see internal/service and the dynring.Client type):
+//
+//	POST   /v1/sweeps               submit a SweepSpec
+//	GET    /v1/sweeps/{id}          job status
+//	GET    /v1/sweeps/{id}/results  NDJSON results in grid order
+//	DELETE /v1/sweeps/{id}          cancel
+//	GET    /healthz, /statsz        liveness and counters
+//
+// SIGINT/SIGTERM trigger a graceful shutdown: jobs are cancelled, streams
+// settle, and in-flight responses drain within -drain.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"dynring/internal/service"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Stdout, os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "ringsimd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, out io.Writer, args []string) error {
+	fs := flag.NewFlagSet("ringsimd", flag.ContinueOnError)
+	var (
+		addr      = fs.String("addr", ":8080", "listen address")
+		workers   = fs.Int("workers", 0, "shared worker pool size (0 = NumCPU)")
+		cacheSize = fs.Int("cache", 4096, "result cache capacity in entries (0 disables)")
+		history   = fs.Int("job-history", 0, "settled jobs retained for queries (0 = default 1024)")
+		drain     = fs.Duration("drain", 5*time.Second, "graceful shutdown timeout")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	mgr := service.New(service.Options{Workers: *workers, CacheSize: *cacheSize, JobHistory: *history})
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		mgr.Close()
+		return err
+	}
+	fmt.Fprintf(out, "ringsimd listening on http://%s (workers=%d cache=%d)\n",
+		ln.Addr(), mgr.Workers(), *cacheSize)
+
+	srv := &http.Server{Handler: service.NewHandler(mgr)}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		mgr.Close()
+		return err
+	case <-ctx.Done():
+	}
+
+	// Cancel jobs first so streaming handlers unblock, then drain HTTP.
+	mgr.Close()
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	err = srv.Shutdown(shutdownCtx)
+	fmt.Fprintln(out, "ringsimd: shut down")
+	return err
+}

@@ -1,0 +1,109 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"dynring"
+)
+
+// syncBuffer is a goroutine-safe bytes.Buffer: run() writes from the server
+// goroutine while the test polls.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+func TestRunFlagErrors(t *testing.T) {
+	var out syncBuffer
+	if err := run(context.Background(), &out, []string{"-bogus"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+	if err := run(context.Background(), &out, []string{"-addr", "500.500.500.500:99999"}); err == nil {
+		t.Fatal("unlistenable address accepted")
+	}
+}
+
+// TestBootSubmitShutdown boots the daemon on an ephemeral port, pushes one
+// sweep through the public Client, and exercises graceful shutdown.
+func TestBootSubmitShutdown(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	var out syncBuffer
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, &out, []string{"-addr", "127.0.0.1:0", "-workers", "2", "-cache", "64"})
+	}()
+
+	urlRe := regexp.MustCompile(`listening on (http://[0-9.:]+)`)
+	var base string
+	for deadline := time.Now().Add(10 * time.Second); time.Now().Before(deadline); {
+		if m := urlRe.FindStringSubmatch(out.String()); m != nil {
+			base = m[1]
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if base == "" {
+		t.Fatalf("daemon never announced its address:\n%s", out.String())
+	}
+
+	client := dynring.NewClient(base)
+	spec := dynring.SweepSpec{
+		Base:        dynring.ScenarioSpec{Landmark: 0},
+		Algorithms:  []string{"KnownNNoChirality"},
+		Sizes:       []int{6, 8},
+		Seeds:       []int64{1, 2},
+		Adversaries: []dynring.AdversarySpec{{Kind: "random", P: 0.4}},
+	}
+	results, err := client.RunSweep(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("got %d results", len(results))
+	}
+	for _, r := range results {
+		if r.Err != nil {
+			t.Fatalf("scenario %s: %v", r.Scenario.Name, r.Err)
+		}
+	}
+	stats, err := client.ServiceStats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Executions != 4 || stats.Workers != 2 {
+		t.Fatalf("stats %+v", stats)
+	}
+
+	cancel() // SIGINT equivalent
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("shutdown error: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not shut down")
+	}
+	if !strings.Contains(out.String(), "shut down") {
+		t.Fatalf("no shutdown line:\n%s", out.String())
+	}
+}

@@ -1,0 +1,94 @@
+// Package service is the ringsimd sweep service: a job manager that
+// schedules submitted scenario grids on one shared, bounded worker pool
+// (fair round-robin between jobs), a content-addressed result cache keyed
+// by Scenario.Fingerprint, and the HTTP/JSON API that serves both
+// (see NewHandler and cmd/ringsimd).
+//
+// Cache correctness rests on the public package's determinism contract:
+// a scenario's Fingerprint covers every input that influences its Result,
+// and equal fingerprints imply identical Results — so serving a cached
+// Result is indistinguishable from re-running the scenario.
+package service
+
+import (
+	"container/list"
+	"sync"
+
+	"dynring"
+)
+
+// Cache is a bounded, LRU-evicting map from scenario fingerprints to
+// Results. Only successful Results are stored (the job manager never caches
+// failures: the one nondeterministic failure mode, cancellation, must not
+// poison later runs). Safe for concurrent use.
+type Cache struct {
+	mu       sync.Mutex
+	capacity int
+	ll       *list.List // front = most recently used
+	items    map[string]*list.Element
+	hits     uint64
+	misses   uint64
+}
+
+// cacheEntry is one LRU node.
+type cacheEntry struct {
+	key string
+	res dynring.Result
+}
+
+// NewCache returns a cache bounded to capacity entries. A non-positive
+// capacity disables caching: every Get misses and Put is a no-op.
+func NewCache(capacity int) *Cache {
+	return &Cache{
+		capacity: max(capacity, 0),
+		ll:       list.New(),
+		items:    make(map[string]*list.Element),
+	}
+}
+
+// Get returns the cached Result for key, marking it most recently used.
+func (c *Cache) Get(key string) (dynring.Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return dynring.Result{}, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).res, true
+}
+
+// Put stores res under key, evicting the least recently used entry when the
+// cache is full. Storing an existing key refreshes its recency (the value
+// is identical by the fingerprint contract).
+func (c *Cache) Put(key string, res dynring.Result) {
+	if c.capacity == 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, res: res})
+	if c.ll.Len() > c.capacity {
+		last := c.ll.Back()
+		c.ll.Remove(last)
+		delete(c.items, last.Value.(*cacheEntry).key)
+	}
+}
+
+// Stats snapshots the cache counters.
+func (c *Cache) Stats() dynring.CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return dynring.CacheStats{
+		Size:     c.ll.Len(),
+		Capacity: c.capacity,
+		Hits:     c.hits,
+		Misses:   c.misses,
+	}
+}

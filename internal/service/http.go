@@ -1,0 +1,127 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+
+	"dynring"
+)
+
+// maxSpecBytes bounds a POST /v1/sweeps body.
+const maxSpecBytes = 1 << 20
+
+// NewHandler serves the ringsimd HTTP API on top of a Manager:
+//
+//	POST   /v1/sweeps               submit a dynring.SweepSpec, returns JobStatus (201)
+//	GET    /v1/sweeps/{id}          JobStatus
+//	GET    /v1/sweeps/{id}/results  NDJSON dynring.ResultRow stream in grid order
+//	DELETE /v1/sweeps/{id}          cancel, returns post-cancellation JobStatus
+//	GET    /healthz                 liveness
+//	GET    /statsz                  dynring.ServiceStats (cache + execution counters)
+//
+// The results stream is live — rows are flushed as scenarios settle — and,
+// for a job that ran to completion, byte-identical across repeats and
+// worker counts: rows carry only deterministic fields.
+func NewHandler(m *Manager) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/sweeps", func(w http.ResponseWriter, r *http.Request) {
+		var spec dynring.SweepSpec
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSpecBytes))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&spec); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		j, err := m.Submit(spec)
+		if err != nil {
+			code := http.StatusBadRequest
+			if errors.Is(err, ErrClosed) {
+				code = http.StatusServiceUnavailable
+			}
+			writeError(w, code, err)
+			return
+		}
+		w.Header().Set("Location", "/v1/sweeps/"+j.ID)
+		writeJSON(w, http.StatusCreated, j.Status())
+	})
+
+	mux.HandleFunc("GET /v1/sweeps/{id}", func(w http.ResponseWriter, r *http.Request) {
+		j, ok := m.Job(r.PathValue("id"))
+		if !ok {
+			writeError(w, http.StatusNotFound, errors.New("unknown sweep id"))
+			return
+		}
+		writeJSON(w, http.StatusOK, j.Status())
+	})
+
+	mux.HandleFunc("DELETE /v1/sweeps/{id}", func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		// Hold the job before cancelling: a concurrent Submit may prune the
+		// (then settled) job from the table before we render its status.
+		j, ok := m.Job(id)
+		if !ok {
+			writeError(w, http.StatusNotFound, errors.New("unknown sweep id"))
+			return
+		}
+		m.Cancel(id)
+		writeJSON(w, http.StatusOK, j.Status())
+	})
+
+	mux.HandleFunc("GET /v1/sweeps/{id}/results", func(w http.ResponseWriter, r *http.Request) {
+		j, ok := m.Job(r.PathValue("id"))
+		if !ok {
+			writeError(w, http.StatusNotFound, errors.New("unknown sweep id"))
+			return
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.WriteHeader(http.StatusOK)
+		flusher, _ := w.(http.Flusher)
+		enc := json.NewEncoder(w)
+		for i := 0; i < j.Total(); i++ {
+			row, err := j.WaitRow(r.Context(), i)
+			if err != nil {
+				return // client went away mid-stream
+			}
+			wire := dynring.ResultRow{
+				Index:       i,
+				Name:        j.scenarios[i].Name,
+				Fingerprint: j.fps[i],
+			}
+			if row.Err != nil {
+				wire.Error = row.Err.Error()
+			} else {
+				res := row.Result
+				wire.Result = &res
+			}
+			if err := enc.Encode(wire); err != nil {
+				return
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+	})
+
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+
+	mux.HandleFunc("GET /statsz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, m.Stats())
+	})
+
+	return mux
+}
+
+// writeJSON writes v as a JSON response.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeError writes the service's error document.
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,204 @@
+package service
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"dynring"
+)
+
+// State is a job's lifecycle phase.
+type State int
+
+const (
+	// StateRunning covers a job from submission until every row settles.
+	StateRunning State = iota
+	// StateDone means every scenario finished (ran, or was served from
+	// cache) without the job being cancelled.
+	StateDone
+	// StateCancelled means the job was cancelled; unfinished rows carry
+	// context.Canceled.
+	StateCancelled
+)
+
+// String implements fmt.Stringer with the wire names of JobStatus.State.
+func (s State) String() string {
+	switch s {
+	case StateDone:
+		return "done"
+	case StateCancelled:
+		return "cancelled"
+	default:
+		return "running"
+	}
+}
+
+// Row is one settled scenario of a job.
+type Row struct {
+	// Done marks the row as settled; the remaining fields are meaningless
+	// until it is set.
+	Done bool
+	// Cached reports the result came from the cache rather than a run.
+	Cached bool
+	Result dynring.Result
+	Err    error
+}
+
+// Job is one submitted sweep: the expanded grid plus per-row completion
+// state. The scheduler cursor (next) is owned by the Manager and guarded by
+// its mutex; everything below mu is guarded by mu.
+type Job struct {
+	ID      string
+	created time.Time
+
+	scenarios []dynring.Scenario
+	fps       []string
+
+	// ctx is cancelled by Cancel (or Manager.Close); in-flight runs abort
+	// through it.
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	// next is the index of the first unscheduled scenario. Guarded by the
+	// owning Manager's mutex, not by mu: it is scheduling state.
+	next int
+
+	// onSettle, when set (by the Manager, before the job is queued), is
+	// called exactly once when the job leaves StateRunning. It runs under
+	// mu and must not take the Manager's mutex.
+	onSettle func()
+
+	mu        sync.Mutex
+	cond      *sync.Cond // broadcast on every row settling / state change
+	rows      []Row
+	completed int
+	errors    int
+	hits      int
+	state     State
+}
+
+// newJob builds a job over an expanded grid.
+func newJob(id string, scenarios []dynring.Scenario, fps []string, now time.Time) *Job {
+	ctx, cancel := context.WithCancel(context.Background())
+	j := &Job{
+		ID:        id,
+		created:   now,
+		scenarios: scenarios,
+		fps:       fps,
+		ctx:       ctx,
+		cancel:    cancel,
+		rows:      make([]Row, len(scenarios)),
+	}
+	j.cond = sync.NewCond(&j.mu)
+	return j
+}
+
+// Total is the grid size.
+func (j *Job) Total() int { return len(j.scenarios) }
+
+// setRow settles row i. Late results racing a cancellation are dropped: the
+// first settle wins.
+func (j *Job) setRow(i int, r Row) {
+	r.Done = true
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.rows[i].Done {
+		return
+	}
+	j.rows[i] = r
+	j.completed++
+	if r.Err != nil {
+		j.errors++
+	}
+	if r.Cached {
+		j.hits++
+	}
+	if j.completed == len(j.rows) && j.state == StateRunning {
+		j.state = StateDone
+		if j.onSettle != nil {
+			j.onSettle()
+		}
+	}
+	j.cond.Broadcast()
+}
+
+// markCancelled settles every pending row with context.Canceled and flips
+// the job to StateCancelled. Rows that already settled keep their results —
+// a repeat submission will still hit the cache for them. The job's context
+// is cancelled first by the caller, so in-flight runs abort promptly; their
+// late setRow calls are ignored.
+func (j *Job) markCancelled() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateRunning {
+		return
+	}
+	for i := range j.rows {
+		if !j.rows[i].Done {
+			j.rows[i] = Row{Done: true, Err: context.Canceled}
+			j.completed++
+			j.errors++
+		}
+	}
+	j.state = StateCancelled
+	if j.onSettle != nil {
+		j.onSettle()
+	}
+	j.cond.Broadcast()
+}
+
+// Status snapshots the job.
+func (j *Job) Status() dynring.JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return dynring.JobStatus{
+		ID:        j.ID,
+		State:     j.state.String(),
+		Total:     len(j.rows),
+		Completed: j.completed,
+		Errors:    j.errors,
+		CacheHits: j.hits,
+		Created:   j.created,
+	}
+}
+
+// WaitRow blocks until row i settles (returning it) or ctx is cancelled
+// (returning ctx's error). It is how the streaming results handler walks a
+// job in grid order while it is still executing.
+func (j *Job) WaitRow(ctx context.Context, i int) (Row, error) {
+	stop := context.AfterFunc(ctx, func() {
+		j.mu.Lock()
+		j.cond.Broadcast()
+		j.mu.Unlock()
+	})
+	defer stop()
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	for !j.rows[i].Done {
+		if err := ctx.Err(); err != nil {
+			return Row{}, err
+		}
+		j.cond.Wait()
+	}
+	return j.rows[i], nil
+}
+
+// Wait blocks until the job settles or ctx is cancelled.
+func (j *Job) Wait(ctx context.Context) error {
+	stop := context.AfterFunc(ctx, func() {
+		j.mu.Lock()
+		j.cond.Broadcast()
+		j.mu.Unlock()
+	})
+	defer stop()
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	for j.state == StateRunning {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		j.cond.Wait()
+	}
+	return nil
+}

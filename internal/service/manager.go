@@ -1,0 +1,326 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dynring"
+	"dynring/internal/sweep"
+)
+
+// ErrClosed is returned by Submit after Close.
+var ErrClosed = errors.New("service: manager closed")
+
+// Options configure a Manager.
+type Options struct {
+	// Workers bounds the shared pool all jobs run on; non-positive means
+	// runtime.NumCPU().
+	Workers int
+	// CacheSize bounds the result cache in entries; non-positive disables
+	// caching.
+	CacheSize int
+	// JobHistory bounds how many settled jobs are retained for status and
+	// result queries; when exceeded, the oldest settled jobs are evicted
+	// (their IDs then answer 404). Running jobs are never evicted.
+	// Non-positive means the default of 1024.
+	JobHistory int
+}
+
+// defaultJobHistory is the settled-job retention bound when Options leaves
+// JobHistory unset. Without a bound a long-running service would pin every
+// grid and Result it ever served.
+const defaultJobHistory = 1024
+
+// task is one schedulable unit: scenario i of job j.
+type task struct {
+	j *Job
+	i int
+}
+
+// Manager owns the shared worker pool, the job table and the result cache.
+// Scheduling is fair round-robin at task granularity: the pool cycles
+// through all jobs with unscheduled scenarios, taking one scenario from
+// each in turn, so a huge grid cannot starve a small one submitted after
+// it. Each job has its own context; cancelling a job aborts its in-flight
+// runs and settles its pending rows without disturbing other jobs.
+type Manager struct {
+	workers    int
+	history    int
+	cache      *Cache
+	executions atomic.Uint64
+	settled    atomic.Int64 // retained settled jobs; guards prune scans
+
+	mu     sync.Mutex
+	cond   *sync.Cond // wakes idle workers on submit/close
+	jobs   map[string]*Job
+	order  []*Job // submission order, for settled-job eviction
+	queue  []*Job // jobs with unscheduled scenarios, round-robin ring
+	rr     int    // next queue position to serve
+	nextID int
+	closed bool
+
+	wg sync.WaitGroup
+}
+
+// New starts a manager and its worker pool. Callers must Close it.
+func New(opts Options) *Manager {
+	m := newManager(opts)
+	m.wg.Add(m.workers)
+	for w := 0; w < m.workers; w++ {
+		go func() {
+			defer m.wg.Done()
+			m.work()
+		}()
+	}
+	return m
+}
+
+// newManager builds a manager without starting workers; tests use it to
+// drive the scheduler by hand.
+func newManager(opts Options) *Manager {
+	m := &Manager{
+		workers: sweep.Workers(opts.Workers, 0),
+		history: opts.JobHistory,
+		cache:   NewCache(opts.CacheSize),
+		jobs:    make(map[string]*Job),
+	}
+	if m.history <= 0 {
+		m.history = defaultJobHistory
+	}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+// Workers is the shared pool size.
+func (m *Manager) Workers() int { return m.workers }
+
+// Close cancels every job, stops the workers and waits for them to exit.
+func (m *Manager) Close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		m.wg.Wait()
+		return
+	}
+	m.closed = true
+	m.queue = nil
+	jobs := make([]*Job, 0, len(m.jobs))
+	for _, j := range m.jobs {
+		jobs = append(jobs, j)
+	}
+	m.cond.Broadcast()
+	m.mu.Unlock()
+	for _, j := range jobs {
+		j.cancel()
+		j.markCancelled()
+	}
+	m.wg.Wait()
+}
+
+// Submit expands and fingerprints the grid, registers the job and queues it
+// on the shared pool. Expansion, validation and fingerprint errors are
+// reported here, before anything runs.
+func (m *Manager) Submit(spec dynring.SweepSpec) (*Job, error) {
+	sw, err := spec.Sweep()
+	if err != nil {
+		return nil, err
+	}
+	scenarios, err := sw.Scenarios()
+	if err != nil {
+		return nil, err
+	}
+	fps := make([]string, len(scenarios))
+	for i, sc := range scenarios {
+		if fps[i], err = sc.Fingerprint(); err != nil {
+			return nil, fmt.Errorf("scenario %s: %w", sc.Name, err)
+		}
+	}
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil, ErrClosed
+	}
+	m.nextID++
+	j := newJob(fmt.Sprintf("sw-%d", m.nextID), scenarios, fps, time.Now())
+	j.onSettle = func() { m.settled.Add(1) }
+	m.jobs[j.ID] = j
+	m.order = append(m.order, j)
+	m.pruneLocked()
+	if j.Total() == 0 {
+		// Unreachable through Sweep expansion (empty axes collapse to the
+		// base scenario), but an empty job must never enter the ring.
+		j.state = StateDone
+		m.settled.Add(1)
+	} else {
+		m.queue = append(m.queue, j)
+		m.cond.Broadcast()
+	}
+	return j, nil
+}
+
+// Job looks up a job by ID.
+func (m *Manager) Job(id string) (*Job, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	return j, ok
+}
+
+// Cancel cancels a job: its unscheduled scenarios are dropped from the
+// queue, in-flight runs abort through the job context, and pending rows
+// settle with context.Canceled. Cancelling a settled job is a no-op.
+// Returns false when the ID is unknown.
+func (m *Manager) Cancel(id string) bool {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	if !ok {
+		m.mu.Unlock()
+		return false
+	}
+	m.dequeueLocked(j)
+	m.mu.Unlock()
+
+	j.cancel()
+	j.markCancelled()
+	return true
+}
+
+// pruneLocked evicts the oldest settled jobs beyond the history bound, so
+// the job table (grids + results) cannot grow without limit on a
+// long-running service. Running jobs are always retained. The settled
+// counter makes the common case (under the bound) a single atomic load;
+// the eviction scan only runs when there is something to evict. Callers
+// hold m.mu.
+func (m *Manager) pruneLocked() {
+	if m.settled.Load() <= int64(m.history) {
+		return
+	}
+	keep := m.order[:0]
+	for _, j := range m.order {
+		if m.settled.Load() > int64(m.history) && j.Status().State != "running" {
+			delete(m.jobs, j.ID)
+			m.settled.Add(-1)
+			continue
+		}
+		keep = append(keep, j)
+	}
+	// Zero the tail so evicted jobs are collectable.
+	for i := len(keep); i < len(m.order); i++ {
+		m.order[i] = nil
+	}
+	m.order = keep
+}
+
+// dequeueLocked removes j from the round-robin ring, keeping rr pointing at
+// the same next job. Callers hold m.mu.
+func (m *Manager) dequeueLocked(j *Job) {
+	for i, q := range m.queue {
+		if q == j {
+			m.queue = append(m.queue[:i], m.queue[i+1:]...)
+			if i < m.rr {
+				m.rr--
+			}
+			return
+		}
+	}
+}
+
+// Stats snapshots the service counters.
+func (m *Manager) Stats() dynring.ServiceStats {
+	m.mu.Lock()
+	jobs := make([]*Job, 0, len(m.jobs))
+	for _, j := range m.jobs {
+		jobs = append(jobs, j)
+	}
+	m.mu.Unlock()
+	st := dynring.ServiceStats{
+		Jobs:       len(jobs),
+		Workers:    m.workers,
+		Executions: m.executions.Load(),
+		Cache:      m.cache.Stats(),
+	}
+	for _, j := range jobs {
+		if j.Status().State == "running" {
+			st.ActiveJobs++
+		}
+	}
+	return st
+}
+
+// work is one pool worker: pull the next task in round-robin order, run it,
+// repeat until Close.
+func (m *Manager) work() {
+	for {
+		t, ok := m.nextTask()
+		if !ok {
+			return
+		}
+		m.runTask(t)
+	}
+}
+
+// nextTask blocks until a task is schedulable (or the manager closes) and
+// claims it. Fairness: rr advances past each served job, so consecutive
+// claims cycle through all queued jobs before returning to the first.
+func (m *Manager) nextTask() (task, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for {
+		if m.closed {
+			return task{}, false
+		}
+		if len(m.queue) > 0 {
+			if m.rr >= len(m.queue) {
+				m.rr = 0
+			}
+			j := m.queue[m.rr]
+			i := j.next
+			j.next++
+			if j.next >= j.Total() {
+				// Fully dispatched (not necessarily settled): leave the ring.
+				m.queue = append(m.queue[:m.rr], m.queue[m.rr+1:]...)
+			} else {
+				m.rr++
+			}
+			return task{j: j, i: i}, true
+		}
+		m.cond.Wait()
+	}
+}
+
+// runTask settles one scenario: cache hit, or an actual run whose
+// successful Result is written back to the cache. Failures are never
+// cached — the deterministic ones (validation) are caught at Submit, and
+// cancellation must not poison later submissions.
+//
+// A panicking run (an adversary parameter only checkable at run time, a
+// buggy custom strategy) settles its own row with an error instead of
+// killing the worker — one bad scenario must not take down the daemon and
+// every other client's job.
+func (m *Manager) runTask(t task) {
+	j, i := t.j, t.i
+	defer func() {
+		if r := recover(); r != nil {
+			j.setRow(i, Row{Err: fmt.Errorf("scenario panicked: %v", r)})
+		}
+	}()
+	if j.ctx.Err() != nil {
+		j.setRow(i, Row{Err: j.ctx.Err()})
+		return
+	}
+	fp := j.fps[i]
+	if res, ok := m.cache.Get(fp); ok {
+		j.setRow(i, Row{Cached: true, Result: res})
+		return
+	}
+	m.executions.Add(1)
+	res, err := j.scenarios[i].RunContext(j.ctx)
+	if err == nil {
+		m.cache.Put(fp, res)
+	}
+	j.setRow(i, Row{Result: res, Err: err})
+}

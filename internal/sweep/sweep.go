@@ -107,16 +107,30 @@ func Ordered[T any](ctx context.Context, n, workers int, run func(ctx context.Co
 	return parent.Err()
 }
 
-// DeriveSeed deterministically derives a per-scenario seed from a base seed
-// and the scenario's grid coordinates, using a splitmix64 chain. Equal
-// inputs always give equal outputs — across processes, platforms and worker
-// counts — while differing in any coordinate decorrelates the stream.
-func DeriveSeed(base int64, coords ...int) int64 {
+// SeedFor derives a per-scenario seed from the seed-axis value and the
+// scenario's identity — algorithm name, ring size, adversary label — rather
+// than its grid position. Two grids that contain the same logical scenario
+// therefore assign it the same seed (and hence the same fingerprint and
+// Result) regardless of grid shape, which is what lets overlapping sweeps
+// share content-addressed cache entries.
+func SeedFor(base int64, algorithm string, size int, adversary string) int64 {
 	h := splitmix64(uint64(base))
-	for _, c := range coords {
-		h = splitmix64(h ^ uint64(int64(c)))
-	}
+	h = splitmix64(h ^ hashString(algorithm))
+	h = splitmix64(h ^ uint64(int64(size)))
+	h = splitmix64(h ^ hashString(adversary))
 	return int64(h)
+}
+
+// hashString is FNV-1a, fixed here (not borrowed from hash/fnv) so the seed
+// stream can never drift under us.
+func hashString(s string) uint64 {
+	const offset, prime = 14695981039346656037, 1099511628211
+	h := uint64(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	return h
 }
 
 // splitmix64 is the finalizer of the SplitMix64 generator (Steele, Lea,

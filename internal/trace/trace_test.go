@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
@@ -74,17 +75,82 @@ func TestRenderDiagram(t *testing.T) {
 	}
 }
 
-func TestRenderElision(t *testing.T) {
+// elisionRecorder records n rounds of a lone agent walking a 4-ring.
+func elisionRecorder(rounds int) *Recorder {
 	r := NewRecorder(4)
-	for i := 0; i < 50; i++ {
+	for i := 0; i < rounds; i++ {
 		r.ObserveRound(sim.RoundRecord{Round: i, MissingEdge: sim.NoEdge,
 			Agents: []sim.AgentSnapshot{{Node: i % 4}}})
 	}
-	out := r.RenderString(RenderOptions{Landmark: ring.NoLandmark, MaxRows: 10})
-	if !strings.Contains(out, "rounds elided") {
-		t.Fatalf("missing elision marker:\n%s", out)
+	return r
+}
+
+// TestRenderElision pins the MaxRows contract exactly: ⌊MaxRows/2⌋ head
+// rows, MaxRows−⌊MaxRows/2⌋ tail rows, and one marker counting the elided
+// middle.
+func TestRenderElision(t *testing.T) {
+	const rounds, maxRows = 50, 9
+	out := elisionRecorder(rounds).RenderString(RenderOptions{Landmark: ring.NoLandmark, MaxRows: maxRows})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// 2 header lines + head + marker + tail.
+	const head = maxRows / 2
+	const tail = maxRows - head
+	if want := 2 + head + 1 + tail; len(lines) != want {
+		t.Fatalf("got %d lines, want %d:\n%s", len(lines), want, out)
 	}
-	if got := strings.Count(out, "\n"); got > 14 {
-		t.Fatalf("too many lines (%d):\n%s", got, out)
+	marker := lines[2+head]
+	if want := "... 41 rounds elided ..."; !strings.Contains(marker, want) {
+		t.Fatalf("marker %q lacks %q", marker, want)
+	}
+	if n := strings.Count(out, "elided"); n != 1 {
+		t.Fatalf("%d elision markers, want 1", n)
+	}
+	// Head rows are rounds 0..head-1, tail rows rounds rounds-tail..rounds-1.
+	for i := 0; i < head; i++ {
+		if !strings.HasPrefix(lines[2+i], fmt.Sprintf("%5d |", i)) {
+			t.Fatalf("head row %d is %q", i, lines[2+i])
+		}
+	}
+	for i := 0; i < tail; i++ {
+		want := rounds - tail + i
+		if !strings.HasPrefix(lines[2+head+1+i], fmt.Sprintf("%5d |", want)) {
+			t.Fatalf("tail row %d is %q, want round %d", i, lines[2+head+1+i], want)
+		}
+	}
+}
+
+// TestRenderElisionBoundaries: MaxRows 0 renders everything; a history that
+// fits exactly is never elided.
+func TestRenderElisionBoundaries(t *testing.T) {
+	all := elisionRecorder(12).RenderString(RenderOptions{Landmark: ring.NoLandmark})
+	if strings.Contains(all, "elided") {
+		t.Fatalf("MaxRows 0 elided rows:\n%s", all)
+	}
+	if got := strings.Count(all, "\n"); got != 2+12 {
+		t.Fatalf("MaxRows 0 rendered %d lines", got)
+	}
+	exact := elisionRecorder(12).RenderString(RenderOptions{Landmark: ring.NoLandmark, MaxRows: 12})
+	if strings.Contains(exact, "elided") {
+		t.Fatalf("exact fit elided rows:\n%s", exact)
+	}
+}
+
+// TestRenderHeaderLandmark: the header marks exactly the landmark column,
+// and NoLandmark produces no marker at all.
+func TestRenderHeaderLandmark(t *testing.T) {
+	r := elisionRecorder(1)
+	for lm := 0; lm < 4; lm++ {
+		out := r.RenderString(RenderOptions{Landmark: lm})
+		header := strings.SplitN(out, "\n", 2)[0]
+		if n := strings.Count(header, "*"); n != 1 {
+			t.Fatalf("landmark %d: %d markers in %q", lm, n, header)
+		}
+		if !strings.Contains(header, fmt.Sprintf("* %d", lm)) {
+			t.Fatalf("landmark %d not marked in %q", lm, header)
+		}
+	}
+	out := r.RenderString(RenderOptions{Landmark: ring.NoLandmark})
+	if strings.Contains(strings.SplitN(out, "\n", 2)[0], "*") {
+		t.Fatalf("anonymous ring got a landmark marker:\n%s", out)
 	}
 }

@@ -2,12 +2,20 @@ package dynring
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
 	"fmt"
 
 	"dynring/internal/core"
 	"dynring/internal/ring"
 	"dynring/internal/sim"
 )
+
+// ErrNotFingerprintable is returned by Scenario.Fingerprint for scenarios
+// whose identity cannot be captured as data: custom protocol factories, or
+// an adversary factory without an AdversaryLabel naming it.
+var ErrNotFingerprintable = errors.New("dynring: scenario is not content-addressable")
 
 // AdversaryFactory constructs a fresh adversary for one run. Scenarios carry
 // factories rather than live adversary instances so a scenario value stays
@@ -124,6 +132,9 @@ type resolved struct {
 	orients   []GlobalDir
 	model     Model
 	maxRounds int
+	// params are the normalized knowledge parameters (defaults filled in);
+	// zero for custom protocol factories, which take no knowledge.
+	params core.Params
 }
 
 // resolve validates s and fills in defaults. It is the single source of
@@ -211,6 +222,7 @@ func (s Scenario) resolve(build bool) (resolved, error) {
 		if r.spec.Knowledge == core.KnowExactSize && params.ExactSize != s.Size {
 			return r, fmt.Errorf("%w: %s needs the exact ring size", ErrRequirement, r.spec.Name)
 		}
+		r.params = params
 		if build {
 			protos, err := core.Build(r.spec.Name, agents, params)
 			if err != nil {
@@ -260,6 +272,62 @@ func (s Scenario) algoLabel() string {
 func (s Scenario) Validate() error {
 	_, err := s.resolve(false)
 	return err
+}
+
+// fingerprintVersion tags the canonical encoding hashed by Fingerprint.
+// Bump it whenever the encoding — or anything that changes a Result for the
+// same encoded inputs, such as engine semantics — changes, so stale caches
+// can never serve results computed under different rules.
+const fingerprintVersion = "dynring/scenario/v1"
+
+// Fingerprint returns a canonical 128-bit content hash (32 hex characters)
+// of everything that determines the scenario's Result. By the determinism
+// guarantee — adversaries rebuilt from Seed, per-scenario sweep seeds
+// derived from the scenario's identity (never its grid position), wall-clock
+// excluded from Result — two scenarios with equal fingerprints produce
+// identical Results, which is what makes the fingerprint safe as a
+// result-cache key (see the ringsimd service).
+//
+// The hash covers the *resolved* scenario, so spelling a default explicitly
+// (UpperBound equal to Size, Starts at even spacing, Model at the
+// algorithm's first regime, MaxRounds at DefaultBudget) does not change the
+// fingerprint. Name and Observer are excluded: neither affects the Result.
+//
+// Dynamics are identified by AdversaryLabel plus Seed, not by the factory
+// function itself, so the label must name the strategy and all its
+// parameters; labels produced by AdversarySpec.Label and sweep expansion
+// satisfy this. A scenario with a NewAdversary but no label, or with a
+// NewProtocols factory, is rejected with ErrNotFingerprintable; validation
+// failures surface like in Validate.
+func (s Scenario) Fingerprint() (string, error) {
+	if s.NewProtocols != nil {
+		return "", fmt.Errorf("%w: NewProtocols factories have no canonical encoding", ErrNotFingerprintable)
+	}
+	if s.NewAdversary != nil && s.AdversaryLabel == "" {
+		return "", fmt.Errorf("%w: adversary factory without AdversaryLabel", ErrNotFingerprintable)
+	}
+	r, err := s.resolve(false)
+	if err != nil {
+		return "", err
+	}
+	// A nil adversary is encoded as "adv=-", outside the "adv=<len>:<label>"
+	// value space, so no label (not even a literal "nil" or "none") can
+	// collide with adversary absence.
+	adv := "-"
+	if s.NewAdversary != nil {
+		adv = fmt.Sprintf("%d:%s", len(s.AdversaryLabel), s.AdversaryLabel)
+	}
+	h := sha256.New()
+	// Variable-length strings are length-prefixed so field boundaries stay
+	// unambiguous; everything else is fixed-form text.
+	fmt.Fprintf(h, "%s\n", fingerprintVersion)
+	fmt.Fprintf(h, "size=%d landmark=%d algo=%d:%s model=%d ub=%d es=%d\n",
+		s.Size, s.Landmark, len(r.spec.Name), r.spec.Name, int(r.model),
+		r.params.UpperBound, r.params.ExactSize)
+	fmt.Fprintf(h, "starts=%v orients=%v\n", r.starts, r.orients)
+	fmt.Fprintf(h, "adv=%s seed=%d max=%d stop=%t fair=%d cycles=%t\n",
+		adv, s.Seed, r.maxRounds, s.StopWhenExplored, s.FairnessBound, s.DetectCycles)
+	return hex.EncodeToString(h.Sum(nil)[:16]), nil
 }
 
 // newWorld assembles a World from a resolved scenario, constructing a fresh

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Runs the sweep-service benchmarks (cache-hit vs cache-miss throughput)
+# and emits BENCH_service.json so the perf trajectory is machine-readable.
+#
+#   scripts/bench_service.sh [output.json]
+#   BENCHTIME=20x scripts/bench_service.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_service.json}"
+TMP="$(mktemp)"
+trap 'rm -f "$TMP"' EXIT
+
+go test -run '^$' -bench 'BenchmarkServiceSweep' -benchtime "${BENCHTIME:-10x}" \
+  ./internal/service | tee "$TMP"
+
+# Parse `BenchmarkName-8  N  T ns/op  M unit  ...` lines into JSON.
+awk '
+BEGIN { print "{"; print "  \"suite\": \"service\","; print "  \"benchmarks\": [" ; n = 0 }
+/^Benchmark/ {
+  name = $1; sub(/-[0-9]+$/, "", name)
+  if (n++) printf ",\n"
+  printf "    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", name, $2, $3
+  for (i = 5; i < NF; i += 2) printf ", \"%s\": %s", $(i + 1), $i
+  printf "}"
+}
+END { print "\n  ]"; print "}" }
+' "$TMP" >"$OUT"
+
+echo "wrote $OUT"

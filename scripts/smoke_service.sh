@@ -1,0 +1,79 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for the ringsimd sweep service, as run by CI:
+# build, boot, submit a grid over HTTP, poll to completion, resubmit the
+# identical grid, and assert (a) the repeat is served entirely from cache
+# (zero new executions) and (b) both NDJSON result streams are
+# byte-identical. Needs only bash, curl and the go toolchain.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+ADDR="${RINGSIMD_ADDR:-127.0.0.1:18080}"
+BASE="http://$ADDR"
+WORKDIR="$(mktemp -d)"
+SERVER_PID=""
+trap 'kill "${SERVER_PID:-}" 2>/dev/null || true; rm -rf "$WORKDIR"' EXIT
+
+# json_field FILE FIELD: extract a scalar JSON field without jq.
+json_field() {
+  sed -nE 's/.*"'"$2"'":[[:space:]]*"?([^",}]*)"?.*/\1/p' "$1" | head -n1
+}
+
+echo "== build"
+go build -o "$WORKDIR/ringsimd" ./cmd/ringsimd
+
+echo "== boot on $ADDR"
+"$WORKDIR/ringsimd" -addr "$ADDR" -workers 4 -cache 1024 >"$WORKDIR/server.log" 2>&1 &
+SERVER_PID=$!
+for _ in $(seq 100); do
+  if curl -fsS "$BASE/healthz" >/dev/null 2>&1; then break; fi
+  sleep 0.1
+done
+curl -fsS "$BASE/healthz" >/dev/null
+
+SPEC='{"base":{"size":8,"landmark":0,"algorithm":"LandmarkWithChirality","adversary":{"kind":"random","p":0.5}},"algorithms":["KnownNNoChirality","LandmarkWithChirality"],"sizes":[6,8],"seeds":[1,2,3]}'
+
+submit_and_wait() { # out: job id on stdout
+  curl -fsS -X POST "$BASE/v1/sweeps" -H 'Content-Type: application/json' \
+    -d "$SPEC" >"$WORKDIR/job.json"
+  local id state
+  id="$(json_field "$WORKDIR/job.json" id)"
+  [ -n "$id" ] || { echo "no job id in $(cat "$WORKDIR/job.json")" >&2; exit 1; }
+  for _ in $(seq 300); do
+    curl -fsS "$BASE/v1/sweeps/$id" >"$WORKDIR/status.json"
+    state="$(json_field "$WORKDIR/status.json" state)"
+    if [ "$state" != running ]; then break; fi
+    sleep 0.1
+  done
+  [ "$state" = done ] || { echo "job $id ended in state '$state'" >&2; exit 1; }
+  echo "$id"
+}
+
+echo "== first submission"
+ID1="$(submit_and_wait)"
+curl -fsS "$BASE/v1/sweeps/$ID1/results" >"$WORKDIR/run1.ndjson"
+curl -fsS "$BASE/statsz" >"$WORKDIR/stats1.json"
+EXEC1="$(json_field "$WORKDIR/stats1.json" executions)"
+TOTAL="$(json_field "$WORKDIR/job.json" total)"
+echo "job $ID1: $TOTAL scenarios, $EXEC1 executions"
+[ "$EXEC1" = "$TOTAL" ] || { echo "first run executed $EXEC1 of $TOTAL" >&2; exit 1; }
+
+echo "== repeat submission (must be all cache hits)"
+ID2="$(submit_and_wait)"
+curl -fsS "$BASE/v1/sweeps/$ID2/results" >"$WORKDIR/run2.ndjson"
+curl -fsS "$BASE/statsz" >"$WORKDIR/stats2.json"
+EXEC2="$(json_field "$WORKDIR/stats2.json" executions)"
+[ "$EXEC2" = "$EXEC1" ] || { echo "repeat executed $((EXEC2 - EXEC1)) scenarios" >&2; exit 1; }
+CACHE_HITS="$(sed -nE 's/.*"hits":[[:space:]]*([0-9]+).*/\1/p' "$WORKDIR/stats2.json" | head -n1)"
+[ "$CACHE_HITS" = "$TOTAL" ] || { echo "cache hits $CACHE_HITS != $TOTAL" >&2; exit 1; }
+
+echo "== streams byte-identical"
+cmp "$WORKDIR/run1.ndjson" "$WORKDIR/run2.ndjson" || {
+  echo "result streams differ" >&2; exit 1
+}
+
+echo "== graceful shutdown"
+kill -TERM "$SERVER_PID"
+wait "$SERVER_PID" || true
+grep -q "shut down" "$WORKDIR/server.log" || { cat "$WORKDIR/server.log" >&2; exit 1; }
+
+echo "smoke OK: $TOTAL scenarios, repeat served from cache, streams identical"

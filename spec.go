@@ -1,0 +1,277 @@
+package dynring
+
+import (
+	"fmt"
+	"strings"
+)
+
+// This file defines the serializable counterparts of Scenario and Sweep.
+// Scenario and Sweep carry function fields (adversary factories, protocol
+// constructors) and therefore cannot cross a process boundary; the *Spec
+// types describe the same grids as plain JSON-encodable data. They are the
+// wire format of the ringsimd service (see Client and internal/service) and
+// the input format of cmd/ringsim's -server mode.
+//
+// A spec names its adversary by kind and parameters, and the derived
+// AdversarySpec.Label encodes every parameter — so two scenarios whose
+// dynamics differ in any way also differ in AdversaryLabel, which is what
+// keeps Scenario.Fingerprint sound as a cache key.
+
+// AdversarySpec is the serializable description of a built-in adversary.
+// Kind selects the strategy; the remaining fields parameterize it and are
+// ignored by kinds that do not use them.
+type AdversarySpec struct {
+	// Kind is one of: none, random, greedy, frontier, pin, persistent,
+	// prevent.
+	Kind string `json:"kind"`
+	// P is the edge-removal probability for Kind "random".
+	P float64 `json:"p,omitempty"`
+	// Edge is the removed edge for Kind "persistent".
+	Edge int `json:"edge,omitempty"`
+	// Pin is the targeted agent for Kind "pin".
+	Pin int `json:"pin,omitempty"`
+	// Act, when in (0,1), wraps the strategy in RandomActivation with that
+	// activation probability (SSYNC models). 0 or 1 leaves every agent
+	// active in every round.
+	Act float64 `json:"act,omitempty"`
+}
+
+// Label renders the spec as a canonical, parameter-bearing name. It keys
+// aggregation cells and — via Scenario.AdversaryLabel — feeds
+// Scenario.Fingerprint, so it must (and does) encode every parameter that
+// changes the dynamics.
+func (a AdversarySpec) Label() string {
+	var l string
+	switch a.Kind {
+	case "random":
+		l = fmt.Sprintf("random(p=%g)", a.P)
+	case "pin":
+		l = fmt.Sprintf("pin(%d)", a.Pin)
+	case "persistent":
+		l = fmt.Sprintf("persistent(%d)", a.Edge)
+	default:
+		l = a.Kind
+	}
+	if a.Act > 0 && a.Act < 1 {
+		l = fmt.Sprintf("act(%g)+%s", a.Act, l)
+	}
+	return l
+}
+
+// Factory builds the adversary factory the spec describes. Seeded strategies
+// consume the per-scenario seed; the stateless proof strategies ignore it.
+// Parameters that can only be range-checked against a concrete scenario
+// (Pin vs agent count, Edge vs ring size) are validated for sign here; the
+// ringsimd service additionally isolates any run-time fault to its own
+// scenario row.
+func (a AdversarySpec) Factory() (AdversaryFactory, error) {
+	if a.Pin < 0 {
+		return nil, fmt.Errorf("dynring: adversary pin %d is negative", a.Pin)
+	}
+	if a.Edge < 0 {
+		return nil, fmt.Errorf("dynring: adversary edge %d is negative", a.Edge)
+	}
+	// 0 is the JSON zero value ("unset": full activation), 1 is explicit
+	// full activation. Anything outside [0,1] is rejected rather than
+	// silently running fully active — that would invert the dynamics.
+	if a.Act < 0 || a.Act > 1 {
+		return nil, fmt.Errorf("dynring: adversary act %g outside [0,1]", a.Act)
+	}
+	var base AdversaryFactory
+	switch a.Kind {
+	case "none":
+		base = Fixed(NoAdversary())
+	case "random":
+		base = RandomEdgesFactory(a.P)
+	case "greedy":
+		base = Fixed(GreedyBlocking())
+	case "frontier":
+		base = Fixed(FrontierGuarding())
+	case "pin":
+		base = Fixed(PinAgent(a.Pin))
+	case "persistent":
+		base = Fixed(KeepEdgeRemoved(a.Edge))
+	case "prevent":
+		base = Fixed(PreventMeetings())
+	default:
+		return nil, fmt.Errorf("dynring: unknown adversary kind %q", a.Kind)
+	}
+	if a.Act > 0 && a.Act < 1 {
+		return RandomActivationFactory(a.Act, base), nil
+	}
+	return base, nil
+}
+
+// ScenarioSpec is the serializable subset of Scenario: everything except
+// the function-valued escape hatches (NewProtocols, a custom NewAdversary,
+// Observer). See Scenario for field semantics; zero values mean "use the
+// algorithm's default" exactly as there.
+type ScenarioSpec struct {
+	Name      string `json:"name,omitempty"`
+	Size      int    `json:"size"`
+	Landmark  int    `json:"landmark"`
+	Algorithm string `json:"algorithm"`
+	// Model is "", "default", "fsync", "ssync-ns", "ssync-pt" or "ssync-et".
+	Model      string `json:"model,omitempty"`
+	UpperBound int    `json:"upper_bound,omitempty"`
+	ExactSize  int    `json:"exact_size,omitempty"`
+	Starts     []int  `json:"starts,omitempty"`
+	// Orients are "cw"/"ccw" strings.
+	Orients []string `json:"orients,omitempty"`
+	// Adversary describes the dynamics; nil means an always-connected ring.
+	Adversary        *AdversarySpec `json:"adversary,omitempty"`
+	Seed             int64          `json:"seed,omitempty"`
+	MaxRounds        int            `json:"max_rounds,omitempty"`
+	StopWhenExplored bool           `json:"stop_when_explored,omitempty"`
+	FairnessBound    int            `json:"fairness_bound,omitempty"`
+	DetectCycles     bool           `json:"detect_cycles,omitempty"`
+}
+
+// ParseModel converts a wire model name to a Model. The empty string and
+// "default" map to ModelDefault.
+func ParseModel(s string) (Model, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "default":
+		return ModelDefault, nil
+	case "fsync":
+		return FSync, nil
+	case "ssync-ns", "ssync/ns":
+		return SSyncNS, nil
+	case "ssync-pt", "ssync/pt":
+		return SSyncPT, nil
+	case "ssync-et", "ssync/et":
+		return SSyncET, nil
+	default:
+		return ModelDefault, fmt.Errorf("dynring: unknown model %q", s)
+	}
+}
+
+// ParseOrient converts "cw"/"ccw" to a GlobalDir.
+func ParseOrient(s string) (GlobalDir, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "cw":
+		return CW, nil
+	case "ccw":
+		return CCW, nil
+	default:
+		return 0, fmt.Errorf("dynring: orientation %q (want cw or ccw)", s)
+	}
+}
+
+// Scenario materializes the spec into a runnable Scenario, constructing the
+// adversary factory and filling AdversaryLabel with the spec's Label.
+func (sp ScenarioSpec) Scenario() (Scenario, error) {
+	model, err := ParseModel(sp.Model)
+	if err != nil {
+		return Scenario{}, err
+	}
+	var orients []GlobalDir
+	if sp.Orients != nil {
+		orients = make([]GlobalDir, len(sp.Orients))
+		for i, o := range sp.Orients {
+			if orients[i], err = ParseOrient(o); err != nil {
+				return Scenario{}, err
+			}
+		}
+	}
+	sc := Scenario{
+		Name:             sp.Name,
+		Size:             sp.Size,
+		Landmark:         sp.Landmark,
+		Algorithm:        sp.Algorithm,
+		Model:            model,
+		UpperBound:       sp.UpperBound,
+		ExactSize:        sp.ExactSize,
+		Starts:           sp.Starts,
+		Orients:          orients,
+		Seed:             sp.Seed,
+		MaxRounds:        sp.MaxRounds,
+		StopWhenExplored: sp.StopWhenExplored,
+		FairnessBound:    sp.FairnessBound,
+		DetectCycles:     sp.DetectCycles,
+	}
+	if sp.Adversary != nil {
+		if sc.NewAdversary, err = sp.Adversary.Factory(); err != nil {
+			return Scenario{}, err
+		}
+		sc.AdversaryLabel = sp.Adversary.Label()
+	}
+	return sc, nil
+}
+
+// Spec converts the scenario's data fields to wire form, the inverse of
+// ScenarioSpec.Scenario. Function-valued fields cannot cross the wire:
+// dynamics must be described by an AdversarySpec (in the spec's Adversary
+// field or a SweepSpec's adversary axis), so a scenario carrying a live
+// NewAdversary or NewProtocols factory is rejected rather than silently
+// stripped of its dynamics.
+func (s Scenario) Spec() (ScenarioSpec, error) {
+	if s.NewProtocols != nil {
+		return ScenarioSpec{}, fmt.Errorf("%w: NewProtocols factories have no wire form", ErrNotFingerprintable)
+	}
+	if s.NewAdversary != nil {
+		return ScenarioSpec{}, fmt.Errorf("%w: describe the dynamics as an AdversarySpec instead of a live factory", ErrNotFingerprintable)
+	}
+	sp := ScenarioSpec{
+		Name:             s.Name,
+		Size:             s.Size,
+		Landmark:         s.Landmark,
+		Algorithm:        s.Algorithm,
+		UpperBound:       s.UpperBound,
+		ExactSize:        s.ExactSize,
+		Starts:           s.Starts,
+		Seed:             s.Seed,
+		MaxRounds:        s.MaxRounds,
+		StopWhenExplored: s.StopWhenExplored,
+		FairnessBound:    s.FairnessBound,
+		DetectCycles:     s.DetectCycles,
+	}
+	if s.Model != ModelDefault {
+		// Model.String names ("FSYNC", "SSYNC/NS", ...) round-trip through
+		// ParseModel, which is case-insensitive and accepts the "/" forms.
+		sp.Model = strings.ToLower(s.Model.String())
+	}
+	for _, o := range s.Orients {
+		if o == CW {
+			sp.Orients = append(sp.Orients, "cw")
+		} else {
+			sp.Orients = append(sp.Orients, "ccw")
+		}
+	}
+	return sp, nil
+}
+
+// SweepSpec is the serializable counterpart of Sweep: a base scenario spec
+// plus the grid axes. It deliberately has no worker knob — local callers set
+// Sweep.Workers after conversion, and the ringsimd service schedules every
+// job on one shared pool.
+type SweepSpec struct {
+	Base        ScenarioSpec    `json:"base"`
+	Algorithms  []string        `json:"algorithms,omitempty"`
+	Sizes       []int           `json:"sizes,omitempty"`
+	Seeds       []int64         `json:"seeds,omitempty"`
+	Adversaries []AdversarySpec `json:"adversaries,omitempty"`
+}
+
+// Sweep materializes the spec. Axis expansion and validation still happen in
+// Sweep.Scenarios, so an invalid grid is reported there, not here.
+func (sp SweepSpec) Sweep() (Sweep, error) {
+	base, err := sp.Base.Scenario()
+	if err != nil {
+		return Sweep{}, err
+	}
+	sw := Sweep{
+		Base:       base,
+		Algorithms: sp.Algorithms,
+		Sizes:      sp.Sizes,
+		Seeds:      sp.Seeds,
+	}
+	for _, as := range sp.Adversaries {
+		f, err := as.Factory()
+		if err != nil {
+			return Sweep{}, err
+		}
+		sw.Adversaries = append(sw.Adversaries, SweepAdversary{Name: as.Label(), New: f})
+	}
+	return sw, nil
+}

@@ -1,0 +1,231 @@
+package dynring_test
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"dynring"
+)
+
+func TestAdversarySpecLabels(t *testing.T) {
+	tests := []struct {
+		spec dynring.AdversarySpec
+		want string
+	}{
+		{dynring.AdversarySpec{Kind: "none"}, "none"},
+		{dynring.AdversarySpec{Kind: "greedy"}, "greedy"},
+		{dynring.AdversarySpec{Kind: "random", P: 0.5}, "random(p=0.5)"},
+		{dynring.AdversarySpec{Kind: "random", P: 0.25}, "random(p=0.25)"},
+		{dynring.AdversarySpec{Kind: "pin", Pin: 1}, "pin(1)"},
+		{dynring.AdversarySpec{Kind: "persistent", Edge: 3}, "persistent(3)"},
+		{dynring.AdversarySpec{Kind: "frontier", Act: 0.6}, "act(0.6)+frontier"},
+		{dynring.AdversarySpec{Kind: "random", P: 0.4, Act: 1}, "random(p=0.4)"},
+	}
+	for _, tt := range tests {
+		if got := tt.spec.Label(); got != tt.want {
+			t.Errorf("Label(%+v) = %q, want %q", tt.spec, got, tt.want)
+		}
+	}
+	// Labels must separate parameterizations: same kind, different params.
+	a := dynring.AdversarySpec{Kind: "random", P: 0.4}.Label()
+	b := dynring.AdversarySpec{Kind: "random", P: 0.5}.Label()
+	if a == b {
+		t.Fatalf("labels collide across parameters: %q", a)
+	}
+}
+
+func TestAdversarySpecFactory(t *testing.T) {
+	for _, kind := range []string{"none", "random", "greedy", "frontier", "pin", "persistent", "prevent"} {
+		f, err := dynring.AdversarySpec{Kind: kind, P: 0.5}.Factory()
+		if err != nil {
+			t.Fatalf("Factory(%q): %v", kind, err)
+		}
+		if f(1) == nil {
+			t.Fatalf("Factory(%q) built a nil adversary", kind)
+		}
+	}
+	if _, err := (dynring.AdversarySpec{Kind: "bogus"}).Factory(); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+	// Act in (0,1) wraps in RandomActivation (distinct instance type is not
+	// observable; at least exercise the path).
+	f, err := dynring.AdversarySpec{Kind: "greedy", Act: 0.5}.Factory()
+	if err != nil || f(7) == nil {
+		t.Fatalf("activation wrap: %v", err)
+	}
+}
+
+func TestScenarioSpecScenario(t *testing.T) {
+	sp := dynring.ScenarioSpec{
+		Size:      8,
+		Landmark:  dynring.NoLandmark,
+		Algorithm: "KnownNNoChirality",
+		Model:     "fsync",
+		Starts:    []int{0, 1},
+		Orients:   []string{"cw", "CCW"},
+		Adversary: &dynring.AdversarySpec{Kind: "random", P: 0.3},
+		Seed:      42,
+	}
+	sc, err := sp.Scenario()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Model != dynring.FSync || sc.Orients[1] != dynring.CCW {
+		t.Fatalf("conversion wrong: %+v", sc)
+	}
+	if sc.AdversaryLabel != "random(p=0.3)" || sc.NewAdversary == nil {
+		t.Fatalf("adversary not materialized: label=%q", sc.AdversaryLabel)
+	}
+	if err := sc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, bad := range []dynring.ScenarioSpec{
+		{Size: 8, Algorithm: "KnownNNoChirality", Model: "warp"},
+		{Size: 8, Algorithm: "KnownNNoChirality", Orients: []string{"up"}},
+		{Size: 8, Algorithm: "KnownNNoChirality", Adversary: &dynring.AdversarySpec{Kind: "bogus"}},
+	} {
+		if _, err := bad.Scenario(); err == nil {
+			t.Fatalf("bad spec accepted: %+v", bad)
+		}
+	}
+}
+
+// TestSweepSpecRoundTrip: a spec survives JSON and expands to the same grid
+// as the hand-built Sweep it mirrors.
+func TestSweepSpecRoundTrip(t *testing.T) {
+	spec := dynring.SweepSpec{
+		Base:        dynring.ScenarioSpec{Landmark: 0},
+		Algorithms:  []string{"LandmarkWithChirality"},
+		Sizes:       []int{6, 9},
+		Seeds:       []int64{1, 2, 3},
+		Adversaries: []dynring.AdversarySpec{{Kind: "greedy"}, {Kind: "random", P: 0.4}},
+	}
+	buf, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back dynring.SweepSpec
+	if err := json.Unmarshal(buf, &back); err != nil {
+		t.Fatal(err)
+	}
+	sw1, err := spec.Sweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw2, err := back.Sweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g1, err := sw1.Scenarios()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := sw2.Scenarios()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g1) != 12 || len(g2) != 12 {
+		t.Fatalf("grid sizes %d, %d", len(g1), len(g2))
+	}
+	for i := range g1 {
+		f1, err1 := g1[i].Fingerprint()
+		f2, err2 := g2[i].Fingerprint()
+		if err1 != nil || err2 != nil {
+			t.Fatalf("fingerprints: %v, %v", err1, err2)
+		}
+		if f1 != f2 {
+			t.Fatalf("scenario %d fingerprint drifts across JSON round trip", i)
+		}
+		if g1[i].Name != g2[i].Name {
+			t.Fatalf("scenario %d names: %q vs %q", i, g1[i].Name, g2[i].Name)
+		}
+	}
+}
+
+func TestParseModel(t *testing.T) {
+	for give, want := range map[string]dynring.Model{
+		"":         dynring.ModelDefault,
+		"default":  dynring.ModelDefault,
+		"fsync":    dynring.FSync,
+		"FSYNC":    dynring.FSync,
+		"ssync-ns": dynring.SSyncNS,
+		"ssync/pt": dynring.SSyncPT,
+		"ssync-et": dynring.SSyncET,
+	} {
+		got, err := dynring.ParseModel(give)
+		if err != nil || got != want {
+			t.Errorf("ParseModel(%q) = %v, %v", give, got, err)
+		}
+	}
+	if _, err := dynring.ParseModel("warp"); err == nil || !strings.Contains(err.Error(), "warp") {
+		t.Fatalf("ParseModel(warp) err = %v", err)
+	}
+}
+
+// TestScenarioSpecInverse: Scenario.Spec round-trips through
+// ScenarioSpec.Scenario for every data field, and refuses scenarios whose
+// identity is function-valued.
+func TestScenarioSpecInverse(t *testing.T) {
+	orig := dynring.Scenario{
+		Name:             "x",
+		Size:             8,
+		Landmark:         dynring.NoLandmark,
+		Algorithm:        "KnownNNoChirality",
+		Model:            dynring.SSyncPT,
+		UpperBound:       9,
+		ExactSize:        8,
+		Starts:           []int{0, 1},
+		Orients:          []dynring.GlobalDir{dynring.CW, dynring.CCW},
+		Seed:             42,
+		MaxRounds:        77,
+		StopWhenExplored: true,
+		FairnessBound:    3,
+		DetectCycles:     true,
+	}
+	sp, err := orig.Spec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := sp.Scenario()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(orig, back) {
+		t.Fatalf("round trip diverges:\n%+v\n%+v", orig, back)
+	}
+
+	withFactory := orig
+	withFactory.NewAdversary = dynring.RandomEdgesFactory(0.5)
+	if _, err := withFactory.Spec(); err == nil {
+		t.Fatal("live factory serialized")
+	}
+	withProtos := orig
+	withProtos.NewProtocols = func() ([]dynring.Protocol, error) { return nil, nil }
+	if _, err := withProtos.Spec(); err == nil {
+		t.Fatal("protocol factory serialized")
+	}
+}
+
+// TestAdversarySpecParameterValidation: wire specs reject parameters the
+// CLI also rejects — no silent full-activation fallback on the HTTP path.
+func TestAdversarySpecParameterValidation(t *testing.T) {
+	for _, bad := range []dynring.AdversarySpec{
+		{Kind: "random", P: 0.5, Act: 1.5},
+		{Kind: "random", P: 0.5, Act: -0.1},
+		{Kind: "pin", Pin: -1},
+		{Kind: "persistent", Edge: -2},
+	} {
+		if _, err := bad.Factory(); err == nil {
+			t.Fatalf("accepted %+v", bad)
+		}
+	}
+	// 0 (unset) and 1 (explicit full activation) are both valid.
+	for _, act := range []float64{0, 1} {
+		if _, err := (dynring.AdversarySpec{Kind: "greedy", Act: act}).Factory(); err != nil {
+			t.Fatalf("act=%g rejected: %v", act, err)
+		}
+	}
+}

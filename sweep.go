@@ -22,10 +22,13 @@ type SweepAdversary struct {
 // own value, so a Sweep with no axes set runs the base scenario once.
 //
 // Execution is deterministic: each scenario derives its own seed from the
-// seed-axis value and its grid coordinates, adversaries are built fresh per
-// run, and results stream in grid order — so two sweeps of the same grid
+// seed-axis value and its identity (algorithm, size, adversary label) —
+// never from its grid position — adversaries are built fresh per run, and
+// results stream in grid order. Two sweeps of the same grid therefore
 // produce identical results (and identical Aggregate output) regardless of
-// the worker count.
+// worker count, and two *overlapping* grids assign their shared scenarios
+// identical seeds and fingerprints, so a ringsimd cache serves the overlap
+// without recomputation.
 type Sweep struct {
 	// Base is the scenario template. Its Observer is dropped during
 	// expansion: one observer shared across concurrent runs would race.
@@ -74,27 +77,30 @@ func (s Sweep) Scenarios() ([]Scenario, error) {
 	advs := s.Adversaries
 	if len(advs) == 0 {
 		label := s.Base.AdversaryLabel
-		if label == "" {
-			if s.Base.NewAdversary == nil {
-				label = "static"
-			} else {
-				label = "base"
-			}
+		if label == "" && s.Base.NewAdversary == nil {
+			// The absence of dynamics is canonical, so it may be named.
+			// A custom unlabeled factory must NOT be given an invented
+			// label ("base"): two different factories would then expand to
+			// identical AdversaryLabels and hence identical Fingerprints,
+			// letting a fingerprint-keyed cache serve one factory's Results
+			// for the other. Leaving the label empty keeps such scenarios
+			// runnable but not content-addressable (ErrNotFingerprintable).
+			label = "static"
 		}
 		advs = []SweepAdversary{{Name: label, New: s.Base.NewAdversary}}
 	}
 
 	out := make([]Scenario, 0, len(algos)*len(sizes)*len(advs)*len(seeds))
-	for ai, algo := range algos {
-		for si, size := range sizes {
-			for vi, adv := range advs {
+	for _, algo := range algos {
+		for _, size := range sizes {
+			for _, adv := range advs {
 				for _, seed := range seeds {
 					sc := s.Base
 					sc.Algorithm = algo
 					sc.Size = size
 					sc.NewAdversary = adv.New
 					sc.AdversaryLabel = adv.Name
-					sc.Seed = sweep.DeriveSeed(seed, ai, si, vi)
+					sc.Seed = sweep.SeedFor(seed, algo, size, adv.Name)
 					sc.Observer = nil
 					sc.Name = fmt.Sprintf("%s/n=%d/%s/seed=%d", algo, size, adv.Name, seed)
 					if err := sc.Validate(); err != nil {
@@ -108,12 +114,29 @@ func (s Sweep) Scenarios() ([]Scenario, error) {
 	return out, nil
 }
 
+// ScenarioRunner executes one expanded scenario of a sweep. It is the
+// job-level hook of StreamFunc: implementations can wrap
+// Scenario.RunContext with caching, instrumentation or remote dispatch.
+type ScenarioRunner func(ctx context.Context, sc Scenario) (Result, error)
+
 // Stream expands the grid and executes it on a bounded worker pool,
 // delivering results on the returned channel in grid order. The channel is
 // closed when the grid is exhausted or ctx is cancelled; scenarios cancelled
 // mid-run surface with Err == ctx.Err(), scenarios never started are simply
 // not delivered. Expansion errors are reported up front, before any run.
 func (s Sweep) Stream(ctx context.Context) (<-chan SweepResult, error) {
+	return s.StreamFunc(ctx, func(ctx context.Context, sc Scenario) (Result, error) {
+		return sc.RunContext(ctx)
+	})
+}
+
+// StreamFunc is Stream with a caller-supplied runner: every expanded
+// scenario is executed through run instead of Scenario.RunContext, keeping
+// the grid expansion, worker pool and ordered delivery. It is the hook for
+// interposing a result cache (the contract the ringsimd service builds on:
+// scenarios with equal Fingerprints may share a Result), metrics, or any
+// other per-run middleware. run must be safe for concurrent use.
+func (s Sweep) StreamFunc(ctx context.Context, run ScenarioRunner) (<-chan SweepResult, error) {
 	scenarios, err := s.Scenarios()
 	if err != nil {
 		return nil, err
@@ -124,7 +147,7 @@ func (s Sweep) Stream(ctx context.Context) (<-chan SweepResult, error) {
 		_ = sweep.Ordered(ctx, len(scenarios), s.Workers,
 			func(ctx context.Context, i int) SweepResult {
 				start := time.Now()
-				res, err := scenarios[i].RunContext(ctx)
+				res, err := run(ctx, scenarios[i])
 				return SweepResult{
 					Index:    i,
 					Scenario: scenarios[i],
@@ -177,7 +200,9 @@ type AggRow struct {
 	// Runs counts scenarios in the cell; Errors those that failed.
 	Runs   int
 	Errors int
-	// Outcomes counts finished runs per outcome label.
+	// Outcomes counts finished runs per outcome label. Aggregate guarantees
+	// it is non-nil for every row — empty, not nil, when every run in the
+	// cell errored — so JSON consumers always see an object.
 	Outcomes map[string]int
 	// Explored counts runs that achieved full coverage.
 	Explored int

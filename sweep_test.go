@@ -6,6 +6,8 @@ import (
 	"errors"
 	"reflect"
 	"runtime"
+	"strings"
+	"sync/atomic"
 	"testing"
 
 	"dynring"
@@ -20,6 +22,7 @@ func acceptanceSweep(workers int) dynring.Sweep {
 		Base: dynring.Scenario{
 			Landmark:         0,
 			StopWhenExplored: true,
+			AdversaryLabel:   "random(p=0.4)",
 			NewAdversary:     dynring.RandomEdgesFactory(0.4),
 		},
 		Algorithms: []string{
@@ -44,7 +47,7 @@ func TestSweepScenarios(t *testing.T) {
 	if len(scs) != 200 {
 		t.Fatalf("grid has %d scenarios, want 200", len(scs))
 	}
-	if scs[0].Name != "KnownNNoChirality/n=6/base/seed=1" {
+	if scs[0].Name != "KnownNNoChirality/n=6/random(p=0.4)/seed=1" {
 		t.Fatalf("unexpected first label %q", scs[0].Name)
 	}
 	again, err := acceptanceSweep(1).Scenarios()
@@ -208,5 +211,144 @@ func TestAggregate(t *testing.T) {
 	}
 	if b.Outcomes["explored"] != 1 {
 		t.Fatalf("row 1 outcomes wrong: %+v", b.Outcomes)
+	}
+}
+
+// TestAggregateErrorOnlyCell: a cell in which every run failed must still
+// produce a consistent row — non-nil (empty) Outcomes, zeroed means, and
+// Errors == Runs — so downstream encoders always see the same shape.
+func TestAggregateErrorOnlyCell(t *testing.T) {
+	boom := errors.New("boom")
+	results := []dynring.SweepResult{
+		{Scenario: dynring.Scenario{Algorithm: "A", Size: 8, AdversaryLabel: "x"}, Err: boom},
+		{Scenario: dynring.Scenario{Algorithm: "A", Size: 8, AdversaryLabel: "x"}, Err: boom},
+		{Scenario: dynring.Scenario{Algorithm: "B", Size: 8, AdversaryLabel: "x"},
+			Result: dynring.Result{Outcome: dynring.OutcomeAllTerminated, Rounds: 3}},
+	}
+	rows := dynring.Aggregate(results)
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	errRow := rows[0]
+	if errRow.Key.Algorithm != "A" {
+		t.Fatalf("rows not sorted: %+v", rows)
+	}
+	if errRow.Runs != 2 || errRow.Errors != 2 {
+		t.Fatalf("error-only cell counts: %+v", errRow)
+	}
+	if errRow.Outcomes == nil {
+		t.Fatal("error-only cell has a nil Outcomes map")
+	}
+	if len(errRow.Outcomes) != 0 {
+		t.Fatalf("error-only cell has outcomes: %v", errRow.Outcomes)
+	}
+	if errRow.MeanRounds != 0 || errRow.MaxRounds != 0 || errRow.MeanMoves != 0 {
+		t.Fatalf("error-only cell has non-zero stats: %+v", errRow)
+	}
+	// JSON consumers see an object, never null.
+	buf, err := json.Marshal(errRow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(buf), `"Outcomes":{}`) {
+		t.Fatalf("Outcomes marshals as %s", buf)
+	}
+	// And the row still renders.
+	if s := errRow.String(); !strings.Contains(s, "errors=2") {
+		t.Fatalf("String() = %q", s)
+	}
+}
+
+// TestSweepStreamFunc: the job hook executes every expanded scenario through
+// the supplied runner, preserving grid order and per-scenario identity.
+func TestSweepStreamFunc(t *testing.T) {
+	sw := dynring.Sweep{
+		Base:    dynring.Scenario{Landmark: 0, Algorithm: "LandmarkWithChirality"},
+		Sizes:   []int{6, 8},
+		Seeds:   []int64{1, 2, 3},
+		Workers: 4,
+	}
+	var calls atomic.Int64
+	ch, err := sw.StreamFunc(context.Background(),
+		func(_ context.Context, sc dynring.Scenario) (dynring.Result, error) {
+			calls.Add(1)
+			// A deterministic stand-in result tagged with the scenario size,
+			// as a cache or remote executor would produce.
+			return dynring.Result{Rounds: sc.Size}, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []dynring.SweepResult
+	for r := range ch {
+		got = append(got, r)
+	}
+	if len(got) != 6 || calls.Load() != 6 {
+		t.Fatalf("%d results, %d calls", len(got), calls.Load())
+	}
+	for i, r := range got {
+		if r.Index != i {
+			t.Fatalf("result %d has index %d", i, r.Index)
+		}
+		if r.Err != nil || r.Result.Rounds != r.Scenario.Size {
+			t.Fatalf("runner result not threaded through: %+v", r)
+		}
+	}
+}
+
+// TestSweepStreamFuncRunnerError: runner failures surface per scenario like
+// engine failures, without stopping the grid.
+func TestSweepStreamFuncRunnerError(t *testing.T) {
+	sw := dynring.Sweep{
+		Base:  dynring.Scenario{Size: 8, Landmark: 0, Algorithm: "LandmarkWithChirality"},
+		Seeds: []int64{1, 2},
+	}
+	boom := errors.New("runner exploded")
+	ch, err := sw.StreamFunc(context.Background(),
+		func(_ context.Context, sc dynring.Scenario) (dynring.Result, error) {
+			if strings.HasSuffix(sc.Name, "seed=1") {
+				return dynring.Result{}, boom
+			}
+			return dynring.Result{Rounds: 1}, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var errs, oks int
+	for r := range ch {
+		if r.Err != nil {
+			errs++
+		} else {
+			oks++
+		}
+	}
+	if errs != 1 || oks != 1 {
+		t.Fatalf("errs=%d oks=%d", errs, oks)
+	}
+}
+
+// TestSweepUnlabeledFactoryNotFingerprintable: expansion must never invent
+// a label for a custom unlabeled factory — two different factories would
+// collide on AdversaryLabel and hence on Fingerprint, poisoning any
+// fingerprint-keyed cache. Such scenarios stay runnable but refuse to be
+// content-addressed.
+func TestSweepUnlabeledFactoryNotFingerprintable(t *testing.T) {
+	scs, err := dynring.Sweep{
+		Base: dynring.Scenario{
+			Size: 8, Landmark: 0, Algorithm: "LandmarkWithChirality",
+			NewAdversary: dynring.Fixed(dynring.GreedyBlocking()), // no label
+		},
+	}.Scenarios()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scs[0].AdversaryLabel != "" {
+		t.Fatalf("expansion invented label %q for an unlabeled factory", scs[0].AdversaryLabel)
+	}
+	if _, err := scs[0].Fingerprint(); !errors.Is(err, dynring.ErrNotFingerprintable) {
+		t.Fatalf("unlabeled expanded scenario fingerprinted: %v", err)
+	}
+	if _, err := scs[0].Run(); err != nil {
+		t.Fatalf("unlabeled scenario must still run: %v", err)
 	}
 }
