@@ -43,7 +43,9 @@ func mustRows(b *testing.B, f func() ([]expt.Row, error)) []expt.Row {
 }
 
 // BenchmarkEngine_Step measures raw simulator throughput: one SSYNC/PT round
-// with three agents on a 64-node ring under a random adversary.
+// with three agents on a 64-node ring under a random adversary. The reported
+// allocs/op are the adversary's own (Activate building its id slice); the
+// engine contributes zero — see BenchmarkEngine_StepFSync.
 func BenchmarkEngine_Step(b *testing.B) {
 	newWorld := func(seed int64) *dynring.World {
 		w, err := dynring.Scenario{
@@ -60,6 +62,7 @@ func BenchmarkEngine_Step(b *testing.B) {
 		return w
 	}
 	w := newWorld(1)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := w.Step(); err != nil {
@@ -69,6 +72,87 @@ func BenchmarkEngine_Step(b *testing.B) {
 			b.StartTimer()
 		}
 	}
+}
+
+// BenchmarkEngine_StepFSync is the zero-allocation contract, benchmarked:
+// the FSYNC steady state of World.Step must report 0 allocs/op (enforced as
+// a hard gate by TestScenarioStepZeroAllocSteadyState and the engine-level
+// TestStepZeroAllocSteadyState).
+func BenchmarkEngine_StepFSync(b *testing.B) {
+	w, err := dynring.Scenario{
+		Size:      64,
+		Landmark:  dynring.NoLandmark,
+		Algorithm: "UnconsciousExploration",
+		Model:     dynring.FSync,
+	}.NewWorld()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := w.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// runnerBatch is the scenario mix the Runner benchmarks execute per
+// iteration: mixed algorithms and sizes, so world Reset always crosses
+// configurations (the Runner's worst case for reuse).
+func runnerBatch(b *testing.B) []dynring.Scenario {
+	b.Helper()
+	sw := dynring.Sweep{
+		Base: dynring.Scenario{
+			Landmark:       0,
+			AdversaryLabel: "random(p=0.4)",
+			NewAdversary:   dynring.RandomEdgesFactory(0.4),
+		},
+		Algorithms: []string{"KnownNNoChirality", "LandmarkWithChirality"},
+		Sizes:      []int{8, 16, 32},
+		Seeds:      []int64{1, 2},
+	}
+	scs, err := sw.Scenarios()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return scs
+}
+
+// BenchmarkRunner_Batched measures back-to-back scenario execution through
+// one Runner (the sweep/service worker path: worlds Reset in place, rings
+// cached); compare against BenchmarkRunner_Fresh for the reuse dividend.
+func BenchmarkRunner_Batched(b *testing.B) {
+	scs := runnerBatch(b)
+	r := dynring.NewRunner()
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, sc := range scs {
+			if _, err := r.Run(ctx, sc); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportMetric(float64(len(scs)), "scenarios/op")
+}
+
+// BenchmarkRunner_Fresh is the unbatched baseline: the same scenario mix,
+// each run building its world from scratch.
+func BenchmarkRunner_Fresh(b *testing.B) {
+	scs := runnerBatch(b)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, sc := range scs {
+			if _, err := sc.RunContext(ctx); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportMetric(float64(len(scs)), "scenarios/op")
 }
 
 // BenchmarkSweep measures batch throughput of the concurrent executor: a
@@ -90,6 +174,7 @@ func BenchmarkSweep(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		results, err := sw.Run(context.Background())

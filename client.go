@@ -39,12 +39,21 @@ type JobStatus struct {
 // whether by running, cache hit, or cancellation).
 func (s JobStatus) Done() bool { return s.State != "running" }
 
+// StreamAbortedIndex is the Index of the terminal error row the service
+// appends when a results stream dies before delivering every row (e.g. the
+// request's context expired server-side). Data rows are numbered from 0, so
+// the sentinel can never collide with one. A stream that ends without
+// either all rows or this sentinel was truncated in transit.
+const StreamAbortedIndex = -1
+
 // ResultRow is one line of a job's NDJSON result stream, in grid order.
 // Every field is a deterministic function of the scenario, so the stream of
 // a completed job is byte-identical across repeats and worker counts; in
 // particular there is deliberately no cache/wall-time field here — those
 // live in JobStatus and ServiceStats.
 type ResultRow struct {
+	// Index is the row's grid position, or StreamAbortedIndex on the
+	// terminal row of an aborted stream.
 	Index       int    `json:"index"`
 	Name        string `json:"name"`
 	Fingerprint string `json:"fingerprint"`
@@ -56,11 +65,13 @@ type ResultRow struct {
 
 // CacheStats snapshots the service's result cache.
 type CacheStats struct {
-	// Size and Capacity count entries; Capacity 0 means the cache is
-	// disabled.
+	// Size and Capacity count entries. Capacity 0 means the cache is
+	// disabled (ringsimd -cache 0): lookups short-circuit, so Hits and
+	// Misses both stay 0 — "caching off", not a 0% hit rate.
 	Size     int `json:"size"`
 	Capacity int `json:"capacity"`
-	// Hits and Misses count Get outcomes since startup.
+	// Hits and Misses count Get outcomes since startup; on a disabled
+	// cache neither counter ever advances.
 	Hits   uint64 `json:"hits"`
 	Misses uint64 `json:"misses"`
 }
@@ -186,7 +197,17 @@ func (c *Client) ServiceStats(ctx context.Context) (ServiceStats, error) {
 // row as each becomes available; it blocks until the job settles, ctx is
 // cancelled, or fn returns an error (which aborts the stream and is
 // returned).
+//
+// Truncation is an error, never silence: the expected row count is fetched
+// from the job's status up front, a terminal StreamAbortedIndex row from
+// the server surfaces as its error, and a stream that ends short of the
+// full grid without one (connection cut, proxy timeout) is rejected too.
+// fn is never invoked for the terminal sentinel row.
 func (c *Client) StreamResults(ctx context.Context, id string, fn func(ResultRow) error) error {
+	st, err := c.SweepStatus(ctx, id)
+	if err != nil {
+		return err
+	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/sweeps/"+id+"/results", nil)
 	if err != nil {
 		return err
@@ -201,6 +222,7 @@ func (c *Client) StreamResults(ctx context.Context, id string, fn func(ResultRow
 	}
 	sc := bufio.NewScanner(resp.Body)
 	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	rows := 0
 	for sc.Scan() {
 		line := bytes.TrimSpace(sc.Bytes())
 		if len(line) == 0 {
@@ -210,11 +232,24 @@ func (c *Client) StreamResults(ctx context.Context, id string, fn func(ResultRow
 		if err := json.Unmarshal(line, &row); err != nil {
 			return fmt.Errorf("dynring: bad result row: %w", err)
 		}
+		if row.Index < 0 {
+			if row.Error != "" {
+				return fmt.Errorf("dynring: server aborted result stream after %d/%d rows: %s", rows, st.Total, row.Error)
+			}
+			return fmt.Errorf("dynring: server aborted result stream after %d/%d rows", rows, st.Total)
+		}
+		rows++
 		if err := fn(row); err != nil {
 			return err
 		}
 	}
-	return sc.Err()
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if rows < st.Total {
+		return fmt.Errorf("dynring: result stream truncated: got %d of %d rows", rows, st.Total)
+	}
+	return nil
 }
 
 // RunSweep submits the grid, waits for every result, and returns them in

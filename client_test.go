@@ -3,8 +3,10 @@ package dynring_test
 import (
 	"context"
 	"errors"
+	"net/http"
 	"net/http/httptest"
 	"reflect"
+	"strings"
 	"testing"
 
 	"dynring"
@@ -158,5 +160,55 @@ func TestClientErrors(t *testing.T) {
 	}
 	if after.State != "cancelled" && after.State != "done" {
 		t.Fatalf("state after cancel %q", after.State)
+	}
+}
+
+// TestClientRejectsTruncatedStream: a results stream that ends short of the
+// full grid — whether with the server's terminal error row or with nothing
+// at all (connection cut by a proxy) — must surface as an error, never as a
+// quietly complete iteration.
+func TestClientRejectsTruncatedStream(t *testing.T) {
+	row := func(i int) string {
+		return `{"index":` + string(rune('0'+i)) + `,"name":"s","fingerprint":"f"}` + "\n"
+	}
+	cases := []struct {
+		name string
+		body string
+		want string
+	}{
+		{
+			name: "silent truncation",
+			body: row(0) + row(1),
+			want: "truncated",
+		},
+		{
+			name: "terminal abort row",
+			body: row(0) + `{"index":-1,"error":"stream aborted: context canceled"}` + "\n",
+			want: "stream aborted",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			mux := http.NewServeMux()
+			mux.HandleFunc("GET /v1/sweeps/j1", func(w http.ResponseWriter, r *http.Request) {
+				_, _ = w.Write([]byte(`{"id":"j1","state":"running","total":3}`))
+			})
+			mux.HandleFunc("GET /v1/sweeps/j1/results", func(w http.ResponseWriter, r *http.Request) {
+				w.Header().Set("Content-Type", "application/x-ndjson")
+				_, _ = w.Write([]byte(tc.body))
+			})
+			srv := httptest.NewServer(mux)
+			defer srv.Close()
+
+			rows := 0
+			err := dynring.NewClient(srv.URL).StreamResults(context.Background(), "j1",
+				func(dynring.ResultRow) error { rows++; return nil })
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("StreamResults error = %v, want one containing %q", err, tc.want)
+			}
+			if rows > 2 {
+				t.Fatalf("fn saw %d rows, terminal row must not be delivered", rows)
+			}
+		})
 	}
 }

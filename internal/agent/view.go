@@ -88,6 +88,11 @@ type View struct {
 	Failed bool
 }
 
+// Reset zeroes the view in place. The engine keeps one scratch View per
+// World and resets it before each Look instead of allocating a fresh
+// snapshot, which is part of the simulator's zero-allocation round contract.
+func (v *View) Reset() { *v = View{} }
+
 // OthersOnPort returns the number of other agents on the port in direction d.
 func (v View) OthersOnPort(d Dir) int {
 	switch d {

@@ -46,8 +46,29 @@ func NewCache(capacity int) *Cache {
 	}
 }
 
-// Get returns the cached Result for key, marking it most recently used.
+// copyResult deep-copies a Result's slice fields (TerminatedAt, Moves).
+// The cache stores and serves private copies: a Result aliased between the
+// cache and a caller would let any caller that mutates its (apparently
+// owned) slices silently poison every future hit of that fingerprint.
+func copyResult(res dynring.Result) dynring.Result {
+	if res.TerminatedAt != nil {
+		res.TerminatedAt = append([]int(nil), res.TerminatedAt...)
+	}
+	if res.Moves != nil {
+		res.Moves = append([]int(nil), res.Moves...)
+	}
+	return res
+}
+
+// Get returns a private copy of the cached Result for key, marking it most
+// recently used. Callers own the returned value outright; mutating it
+// cannot affect the cache. On a disabled cache (capacity 0) Get returns
+// immediately without touching the hit/miss counters — "caching off" must
+// not masquerade as a 0% hit rate in /statsz.
 func (c *Cache) Get(key string) (dynring.Result, bool) {
+	if c.capacity == 0 {
+		return dynring.Result{}, false
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.items[key]
@@ -57,12 +78,12 @@ func (c *Cache) Get(key string) (dynring.Result, bool) {
 	}
 	c.hits++
 	c.ll.MoveToFront(el)
-	return el.Value.(*cacheEntry).res, true
+	return copyResult(el.Value.(*cacheEntry).res), true
 }
 
-// Put stores res under key, evicting the least recently used entry when the
-// cache is full. Storing an existing key refreshes its recency (the value
-// is identical by the fingerprint contract).
+// Put stores a private copy of res under key, evicting the least recently
+// used entry when the cache is full. Storing an existing key refreshes its
+// recency (the value is identical by the fingerprint contract).
 func (c *Cache) Put(key string, res dynring.Result) {
 	if c.capacity == 0 {
 		return
@@ -73,7 +94,7 @@ func (c *Cache) Put(key string, res dynring.Result) {
 		c.ll.MoveToFront(el)
 		return
 	}
-	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, res: res})
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, res: copyResult(res)})
 	if c.ll.Len() > c.capacity {
 		last := c.ll.Back()
 		c.ll.Remove(last)

@@ -65,6 +65,11 @@ func NewHandler(m *Manager) http.Handler {
 			return
 		}
 		m.Cancel(id)
+		// Render the snapshot taken *after* Cancel returned: Cancel settles
+		// every pending row synchronously, so the response reports the
+		// post-cancellation state ("cancelled", with the cancelled rows in
+		// Completed/Errors) — never the stale pre-cancel one. A job that
+		// settled before the cancel landed reports "done" unchanged.
 		writeJSON(w, http.StatusOK, j.Status())
 	})
 
@@ -81,7 +86,18 @@ func NewHandler(m *Manager) http.Handler {
 		for i := 0; i < j.Total(); i++ {
 			row, err := j.WaitRow(r.Context(), i)
 			if err != nil {
-				return // client went away mid-stream
+				// Aborted mid-stream (request context cancelled — client
+				// disconnect or a server-side deadline). A silent return
+				// would be indistinguishable from a complete stream, so
+				// best-effort emit a terminal error row; its negative index
+				// can never collide with a data row. Clients additionally
+				// guard with a row count (see Client.StreamResults), since
+				// this write is lost when the connection itself is dead.
+				_ = enc.Encode(dynring.ResultRow{
+					Index: dynring.StreamAbortedIndex,
+					Error: "stream aborted: " + err.Error(),
+				})
+				return
 			}
 			wire := dynring.ResultRow{
 				Index:       i,

@@ -252,14 +252,17 @@ func (m *Manager) Stats() dynring.ServiceStats {
 }
 
 // work is one pool worker: pull the next task in round-robin order, run it,
-// repeat until Close.
+// repeat until Close. Each worker owns a Runner, so consecutive scenarios —
+// across jobs — reuse the engine's allocations; a Runner is single-goroutine
+// state and must never be shared between workers.
 func (m *Manager) work() {
+	runner := dynring.NewRunner()
 	for {
 		t, ok := m.nextTask()
 		if !ok {
 			return
 		}
-		m.runTask(t)
+		m.runTask(t, runner)
 	}
 }
 
@@ -300,8 +303,9 @@ func (m *Manager) nextTask() (task, bool) {
 // A panicking run (an adversary parameter only checkable at run time, a
 // buggy custom strategy) settles its own row with an error instead of
 // killing the worker — one bad scenario must not take down the daemon and
-// every other client's job.
-func (m *Manager) runTask(t task) {
+// every other client's job. The runner stays usable after a panic: its next
+// Run fully reinitializes the reused engine state.
+func (m *Manager) runTask(t task, runner *dynring.Runner) {
 	j, i := t.j, t.i
 	defer func() {
 		if r := recover(); r != nil {
@@ -318,7 +322,7 @@ func (m *Manager) runTask(t task) {
 		return
 	}
 	m.executions.Add(1)
-	res, err := j.scenarios[i].RunContext(j.ctx)
+	res, err := runner.Run(j.ctx, j.scenarios[i])
 	if err == nil {
 		m.cache.Put(fp, res)
 	}

@@ -1,0 +1,204 @@
+package service
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"dynring"
+)
+
+// TestCacheDeepCopiesResults: the cache must own its entries outright. A
+// caller mutating the Result it Put (or one it Got) must never alter what
+// the next Get of the same fingerprint returns — an aliased slice here
+// would let one buggy client poison every later cache hit.
+func TestCacheDeepCopiesResults(t *testing.T) {
+	c := NewCache(8)
+	orig := dynring.Result{
+		Rounds:       7,
+		TerminatedAt: []int{3, 5},
+		Moves:        []int{10, 12},
+	}
+	c.Put("k", orig)
+
+	// Mutating the value we stored must not reach the cache.
+	orig.TerminatedAt[0] = -99
+	orig.Moves[1] = -99
+	got1, ok := c.Get("k")
+	if !ok {
+		t.Fatal("missing entry")
+	}
+	if got1.TerminatedAt[0] != 3 || got1.Moves[1] != 12 {
+		t.Fatalf("Put aliased caller slices: %+v", got1)
+	}
+
+	// Mutating the value we read must not reach the cache either.
+	got1.TerminatedAt[1] = -99
+	got1.Moves[0] = -99
+	got2, ok := c.Get("k")
+	if !ok {
+		t.Fatal("missing entry on second Get")
+	}
+	if got2.TerminatedAt[1] != 5 || got2.Moves[0] != 10 {
+		t.Fatalf("Get handed out an aliased slice: %+v", got2)
+	}
+}
+
+// TestDisabledCacheReportsCachingOff: with -cache 0 the Get path
+// short-circuits, so /statsz reports Capacity 0 with both counters at 0
+// ("caching off") instead of a misleading 0% hit rate.
+func TestDisabledCacheReportsCachingOff(t *testing.T) {
+	c := NewCache(0)
+	for i := 0; i < 5; i++ {
+		c.Put("k", dynring.Result{Rounds: i})
+		if _, ok := c.Get("k"); ok {
+			t.Fatal("disabled cache returned a hit")
+		}
+	}
+	st := c.Stats()
+	if st.Capacity != 0 || st.Size != 0 {
+		t.Fatalf("capacity/size = %d/%d, want 0/0", st.Capacity, st.Size)
+	}
+	if st.Hits != 0 || st.Misses != 0 {
+		t.Fatalf("disabled cache counted hits=%d misses=%d, want 0/0", st.Hits, st.Misses)
+	}
+}
+
+// TestStreamAbortEmitsTerminalRow: when the results stream dies before
+// delivering every row, the handler appends a terminal StreamAbortedIndex
+// row so a consumer can tell truncation from completion.
+func TestStreamAbortEmitsTerminalRow(t *testing.T) {
+	// No workers: rows never settle, so WaitRow can only end via the
+	// request context.
+	m := newManager(Options{Workers: 1, CacheSize: 0})
+	j, err := m.Submit(testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // request context already dead: the first WaitRow aborts
+	req := httptest.NewRequest("GET", "/v1/sweeps/"+j.ID+"/results", nil).WithContext(ctx)
+	rec := httptest.NewRecorder()
+	NewHandler(m).ServeHTTP(rec, req)
+
+	sc := bufio.NewScanner(rec.Body)
+	var rows []dynring.ResultRow
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var row dynring.ResultRow
+		if err := json.Unmarshal([]byte(line), &row); err != nil {
+			t.Fatalf("bad row %q: %v", line, err)
+		}
+		rows = append(rows, row)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("got %d rows, want exactly the terminal row", len(rows))
+	}
+	last := rows[0]
+	if last.Index != dynring.StreamAbortedIndex {
+		t.Fatalf("terminal row index = %d, want %d", last.Index, dynring.StreamAbortedIndex)
+	}
+	if !strings.Contains(last.Error, "stream aborted") {
+		t.Fatalf("terminal row error = %q, want a stream-aborted message", last.Error)
+	}
+}
+
+// TestDeleteReturnsPostCancelStatus: the DELETE handler must render the
+// snapshot taken after cancellation settled the job, not the pre-cancel one.
+func TestDeleteReturnsPostCancelStatus(t *testing.T) {
+	// No workers: the job stays fully pending until the cancel settles it.
+	m := newManager(Options{Workers: 1, CacheSize: 0})
+	j, err := m.Submit(testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := j.Status(); st.State != "running" || st.Completed != 0 {
+		t.Fatalf("precondition: job should be running/0 completed, got %+v", st)
+	}
+
+	req := httptest.NewRequest("DELETE", "/v1/sweeps/"+j.ID, nil)
+	rec := httptest.NewRecorder()
+	NewHandler(m).ServeHTTP(rec, req)
+
+	var st dynring.JobStatus
+	if err := json.NewDecoder(rec.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.State != "cancelled" {
+		t.Fatalf("DELETE rendered state %q, want post-cancel \"cancelled\"", st.State)
+	}
+	if st.Completed != st.Total || st.Errors != st.Total {
+		t.Fatalf("DELETE rendered a pre-cancel snapshot: %+v", st)
+	}
+}
+
+// TestConcurrentSubmitStreamRace is the race-detector stress for the
+// batched execution path: many clients submitting overlapping grids and
+// streaming results concurrently against one manager — i.e. one shared
+// pool of per-worker Runners plus the shared result cache. Run with -race.
+func TestConcurrentSubmitStreamRace(t *testing.T) {
+	m := New(Options{Workers: 4, CacheSize: 64})
+	defer m.Close()
+	srv := httptest.NewServer(NewHandler(m))
+	defer srv.Close()
+	client := dynring.NewClient(srv.URL)
+
+	specs := []dynring.SweepSpec{
+		testSpec(),
+		{
+			Base:        dynring.ScenarioSpec{Landmark: 0},
+			Algorithms:  []string{"KnownNNoChirality"},
+			Sizes:       []int{6, 8, 10},
+			Seeds:       []int64{1, 2},
+			Adversaries: []dynring.AdversarySpec{{Kind: "random", P: 0.4}},
+		},
+		{
+			Base:        dynring.ScenarioSpec{Landmark: 0},
+			Algorithms:  []string{"LandmarkWithChirality", "PTLandmarkWithChirality"},
+			Sizes:       []int{6},
+			Seeds:       []int64{1, 2, 3},
+			Adversaries: []dynring.AdversarySpec{{Kind: "greedy"}},
+		},
+	}
+
+	const clients = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for g := 0; g < clients; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			spec := specs[g%len(specs)]
+			ctx := context.Background()
+			st, err := client.SubmitSweep(ctx, spec)
+			if err != nil {
+				errs <- err
+				return
+			}
+			rows := 0
+			if err := client.StreamResults(ctx, st.ID, func(row dynring.ResultRow) error {
+				rows++
+				return nil
+			}); err != nil {
+				errs <- err
+				return
+			}
+			if rows != st.Total {
+				t.Errorf("client %d: streamed %d of %d rows", g, rows, st.Total)
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

@@ -4,12 +4,16 @@ import (
 	"fmt"
 
 	"dynring/internal/agent"
-	"dynring/internal/ring"
 )
 
 // Step executes one round: activation, Look, Compute, adversarial edge
 // removal, port resolution under mutual exclusion, movement, and transport.
 // It returns ErrAllTerminated once no live agent remains.
+//
+// The steady state performs zero heap allocations: all per-round working
+// storage lives in the World's preallocated scratch (see Reset). Only the
+// opt-in paths allocate — an Observer's RoundRecord, and whatever an SSYNC
+// adversary's Activate returns.
 func (w *World) Step() error {
 	if w.AllTerminated() {
 		return ErrAllTerminated
@@ -23,10 +27,10 @@ func (w *World) Step() error {
 
 	// Look + Compute: snapshots are taken before anything changes, so all
 	// active agents observe the same configuration.
-	decisions := make(map[int]agent.Decision, len(active))
+	decisions := w.scratch.decisions
 	for _, id := range active {
-		v := w.viewOf(id)
-		d, stepErr := w.agents[id].proto.Step(v)
+		w.fillView(id, &w.look)
+		d, stepErr := w.agents[id].proto.Step(w.look)
 		if stepErr != nil {
 			return fmt.Errorf("%w: agent %d in round %d: %v", ErrProtocolFault, id, t, stepErr)
 		}
@@ -36,7 +40,7 @@ func (w *World) Step() error {
 
 	// Fix intents and let the adversary pick the missing edge (at most one:
 	// 1-interval connectivity).
-	intents := make([]Intent, 0, len(active))
+	intents := w.scratch.intents[:0]
 	for _, id := range active {
 		intents = append(intents, w.intentOf(id, decisions[id]))
 	}
@@ -53,7 +57,7 @@ func (w *World) Step() error {
 	// that edge now.
 	if w.model == SSyncET && missing != NoEdge {
 		for _, id := range active {
-			a := w.agents[id]
+			a := &w.agents[id]
 			if a.etDebt >= w.fairness && a.onPort && w.ring.Edge(a.node, a.portDir) == missing {
 				missing = NoEdge
 				break
@@ -65,7 +69,7 @@ func (w *World) Step() error {
 	// Resolution phase 1: releases. Agents abandoning their port step into
 	// the node interior before grabs are processed.
 	for _, id := range active {
-		a := w.agents[id]
+		a := &w.agents[id]
 		d := decisions[id]
 		if !a.onPort {
 			continue
@@ -76,15 +80,13 @@ func (w *World) Step() error {
 	}
 
 	// Resolution phase 2: grabs, in mutual exclusion. Ties go to the
-	// lowest id unless a TieBreaker is installed.
-	type portKey struct {
-		node int
-		dir  ring.GlobalDir
-	}
-	requests := make(map[portKey][]int)
-	var order []portKey
+	// lowest id unless a TieBreaker is installed. Requests are collected in
+	// activation (ascending id) order and grouped per port by scanning —
+	// the request count is bounded by the agent count, so the quadratic
+	// scan is cheaper than the map it replaces.
+	reqs := w.scratch.reqs[:0]
 	for _, id := range active {
-		a := w.agents[id]
+		a := &w.agents[id]
 		d := decisions[id]
 		if d.Terminate || d.Dir == agent.NoDir {
 			continue
@@ -93,16 +95,28 @@ func (w *World) Step() error {
 		if a.onPort && a.portDir == g {
 			continue // already positioned; cannot fail
 		}
-		k := portKey{node: a.node, dir: g}
-		if _, seen := requests[k]; !seen {
-			order = append(order, k)
-		}
-		requests[k] = append(requests[k], id)
+		reqs = append(reqs, portReq{id: id, node: a.node, dir: g})
 	}
-	for _, k := range order {
-		contenders := requests[k]
+	for i := range reqs {
+		k := reqs[i]
+		first := true
+		for j := 0; j < i; j++ {
+			if reqs[j].node == k.node && reqs[j].dir == k.dir {
+				first = false // this port was already resolved
+				break
+			}
+		}
+		if !first {
+			continue
+		}
 		if w.portHolder(k.node, k.dir) != -1 {
 			continue // occupied by a sleeper or a keeper: everyone fails
+		}
+		contenders := w.scratch.contenders[:0]
+		for j := i; j < len(reqs); j++ {
+			if reqs[j].node == k.node && reqs[j].dir == k.dir {
+				contenders = append(contenders, reqs[j].id)
+			}
 		}
 		winner := contenders[0]
 		if len(contenders) > 1 && w.tie != nil {
@@ -114,14 +128,14 @@ func (w *World) Step() error {
 				}
 			}
 		}
-		a := w.agents[winner]
+		a := &w.agents[winner]
 		a.onPort = true
 		a.portDir = k.dir
 	}
 
 	// Movement phase for active agents.
 	for _, id := range active {
-		a := w.agents[id]
+		a := &w.agents[id]
 		d := decisions[id]
 		a.failed = false
 		switch {
@@ -150,12 +164,13 @@ func (w *World) Step() error {
 	}
 
 	// Transport / debt accounting for agents sleeping on ports.
-	activeSet := make(map[int]bool, len(active))
+	activeBits := w.scratch.activeBits
 	for _, id := range active {
-		activeSet[id] = true
+		activeBits[id] = true
 	}
-	for id, a := range w.agents {
-		if a.term || activeSet[id] || !a.onPort {
+	for id := range w.agents {
+		a := &w.agents[id]
+		if a.term || activeBits[id] || !a.onPort {
 			continue
 		}
 		present := w.ring.Edge(a.node, a.portDir) != missing
@@ -175,13 +190,18 @@ func (w *World) Step() error {
 		}
 	}
 	for _, id := range active {
+		activeBits[id] = false
 		w.agents[id].etDebt = 0
 	}
 
 	if w.obs != nil {
+		// The record escapes to the observer, which may retain it: hand it
+		// a fresh copy of the activation set, never the scratch.
+		activeCopy := make([]int, len(active))
+		copy(activeCopy, active)
 		w.obs.ObserveRound(RoundRecord{
 			Round:       t,
-			Active:      active,
+			Active:      activeCopy,
 			MissingEdge: missing,
 			Agents:      w.snapshotAll(),
 		})
@@ -191,30 +211,48 @@ func (w *World) Step() error {
 	return nil
 }
 
-// selectActive computes the activation set for round t, applying fairness
-// forcing in SSYNC models.
+// selectActive computes the activation set for round t into the World's
+// scratch, applying fairness forcing in SSYNC models. The returned slice is
+// valid until the next call.
 func (w *World) selectActive(t int) ([]int, error) {
+	act := w.scratch.active[:0]
 	if w.model == FSync || w.adv == nil {
-		return w.liveIDs(), nil
+		for id := range w.agents {
+			if !w.agents[id].term {
+				act = append(act, id)
+			}
+		}
+		return act, nil
 	}
-	ids := sortedUniqueLive(w, w.adv.Activate(t, w))
-	forced := false
-	for id, a := range w.agents {
+
+	// Mark the adversary's picks plus the fairness-forced agents, then
+	// collect the marks in id order: sorted, unique, live — without
+	// allocating.
+	mark := w.scratch.mark
+	for _, id := range w.adv.Activate(t, w) {
+		if id >= 0 && id < len(w.agents) && !w.agents[id].term {
+			mark[id] = true
+		}
+	}
+	for id := range w.agents {
+		a := &w.agents[id]
 		if a.term {
 			continue
 		}
 		starving := t-a.lastSeen > w.fairness
 		etDue := w.model == SSyncET && a.onPort && a.etDebt >= w.fairness
 		if starving || etDue {
-			ids = append(ids, id)
-			forced = true
+			mark[id] = true
 		}
 	}
-	if forced {
-		ids = sortedUniqueLive(w, ids)
+	for id := range w.agents {
+		if mark[id] {
+			act = append(act, id)
+			mark[id] = false
+		}
 	}
-	if len(ids) == 0 {
+	if len(act) == 0 {
 		return nil, fmt.Errorf("%w: round %d", ErrEmptyActivation, t)
 	}
-	return ids, nil
+	return act, nil
 }

@@ -1,0 +1,8 @@
+//go:build !race
+
+package sim
+
+// raceEnabled reports whether the race detector instruments this test
+// binary. The allocation gates are skipped under -race: instrumentation
+// inserts its own heap allocations, which would fail the gates spuriously.
+const raceEnabled = false

@@ -9,12 +9,18 @@
 // by contract, default tie-breaking is by lowest agent id, and adversaries
 // receive explicit access to the world plus the agents' resolved intents, so
 // randomized strategies must carry their own seeded source.
+//
+// The hot path is allocation-free: all per-round working storage lives in
+// preallocated scratch on the World (sized once by Reset), so the steady
+// state of Step performs zero heap allocations. The exceptions are opt-in:
+// an Observer costs one RoundRecord per round, DetectCycles costs one
+// fingerprint string per round, and SSYNC adversaries allocate whatever
+// their Activate implementations allocate.
 package sim
 
 import (
 	"errors"
 	"fmt"
-	"sort"
 	"strings"
 
 	"dynring/internal/agent"
@@ -96,17 +102,21 @@ type Adversary interface {
 	// consulted in FSYNC. The engine filters terminated agents, removes
 	// duplicates and adds agents forced by the fairness monitors; if the
 	// resulting set is empty while live agents remain, the run aborts with
-	// ErrEmptyActivation.
+	// ErrEmptyActivation. The engine only reads the returned slice during
+	// the current round, so implementations may reuse its backing array.
 	Activate(t int, w *World) []int
 
 	// MissingEdge returns the edge absent in round t, or NoEdge. It is
 	// called after the active agents' decisions are fixed and receives
-	// them as intents. Returning an invalid index aborts the run.
+	// them as intents. Returning an invalid index aborts the run. The
+	// intents slice is engine-owned scratch, valid only for the duration
+	// of the call: implementations must copy it to retain it.
 	MissingEdge(t int, w *World, intents []Intent) int
 }
 
 // TieBreaker optionally resolves port contention. contenders is sorted and
-// has at least two entries; the returned id must be one of them.
+// has at least two entries; the returned id must be one of them. The slice
+// is engine-owned scratch, valid only for the duration of the call.
 type TieBreaker interface {
 	BreakTie(t int, w *World, node int, dir ring.GlobalDir, contenders []int) int
 }
@@ -201,11 +211,68 @@ type agentRT struct {
 	etDebt   int // rounds the edge at its port was present while it slept
 }
 
+// portReq is one pending port-grab request: agent id wants the port of node
+// in global direction dir. Requests are collected in activation (ascending
+// id) order, so grouping by (node, dir) preserves the contract that
+// contenders are sorted and the default winner is the lowest id.
+type portReq struct {
+	id   int
+	node int
+	dir  ring.GlobalDir
+}
+
+// scratch is Step's per-round working storage, sized once by Reset so the
+// steady state allocates nothing. Every field is valid only during the round
+// being resolved.
+type scratch struct {
+	active     []int            // activation set, capacity = #agents
+	decisions  []agent.Decision // indexed by agent id; written for active ids only
+	intents    []Intent         // fixed intents handed to the adversary
+	mark       []bool           // per-agent bits for dedup/sort in selectActive
+	activeBits []bool           // per-agent membership bits for transport accounting
+	reqs       []portReq        // port-grab requests in activation order
+	contenders []int            // contenders of the port being resolved
+}
+
+// grow sizes the scratch for m agents, reusing prior capacity. mark and
+// activeBits are maintained all-false between rounds.
+func (s *scratch) grow(m int) {
+	if cap(s.active) < m {
+		s.active = make([]int, 0, m)
+	}
+	s.active = s.active[:0]
+	if len(s.decisions) < m {
+		s.decisions = make([]agent.Decision, m)
+	}
+	if cap(s.intents) < m {
+		s.intents = make([]Intent, 0, m)
+	}
+	s.intents = s.intents[:0]
+	if len(s.mark) < m {
+		s.mark = make([]bool, m)
+	} else {
+		clear(s.mark)
+	}
+	if len(s.activeBits) < m {
+		s.activeBits = make([]bool, m)
+	} else {
+		clear(s.activeBits)
+	}
+	if cap(s.reqs) < m {
+		s.reqs = make([]portReq, 0, m)
+	}
+	s.reqs = s.reqs[:0]
+	if cap(s.contenders) < m {
+		s.contenders = make([]int, 0, m)
+	}
+	s.contenders = s.contenders[:0]
+}
+
 // World is the mutable run state.
 type World struct {
 	ring     *ring.Ring
 	model    Model
-	agents   []*agentRT
+	agents   []agentRT
 	adv      Adversary
 	tie      TieBreaker
 	obs      Observer
@@ -217,55 +284,88 @@ type World struct {
 	visitedCount int
 	exploredAt   int // round after which all nodes had been visited; -1 if not yet
 	termAt       []int
+
+	scratch scratch
+	look    agent.View // reusable Look snapshot filled by fillView
 }
 
 // NewWorld validates cfg and builds the initial configuration. All starting
 // nodes count as visited.
 func NewWorld(cfg Config) (*World, error) {
+	w := &World{}
+	if err := w.Reset(cfg); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// Reset validates cfg and reinitializes w in place to its round-0
+// configuration, reusing w's allocations (visited bitmap, agent table,
+// per-round scratch) whenever their capacity suffices. It is the batched
+// execution hook: a runner that executes scenarios back-to-back keeps one
+// World per worker and Resets it per scenario instead of building a new one.
+// On error the world may be partially modified and must not be stepped; a
+// later successful Reset makes it usable again.
+func (w *World) Reset(cfg Config) error {
 	if cfg.Ring == nil {
-		return nil, fmt.Errorf("%w: nil ring", ErrConfig)
+		return fmt.Errorf("%w: nil ring", ErrConfig)
 	}
 	switch cfg.Model {
 	case FSync, SSyncNS, SSyncPT, SSyncET:
 	default:
-		return nil, fmt.Errorf("%w: unknown model %d", ErrConfig, int(cfg.Model))
+		return fmt.Errorf("%w: unknown model %d", ErrConfig, int(cfg.Model))
 	}
 	m := len(cfg.Starts)
 	if m == 0 {
-		return nil, fmt.Errorf("%w: no agents", ErrConfig)
+		return fmt.Errorf("%w: no agents", ErrConfig)
 	}
 	if len(cfg.Orients) != m || len(cfg.Protocols) != m {
-		return nil, fmt.Errorf("%w: starts/orients/protocols length mismatch (%d/%d/%d)",
+		return fmt.Errorf("%w: starts/orients/protocols length mismatch (%d/%d/%d)",
 			ErrConfig, m, len(cfg.Orients), len(cfg.Protocols))
 	}
 	fair := cfg.FairnessBound
 	if fair <= 0 {
 		fair = DefaultFairnessBound(cfg.Ring.Size())
 	}
-	w := &World{
-		ring:        cfg.Ring,
-		model:       cfg.Model,
-		adv:         cfg.Adversary,
-		tie:         cfg.TieBreak,
-		obs:         cfg.Observer,
-		fairness:    fair,
-		missingEdge: NoEdge,
-		visited:     make([]bool, cfg.Ring.Size()),
-		exploredAt:  -1,
-		termAt:      make([]int, m),
+	n := cfg.Ring.Size()
+
+	w.ring = cfg.Ring
+	w.model = cfg.Model
+	w.adv = cfg.Adversary
+	w.tie = cfg.TieBreak
+	w.obs = cfg.Observer
+	w.fairness = fair
+	w.round = 0
+	w.missingEdge = NoEdge
+	if cap(w.visited) < n {
+		w.visited = make([]bool, n)
+	} else {
+		w.visited = w.visited[:n]
+		clear(w.visited)
 	}
-	w.agents = make([]*agentRT, m)
+	w.visitedCount = 0
+	w.exploredAt = -1
+	if cap(w.termAt) < m {
+		w.termAt = make([]int, m)
+	} else {
+		w.termAt = w.termAt[:m]
+	}
+	if cap(w.agents) < m {
+		w.agents = make([]agentRT, m)
+	} else {
+		w.agents = w.agents[:m]
+	}
 	for i := 0; i < m; i++ {
-		if cfg.Starts[i] < 0 || cfg.Starts[i] >= cfg.Ring.Size() {
-			return nil, fmt.Errorf("%w: agent %d start %d out of range", ErrConfig, i, cfg.Starts[i])
+		if cfg.Starts[i] < 0 || cfg.Starts[i] >= n {
+			return fmt.Errorf("%w: agent %d start %d out of range", ErrConfig, i, cfg.Starts[i])
 		}
 		if cfg.Orients[i] != ring.CW && cfg.Orients[i] != ring.CCW {
-			return nil, fmt.Errorf("%w: agent %d has invalid orientation", ErrConfig, i)
+			return fmt.Errorf("%w: agent %d has invalid orientation", ErrConfig, i)
 		}
 		if cfg.Protocols[i] == nil {
-			return nil, fmt.Errorf("%w: agent %d has nil protocol", ErrConfig, i)
+			return fmt.Errorf("%w: agent %d has nil protocol", ErrConfig, i)
 		}
-		w.agents[i] = &agentRT{
+		w.agents[i] = agentRT{
 			node:     cfg.Starts[i],
 			orient:   cfg.Orients[i],
 			proto:    cfg.Protocols[i],
@@ -274,7 +374,8 @@ func NewWorld(cfg Config) (*World, error) {
 		w.termAt[i] = -1
 		w.visit(cfg.Starts[i])
 	}
-	return w, nil
+	w.scratch.grow(m)
+	return nil
 }
 
 func (w *World) visit(node int) {
@@ -305,7 +406,7 @@ func (w *World) AgentNode(i int) int { return w.agents[i].node }
 // AgentOnPort reports whether agent i sits on a port and, if so, the global
 // direction of that port.
 func (w *World) AgentOnPort(i int) (bool, ring.GlobalDir) {
-	a := w.agents[i]
+	a := &w.agents[i]
 	return a.onPort, a.portDir
 }
 
@@ -327,8 +428,8 @@ func (w *World) AgentLastActive(i int) int { return w.agents[i].lastSeen }
 // TotalMoves returns the sum of all agents' edge traversals.
 func (w *World) TotalMoves() int {
 	total := 0
-	for _, a := range w.agents {
-		total += a.moves
+	for i := range w.agents {
+		total += w.agents[i].moves
 	}
 	return total
 }
@@ -351,8 +452,8 @@ func (w *World) TerminatedRound(i int) int { return w.termAt[i] }
 
 // AllTerminated reports whether every agent has terminated.
 func (w *World) AllTerminated() bool {
-	for _, a := range w.agents {
-		if !a.term {
+	for i := range w.agents {
+		if !w.agents[i].term {
 			return false
 		}
 	}
@@ -361,8 +462,8 @@ func (w *World) AllTerminated() bool {
 
 // AnyTerminated reports whether at least one agent has terminated.
 func (w *World) AnyTerminated() bool {
-	for _, a := range w.agents {
-		if a.term {
+	for i := range w.agents {
+		if w.agents[i].term {
 			return true
 		}
 	}
@@ -391,7 +492,8 @@ func (w *World) toLocal(i int, g ring.GlobalDir) agent.Dir {
 
 // portHolder returns the id of the agent occupying the given port, or -1.
 func (w *World) portHolder(node int, dir ring.GlobalDir) int {
-	for id, a := range w.agents {
+	for id := range w.agents {
+		a := &w.agents[id]
 		if a.onPort && a.node == node && a.portDir == dir {
 			return id
 		}
@@ -399,19 +501,21 @@ func (w *World) portHolder(node int, dir ring.GlobalDir) int {
 	return -1
 }
 
-// viewOf builds agent i's Look snapshot of the current configuration.
-func (w *World) viewOf(i int) agent.View {
-	a := w.agents[i]
-	v := agent.View{
-		AtLandmark: w.ring.IsLandmark(a.node),
-		Moved:      a.moved,
-		Failed:     a.failed,
-	}
+// fillView resets v in place and fills it with agent i's Look snapshot of
+// the current configuration. Step feeds it the World's reusable scratch
+// View; Peek a stack-local one.
+func (w *World) fillView(i int, v *agent.View) {
+	a := &w.agents[i]
+	v.Reset()
+	v.AtLandmark = w.ring.IsLandmark(a.node)
+	v.Moved = a.moved
+	v.Failed = a.failed
 	if a.onPort {
 		v.OnPort = true
 		v.PortDir = w.toLocal(i, a.portDir)
 	}
-	for id, b := range w.agents {
+	for id := range w.agents {
+		b := &w.agents[id]
 		if id == i || b.node != a.node {
 			continue
 		}
@@ -425,7 +529,6 @@ func (w *World) viewOf(i int) agent.View {
 			v.OthersOnRightPort++
 		}
 	}
-	return v
 }
 
 // Peek returns the decision agent i would take if activated right now, by
@@ -436,7 +539,9 @@ func (w *World) Peek(i int) (agent.Decision, error) {
 		return agent.Decision{Terminate: true}, nil
 	}
 	clone := w.agents[i].proto.Clone()
-	d, err := clone.Step(w.viewOf(i))
+	var v agent.View
+	w.fillView(i, &v)
+	d, err := clone.Step(v)
 	if err != nil {
 		return agent.Decision{}, fmt.Errorf("%w: peek agent %d: %v", ErrProtocolFault, i, err)
 	}
@@ -466,7 +571,8 @@ func (w *World) intentOf(i int, d agent.Decision) Intent {
 // adversary, if stateful) supports fingerprints; ok is false otherwise.
 func (w *World) Fingerprint() (sig string, ok bool) {
 	var b strings.Builder
-	for id, a := range w.agents {
+	for id := range w.agents {
+		a := &w.agents[id]
 		fp, good := a.proto.(Fingerprinter)
 		if !good {
 			return "", false
@@ -486,7 +592,8 @@ func (w *World) Fingerprint() (sig string, ok bool) {
 // snapshotAll captures the post-round public state for observers.
 func (w *World) snapshotAll() []AgentSnapshot {
 	out := make([]AgentSnapshot, len(w.agents))
-	for i, a := range w.agents {
+	for i := range w.agents {
+		a := &w.agents[i]
 		out[i] = AgentSnapshot{
 			Node:       a.node,
 			OnPort:     a.onPort,
@@ -496,30 +603,5 @@ func (w *World) snapshotAll() []AgentSnapshot {
 			State:      a.proto.State(),
 		}
 	}
-	return out
-}
-
-// liveIDs returns all non-terminated agent ids in ascending order.
-func (w *World) liveIDs() []int {
-	var ids []int
-	for id, a := range w.agents {
-		if !a.term {
-			ids = append(ids, id)
-		}
-	}
-	return ids
-}
-
-func sortedUniqueLive(w *World, ids []int) []int {
-	seen := make(map[int]bool, len(ids))
-	var out []int
-	for _, id := range ids {
-		if id < 0 || id >= len(w.agents) || w.agents[id].term || seen[id] {
-			continue
-		}
-		seen[id] = true
-		out = append(out, id)
-	}
-	sort.Ints(out)
 	return out
 }

@@ -42,6 +42,21 @@ func Workers(requested, jobs int) int {
 // in-flight jobs are cancelled through a derived context). Ordered returns
 // ctx.Err() of the parent context.
 func Ordered[T any](ctx context.Context, n, workers int, run func(ctx context.Context, i int) T, emit func(i int, v T) bool) error {
+	return OrderedStates(ctx, n, workers,
+		func() struct{} { return struct{}{} },
+		func(ctx context.Context, _ struct{}, i int) T { return run(ctx, i) },
+		emit)
+}
+
+// OrderedStates is Ordered with per-worker state: newState runs once on each
+// worker goroutine and its value is handed to every run that worker
+// executes. It is the batched-execution hook — a state that owns reusable
+// scratch (a simulation world, preallocated buffers) lets consecutive jobs
+// on one worker share allocations without any synchronization, since a
+// worker processes its jobs strictly sequentially. The jobs a worker gets
+// are scheduling-dependent; determinism must come from run's output being
+// independent of which worker (and thus which state) executes it.
+func OrderedStates[S, T any](ctx context.Context, n, workers int, newState func() S, run func(ctx context.Context, st S, i int) T, emit func(i int, v T) bool) error {
 	if n <= 0 {
 		return ctx.Err()
 	}
@@ -61,12 +76,13 @@ func Ordered[T any](ctx context.Context, n, workers int, run func(ctx context.Co
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
+			st := newState()
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n || ctx.Err() != nil {
 					return
 				}
-				v := run(ctx, i)
+				v := run(ctx, st, i)
 				select {
 				case out <- slot{i: i, v: v}:
 				case <-ctx.Done():

@@ -1,0 +1,139 @@
+package dynring_test
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"dynring"
+)
+
+// updateParity regenerates the engine-parity golden file. Run it only when a
+// change is *supposed* to alter engine behaviour (which also requires bumping
+// the scenario fingerprint version so stale caches cannot serve results
+// computed under the old rules):
+//
+//	go test -run TestEngineParityGolden -update-parity .
+var updateParity = flag.Bool("update-parity", false, "rewrite testdata/engine_parity.json")
+
+// parityEntry is one scenario of the golden file: its grid name, its content
+// fingerprint, and the exact Result the engine produced for it.
+type parityEntry struct {
+	Name        string         `json:"name"`
+	Fingerprint string         `json:"fingerprint"`
+	Result      dynring.Result `json:"result"`
+}
+
+// parityScenarios is the corpus the golden file locks down: the full
+// 200-scenario acceptance grid (4 algorithms × 5 sizes × 10 seeds, spanning
+// FSYNC, SSYNC/PT and SSYNC/ET) plus a handful of hand-picked scenarios
+// covering the proof adversaries, SSYNC/NS, and cycle detection.
+func parityScenarios(t testing.TB) []dynring.Scenario {
+	scs, err := acceptanceSweep(0).Scenarios()
+	if err != nil {
+		t.Fatal(err)
+	}
+	extras := []dynring.Scenario{
+		{
+			Name: "extra/greedy-landmark", Size: 16, Landmark: 0,
+			Algorithm: "LandmarkWithChirality", AdversaryLabel: "greedy",
+			NewAdversary: dynring.Fixed(dynring.GreedyBlocking()),
+		},
+		{
+			Name: "extra/frontier-pt", Size: 12, Landmark: dynring.NoLandmark,
+			Algorithm: "PTBoundWithChirality", AdversaryLabel: "frontier-guard",
+			NewAdversary: dynring.Fixed(dynring.FrontierGuarding()),
+		},
+		{
+			Name: "extra/pin-cycle", Size: 8, Landmark: dynring.NoLandmark,
+			Algorithm: "KnownNNoChirality", AdversaryLabel: "pin(0)",
+			NewAdversary: dynring.Fixed(dynring.PinAgent(0)),
+			MaxRounds:    5000, DetectCycles: true,
+		},
+		{
+			Name: "extra/persistent-unconscious", Size: 10, Landmark: dynring.NoLandmark,
+			Algorithm: "UnconsciousExploration", AdversaryLabel: "persistent(3)",
+			NewAdversary:     dynring.Fixed(dynring.KeepEdgeRemoved(3)),
+			StopWhenExplored: true,
+		},
+		{
+			Name: "extra/static-et", Size: 9, Landmark: dynring.NoLandmark,
+			Algorithm: "ETBoundNoChirality", Model: dynring.SSyncET,
+			AdversaryLabel: "random-act(p=0.7)",
+			NewAdversary:   dynring.RandomActivationFactory(0.7, nil),
+			Seed:           99,
+		},
+	}
+	return append(scs, extras...)
+}
+
+// runParity executes the corpus and pairs each scenario with its fingerprint
+// and Result.
+func runParity(t testing.TB) []parityEntry {
+	scenarios := parityScenarios(t)
+	out := make([]parityEntry, len(scenarios))
+	for i, sc := range scenarios {
+		fp, err := sc.Fingerprint()
+		if err != nil {
+			t.Fatalf("fingerprint %s: %v", sc.Name, err)
+		}
+		res, err := sc.Run()
+		if err != nil {
+			t.Fatalf("run %s: %v", sc.Name, err)
+		}
+		out[i] = parityEntry{Name: sc.Name, Fingerprint: fp, Result: res}
+	}
+	return out
+}
+
+// TestEngineParityGolden is the engine-refactor safety net: every scenario of
+// the parity corpus must map its fingerprint to exactly the Result recorded
+// in testdata/engine_parity.json. Any engine change that alters a single
+// field of a single Result fails this test — which is the cache-correctness
+// contract of the ringsimd service (equal fingerprints must imply identical
+// Results across engine versions, or the fingerprint version must be bumped).
+func TestEngineParityGolden(t *testing.T) {
+	path := filepath.Join("testdata", "engine_parity.json")
+	got := runParity(t)
+
+	if *updateParity {
+		buf, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d entries)", path, len(got))
+		return
+	}
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (generate with -update-parity): %v", err)
+	}
+	var want []parityEntry
+	if err := json.Unmarshal(raw, &want); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("corpus has %d entries, golden has %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Fingerprint != want[i].Fingerprint {
+			t.Errorf("%s: fingerprint drifted: %s, golden %s (bump fingerprintVersion if intended)",
+				want[i].Name, got[i].Fingerprint, want[i].Fingerprint)
+			continue
+		}
+		if !reflect.DeepEqual(got[i].Result, want[i].Result) {
+			t.Errorf("%s: Result drifted from golden:\n got  %+v\n want %+v",
+				want[i].Name, got[i].Result, want[i].Result)
+		}
+	}
+}

@@ -1,0 +1,8 @@
+//go:build !race
+
+package dynring_test
+
+// raceEnabled reports whether the race detector instruments this test
+// binary. Allocation gates are skipped under -race, whose instrumentation
+// allocates on its own.
+const raceEnabled = false

@@ -1,0 +1,81 @@
+package dynring
+
+import (
+	"context"
+
+	"dynring/internal/ring"
+	"dynring/internal/sim"
+)
+
+// Runner executes scenarios back-to-back on one goroutine, reusing state
+// that is invariant across runs: the simulation World (its agent table,
+// visited bitmap and per-round scratch are Reset in place instead of
+// reallocated) and the immutable ring topologies, cached per
+// (size, landmark). A sweep worker that runs thousands of scenarios through
+// one Runner therefore allocates per run only what genuinely differs
+// between runs — fresh protocol instances, the adversary, and the Result.
+//
+// Run produces exactly the same Result as Scenario.Run for every scenario:
+// reuse is invisible in the output (the engine parity golden test and the
+// sweep determinism gate both execute through Runners).
+//
+// A Runner is NOT safe for concurrent use; give each worker its own.
+// Sweep.Stream and the ringsimd service do this automatically — reach for
+// an explicit Runner only when driving many scenarios by hand:
+//
+//	r := dynring.NewRunner()
+//	for _, sc := range scenarios {
+//		res, err := r.Run(ctx, sc)
+//		...
+//	}
+type Runner struct {
+	world sim.World
+	rings map[ringKey]*ring.Ring
+}
+
+// ringKey identifies an immutable ring topology.
+type ringKey struct {
+	size     int
+	landmark int
+}
+
+// NewRunner returns an empty Runner; it grows its reusable state on first
+// use.
+func NewRunner() *Runner {
+	return &Runner{rings: make(map[ringKey]*ring.Ring)}
+}
+
+// ring returns the cached topology for (n, landmark), building it on first
+// request. Rings are immutable, so sharing one instance across runs is safe.
+func (r *Runner) ring(n, landmark int) (*ring.Ring, error) {
+	k := ringKey{size: n, landmark: landmark}
+	if rg, ok := r.rings[k]; ok {
+		return rg, nil
+	}
+	rg, err := ring.NewWithLandmark(n, landmark)
+	if err != nil {
+		return nil, err
+	}
+	r.rings[k] = rg
+	return rg, nil
+}
+
+// Run executes one scenario, reusing the Runner's world and ring cache. It
+// is Scenario.RunContext with batched-execution economics: validation,
+// protocol construction and the Result are per-run as always, but the
+// engine state is recycled. On error the Runner stays usable — the next Run
+// fully reinitializes the world.
+func (r *Runner) Run(ctx context.Context, sc Scenario) (Result, error) {
+	rv, err := sc.resolveRings(true, r.ring)
+	if err != nil {
+		return Result{}, err
+	}
+	if err := r.world.Reset(sc.simConfig(rv)); err != nil {
+		return Result{}, err
+	}
+	return sim.RunContext(ctx, &r.world, sim.RunOptions{
+		MaxRounds:        rv.maxRounds,
+		StopWhenExplored: sc.StopWhenExplored,
+		DetectCycles:     sc.DetectCycles,
+	})
+}

@@ -1,0 +1,124 @@
+package dynring_test
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"dynring"
+)
+
+// TestRunnerMatchesScenarioRun: executing scenarios back-to-back through one
+// Runner — worlds Reset in place, rings served from cache — must be
+// indistinguishable from running each through a fresh Scenario.Run. The
+// corpus deliberately interleaves algorithms, sizes and adversaries so every
+// Reset transitions between genuinely different configurations.
+func TestRunnerMatchesScenarioRun(t *testing.T) {
+	scenarios := parityScenarios(t)
+	// Thin the 200-scenario grid for speed; keep every 7th plus all extras.
+	var corpus []dynring.Scenario
+	for i, sc := range scenarios {
+		if i%7 == 0 || i >= 200 {
+			corpus = append(corpus, sc)
+		}
+	}
+
+	r := dynring.NewRunner()
+	ctx := context.Background()
+	for _, sc := range corpus {
+		fresh, err := sc.Run()
+		if err != nil {
+			t.Fatalf("%s: fresh run: %v", sc.Name, err)
+		}
+		batched, err := r.Run(ctx, sc)
+		if err != nil {
+			t.Fatalf("%s: runner run: %v", sc.Name, err)
+		}
+		if !reflect.DeepEqual(fresh, batched) {
+			t.Fatalf("%s: Runner diverged from Scenario.Run:\nfresh   %+v\nbatched %+v", sc.Name, fresh, batched)
+		}
+	}
+}
+
+// TestRunnerSurvivesErrors: a failed Run (validation error) must leave the
+// Runner fully usable for the next scenario.
+func TestRunnerSurvivesErrors(t *testing.T) {
+	r := dynring.NewRunner()
+	ctx := context.Background()
+
+	good := dynring.Scenario{Size: 8, Landmark: 0, Algorithm: "LandmarkWithChirality"}
+	want, err := good.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Run(ctx, good); err != nil {
+		t.Fatal(err)
+	}
+
+	bad := good
+	bad.Algorithm = "NoSuchAlgorithm"
+	if _, err := r.Run(ctx, bad); err == nil {
+		t.Fatal("runner accepted an unknown algorithm")
+	}
+	tiny := good
+	tiny.Size = 2 // below ring.MinSize
+	if _, err := r.Run(ctx, tiny); err == nil {
+		t.Fatal("runner accepted a too-small ring")
+	}
+
+	got, err := r.Run(ctx, good)
+	if err != nil {
+		t.Fatalf("runner unusable after errors: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("post-error run diverged: %+v vs %+v", got, want)
+	}
+}
+
+// TestRunnerHonoursCancellation: a cancelled context aborts a run through
+// the Runner exactly like through Scenario.RunContext.
+func TestRunnerHonoursCancellation(t *testing.T) {
+	r := dynring.NewRunner()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	sc := dynring.Scenario{Size: 64, Landmark: 0, Algorithm: "LandmarkWithChirality"}
+	if _, err := r.Run(ctx, sc); err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// And the runner still works afterwards.
+	if _, err := r.Run(context.Background(), sc); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestScenarioStepZeroAllocSteadyState is the public-surface twin of the
+// engine gate: a registry algorithm stepped through the World built by
+// Scenario.NewWorld must allocate nothing per round in steady state (FSYNC,
+// no observer, no cycle detection).
+func TestScenarioStepZeroAllocSteadyState(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; gate runs in the non-race pass")
+	}
+	w, err := dynring.Scenario{
+		Size:      64,
+		Landmark:  dynring.NoLandmark,
+		Algorithm: "UnconsciousExploration",
+		Model:     dynring.FSync,
+	}.NewWorld()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 64; i++ {
+		if err := w.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	avg := testing.AllocsPerRun(200, func() {
+		if err := w.Step(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state Step allocates %.2f objects/round, want 0", avg)
+	}
+}

@@ -143,6 +143,13 @@ type resolved struct {
 // NewProtocols factory is still invoked either way, since the agent count is
 // known only to it.
 func (s Scenario) resolve(build bool) (resolved, error) {
+	return s.resolveRings(build, ring.NewWithLandmark)
+}
+
+// resolveRings is resolve with an injectable ring constructor, so a batched
+// Runner can serve the (immutable) topology from its cache instead of
+// rebuilding it for every scenario of a sweep.
+func (s Scenario) resolveRings(build bool, newRing func(n, landmark int) (*ring.Ring, error)) (resolved, error) {
 	var r resolved
 
 	if s.NewProtocols == nil {
@@ -153,7 +160,7 @@ func (s Scenario) resolve(build bool) (resolved, error) {
 		r.spec = spec
 	}
 
-	rg, err := ring.NewWithLandmark(s.Size, s.Landmark)
+	rg, err := newRing(s.Size, s.Landmark)
 	if err != nil {
 		return r, err
 	}
@@ -330,14 +337,16 @@ func (s Scenario) Fingerprint() (string, error) {
 	return hex.EncodeToString(h.Sum(nil)[:16]), nil
 }
 
-// newWorld assembles a World from a resolved scenario, constructing a fresh
-// adversary from the factory.
-func (s Scenario) newWorld(r resolved) (*World, error) {
+// simConfig assembles the engine configuration for a resolved scenario,
+// constructing a fresh adversary from the factory. It is shared by NewWorld
+// (which builds a World from scratch) and Runner.Run (which Resets a reused
+// one).
+func (s Scenario) simConfig(r resolved) sim.Config {
 	var adv Adversary
 	if s.NewAdversary != nil {
 		adv = s.NewAdversary(s.Seed)
 	}
-	return sim.NewWorld(sim.Config{
+	return sim.Config{
 		Ring:          r.ring,
 		Model:         r.model,
 		Starts:        r.starts,
@@ -346,7 +355,12 @@ func (s Scenario) newWorld(r resolved) (*World, error) {
 		Adversary:     adv,
 		Observer:      s.Observer,
 		FairnessBound: s.FairnessBound,
-	})
+	}
+}
+
+// newWorld assembles a World from a resolved scenario.
+func (s Scenario) newWorld(r resolved) (*World, error) {
+	return sim.NewWorld(s.simConfig(r))
 }
 
 // NewWorld validates s and assembles a World without running it, for callers

@@ -124,19 +124,30 @@ type ScenarioRunner func(ctx context.Context, sc Scenario) (Result, error)
 // closed when the grid is exhausted or ctx is cancelled; scenarios cancelled
 // mid-run surface with Err == ctx.Err(), scenarios never started are simply
 // not delivered. Expansion errors are reported up front, before any run.
+//
+// Execution is batched: each worker owns a Runner, so consecutive scenarios
+// on one worker reuse the engine's allocations (see Runner). Results are
+// identical to running every scenario through Scenario.RunContext.
 func (s Sweep) Stream(ctx context.Context) (<-chan SweepResult, error) {
-	return s.StreamFunc(ctx, func(ctx context.Context, sc Scenario) (Result, error) {
-		return sc.RunContext(ctx)
+	return s.stream(ctx, func() ScenarioRunner {
+		return NewRunner().Run
 	})
 }
 
 // StreamFunc is Stream with a caller-supplied runner: every expanded
-// scenario is executed through run instead of Scenario.RunContext, keeping
+// scenario is executed through run instead of a per-worker Runner, keeping
 // the grid expansion, worker pool and ordered delivery. It is the hook for
 // interposing a result cache (the contract the ringsimd service builds on:
 // scenarios with equal Fingerprints may share a Result), metrics, or any
 // other per-run middleware. run must be safe for concurrent use.
 func (s Sweep) StreamFunc(ctx context.Context, run ScenarioRunner) (<-chan SweepResult, error) {
+	return s.stream(ctx, func() ScenarioRunner { return run })
+}
+
+// stream is the shared engine of Stream and StreamFunc: newRun is invoked
+// once per worker goroutine, so it can hand each worker private reusable
+// state (a Runner) or a shared concurrency-safe hook.
+func (s Sweep) stream(ctx context.Context, newRun func() ScenarioRunner) (<-chan SweepResult, error) {
 	scenarios, err := s.Scenarios()
 	if err != nil {
 		return nil, err
@@ -144,8 +155,9 @@ func (s Sweep) StreamFunc(ctx context.Context, run ScenarioRunner) (<-chan Sweep
 	ch := make(chan SweepResult)
 	go func() {
 		defer close(ch)
-		_ = sweep.Ordered(ctx, len(scenarios), s.Workers,
-			func(ctx context.Context, i int) SweepResult {
+		_ = sweep.OrderedStates(ctx, len(scenarios), s.Workers,
+			newRun,
+			func(ctx context.Context, run ScenarioRunner, i int) SweepResult {
 				start := time.Now()
 				res, err := run(ctx, scenarios[i])
 				return SweepResult{
