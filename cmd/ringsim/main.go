@@ -6,11 +6,18 @@
 // Usage:
 //
 //	ringsim -algo LandmarkWithChirality -n 12 -landmark 0 -adversary random -p 0.5 -trace
+//	ringsim -algo LandmarkFreeExactN -n 12 -landmark -1 -adversary "tinterval(T=2)"
 //	ringsim -sweep -algos KnownNNoChirality,UnconsciousExploration -sizes 8,16,32 -seeds 1,2,3 -adversaries random,greedy
+//	ringsim -sweep -adversaries "tinterval(T=2),capped(r=2),recurrent(w=3)" -sizes 8,16
 //	ringsim -sweep -sizes 8,16 -json
 //	ringsim -sweep -sizes 8,16 -dry-run
 //	ringsim -sweep -sizes 8,16 -server http://127.0.0.1:8080
 //	ringsim -list
+//
+// Adversaries are named either by bare kind (parameterized through the
+// -p/-edge/-pin/-tconn/-cap/-window flags) or by a full parameter-bearing
+// label in the AdversarySpec grammar, e.g. capped(r=2) or
+// act(0.7)+random(p=0.5); see dynring.ParseAdversary.
 //
 // Sweeps are cancellable: an interrupt (Ctrl-C) stops the grid and prints
 // the aggregate of the scenarios finished so far. -dry-run prints the
@@ -50,11 +57,14 @@ func run(ctx context.Context, out io.Writer, args []string) error {
 		algo     = fs.String("algo", "LandmarkWithChirality", "algorithm name (see -list)")
 		n        = fs.Int("n", 12, "ring size")
 		landmark = fs.Int("landmark", 0, "landmark node, or -1 for an anonymous ring")
-		advName  = fs.String("adversary", "random", "adversary: none|random|greedy|frontier|pin|persistent|prevent")
+		advName  = fs.String("adversary", "random", "adversary: a kind (none|random|greedy|frontier|pin|persistent|prevent|tinterval|capped|recurrent) or a full label like capped(r=2)")
 		p        = fs.Float64("p", 0.5, "edge-removal probability for -adversary random")
 		seed     = fs.Int64("seed", 1, "adversary seed")
 		edge     = fs.Int("edge", 0, "edge for -adversary persistent")
 		pin      = fs.Int("pin", 0, "agent for -adversary pin")
+		tconn    = fs.Int("tconn", 2, "phase length T for -adversary tinterval")
+		capR     = fs.Int("cap", 2, "per-round removal cap r for -adversary capped")
+		recW     = fs.Int("window", 3, "recurrence window w for -adversary recurrent")
 		actP     = fs.Float64("act", 1, "SSYNC activation probability (<1 wraps the adversary)")
 		rounds   = fs.Int("rounds", 0, "round budget (0 = default for the algorithm)")
 		starts   = fs.String("starts", "", "comma-separated start nodes (default: even spacing)")
@@ -107,7 +117,8 @@ func run(ctx context.Context, out io.Writer, args []string) error {
 		return runSweep(ctx, out, base, sweepFlags{
 			algos: *algos, sizes: *sizes, seeds: *seeds,
 			adversaries: *advAxis, defaultAdv: *advName,
-			workers: *workers, p: *p, edge: *edge, pin: *pin, actP: *actP,
+			workers: *workers, p: *p, edge: *edge, pin: *pin,
+			tconn: *tconn, capR: *capR, recW: *recW, actP: *actP,
 			jsonOut: *jsonOut, dryRun: *dryRun, server: *server,
 		})
 	}
@@ -115,7 +126,9 @@ func run(ctx context.Context, out io.Writer, args []string) error {
 		return fmt.Errorf("-server submits grids: combine it with -sweep")
 	}
 
-	spec, err := adversarySpec(*advName, *p, *edge, *pin, *actP)
+	spec, err := adversarySpec(*advName, advParams{
+		p: *p, edge: *edge, pin: *pin, tconn: *tconn, capR: *capR, recW: *recW, actP: *actP,
+	})
 	if err != nil {
 		return err
 	}
@@ -176,10 +189,16 @@ type sweepFlags struct {
 	workers                          int
 	p                                float64
 	edge, pin                        int
+	tconn, capR, recW                int
 	actP                             float64
 	jsonOut                          bool
 	dryRun                           bool
 	server                           string
+}
+
+// params returns the flag-supplied adversary parameters.
+func (f sweepFlags) params() advParams {
+	return advParams{p: f.p, edge: f.edge, pin: f.pin, tconn: f.tconn, capR: f.capR, recW: f.recW, actP: f.actP}
 }
 
 // sweepJSON is the -sweep -json output document.
@@ -212,7 +231,7 @@ func runSweep(ctx context.Context, out io.Writer, base dynring.Scenario, f sweep
 	}
 	var advSpecs []dynring.AdversarySpec
 	for _, name := range advNames {
-		spec, serr := adversarySpec(name, f.p, f.edge, f.pin, f.actP)
+		spec, serr := adversarySpec(name, f.params())
 		if serr != nil {
 			return serr
 		}
@@ -351,25 +370,57 @@ func printGrid(out io.Writer, sw dynring.Sweep) error {
 	return nil
 }
 
-// adversarySpec maps the CLI adversary flags to the serializable spec the
-// sweep axes, fingerprints and the remote API share. Act 0 is the spec's
-// "unset" value, so -act must be positive: a silent p=0 activation wrap
-// (or a silent full-activation fallback) would invert the dynamics.
-func adversarySpec(name string, p float64, edge, pin int, actP float64) (dynring.AdversarySpec, error) {
+// advParams carries the flag-supplied adversary parameters applied to bare
+// kind names.
+type advParams struct {
+	p                 float64
+	edge, pin         int
+	tconn, capR, recW int
+	actP              float64
+}
+
+// adversarySpec maps one CLI adversary name to the serializable spec the
+// sweep axes, fingerprints and the remote API share. A parameter-bearing
+// label (anything containing '(') is parsed with dynring.ParseAdversary and
+// carries its own parameters; a bare kind name takes them from the flags.
+// Act 0 is the spec's "unset" value, so -act must be positive: a silent p=0
+// activation wrap (or a silent full-activation fallback) would invert the
+// dynamics.
+func adversarySpec(name string, pr advParams) (dynring.AdversarySpec, error) {
+	if pr.actP <= 0 || pr.actP > 1 {
+		return dynring.AdversarySpec{}, fmt.Errorf("-act %g: activation probability must be in (0,1]", pr.actP)
+	}
+	if strings.ContainsRune(name, '(') {
+		spec, err := dynring.ParseAdversary(name)
+		if err != nil {
+			return dynring.AdversarySpec{}, err
+		}
+		// -act wraps a label that does not already carry its own wrapper.
+		if pr.actP < 1 && spec.Act == 0 {
+			spec.Act = pr.actP
+			if _, err := spec.Factory(); err != nil {
+				return dynring.AdversarySpec{}, err
+			}
+		}
+		return spec, nil
+	}
 	spec := dynring.AdversarySpec{Kind: name}
 	switch name {
 	case "random":
-		spec.P = p
+		spec.P = pr.p
 	case "persistent":
-		spec.Edge = edge
+		spec.Edge = pr.edge
 	case "pin":
-		spec.Pin = pin
+		spec.Pin = pr.pin
+	case "tinterval":
+		spec.T = pr.tconn
+	case "capped":
+		spec.R = pr.capR
+	case "recurrent":
+		spec.W = pr.recW
 	}
-	if actP <= 0 || actP > 1 {
-		return dynring.AdversarySpec{}, fmt.Errorf("-act %g: activation probability must be in (0,1]", actP)
-	}
-	if actP < 1 {
-		spec.Act = actP
+	if pr.actP < 1 {
+		spec.Act = pr.actP
 	}
 	// Reject unknown kinds here, before a sweep axis is built from them.
 	if _, err := spec.Factory(); err != nil {

@@ -62,8 +62,12 @@ func TestParseOrients(t *testing.T) {
 }
 
 func TestAdversarySpecFlags(t *testing.T) {
-	for _, name := range []string{"none", "random", "greedy", "frontier", "pin", "persistent", "prevent"} {
-		spec, err := adversarySpec(name, 0.5, 0, 0, 1)
+	defaults := advParams{p: 0.5, tconn: 2, capR: 2, recW: 3, actP: 1}
+	for _, name := range []string{
+		"none", "random", "greedy", "frontier", "pin", "persistent", "prevent",
+		"tinterval", "capped", "recurrent",
+	} {
+		spec, err := adversarySpec(name, defaults)
 		if err != nil {
 			t.Errorf("adversarySpec(%q): %v", name, err)
 			continue
@@ -77,13 +81,49 @@ func TestAdversarySpecFlags(t *testing.T) {
 			t.Errorf("adversarySpec(%q) built a nil adversary", name)
 		}
 	}
-	if _, err := adversarySpec("bogus", 0.5, 0, 0, 1); err == nil {
+	if _, err := adversarySpec("bogus", defaults); err == nil {
 		t.Fatal("bogus adversary accepted")
 	}
 	// Act 0 is the wire "unset" value, so a non-positive -act must be
 	// rejected rather than silently running with full activation.
-	if _, err := adversarySpec("random", 0.5, 0, 0, 0); err == nil {
+	if _, err := adversarySpec("random", advParams{p: 0.5}); err == nil {
 		t.Fatal("-act 0 accepted")
+	}
+}
+
+// TestAdversarySpecLabels: parameter-bearing labels parse through
+// dynring.ParseAdversary and override the flag defaults; -act wraps labels
+// that do not already carry an act() wrapper.
+func TestAdversarySpecLabels(t *testing.T) {
+	defaults := advParams{p: 0.5, tconn: 2, capR: 2, recW: 3, actP: 1}
+	for label, check := range map[string]func(dynring.AdversarySpec) bool{
+		"tinterval(T=4)":       func(s dynring.AdversarySpec) bool { return s.Kind == "tinterval" && s.T == 4 },
+		"capped(r=3)":          func(s dynring.AdversarySpec) bool { return s.Kind == "capped" && s.R == 3 },
+		"recurrent(w=5)":       func(s dynring.AdversarySpec) bool { return s.Kind == "recurrent" && s.W == 5 },
+		"random(p=0.25)":       func(s dynring.AdversarySpec) bool { return s.Kind == "random" && s.P == 0.25 },
+		"act(0.6)+capped(r=2)": func(s dynring.AdversarySpec) bool { return s.Kind == "capped" && s.Act == 0.6 },
+	} {
+		spec, err := adversarySpec(label, defaults)
+		if err != nil {
+			t.Errorf("adversarySpec(%q): %v", label, err)
+			continue
+		}
+		if !check(spec) {
+			t.Errorf("adversarySpec(%q) = %+v", label, spec)
+		}
+	}
+	// -act composes with a wrapper-less label...
+	spec, err := adversarySpec("capped(r=2)", advParams{actP: 0.7})
+	if err != nil || spec.Act != 0.7 {
+		t.Fatalf("-act did not wrap label: %+v, %v", spec, err)
+	}
+	// ...but never overrides an explicit one.
+	spec, err = adversarySpec("act(0.6)+greedy", advParams{actP: 0.7})
+	if err != nil || spec.Act != 0.6 {
+		t.Fatalf("-act overrode the label's wrapper: %+v, %v", spec, err)
+	}
+	if _, err := adversarySpec("capped(r=0)", defaults); err == nil {
+		t.Fatal("out-of-range label parameter accepted")
 	}
 }
 

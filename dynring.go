@@ -8,6 +8,13 @@
 // the paper presents, every adversary its impossibility proofs construct,
 // and a harness that regenerates its feasibility and complexity results.
 //
+// Beyond the paper it carries a dynamics-model zoo drawn from the related
+// work: T-interval-connected schedules (TIntervalConnected), capped
+// multi-edge removal (CappedRemoval, via the MultiEdgeAdversary extension),
+// δ-recurrent blocking (RecurrentBlocking), and a landmark-free exploration
+// algorithm after Das–Bose–Sau 2021 (registry name "LandmarkFreeExactN").
+// See docs/ARCHITECTURE.md for the paper-to-code map.
+//
 // Quick start:
 //
 //	res, err := dynring.Run(dynring.Config{
@@ -40,6 +47,10 @@ type (
 	Model = sim.Model
 	// Adversary controls the activation schedule and the missing edge.
 	Adversary = sim.Adversary
+	// MultiEdgeAdversary is the optional Adversary extension for the
+	// capped-removal dynamics: implement it to remove several edges per
+	// round (the engine then consults MissingEdges instead of MissingEdge).
+	MultiEdgeAdversary = sim.MultiAdversary
 	// Intent is an active agent's resolved decision, shown to adversaries.
 	Intent = sim.Intent
 	// World is the live simulation state passed to adversaries.
@@ -206,6 +217,8 @@ func DefaultBudget(spec Algorithm, n int) int {
 	case "PTBoundWithChirality", "PTLandmarkWithChirality",
 		"PTBoundNoChirality", "PTLandmarkNoChirality", "ETBoundNoChirality":
 		return 900*n*n + 9000
+	case "LandmarkFreeExactN":
+		return 200*n*n + 8000
 	default:
 		return 200*n + 4000
 	}
@@ -256,3 +269,31 @@ func FrontierGuarding() Adversary { return adversary.FrontierGuard{} }
 // PreventMeetings removes an edge only when two agents would otherwise end
 // a round on the same node (Observation 2's strategy).
 func PreventMeetings() Adversary { return adversary.PreventMeeting{} }
+
+// The dynamics-model zoo: parameter-bearing adversary families beyond the
+// paper's 1-interval-connected strategies. Each has a canonical spec label
+// (see AdversarySpec and ParseAdversary), so zoo scenarios are sweepable,
+// fingerprintable and remotely submittable like the built-ins.
+
+// TIntervalConnected returns the tinterval(T=t) zoo adversary: a seeded
+// schedule that re-draws its single missing edge only at aligned phase
+// boundaries, holding each choice for t consecutive rounds. Within every
+// aligned window of t rounds the surviving spanning path is stable —
+// phase-aligned T-interval connectivity (Kuhn–Lynch–Oshman), the synchrony
+// axis of Mandal–Molla–Moses 2020. t = 1 degenerates to an always-removing
+// random single-edge adversary.
+func TIntervalConnected(t int, seed int64) Adversary { return adversary.NewTInterval(t, seed) }
+
+// CappedRemoval returns the capped(r=k) zoo adversary: up to r missing
+// edges per round (the multi-edge generalization of GreedyBlocking; r = 1
+// is exactly GreedyBlocking). With r ≥ 2 the ring may temporarily
+// disconnect — the relaxation of 1-interval connectivity the capped model
+// is about.
+func CappedRemoval(r int) Adversary { return adversary.CappedRemoval{R: r} }
+
+// RecurrentBlocking returns the recurrent(w=k) zoo adversary: greedy
+// blocking constrained so no edge stays missing for more than w consecutive
+// rounds — every edge reappears at least once in any window of w+1 rounds
+// (δ-recurrent dynamics, δ = w). The instance is stateful; use
+// RecurrentFactory in scenarios so replays rebuild it fresh.
+func RecurrentBlocking(w int) Adversary { return adversary.NewRecurrent(w) }

@@ -105,9 +105,10 @@ func TestRunValidation(t *testing.T) {
 }
 
 func TestAlgorithmsRegistry(t *testing.T) {
+	// The paper's 11 protocols plus the zoo's landmark-free algorithm.
 	algos := dynring.Algorithms()
-	if len(algos) != 11 {
-		t.Fatalf("registry has %d algorithms, want 11", len(algos))
+	if len(algos) != 12 {
+		t.Fatalf("registry has %d algorithms, want 12", len(algos))
 	}
 	for _, a := range algos {
 		if a.Name == "" || a.Paper == "" || a.Description == "" || a.Agents < 2 || len(a.Models) == 0 {

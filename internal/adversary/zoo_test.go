@@ -1,0 +1,223 @@
+package adversary_test
+
+import (
+	"testing"
+
+	"dynring/internal/adversary"
+	"dynring/internal/agent"
+	"dynring/internal/ring"
+	"dynring/internal/sim"
+)
+
+// missingLog records every round's missing-edge set.
+type missingLog struct {
+	rounds [][]int
+}
+
+func (l *missingLog) ObserveRound(rec sim.RoundRecord) {
+	set := rec.Missing()
+	cp := make([]int, len(set))
+	copy(cp, set)
+	l.rounds = append(l.rounds, cp)
+}
+
+// observedWorld is world with an observer attached.
+func observedWorld(t *testing.T, n int, protos []agent.Protocol, adv sim.Adversary, obs sim.Observer) *sim.World {
+	t.Helper()
+	r, err := ring.New(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	starts := make([]int, len(protos))
+	orients := make([]ring.GlobalDir, len(protos))
+	for i := range protos {
+		starts[i] = i * n / len(protos)
+		orients[i] = ring.CW
+	}
+	w, err := sim.NewWorld(sim.Config{
+		Ring:      r,
+		Model:     sim.FSync,
+		Starts:    starts,
+		Orients:   orients,
+		Protocols: protos,
+		Adversary: adv,
+		Observer:  obs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func walkers(k int) []agent.Protocol {
+	out := make([]agent.Protocol, k)
+	for i := range out {
+		out[i] = &walker{dir: agent.Right}
+	}
+	return out
+}
+
+// TestTIntervalSchedule is the T-interval feasibility property: within every
+// aligned phase of T rounds the missing edge is constant (so the spanning
+// path that survives is stable for the whole phase, and the ring never
+// disconnects — at most one edge is ever absent).
+func TestTIntervalSchedule(t *testing.T) {
+	for _, T := range []int{1, 2, 3, 5, 8} {
+		n := 9
+		log := &missingLog{}
+		w := observedWorld(t, n, walkers(2), adversary.NewTInterval(T, 42), log)
+		steps(t, w, 6*T+5)
+		for r, set := range log.rounds {
+			if len(set) != 1 {
+				t.Fatalf("T=%d round %d: %d missing edges, want exactly 1", T, r, len(set))
+			}
+			if e := set[0]; e < 0 || e >= n {
+				t.Fatalf("T=%d round %d: invalid edge %d", T, r, e)
+			}
+			if r%T != 0 && set[0] != log.rounds[r-1][0] {
+				t.Fatalf("T=%d: edge changed mid-phase at round %d (%d -> %d)",
+					T, r, log.rounds[r-1][0], set[0])
+			}
+		}
+	}
+}
+
+// TestTIntervalDeterministicPerSeed: equal seeds replay the same schedule;
+// different seeds eventually diverge (the determinism Scenario replay and
+// the fingerprint cache both rely on).
+func TestTIntervalDeterministicPerSeed(t *testing.T) {
+	run := func(seed int64) [][]int {
+		log := &missingLog{}
+		w := observedWorld(t, 12, walkers(2), adversary.NewTInterval(2, seed), log)
+		steps(t, w, 40)
+		return log.rounds
+	}
+	a, b, c := run(7), run(7), run(8)
+	differs := false
+	for r := range a {
+		if a[r][0] != b[r][0] {
+			t.Fatalf("seed 7 replay diverged at round %d: %d vs %d", r, a[r][0], b[r][0])
+		}
+		if a[r][0] != c[r][0] {
+			differs = true
+		}
+	}
+	if !differs {
+		t.Fatal("seeds 7 and 8 produced identical 40-round schedules")
+	}
+}
+
+// TestCappedNeverExceedsR is the capped feasibility property: capped(r)
+// never removes more than r edges in any round, every removed edge is
+// valid, and the set is duplicate-free.
+func TestCappedNeverExceedsR(t *testing.T) {
+	for _, r := range []int{1, 2, 3} {
+		n := 10
+		log := &missingLog{}
+		w := observedWorld(t, n, walkers(4), adversary.CappedRemoval{R: r}, log)
+		steps(t, w, 80)
+		for rd, set := range log.rounds {
+			if len(set) > r {
+				t.Fatalf("r=%d round %d: %d edges removed", r, rd, len(set))
+			}
+			seen := map[int]bool{}
+			for _, e := range set {
+				if e < 0 || e >= n {
+					t.Fatalf("r=%d round %d: invalid edge %d", r, rd, e)
+				}
+				if seen[e] {
+					t.Fatalf("r=%d round %d: duplicate edge %d", r, rd, e)
+				}
+				seen[e] = true
+			}
+		}
+	}
+}
+
+// TestCappedOneMatchesGreedy: capped(r=1) must produce exactly the greedy
+// blocker's schedule — the zoo generalizes the 1-edge adversary, it does not
+// fork it.
+func TestCappedOneMatchesGreedy(t *testing.T) {
+	runLog := func(adv sim.Adversary) [][]int {
+		log := &missingLog{}
+		w := observedWorld(t, 11, walkers(3), adv, log)
+		steps(t, w, 60)
+		return log.rounds
+	}
+	capped := runLog(adversary.CappedRemoval{R: 1})
+	greedy := runLog(adversary.GreedyBlocker{})
+	if len(capped) != len(greedy) {
+		t.Fatalf("round counts differ: %d vs %d", len(capped), len(greedy))
+	}
+	for r := range capped {
+		if len(capped[r]) != len(greedy[r]) {
+			t.Fatalf("round %d: cardinality differs: %v vs %v", r, capped[r], greedy[r])
+		}
+		for i := range capped[r] {
+			if capped[r][i] != greedy[r][i] {
+				t.Fatalf("round %d: schedules diverge: %v vs %v", r, capped[r], greedy[r])
+			}
+		}
+	}
+}
+
+// TestCappedTwoCanDisconnect: with r=2 and movers attacking two different
+// frontier edges, capped removal blocks both in one round — the behaviour
+// 1-interval connectivity forbids and the capped model deliberately allows.
+func TestCappedTwoCanDisconnect(t *testing.T) {
+	log := &missingLog{}
+	// Two walkers heading CW from opposite sides of a 8-ring: both frontier
+	// moves are distinct edges in round 0.
+	w := observedWorld(t, 8, walkers(2), adversary.CappedRemoval{R: 2}, log)
+	steps(t, w, 1)
+	if len(log.rounds[0]) != 2 {
+		t.Fatalf("round 0 removed %v, want two edges", log.rounds[0])
+	}
+	if w.AgentMoves(0)+w.AgentMoves(1) != 0 {
+		t.Fatal("both agents should have been blocked")
+	}
+}
+
+// TestRecurrentReappears is the recurrent feasibility property: under
+// recurrent(w), no edge is missing for more than w consecutive rounds, even
+// though the underlying greedy strategy would hold an edge forever.
+func TestRecurrentReappears(t *testing.T) {
+	for _, win := range []int{1, 2, 4} {
+		log := &missingLog{}
+		w := observedWorld(t, 9, walkers(3), adversary.NewRecurrent(win), log)
+		steps(t, w, 100)
+		streak, last := 0, sim.NoEdge
+		for rd, set := range log.rounds {
+			cur := sim.NoEdge
+			if len(set) == 1 {
+				cur = set[0]
+			} else if len(set) > 1 {
+				t.Fatalf("w=%d round %d: recurrent removed %d edges", win, rd, len(set))
+			}
+			if cur != sim.NoEdge && cur == last {
+				streak++
+			} else {
+				streak = 1
+			}
+			if cur != sim.NoEdge && streak > win {
+				t.Fatalf("w=%d: edge %d missing for %d consecutive rounds", win, cur, streak)
+			}
+			last = cur
+		}
+	}
+}
+
+// TestActivationWrappedCappedKeepsMultiEdge: wrapping a capped adversary in
+// RandomActivation must not silently collapse it to single-edge removal.
+func TestActivationWrappedCappedKeepsMultiEdge(t *testing.T) {
+	wrapped := adversary.NewRandomActivation(1.0, 1, adversary.CappedRemoval{R: 2})
+	if _, ok := interface{}(wrapped).(sim.MultiAdversary); !ok {
+		t.Fatal("RandomActivation wrapper lost the MultiAdversary capability")
+	}
+	log := &missingLog{}
+	w := observedWorld(t, 8, walkers(2), wrapped, log)
+	steps(t, w, 1)
+	if len(log.rounds[0]) != 2 {
+		t.Fatalf("wrapped capped(2) removed %v, want two edges", log.rounds[0])
+	}
+}

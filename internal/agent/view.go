@@ -1,13 +1,3 @@
-// Package agent defines the contract between exploration protocols and the
-// simulation engine: the Look snapshot an agent receives (View), the decision
-// it returns (Decision), the Protocol interface every algorithm implements,
-// and the Core bookkeeping that realises the paper's agent-local variables
-// (Ttime, Tsteps, Etime, Esteps, Btime, Ntime, Tnodes) together with the
-// Explore / LExplore guarded-transition pattern.
-//
-// Everything in this package is expressed in the agent's private orientation:
-// protocols never see global coordinates, node identifiers, or the adversary's
-// choices, exactly as in the paper's model (Section 2.1).
 package agent
 
 // Dir is a movement direction in the agent's private orientation.

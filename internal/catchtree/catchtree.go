@@ -1,21 +1,3 @@
-// Package catchtree mechanizes the combinatorial core of Theorem 20 (the
-// termination argument for ETBoundNoChirality), illustrated by Figures 20,
-// 21 and 22 of the paper.
-//
-// In a hypothetical non-terminating run, three agents a, b, c keep catching
-// each other; each catch is an event Dxy ("x catches y while moving in
-// direction D") with D ∈ {L, R}. The proof shows that
-//
-//  1. an event Dxy can only be followed by D̄xz or D̄zx, where z is the
-//     third agent and D̄ the opposite direction;
-//  2. certain consecutive pairs are geometrically impossible once the
-//     agents' range complements are pairwise disjoint (Claims 4 and 5);
-//  3. the immediate-repeat loop Dxy : D̄xz : Dxy cannot recur forever in
-//     the ET model.
-//
-// Every maximal path of the catch tree rooted at Lab or Lac therefore dies
-// in a forbidden pair or a bounded loop, contradicting non-termination.
-// Verify replays this argument exhaustively.
 package catchtree
 
 import (

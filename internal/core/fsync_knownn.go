@@ -1,20 +1,3 @@
-// Package core implements the paper's contribution: the exploration
-// protocols for 1-interval-connected dynamic rings, transcribed
-// state-for-state from the published pseudocode.
-//
-// FSYNC algorithms (Section 3): KnownNNoChirality (Figure 1),
-// UnconsciousExploration (Figure 3), LandmarkWithChirality (Figure 4),
-// StartFromLandmarkNoChirality (Figure 8), LandmarkNoChirality (Figure 13).
-//
-// SSYNC algorithms (Section 4): PTBoundWithChirality (Figure 14),
-// PTLandmarkWithChirality (Figure 17), PTBoundNoChirality (Figure 18),
-// PTLandmarkNoChirality (Section 4.2.3-B), ETUnconscious (Theorem 18) and
-// ETBoundNoChirality (Section 4.3.2).
-//
-// Every protocol is a deterministic state machine over the agent.Core
-// bookkeeping; transcription conventions (round indexing, the meeting
-// predicate, communication-resume guard suppression) are documented in
-// DESIGN.md.
 package core
 
 import (

@@ -1,0 +1,115 @@
+package core_test
+
+import (
+	"fmt"
+	"testing"
+
+	"dynring/internal/adversary"
+	"dynring/internal/agent"
+	"dynring/internal/core"
+	"dynring/internal/ring"
+	"dynring/internal/sim"
+)
+
+// lfProtos builds three fresh LandmarkFreeExactN instances for exact size n.
+func lfProtos(t *testing.T, n int) []agent.Protocol {
+	t.Helper()
+	protos := make([]agent.Protocol, 3)
+	for i := range protos {
+		p, err := core.NewLandmarkFreeExactN(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		protos[i] = p
+	}
+	return protos
+}
+
+// lfScenario assembles the canonical landmark-free run: anonymous ring,
+// chirality (all CW), even spacing.
+func lfScenario(t *testing.T, n int, adv sim.Adversary) scenario {
+	t.Helper()
+	return scenario{
+		n:        n,
+		landmark: ring.NoLandmark,
+		starts:   []int{0, n / 3, 2 * n / 3},
+		orients:  []ring.GlobalDir{ring.CW, ring.CW, ring.CW},
+		protos:   lfProtos(t, n),
+		adv:      adv,
+		max:      200*n*n + 8000,
+	}
+}
+
+// TestLandmarkFreeStatic: on a static anonymous ring all three agents sweep
+// unobstructed, so the ring is explored and every agent terminates.
+func TestLandmarkFreeStatic(t *testing.T) {
+	for _, n := range []int{3, 5, 8, 13, 20} {
+		res := lfScenario(t, n, nil).run(t)
+		checkSound(t, res)
+		if !res.Explored {
+			t.Errorf("n=%d: static ring not explored", n)
+		}
+		if res.Terminated != 3 {
+			t.Errorf("n=%d: %d agents terminated, want 3", n, res.Terminated)
+		}
+	}
+}
+
+// TestLandmarkFreeAdversarial: against the paper's strongest single-edge
+// strategies the ring is still explored and at least one agent still
+// terminates (the registry's partial-termination guarantee). PinAgent pins
+// one agent forever, so exactly the other two can finish.
+func TestLandmarkFreeAdversarial(t *testing.T) {
+	cases := []struct {
+		name string
+		adv  func() sim.Adversary
+	}{
+		{"greedy", func() sim.Adversary { return adversary.GreedyBlocker{} }},
+		{"frontier", func() sim.Adversary { return adversary.FrontierGuard{} }},
+		{"pin0", func() sim.Adversary { return adversary.TargetAgent{Agent: 0} }},
+		{"persistent2", func() sim.Adversary { return adversary.PersistentEdge{Edge: 2} }},
+		{"prevent", func() sim.Adversary { return adversary.PreventMeeting{} }},
+		{"tinterval3", func() sim.Adversary { return adversary.NewTInterval(3, 7) }},
+		{"recurrent4", func() sim.Adversary { return adversary.NewRecurrent(4) }},
+		{"capped1", func() sim.Adversary { return adversary.CappedRemoval{R: 1} }},
+	}
+	for _, tc := range cases {
+		for _, n := range []int{5, 8, 12} {
+			t.Run(fmt.Sprintf("%s/n=%d", tc.name, n), func(t *testing.T) {
+				res := lfScenario(t, n, tc.adv()).run(t)
+				checkSound(t, res)
+				if !res.Explored {
+					t.Errorf("ring not explored (outcome %v after %d rounds)", res.Outcome, res.Rounds)
+				}
+				if res.Terminated < 1 {
+					t.Errorf("no agent terminated (outcome %v)", res.Outcome)
+				}
+			})
+		}
+	}
+}
+
+// TestLandmarkFreeSeededRandom: randomized single-edge removal across many
+// seeds; exploration and at least partial termination must hold for every
+// seed.
+func TestLandmarkFreeSeededRandom(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		res := lfScenario(t, 10, adversary.NewRandomEdge(0.8, seed)).run(t)
+		checkSound(t, res)
+		if !res.Explored || res.Terminated < 1 {
+			t.Errorf("seed %d: explored=%v terminated=%d", seed, res.Explored, res.Terminated)
+		}
+	}
+}
+
+// TestLandmarkFreeTerminationIsPersonal: an agent terminates only after its
+// own walk spans the whole ring, so a terminated agent must have at least
+// n-1 moves.
+func TestLandmarkFreeTerminationIsPersonal(t *testing.T) {
+	res := lfScenario(t, 9, nil).run(t)
+	for i, at := range res.TerminatedAt {
+		if at >= 0 && res.Moves[i] < 8 {
+			t.Errorf("agent %d terminated after only %d moves", i, res.Moves[i])
+		}
+	}
+}

@@ -238,6 +238,20 @@ var registry = map[string]Spec{
 			return NewETUnconscious(), nil
 		},
 	},
+	"LandmarkFreeExactN": {
+		Name:           "LandmarkFreeExactN",
+		Paper:          "Das-Bose-Sau 2021 (arXiv:2107.02769), landmark-free regime",
+		Description:    "3 agents, exact n, chirality, no landmark: exploration with partial termination",
+		Models:         []sim.Model{sim.FSync},
+		Agents:         3,
+		NeedsChirality: true,
+		Knowledge:      KnowExactSize,
+		Termination:    Partial,
+		TimeBound:      "O(n^2)",
+		New: func(p Params) (agent.Protocol, error) {
+			return NewLandmarkFreeExactN(p.ExactSize)
+		},
+	},
 	"ETBoundNoChirality": {
 		Name:        "ETBoundNoChirality",
 		Paper:       "Section 4.3.2, Theorem 20",

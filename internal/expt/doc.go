@@ -1,0 +1,20 @@
+// Package expt is the experiment harness that regenerates the paper's
+// evaluation: every row of Tables 1–4 (feasibility, termination discipline,
+// and time/move complexity, positive results re-measured and impossibility
+// constructions re-executed) and every figure experiment (the tight
+// schedule of Figure 2, the ID examples of Figures 9–11, the symmetric
+// bounce of Figure 12, the quadratic runs of Figures 15/16, and the catch
+// tree of Figure 22), plus two extensions (offline-optimal baseline and
+// average-case curves).
+//
+// Each experiment returns Rows: a paper claim, the concrete setup, the
+// measured outcome, and a pass/fail verdict. cmd/tables prints them;
+// bench_test.go reports their metrics; the package tests assert every
+// verdict.
+//
+// The harness runs entirely on the public Scenario/Sweep API: single
+// constructions are dynring.Scenario values (using NewProtocols for the
+// strawman protocols and the deliberate-misuse impossibility runs), and the
+// size × adversary ensembles are dynring.Sweep grids executed on the shared
+// worker pool.
+package expt

@@ -1,0 +1,7 @@
+// Package ids implements the identifier machinery of Section 3.2.3: the
+// bit-interleaved IDs that agents derive from the rounds of their first two
+// blocked moves and their landmark visit (Figures 9 and 10), and the
+// phase-based direction schedule d(ID, j) that lets two agents with distinct
+// IDs eventually move in a common direction for any required stretch
+// (Figure 11, Lemma 3).
+package ids

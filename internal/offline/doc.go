@@ -1,0 +1,13 @@
+// Package offline computes optimal centralized exploration schedules for a
+// dynamic ring whose full edge-removal schedule is known in advance — the
+// "off-line, post-mortem" setting the paper contrasts with its live
+// algorithms (Section 1.1.3, following Michail–Spirakis and
+// Erlebach–Hoffmann–Kammer). It serves as the baseline for the
+// live-vs-offline comparison experiment.
+//
+// On a ring, the set of nodes a single walker has visited is always a
+// contiguous arc around its start, so the exact optimum is a dynamic
+// program over (clockwise extent, counter-clockwise extent, position),
+// O(T·n³) overall. A joint two-walker optimum over the product state space
+// is provided for small rings.
+package offline

@@ -1,0 +1,6 @@
+// Package ring models the static topology underlying a dynamic ring: n
+// anonymous nodes v_0 … v_{n-1}, edge i joining v_i and v_{i+1 mod n}, two
+// ports per node, and optionally one observably different landmark node.
+// Dynamics (which edge is missing in which round) live in the simulation
+// engine; this package only provides the arithmetic of the footprint graph.
+package ring

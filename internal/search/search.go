@@ -1,18 +1,3 @@
-// Package search computes exact adversarial worst cases on small rings by
-// exhaustive enumeration of FSYNC edge-removal schedules. In FSYNC the
-// adversary's only weapon is the choice of the missing edge each round
-// (n+1 options including "none"), so for a deterministic protocol the
-// execution tree is finite and the true worst-case exploration time within
-// a horizon is computable.
-//
-// This turns the paper's worst-case statements into exact measurements on
-// small instances: Observation 3's 2n−3 lower bound is met or exceeded by
-// a concrete schedule the search returns, and single-agent exploration
-// (Corollary 1) is confirmed preventable forever.
-//
-// States are memoized per round via the world fingerprint (positions,
-// ports, protocol memory, visited set) whenever every protocol supports
-// fingerprints; otherwise the search is a plain bounded DFS.
 package search
 
 import (

@@ -1,13 +1,3 @@
-// Package service is the ringsimd sweep service: a job manager that
-// schedules submitted scenario grids on one shared, bounded worker pool
-// (fair round-robin between jobs), a content-addressed result cache keyed
-// by Scenario.Fingerprint, and the HTTP/JSON API that serves both
-// (see NewHandler and cmd/ringsimd).
-//
-// Cache correctness rests on the public package's determinism contract:
-// a scenario's Fingerprint covers every input that influences its Result,
-// and equal fingerprints imply identical Results — so serving a cached
-// Result is indistinguishable from re-running the scenario.
 package service
 
 import (

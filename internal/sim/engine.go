@@ -38,33 +38,67 @@ func (w *World) Step() error {
 		w.agents[id].lastSeen = t
 	}
 
-	// Fix intents and let the adversary pick the missing edge (at most one:
-	// 1-interval connectivity).
+	// Fix intents and let the adversary pick the missing edges: exactly one
+	// per round under 1-interval connectivity (MissingEdge), up to its cap
+	// for a MultiAdversary (MissingEdges).
 	intents := w.scratch.intents[:0]
 	for _, id := range active {
 		intents = append(intents, w.intentOf(id, decisions[id]))
 	}
-	missing := NoEdge
-	if w.adv != nil {
-		missing = w.adv.MissingEdge(t, w, intents)
-		if missing != NoEdge && !w.ring.ValidEdge(missing) {
-			return fmt.Errorf("%w: edge %d in round %d", ErrInvalidEdge, missing, t)
+	req := w.scratch.missingReq[:0]
+	if w.madv != nil {
+		req = w.madv.MissingEdges(t, w, intents, req)
+	} else if w.adv != nil {
+		if e := w.adv.MissingEdge(t, w, intents); e != NoEdge {
+			req = append(req, e)
+		}
+	}
+	missing := w.scratch.missing[:0]
+	bits := w.scratch.missingBits
+	for _, e := range req {
+		if e == NoEdge {
+			continue
+		}
+		if !w.ring.ValidEdge(e) {
+			// Roll back the bits set for earlier valid entries: the World
+			// must not carry a phantom missing set past the failed round.
+			for _, ok := range missing {
+				bits[ok] = false
+			}
+			w.scratch.missing = missing[:0]
+			return fmt.Errorf("%w: edge %d in round %d", ErrInvalidEdge, e, t)
+		}
+		if !bits[e] {
+			bits[e] = true
+			missing = append(missing, e)
 		}
 	}
 	// ET veto: an agent whose transport debt exceeded the fairness bound
 	// was force-activated this round; the ET model guarantees it acts in a
 	// round where its edge is present, so the engine refuses to remove
 	// that edge now.
-	if w.model == SSyncET && missing != NoEdge {
+	if w.model == SSyncET && len(missing) > 0 {
+		vetoed := false
 		for _, id := range active {
 			a := &w.agents[id]
-			if a.etDebt >= w.fairness && a.onPort && w.ring.Edge(a.node, a.portDir) == missing {
-				missing = NoEdge
-				break
+			if a.etDebt >= w.fairness && a.onPort {
+				if e := w.ring.Edge(a.node, a.portDir); bits[e] {
+					bits[e] = false
+					vetoed = true
+				}
 			}
 		}
+		if vetoed {
+			kept := missing[:0]
+			for _, e := range missing {
+				if bits[e] {
+					kept = append(kept, e)
+				}
+			}
+			missing = kept
+		}
 	}
-	w.missingEdge = missing
+	w.scratch.missing = missing
 
 	// Resolution phase 1: releases. Agents abandoning their port step into
 	// the node interior before grabs are processed.
@@ -151,7 +185,7 @@ func (w *World) Step() error {
 			a.failed = true
 		default:
 			edge := w.ring.Edge(a.node, a.portDir)
-			if edge != missing {
+			if !bits[edge] {
 				a.node = w.ring.Neighbor(a.node, a.portDir)
 				a.onPort = false
 				a.moved = true
@@ -173,7 +207,7 @@ func (w *World) Step() error {
 		if a.term || activeBits[id] || !a.onPort {
 			continue
 		}
-		present := w.ring.Edge(a.node, a.portDir) != missing
+		present := !bits[w.ring.Edge(a.node, a.portDir)]
 		switch w.model {
 		case SSyncPT:
 			if present {
@@ -196,17 +230,26 @@ func (w *World) Step() error {
 
 	if w.obs != nil {
 		// The record escapes to the observer, which may retain it: hand it
-		// a fresh copy of the activation set, never the scratch.
+		// fresh copies of the activation and missing sets, never the scratch.
 		activeCopy := make([]int, len(active))
 		copy(activeCopy, active)
-		w.obs.ObserveRound(RoundRecord{
+		rec := RoundRecord{
 			Round:       t,
 			Active:      activeCopy,
-			MissingEdge: missing,
+			MissingEdge: NoEdge,
 			Agents:      w.snapshotAll(),
-		})
+		}
+		if len(missing) > 0 {
+			rec.MissingEdge = missing[0]
+			rec.MissingEdges = make([]int, len(missing))
+			copy(rec.MissingEdges, missing)
+		}
+		w.obs.ObserveRound(rec)
 	}
-	w.missingEdge = NoEdge
+	for _, e := range missing {
+		bits[e] = false
+	}
+	w.scratch.missing = missing[:0]
 	w.round++
 	return nil
 }

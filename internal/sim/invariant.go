@@ -12,9 +12,11 @@ import (
 //
 //   - at most one agent occupies each port (mutual exclusion);
 //   - every agent moves at most one edge per round, and only over an edge
-//     that was present in that round (1-interval connectivity);
+//     that was present in that round (under 1-interval connectivity at most
+//     one edge is missing; a MultiAdversary reports its full removal set in
+//     RoundRecord.MissingEdges and every entry is checked);
 //   - terminated agents never move or un-terminate;
-//   - the missing edge is a valid edge index or NoEdge.
+//   - every missing edge is a valid edge index or NoEdge.
 //
 // The first violation is retained in Err; subsequent rounds are still
 // scanned but do not overwrite it.
@@ -39,8 +41,10 @@ func (o *InvariantObserver) ObserveRound(rec RoundRecord) {
 		}
 	}
 
-	if rec.MissingEdge != NoEdge && !o.Ring.ValidEdge(rec.MissingEdge) {
-		fail("invalid missing edge %d", rec.MissingEdge)
+	for _, e := range rec.Missing() {
+		if !o.Ring.ValidEdge(e) {
+			fail("invalid missing edge %d", e)
+		}
 	}
 
 	type portKey struct {
@@ -80,7 +84,7 @@ func (o *InvariantObserver) ObserveRound(rec RoundRecord) {
 		} else {
 			used = o.Ring.Edge(p.Node, ring.CCW)
 		}
-		if used == rec.MissingEdge {
+		if rec.EdgeMissing(used) {
 			fail("agent %d crossed missing edge %d", id, used)
 		}
 	}

@@ -1,0 +1,203 @@
+package sim
+
+import (
+	"testing"
+
+	"dynring/internal/agent"
+	"dynring/internal/ring"
+)
+
+// blockMovers is an allocation-free MultiAdversary that removes the target
+// edges of up to Cap movers per round.
+type blockMovers struct {
+	Cap int
+}
+
+func (blockMovers) Activate(_ int, w *World) []int { return nil } // unused: FSYNC
+
+func (b blockMovers) MissingEdge(t int, w *World, intents []Intent) int {
+	return blockEverything{}.MissingEdge(t, w, intents)
+}
+
+func (b blockMovers) MissingEdges(_ int, _ *World, intents []Intent, buf []int) []int {
+	for _, in := range intents {
+		if len(buf) >= b.Cap {
+			break
+		}
+		if in.Move {
+			buf = append(buf, in.TargetEdge)
+		}
+	}
+	return buf
+}
+
+// TestMultiEdgeBlocksAllTargets: a MultiAdversary blocking every mover's
+// edge stalls every agent, which a single-edge adversary cannot do when the
+// movers attack distinct edges.
+func TestMultiEdgeBlocksAllTargets(t *testing.T) {
+	w := allocWorld(t, 16, 3, FSync, blockMovers{Cap: 16})
+	for i := 0; i < 30; i++ {
+		if err := w.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.TotalMoves() != 0 {
+		t.Fatalf("agents moved %d times under a block-everything multi adversary", w.TotalMoves())
+	}
+
+	single := allocWorld(t, 16, 3, FSync, blockEverything{})
+	for i := 0; i < 30; i++ {
+		if err := single.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if single.TotalMoves() == 0 {
+		t.Fatal("single-edge adversary should not be able to stall three spread movers")
+	}
+}
+
+// TestMultiEdgeAccessors: during the round (observed via an observer) the
+// World reports the full missing set through MissingEdgesNow/EdgeMissingNow
+// and the first edge through MissingEdgeNow.
+func TestMultiEdgeAccessors(t *testing.T) {
+	rg, err := ring.New(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := &accessorProbe{}
+	w, err := NewWorld(Config{
+		Ring:  rg,
+		Model: FSync,
+		// Three CW movers at distinct nodes: three distinct target edges.
+		Starts:    []int{0, 4, 8},
+		Orients:   []ring.GlobalDir{ring.CW, ring.CW, ring.CW},
+		Protocols: []agent.Protocol{&circler{dir: agent.Right}, &circler{dir: agent.Right}, &circler{dir: agent.Right}},
+		Adversary: blockMovers{Cap: 3},
+		Observer:  probe,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe.w = w
+	if err := w.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if !probe.checked {
+		t.Fatal("observer never ran")
+	}
+	if len(probe.set) != 3 {
+		t.Fatalf("MissingEdgesNow saw %v, want 3 edges", probe.set)
+	}
+	if probe.first != probe.set[0] {
+		t.Fatalf("MissingEdgeNow %d disagrees with set %v", probe.first, probe.set)
+	}
+	if !probe.bitsAgree {
+		t.Fatal("EdgeMissingNow disagreed with MissingEdgesNow")
+	}
+	// After the round resolves, the set is cleared.
+	if w.MissingEdgeNow() != NoEdge || len(w.MissingEdgesNow()) != 0 || w.EdgeMissingNow(probe.set[0]) {
+		t.Fatal("missing set leaked past the round boundary")
+	}
+}
+
+// accessorProbe snapshots the World's missing-set accessors mid-round.
+type accessorProbe struct {
+	w         *World
+	checked   bool
+	first     int
+	set       []int
+	bitsAgree bool
+}
+
+func (p *accessorProbe) ObserveRound(rec RoundRecord) {
+	p.checked = true
+	p.first = p.w.MissingEdgeNow()
+	p.set = append([]int(nil), p.w.MissingEdgesNow()...)
+	p.bitsAgree = true
+	for _, e := range p.set {
+		if !p.w.EdgeMissingNow(e) {
+			p.bitsAgree = false
+		}
+	}
+	if p.w.EdgeMissingNow(NoEdge) || p.w.EdgeMissingNow(1<<30) {
+		p.bitsAgree = false
+	}
+	if rec.MissingEdge != p.first {
+		p.bitsAgree = false
+	}
+}
+
+// TestMultiEdgeDedupAndValidation: duplicate requests collapse, NoEdge
+// entries are ignored, and an invalid index aborts the run.
+func TestMultiEdgeDedupAndValidation(t *testing.T) {
+	mk := func(edges []int) *World {
+		return allocWorld(t, 8, 2, FSync, staticMulti{edges: edges})
+	}
+
+	w := mk([]int{2, 2, NoEdge, 5, 2})
+	rec := &recordOnce{}
+	w.obs = rec
+	if err := w.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.rec.MissingEdges) != 2 || rec.rec.MissingEdges[0] != 2 || rec.rec.MissingEdges[1] != 5 {
+		t.Fatalf("dedup failed: %v", rec.rec.MissingEdges)
+	}
+
+	bad := mk([]int{3, 99})
+	if err := bad.Step(); err == nil {
+		t.Fatal("invalid multi edge index did not abort the run")
+	}
+	// The failed round must not leak the bits set for its earlier valid
+	// entries: edge 3 was accepted before edge 99 aborted the round.
+	if bad.EdgeMissingNow(3) || len(bad.MissingEdgesNow()) != 0 {
+		t.Fatal("aborted round leaked missing-edge state into the World")
+	}
+}
+
+// staticMulti always requests the same raw edge list.
+type staticMulti struct{ edges []int }
+
+func (staticMulti) Activate(_ int, w *World) []int { return nil }
+func (s staticMulti) MissingEdge(int, *World, []Intent) int {
+	return NoEdge
+}
+func (s staticMulti) MissingEdges(_ int, _ *World, _ []Intent, buf []int) []int {
+	return append(buf, s.edges...)
+}
+
+// recordOnce keeps the first observed record.
+type recordOnce struct {
+	rec  RoundRecord
+	seen bool
+}
+
+func (r *recordOnce) ObserveRound(rec RoundRecord) {
+	if !r.seen {
+		r.rec = rec
+		r.seen = true
+	}
+}
+
+// TestStepZeroAllocMultiEdge extends the zero-allocation contract to the
+// multi-edge path: a frugal MultiAdversary costs no heap allocations per
+// round in steady state.
+func TestStepZeroAllocMultiEdge(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; gate runs in the non-race pass")
+	}
+	w := allocWorld(t, 64, 3, FSync, blockMovers{Cap: 2})
+	for i := 0; i < 32; i++ {
+		if err := w.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	avg := testing.AllocsPerRun(200, func() {
+		if err := w.Step(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("multi-edge World.Step allocates %.2f objects/round in steady state, want 0", avg)
+	}
+}

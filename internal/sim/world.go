@@ -1,21 +1,3 @@
-// Package sim implements the paper's execution model (Section 2.1): a
-// discrete-round engine over a 1-interval-connected dynamic ring in which
-// agents perform Look–Compute–Move with mutually exclusive port access,
-// under a fully synchronous (FSYNC) or semi-synchronous (SSYNC) activation
-// schedule, the latter with the No Simultaneity (NS), Passive Transport (PT)
-// or Eventual Transport (ET) treatment of agents sleeping on ports.
-//
-// The engine is deterministic given its inputs: protocols are deterministic
-// by contract, default tie-breaking is by lowest agent id, and adversaries
-// receive explicit access to the world plus the agents' resolved intents, so
-// randomized strategies must carry their own seeded source.
-//
-// The hot path is allocation-free: all per-round working storage lives in
-// preallocated scratch on the World (sized once by Reset), so the steady
-// state of Step performs zero heap allocations. The exceptions are opt-in:
-// an Observer costs one RoundRecord per round, DetectCycles costs one
-// fingerprint string per round, and SSYNC adversaries allocate whatever
-// their Activate implementations allocate.
 package sim
 
 import (
@@ -114,6 +96,25 @@ type Adversary interface {
 	MissingEdge(t int, w *World, intents []Intent) int
 }
 
+// MultiAdversary is the optional extension for dynamics models that may
+// remove several edges per round — the capped-removal regime, which relaxes
+// the paper's 1-interval connectivity (at most one missing edge, so the ring
+// always stays connected) to "at most r missing edges", under which the ring
+// may temporarily disconnect. The engine consults MissingEdges instead of
+// MissingEdge when an adversary implements this interface.
+type MultiAdversary interface {
+	Adversary
+
+	// MissingEdges appends the edges absent in round t to buf and returns
+	// the extended slice. It is called under the same contract as
+	// MissingEdge: decisions are fixed, intents are engine-owned scratch.
+	// buf is engine-owned scratch with length 0 and capacity Ring().Size(),
+	// so appending at most one entry per edge never allocates. The engine
+	// deduplicates the returned edges, ignores NoEdge entries, and aborts
+	// the run on any other invalid index.
+	MissingEdges(t int, w *World, intents []Intent, buf []int) []int
+}
+
 // TieBreaker optionally resolves port contention. contenders is sorted and
 // has at least two entries; the returned id must be one of them. The slice
 // is engine-owned scratch, valid only for the duration of the call.
@@ -146,10 +147,47 @@ type AgentSnapshot struct {
 
 // RoundRecord describes one completed round.
 type RoundRecord struct {
-	Round       int
-	Active      []int
+	Round  int
+	Active []int
+	// MissingEdge is the round's missing edge, or NoEdge. When a
+	// MultiAdversary removed several edges it holds the first; consult
+	// MissingEdges for the full set.
 	MissingEdge int
-	Agents      []AgentSnapshot
+	// MissingEdges lists every edge absent this round, in the order the
+	// adversary produced them (first occurrence wins on duplicates). It is
+	// nil when no edge was missing. Consumers that predate the capped-
+	// removal models may keep reading MissingEdge; the two fields agree
+	// whenever at most one edge is missing.
+	MissingEdges []int
+	Agents       []AgentSnapshot
+}
+
+// EdgeMissing reports whether edge e was absent in this round. It is the
+// authoritative reading of the record's two dynamics fields: the
+// MissingEdges set when populated, the legacy single MissingEdge otherwise.
+func (r RoundRecord) EdgeMissing(e int) bool {
+	if r.MissingEdges != nil {
+		for _, m := range r.MissingEdges {
+			if m == e {
+				return true
+			}
+		}
+		return false
+	}
+	return r.MissingEdge != NoEdge && r.MissingEdge == e
+}
+
+// Missing returns the round's full missing-edge set under the same rule as
+// EdgeMissing: nil when no edge was absent. The returned slice may alias
+// MissingEdges; callers must not modify it.
+func (r RoundRecord) Missing() []int {
+	if r.MissingEdges != nil {
+		return r.MissingEdges
+	}
+	if r.MissingEdge != NoEdge {
+		return []int{r.MissingEdge}
+	}
+	return nil
 }
 
 // Config assembles a world.
@@ -232,11 +270,17 @@ type scratch struct {
 	activeBits []bool           // per-agent membership bits for transport accounting
 	reqs       []portReq        // port-grab requests in activation order
 	contenders []int            // contenders of the port being resolved
+
+	missingReq  []int  // adversary's raw missing-edge request, capacity = #edges
+	missing     []int  // validated, deduplicated missing edges of the round
+	missingBits []bool // per-edge membership bits for the missing set
 }
 
-// grow sizes the scratch for m agents, reusing prior capacity. mark and
-// activeBits are maintained all-false between rounds.
-func (s *scratch) grow(m int) {
+// grow sizes the scratch for m agents on a ring of n nodes, reusing prior
+// capacity. mark, activeBits and missingBits are maintained all-false
+// between rounds.
+func (s *scratch) grow(m, n int) {
+	s.growMissing(n)
 	if cap(s.active) < m {
 		s.active = make([]int, 0, m)
 	}
@@ -268,18 +312,36 @@ func (s *scratch) grow(m int) {
 	s.contenders = s.contenders[:0]
 }
 
+// growMissing sizes the missing-edge scratch for a ring of n edges.
+func (s *scratch) growMissing(n int) {
+	if cap(s.missingReq) < n {
+		s.missingReq = make([]int, 0, n)
+	}
+	s.missingReq = s.missingReq[:0]
+	if cap(s.missing) < n {
+		s.missing = make([]int, 0, n)
+	}
+	s.missing = s.missing[:0]
+	if len(s.missingBits) < n {
+		s.missingBits = make([]bool, n)
+	} else {
+		s.missingBits = s.missingBits[:len(s.missingBits)]
+		clear(s.missingBits)
+	}
+}
+
 // World is the mutable run state.
 type World struct {
 	ring     *ring.Ring
 	model    Model
 	agents   []agentRT
 	adv      Adversary
+	madv     MultiAdversary // non-nil when adv supports multi-edge removal
 	tie      TieBreaker
 	obs      Observer
 	fairness int
 
 	round        int
-	missingEdge  int // edge missing in the round being resolved
 	visited      []bool
 	visitedCount int
 	exploredAt   int // round after which all nodes had been visited; -1 if not yet
@@ -332,11 +394,11 @@ func (w *World) Reset(cfg Config) error {
 	w.ring = cfg.Ring
 	w.model = cfg.Model
 	w.adv = cfg.Adversary
+	w.madv, _ = cfg.Adversary.(MultiAdversary)
 	w.tie = cfg.TieBreak
 	w.obs = cfg.Observer
 	w.fairness = fair
 	w.round = 0
-	w.missingEdge = NoEdge
 	if cap(w.visited) < n {
 		w.visited = make([]bool, n)
 	} else {
@@ -374,7 +436,7 @@ func (w *World) Reset(cfg Config) error {
 		w.termAt[i] = -1
 		w.visit(cfg.Starts[i])
 	}
-	w.scratch.grow(m)
+	w.scratch.grow(m, n)
 	return nil
 }
 
@@ -472,7 +534,25 @@ func (w *World) AnyTerminated() bool {
 
 // MissingEdgeNow returns the edge missing in the round currently being
 // resolved (valid while adversary callbacks and observers run), or NoEdge.
-func (w *World) MissingEdgeNow() int { return w.missingEdge }
+// When a MultiAdversary removed several edges it returns the first; use
+// MissingEdgesNow or EdgeMissingNow for the full set.
+func (w *World) MissingEdgeNow() int {
+	if len(w.scratch.missing) == 0 {
+		return NoEdge
+	}
+	return w.scratch.missing[0]
+}
+
+// MissingEdgesNow returns every edge missing in the round currently being
+// resolved. The slice is engine-owned scratch: read it during adversary
+// callbacks and observers only, and copy it to retain it.
+func (w *World) MissingEdgesNow() []int { return w.scratch.missing }
+
+// EdgeMissingNow reports whether edge e is absent in the round currently
+// being resolved. Invalid edge indices are simply not missing.
+func (w *World) EdgeMissingNow(e int) bool {
+	return e >= 0 && e < len(w.scratch.missingBits) && w.scratch.missingBits[e]
+}
 
 // toGlobal maps agent i's private direction to a global one.
 func (w *World) toGlobal(i int, d agent.Dir) ring.GlobalDir {

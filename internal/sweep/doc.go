@@ -1,0 +1,8 @@
+// Package sweep provides the concurrency machinery behind dynring.Sweep:
+// an ordered worker pool that fans a fixed job grid out over a bounded
+// number of goroutines while delivering results in submission order, plus
+// deterministic per-scenario seed derivation. It is deliberately ignorant
+// of scenarios and simulation — it schedules opaque jobs — so the public
+// package owns the domain types and this package can be tested in
+// microseconds.
+package sweep

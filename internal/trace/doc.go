@@ -1,0 +1,6 @@
+// Package trace records simulation rounds and renders them as ASCII
+// space–time diagrams in the style of the paper's schedule figures
+// (Figure 2, Figure 16): one row per round, one column per node, agents
+// shown at their positions with port markers, and the missing edge marked
+// in the gap between its endpoints.
+package trace

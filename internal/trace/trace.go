@@ -1,8 +1,3 @@
-// Package trace records simulation rounds and renders them as ASCII
-// space–time diagrams in the style of the paper's schedule figures
-// (Figure 2, Figure 16): one row per round, one column per node, agents
-// shown at their positions with port markers, and the missing edge marked
-// in the gap between its endpoints.
 package trace
 
 import (
@@ -122,13 +117,13 @@ func (r *Recorder) renderRow(rec sim.RoundRecord) string {
 	fmt.Fprintf(&b, "%5d |", rec.Round)
 	for v := 0; v < r.n; v++ {
 		gap := " "
-		if rec.MissingEdge != sim.NoEdge && rec.MissingEdge == v-1 {
+		if rec.EdgeMissing(v - 1) {
 			gap = "x"
 		}
 		b.WriteString(gap)
 		b.WriteString(cells[v])
 	}
-	if rec.MissingEdge == r.n-1 {
+	if rec.EdgeMissing(r.n - 1) {
 		b.WriteString(" x")
 	}
 	b.WriteString("\n")

@@ -29,8 +29,12 @@ type parityEntry struct {
 
 // parityScenarios is the corpus the golden file locks down: the full
 // 200-scenario acceptance grid (4 algorithms × 5 sizes × 10 seeds, spanning
-// FSYNC, SSYNC/PT and SSYNC/ET) plus a handful of hand-picked scenarios
-// covering the proof adversaries, SSYNC/NS, and cycle detection.
+// FSYNC, SSYNC/PT and SSYNC/ET), a handful of hand-picked scenarios
+// covering the proof adversaries, SSYNC/NS, and cycle detection, and — since
+// the dynamics-model zoo — the 315-scenario zoo grid (T-interval, capped
+// removal, recurrence, landmark-free exploration). The zoo entries are
+// appended after the pre-zoo corpus so the golden file's prefix stays
+// byte-comparable across the zoo's introduction.
 func parityScenarios(t testing.TB) []dynring.Scenario {
 	scs, err := acceptanceSweep(0).Scenarios()
 	if err != nil {
@@ -67,7 +71,8 @@ func parityScenarios(t testing.TB) []dynring.Scenario {
 			Seed:           99,
 		},
 	}
-	return append(scs, extras...)
+	out := append(scs, extras...)
+	return append(out, zooScenarios(t)...)
 }
 
 // runParity executes the corpus and pairs each scenario with its fingerprint

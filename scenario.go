@@ -6,6 +6,7 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
+	"strings"
 
 	"dynring/internal/core"
 	"dynring/internal/ring"
@@ -49,6 +50,20 @@ func RandomActivationFactory(p float64, edges AdversaryFactory) AdversaryFactory
 		}
 		return RandomActivation(p, seed, inner)
 	}
+}
+
+// TIntervalFactory is the seeded-per-run counterpart of TIntervalConnected:
+// each run draws its phase edges from the scenario's own seed.
+func TIntervalFactory(t int) AdversaryFactory {
+	return func(seed int64) Adversary { return TIntervalConnected(t, seed) }
+}
+
+// RecurrentFactory builds a fresh RecurrentBlocking instance per run. The
+// strategy is deterministic but stateful (it tracks the current blockage
+// streak), so replayable scenarios must rebuild it rather than share one
+// instance via Fixed.
+func RecurrentFactory(w int) AdversaryFactory {
+	return func(int64) Adversary { return RecurrentBlocking(w) }
 }
 
 // Scenario fully describes one exploration run as a plain value: topology,
@@ -281,11 +296,67 @@ func (s Scenario) Validate() error {
 	return err
 }
 
-// fingerprintVersion tags the canonical encoding hashed by Fingerprint.
-// Bump it whenever the encoding — or anything that changes a Result for the
-// same encoded inputs, such as engine semantics — changes, so stale caches
-// can never serve results computed under different rules.
-const fingerprintVersion = "dynring/scenario/v1"
+// The fingerprint encoding is versioned per model era, not globally: a
+// scenario hashes under the newest version whose feature set it exercises.
+// Scenarios expressible in the pre-zoo model space keep hashing under v1
+// byte-for-byte (locked by TestFingerprintV1Regression), so grids submitted
+// before the dynamics-model zoo landed keep hitting ringsimd caches; zoo
+// scenarios hash under v2, so a future fix to multi-edge or zoo semantics
+// bumps only v2 and invalidates only zoo cache entries.
+//
+// Bump a version whenever its encoding — or anything that changes a Result
+// for the same encoded inputs, such as engine semantics for that feature
+// set — changes, so stale caches can never serve results computed under
+// different rules.
+const (
+	fingerprintVersionV1 = "dynring/scenario/v1"
+	fingerprintVersionV2 = "dynring/scenario/v2"
+)
+
+// fingerprintV2Algorithms names the algorithms added with (or after) the
+// dynamics-model zoo: scenarios running them hash under v2.
+var fingerprintV2Algorithms = map[string]bool{
+	"LandmarkFreeExactN": true,
+}
+
+// fingerprintV2AdversaryKinds names the adversary label kinds added with
+// the zoo. Detection is purely syntactic (the kind prefix of the label,
+// after any act() wrapper), so custom labels keep hashing under v1 exactly
+// as they always have.
+var fingerprintV2AdversaryKinds = map[string]bool{
+	"tinterval": true,
+	"capped":    true,
+	"recurrent": true,
+}
+
+// fingerprintVersionFor selects the encoding version the resolved scenario
+// needs: v2 when it exercises any post-v1 feature, v1 otherwise.
+func (s Scenario) fingerprintVersionFor(r resolved) string {
+	if fingerprintV2Algorithms[r.spec.Name] {
+		return fingerprintVersionV2
+	}
+	if fingerprintV2AdversaryKinds[adversaryLabelKind(s.AdversaryLabel)] {
+		return fingerprintVersionV2
+	}
+	return fingerprintVersionV1
+}
+
+// adversaryLabelKind extracts the kind prefix of an adversary label: the
+// text before the first '(', after stripping one act(...)+ wrapper.
+// "act(0.7)+capped(r=2)" → "capped"; labels without parameters are their
+// own kind.
+func adversaryLabelKind(label string) string {
+	s := label
+	if strings.HasPrefix(s, "act(") {
+		if i := strings.Index(s, ")+"); i >= 0 {
+			s = s[i+2:]
+		}
+	}
+	if i := strings.IndexByte(s, '('); i >= 0 {
+		s = s[:i]
+	}
+	return s
+}
 
 // Fingerprint returns a canonical 128-bit content hash (32 hex characters)
 // of everything that determines the scenario's Result. By the determinism
@@ -327,7 +398,7 @@ func (s Scenario) Fingerprint() (string, error) {
 	h := sha256.New()
 	// Variable-length strings are length-prefixed so field boundaries stay
 	// unambiguous; everything else is fixed-form text.
-	fmt.Fprintf(h, "%s\n", fingerprintVersion)
+	fmt.Fprintf(h, "%s\n", s.fingerprintVersionFor(r))
 	fmt.Fprintf(h, "size=%d landmark=%d algo=%d:%s model=%d ub=%d es=%d\n",
 		s.Size, s.Landmark, len(r.spec.Name), r.spec.Name, int(r.model),
 		r.params.UpperBound, r.params.ExactSize)

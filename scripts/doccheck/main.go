@@ -1,0 +1,153 @@
+// Command doccheck enforces the repository's godoc coverage contract, the
+// gate behind the CI docs job:
+//
+//   - every exported top-level symbol (and exported method on an exported
+//     type) of the root dynring package carries a doc comment;
+//   - every internal/* package has a doc.go file whose package comment
+//     documents the package.
+//
+// It exits non-zero listing every violation, so the docs job fails exactly
+// when an undocumented export or an uncommented package slips in.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	var problems []string
+
+	problems = append(problems, checkRootPackage(root)...)
+	problems = append(problems, checkInternalDocs(root)...)
+
+	if len(problems) > 0 {
+		sort.Strings(problems)
+		for _, p := range problems {
+			fmt.Fprintln(os.Stderr, "doccheck:", p)
+		}
+		fmt.Fprintf(os.Stderr, "doccheck: %d problem(s)\n", len(problems))
+		os.Exit(1)
+	}
+	fmt.Println("doccheck: ok")
+}
+
+// checkRootPackage parses the root package (non-test files) and reports
+// every exported declaration without a doc comment.
+func checkRootPackage(root string) []string {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, root, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return []string{fmt.Sprintf("parse %s: %v", root, err)}
+	}
+	var problems []string
+	for _, pkg := range pkgs {
+		for path, file := range pkg.Files {
+			rel := filepath.Base(path)
+			for _, decl := range file.Decls {
+				problems = append(problems, checkDecl(fset, rel, decl)...)
+			}
+		}
+	}
+	return problems
+}
+
+// checkDecl reports undocumented exported symbols introduced by one
+// top-level declaration. A documented GenDecl block covers every spec
+// inside it.
+func checkDecl(fset *token.FileSet, file string, decl ast.Decl) []string {
+	var problems []string
+	report := func(pos token.Pos, what, name string) {
+		problems = append(problems, fmt.Sprintf("%s:%d: exported %s %s has no doc comment",
+			file, fset.Position(pos).Line, what, name))
+	}
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		if !d.Name.IsExported() {
+			return nil
+		}
+		name := d.Name.Name
+		if d.Recv != nil && len(d.Recv.List) > 0 {
+			recv := receiverName(d.Recv.List[0].Type)
+			if recv != "" && !ast.IsExported(recv) {
+				return nil // method on an unexported type
+			}
+			name = recv + "." + name
+		}
+		if d.Doc == nil {
+			report(d.Pos(), "function", name)
+		}
+	case *ast.GenDecl:
+		if d.Doc != nil {
+			return nil // block doc covers the group
+		}
+		for _, spec := range d.Specs {
+			switch s := spec.(type) {
+			case *ast.TypeSpec:
+				if s.Name.IsExported() && s.Doc == nil && s.Comment == nil {
+					report(s.Pos(), "type", s.Name.Name)
+				}
+			case *ast.ValueSpec:
+				if s.Doc != nil || s.Comment != nil {
+					continue
+				}
+				for _, n := range s.Names {
+					if n.IsExported() {
+						report(n.Pos(), "value", n.Name)
+					}
+				}
+			}
+		}
+	}
+	return problems
+}
+
+// receiverName unwraps a method receiver type expression to its type name.
+func receiverName(expr ast.Expr) string {
+	switch t := expr.(type) {
+	case *ast.Ident:
+		return t.Name
+	case *ast.StarExpr:
+		return receiverName(t.X)
+	case *ast.IndexExpr: // generic receiver
+		return receiverName(t.X)
+	}
+	return ""
+}
+
+// checkInternalDocs verifies every internal/* package has a doc.go with a
+// package comment.
+func checkInternalDocs(root string) []string {
+	var problems []string
+	dirs, err := os.ReadDir(filepath.Join(root, "internal"))
+	if err != nil {
+		return []string{fmt.Sprintf("read internal/: %v", err)}
+	}
+	for _, d := range dirs {
+		if !d.IsDir() {
+			continue
+		}
+		docPath := filepath.Join(root, "internal", d.Name(), "doc.go")
+		buf, err := os.ReadFile(docPath)
+		if err != nil {
+			problems = append(problems, fmt.Sprintf("internal/%s: no doc.go package comment file", d.Name()))
+			continue
+		}
+		if !strings.Contains(string(buf), "// Package "+d.Name()) {
+			problems = append(problems, fmt.Sprintf("internal/%s/doc.go: missing \"// Package %s\" comment", d.Name(), d.Name()))
+		}
+	}
+	return problems
+}

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# linkcheck.sh — verify that every relative markdown link in README.md and
+# docs/*.md points at a file that exists in the repository. External
+# (http/https) links and pure #anchors are skipped: CI must not depend on
+# the network, and anchor drift is caught by review. Part of the CI docs job.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+fail=0
+for md in README.md docs/*.md; do
+  [ -f "$md" ] || continue
+  dir=$(dirname "$md")
+  # Extract link targets: [text](target), tolerating titles after a space.
+  while IFS= read -r target; do
+    case "$target" in
+      http://*|https://*|\#*|mailto:*) continue ;;
+    esac
+    # Strip any trailing #anchor.
+    path="${target%%#*}"
+    [ -n "$path" ] || continue
+    if [ ! -e "$dir/$path" ] && [ ! -e "$path" ]; then
+      echo "linkcheck: $md: broken link -> $target" >&2
+      fail=1
+    fi
+  done < <(grep -oE '\]\([^)]+\)' "$md" | sed -E 's/^\]\(//; s/\)$//; s/ .*$//')
+done
+
+if [ "$fail" -ne 0 ]; then
+  exit 1
+fi
+echo "linkcheck: ok"

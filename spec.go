@@ -2,6 +2,7 @@ package dynring
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 )
 
@@ -21,8 +22,9 @@ import (
 // Kind selects the strategy; the remaining fields parameterize it and are
 // ignored by kinds that do not use them.
 type AdversarySpec struct {
-	// Kind is one of: none, random, greedy, frontier, pin, persistent,
-	// prevent.
+	// Kind is one of the paper's strategies — none, random, greedy,
+	// frontier, pin, persistent, prevent — or a dynamics-model-zoo family:
+	// tinterval, capped, recurrent.
 	Kind string `json:"kind"`
 	// P is the edge-removal probability for Kind "random".
 	P float64 `json:"p,omitempty"`
@@ -30,6 +32,15 @@ type AdversarySpec struct {
 	Edge int `json:"edge,omitempty"`
 	// Pin is the targeted agent for Kind "pin".
 	Pin int `json:"pin,omitempty"`
+	// T is the phase length for Kind "tinterval" (T-interval connectivity:
+	// the missing edge changes only every T rounds); it must be ≥ 1.
+	T int `json:"t,omitempty"`
+	// R is the per-round removal cap for Kind "capped" (at most R missing
+	// edges per round); it must be ≥ 1.
+	R int `json:"r,omitempty"`
+	// W is the recurrence window for Kind "recurrent" (no edge missing for
+	// more than W consecutive rounds); it must be ≥ 1.
+	W int `json:"w,omitempty"`
 	// Act, when in (0,1), wraps the strategy in RandomActivation with that
 	// activation probability (SSYNC models). 0 or 1 leaves every agent
 	// active in every round.
@@ -49,6 +60,12 @@ func (a AdversarySpec) Label() string {
 		l = fmt.Sprintf("pin(%d)", a.Pin)
 	case "persistent":
 		l = fmt.Sprintf("persistent(%d)", a.Edge)
+	case "tinterval":
+		l = fmt.Sprintf("tinterval(T=%d)", a.T)
+	case "capped":
+		l = fmt.Sprintf("capped(r=%d)", a.R)
+	case "recurrent":
+		l = fmt.Sprintf("recurrent(w=%d)", a.W)
 	default:
 		l = a.Kind
 	}
@@ -93,6 +110,21 @@ func (a AdversarySpec) Factory() (AdversaryFactory, error) {
 		base = Fixed(KeepEdgeRemoved(a.Edge))
 	case "prevent":
 		base = Fixed(PreventMeetings())
+	case "tinterval":
+		if a.T < 1 {
+			return nil, fmt.Errorf("dynring: tinterval needs a phase length T ≥ 1 (got %d)", a.T)
+		}
+		base = TIntervalFactory(a.T)
+	case "capped":
+		if a.R < 1 {
+			return nil, fmt.Errorf("dynring: capped needs a removal cap r ≥ 1 (got %d)", a.R)
+		}
+		base = Fixed(CappedRemoval(a.R))
+	case "recurrent":
+		if a.W < 1 {
+			return nil, fmt.Errorf("dynring: recurrent needs a window w ≥ 1 (got %d)", a.W)
+		}
+		base = RecurrentFactory(a.W)
 	default:
 		return nil, fmt.Errorf("dynring: unknown adversary kind %q", a.Kind)
 	}
@@ -100,6 +132,95 @@ func (a AdversarySpec) Factory() (AdversaryFactory, error) {
 		return RandomActivationFactory(a.Act, base), nil
 	}
 	return base, nil
+}
+
+// ParseAdversary parses a canonical adversary label back into its spec —
+// the inverse of AdversarySpec.Label, and the grammar behind cmd/ringsim's
+// parameter-bearing -adversary/-adversaries values:
+//
+//	label   := [ "act(" float ")+" ] strategy
+//	strategy:= "none" | "greedy" | "frontier" | "prevent"
+//	         | "random(p=" float ")" | "pin(" int ")" | "persistent(" int ")"
+//	         | "tinterval(T=" int ")" | "capped(r=" int ")" | "recurrent(w=" int ")"
+//
+// Parameter keys are matched case-insensitively. The returned spec is
+// validated (ParseAdversary fails exactly when spec.Factory would), and
+// round-trips: ParseAdversary(spec.Label()) reproduces the spec.
+func ParseAdversary(label string) (AdversarySpec, error) {
+	var spec AdversarySpec
+	s := strings.TrimSpace(label)
+	if strings.HasPrefix(s, "act(") {
+		end := strings.Index(s, ")+")
+		if end < 0 {
+			return AdversarySpec{}, fmt.Errorf("dynring: adversary label %q: act(...) wrapper not closed with \")+\"", label)
+		}
+		v, err := strconv.ParseFloat(s[len("act("):end], 64)
+		if err != nil {
+			return AdversarySpec{}, fmt.Errorf("dynring: adversary label %q: bad activation probability: %v", label, err)
+		}
+		spec.Act = v
+		s = s[end+2:]
+	}
+	open := strings.IndexByte(s, '(')
+	if open < 0 {
+		spec.Kind = s
+	} else {
+		if !strings.HasSuffix(s, ")") {
+			return AdversarySpec{}, fmt.Errorf("dynring: adversary label %q: unbalanced parentheses", label)
+		}
+		spec.Kind = s[:open]
+		arg := s[open+1 : len(s)-1]
+		// Accept both the canonical keyed form (p=0.5, T=2) and a bare
+		// value; the key, when present, must match the kind's parameter.
+		key := ""
+		if eq := strings.IndexByte(arg, '='); eq >= 0 {
+			key = strings.ToLower(strings.TrimSpace(arg[:eq]))
+			arg = arg[eq+1:]
+		}
+		arg = strings.TrimSpace(arg)
+		checkKey := func(want string) error {
+			if key != "" && key != want {
+				return fmt.Errorf("dynring: adversary label %q: parameter %q, want %q", label, key, want)
+			}
+			return nil
+		}
+		var err error
+		switch spec.Kind {
+		case "random":
+			if err = checkKey("p"); err == nil {
+				spec.P, err = strconv.ParseFloat(arg, 64)
+			}
+		case "pin":
+			if err = checkKey("pin"); err == nil {
+				spec.Pin, err = strconv.Atoi(arg)
+			}
+		case "persistent":
+			if err = checkKey("edge"); err == nil {
+				spec.Edge, err = strconv.Atoi(arg)
+			}
+		case "tinterval":
+			if err = checkKey("t"); err == nil {
+				spec.T, err = strconv.Atoi(arg)
+			}
+		case "capped":
+			if err = checkKey("r"); err == nil {
+				spec.R, err = strconv.Atoi(arg)
+			}
+		case "recurrent":
+			if err = checkKey("w"); err == nil {
+				spec.W, err = strconv.Atoi(arg)
+			}
+		default:
+			err = fmt.Errorf("dynring: unknown adversary kind %q", spec.Kind)
+		}
+		if err != nil {
+			return AdversarySpec{}, fmt.Errorf("dynring: adversary label %q: %v", label, err)
+		}
+	}
+	if _, err := spec.Factory(); err != nil {
+		return AdversarySpec{}, err
+	}
+	return spec, nil
 }
 
 // ScenarioSpec is the serializable subset of Scenario: everything except

@@ -22,6 +22,10 @@ func TestAdversarySpecLabels(t *testing.T) {
 		{dynring.AdversarySpec{Kind: "persistent", Edge: 3}, "persistent(3)"},
 		{dynring.AdversarySpec{Kind: "frontier", Act: 0.6}, "act(0.6)+frontier"},
 		{dynring.AdversarySpec{Kind: "random", P: 0.4, Act: 1}, "random(p=0.4)"},
+		{dynring.AdversarySpec{Kind: "tinterval", T: 2}, "tinterval(T=2)"},
+		{dynring.AdversarySpec{Kind: "capped", R: 3}, "capped(r=3)"},
+		{dynring.AdversarySpec{Kind: "recurrent", W: 4}, "recurrent(w=4)"},
+		{dynring.AdversarySpec{Kind: "capped", R: 2, Act: 0.8}, "act(0.8)+capped(r=2)"},
 	}
 	for _, tt := range tests {
 		if got := tt.spec.Label(); got != tt.want {
@@ -226,6 +230,105 @@ func TestAdversarySpecParameterValidation(t *testing.T) {
 	for _, act := range []float64{0, 1} {
 		if _, err := (dynring.AdversarySpec{Kind: "greedy", Act: act}).Factory(); err != nil {
 			t.Fatalf("act=%g rejected: %v", act, err)
+		}
+	}
+}
+
+// TestParseAdversary: the label grammar round-trips through
+// AdversarySpec.Label for every kind, including the zoo families and the
+// activation wrapper, and rejects malformed or invalid labels.
+func TestParseAdversary(t *testing.T) {
+	good := []dynring.AdversarySpec{
+		{Kind: "none"},
+		{Kind: "greedy"},
+		{Kind: "frontier"},
+		{Kind: "prevent"},
+		{Kind: "random", P: 0.5},
+		{Kind: "pin", Pin: 2},
+		{Kind: "persistent", Edge: 3},
+		{Kind: "tinterval", T: 2},
+		{Kind: "capped", R: 2},
+		{Kind: "recurrent", W: 3},
+		{Kind: "capped", R: 1, Act: 0.7},
+		{Kind: "greedy", Act: 0.9},
+	}
+	for _, spec := range good {
+		got, err := dynring.ParseAdversary(spec.Label())
+		if err != nil {
+			t.Errorf("ParseAdversary(%q): %v", spec.Label(), err)
+			continue
+		}
+		if !reflect.DeepEqual(got, spec) {
+			t.Errorf("ParseAdversary(%q) = %+v, want %+v", spec.Label(), got, spec)
+		}
+	}
+
+	// Keys match case-insensitively and bare values are accepted where the
+	// canonical label uses them.
+	if sp, err := dynring.ParseAdversary("tinterval(t=4)"); err != nil || sp.T != 4 {
+		t.Errorf("lowercase key rejected: %+v, %v", sp, err)
+	}
+	if sp, err := dynring.ParseAdversary("pin(1)"); err != nil || sp.Pin != 1 {
+		t.Errorf("bare pin value rejected: %+v, %v", sp, err)
+	}
+
+	bad := []string{
+		"",
+		"bogus",
+		"random(q=0.5)",       // wrong parameter key
+		"tinterval(T=0)",      // parameter out of range
+		"capped(r=0)",         // parameter out of range
+		"recurrent(w=-1)",     // parameter out of range
+		"tinterval",           // zoo kinds need their parameter
+		"capped(r=2",          // unbalanced parentheses
+		"act(0.5)capped(r=2)", // act wrapper not closed with )+
+		"act(2)+greedy",       // activation probability out of range
+		"random(p=x)",         // unparseable value
+	}
+	for _, label := range bad {
+		if _, err := dynring.ParseAdversary(label); err == nil {
+			t.Errorf("ParseAdversary(%q) accepted", label)
+		}
+	}
+}
+
+// TestZooSpecsAreWireSafe: the zoo kinds survive the JSON round trip that
+// carries them to a ringsimd service.
+func TestZooSpecsAreWireSafe(t *testing.T) {
+	spec := dynring.SweepSpec{
+		Base: dynring.ScenarioSpec{Size: 9, Landmark: -1, Algorithm: "LandmarkFreeExactN"},
+		Adversaries: []dynring.AdversarySpec{
+			{Kind: "tinterval", T: 2},
+			{Kind: "capped", R: 2},
+			{Kind: "recurrent", W: 3},
+		},
+		Seeds: []int64{1, 2},
+	}
+	buf, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back dynring.SweepSpec
+	if err := json.Unmarshal(buf, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(spec, back) {
+		t.Fatalf("zoo sweep spec does not round-trip JSON:\n%+v\n%+v", spec, back)
+	}
+	sw, err := back.Sweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	scs, err := sw.Scenarios()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scs) != 6 {
+		t.Fatalf("grid has %d scenarios, want 6", len(scs))
+	}
+	for _, sc := range scs {
+		if _, err := sc.Fingerprint(); err != nil {
+			t.Errorf("%s: not fingerprintable: %v", sc.Name, err)
 		}
 	}
 }

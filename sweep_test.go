@@ -37,6 +37,84 @@ func acceptanceSweep(workers int) dynring.Sweep {
 	}
 }
 
+// zooAdversaries is the dynamics-model-zoo axis: every new parameter-bearing
+// family at several parameter values, built from the same serializable specs
+// the CLI and the ringsimd wire format use.
+func zooAdversaries(t testing.TB) []dynring.SweepAdversary {
+	t.Helper()
+	specs := []dynring.AdversarySpec{
+		{Kind: "tinterval", T: 1},
+		{Kind: "tinterval", T: 2},
+		{Kind: "tinterval", T: 4},
+		{Kind: "capped", R: 1},
+		{Kind: "capped", R: 2},
+		{Kind: "recurrent", W: 1},
+		{Kind: "recurrent", W: 3},
+	}
+	out := make([]dynring.SweepAdversary, 0, len(specs))
+	for _, spec := range specs {
+		f, err := spec.Factory()
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, dynring.SweepAdversary{Name: spec.Label(), New: f})
+	}
+	return out
+}
+
+// zooSweep extends the acceptance grid with the dynamics-model zoo: three
+// landmark-independent algorithms (including the landmark-free Das–Bose–Sau
+// regime) × three sizes × the seven zoo adversary parameterizations × five
+// seeds — 315 scenarios on anonymous rings, which together with the
+// 200-scenario acceptance grid and the proof-adversary extras grows the
+// engine-parity corpus past 500.
+func zooSweep(workers int) dynring.Sweep {
+	return dynring.Sweep{
+		Base: dynring.Scenario{
+			Landmark:         dynring.NoLandmark,
+			StopWhenExplored: true,
+		},
+		Algorithms: []string{
+			"KnownNNoChirality",
+			"UnconsciousExploration",
+			"LandmarkFreeExactN",
+		},
+		Sizes:   []int{6, 9, 12},
+		Seeds:   []int64{1, 2, 3, 4, 5},
+		Workers: workers,
+	}
+}
+
+// zooScenarios expands the zoo grid.
+func zooScenarios(t testing.TB) []dynring.Scenario {
+	t.Helper()
+	sw := zooSweep(0)
+	sw.Adversaries = zooAdversaries(t)
+	scs, err := sw.Scenarios()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return scs
+}
+
+// TestZooSweepScenarios: the zoo grid expands to 315 fingerprintable
+// scenarios, and every zoo label round-trips through ParseAdversary (the
+// grammar the CLI axis uses).
+func TestZooSweepScenarios(t *testing.T) {
+	scs := zooScenarios(t)
+	if len(scs) != 315 {
+		t.Fatalf("zoo grid has %d scenarios, want 315", len(scs))
+	}
+	for _, sc := range scs {
+		if _, err := sc.Fingerprint(); err != nil {
+			t.Fatalf("%s: not fingerprintable: %v", sc.Name, err)
+		}
+		if _, err := dynring.ParseAdversary(sc.AdversaryLabel); err != nil {
+			t.Fatalf("%s: label %q does not parse: %v", sc.Name, sc.AdversaryLabel, err)
+		}
+	}
+}
+
 // TestSweepScenarios: grid expansion is 200 scenarios in deterministic grid
 // order, with labels and per-scenario derived seeds.
 func TestSweepScenarios(t *testing.T) {
