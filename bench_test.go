@@ -155,21 +155,42 @@ func BenchmarkRunner_Fresh(b *testing.B) {
 	b.ReportMetric(float64(len(scs)), "scenarios/op")
 }
 
-// BenchmarkSweep measures batch throughput of the concurrent executor: a
-// 4-algorithm × 2-size × 4-seed grid per iteration.
-func BenchmarkSweep(b *testing.B) {
-	sw := dynring.Sweep{
-		Base: dynring.Scenario{
-			Landmark:     0,
-			NewAdversary: dynring.RandomEdgesFactory(0.4),
-		},
+// benchAdversaries builds a deterministic schedule-heavy adversary axis.
+func benchAdversaries(b *testing.B, specs ...dynring.AdversarySpec) []dynring.SweepAdversary {
+	b.Helper()
+	out := make([]dynring.SweepAdversary, 0, len(specs))
+	for _, spec := range specs {
+		f, err := spec.Factory()
+		if err != nil {
+			b.Fatal(err)
+		}
+		out = append(out, dynring.SweepAdversary{Name: spec.Label(), New: f})
+	}
+	return out
+}
+
+// scheduleHeavySweep is BenchmarkSweep's grid: deterministic adversarial
+// schedules (the paper's regime) over fingerprint-capable SSYNC algorithms
+// and one FSYNC control, where blocked-waiting dominates — capped(r=2)
+// blockades every coverage move, so those cells run to their full n²-scale
+// horizons. This is the workload the quiescence leap rewrites: the engine
+// proves the blockades are fixed points and skips them in O(1).
+func scheduleHeavySweep() dynring.Sweep {
+	return dynring.Sweep{
+		Base: dynring.Scenario{Landmark: 0, StopWhenExplored: true},
 		Algorithms: []string{
-			"KnownNNoChirality", "UnconsciousExploration",
-			"LandmarkWithChirality", "PTLandmarkWithChirality",
+			"PTBoundWithChirality", "PTLandmarkWithChirality",
+			"ETUnconscious", "KnownNNoChirality",
 		},
 		Sizes: []int{8, 16},
 		Seeds: []int64{1, 2, 3, 4},
 	}
+}
+
+// runSweepBench executes sw once per iteration and reports scenarios/op.
+func runSweepBench(b *testing.B, mk func() dynring.Sweep) {
+	b.Helper()
+	sw := mk()
 	scenarios, err := sw.Scenarios()
 	if err != nil {
 		b.Fatal(err)
@@ -177,7 +198,7 @@ func BenchmarkSweep(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		results, err := sw.Run(context.Background())
+		results, err := mk().Run(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -188,6 +209,105 @@ func BenchmarkSweep(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(len(scenarios)), "scenarios/op")
+}
+
+// BenchmarkSweep measures batch throughput of the concurrent executor on
+// the schedule-heavy grid (128 scenarios, no memo): the quiescence leap is
+// what keeps the capped-blockade cells — a quarter of the grid, each worth
+// up to 900·n²+9000 rounds of provable non-progress — from dominating.
+func BenchmarkSweep(b *testing.B) {
+	runSweepBench(b, func() dynring.Sweep {
+		sw := scheduleHeavySweep()
+		sw.Adversaries = benchAdversaries(b,
+			dynring.AdversarySpec{Kind: "greedy"},
+			dynring.AdversarySpec{Kind: "capped", R: 2},
+			dynring.AdversarySpec{Kind: "frontier"},
+			dynring.AdversarySpec{Kind: "tinterval", T: 4},
+		)
+		return sw
+	})
+}
+
+// memoSweepGrid is the memo benchmarks' grid. LandmarkFreeExactN is the
+// deliberately leap-resistant row: a time-driven FSYNC protocol without
+// fingerprints, whose capped-blockade cells burn their full O(n²) budgets
+// round by round — so collapsing its seed axis (greedy and capped ignore
+// their seeds) is worth real milliseconds, not just bookkeeping.
+func memoSweepGrid(memo *dynring.Memo) dynring.Sweep {
+	greedy, _ := dynring.AdversarySpec{Kind: "greedy"}.Factory()
+	capped, _ := dynring.AdversarySpec{Kind: "capped", R: 2}.Factory()
+	return dynring.Sweep{
+		Base: dynring.Scenario{Landmark: dynring.NoLandmark, StopWhenExplored: true},
+		Algorithms: []string{
+			"LandmarkFreeExactN", "PTBoundNoChirality", "ETUnconscious",
+		},
+		Sizes: []int{8, 12},
+		Seeds: []int64{1, 2, 3, 4},
+		Adversaries: []dynring.SweepAdversary{
+			{Name: "greedy", New: greedy},
+			{Name: "capped(r=2)", New: capped},
+		},
+		Memo: memo,
+	}
+}
+
+// BenchmarkSweepMemoCold: a fresh memo per sweep measures within-grid
+// memoization — every (algorithm, size, adversary) cell executes once and
+// its three seed-axis copies replay. Compare BenchmarkSweepMemoOff for the
+// dividend.
+func BenchmarkSweepMemoCold(b *testing.B) {
+	runSweepBench(b, func() dynring.Sweep { return memoSweepGrid(dynring.NewMemo(4096)) })
+}
+
+// BenchmarkSweepMemoOff is BenchmarkSweepMemoCold's control: the same grid
+// with memoization disabled executes all 48 scenarios.
+func BenchmarkSweepMemoOff(b *testing.B) {
+	runSweepBench(b, func() dynring.Sweep { return memoSweepGrid(nil) })
+}
+
+// BenchmarkSweepMemoHit: one memo shared across iterations measures the
+// repeated-local-sweep path (the cmd/ringsim -memo default when the same
+// grid is run again): everything replays, nothing executes.
+func BenchmarkSweepMemoHit(b *testing.B) {
+	memo := dynring.NewMemo(4096)
+	if _, err := memoSweepGrid(memo).Run(context.Background()); err != nil {
+		b.Fatal(err) // warm every key before the clock starts
+	}
+	runSweepBench(b, func() dynring.Sweep { return memoSweepGrid(memo) })
+}
+
+// BenchmarkLeap_BlockedRing pits the leap fast path against round-by-round
+// stepping on a long-budget total blockade: two PT agents against
+// capped(r=2), which removes both coverage edges every round, freezing the
+// configuration for the whole 50k-round horizon. The "step" variant is the
+// pre-leap engine's cost for the same Result.
+func BenchmarkLeap_BlockedRing(b *testing.B) {
+	base := dynring.Scenario{
+		Size: 16, Landmark: dynring.NoLandmark,
+		Algorithm:      "PTBoundWithChirality",
+		AdversaryLabel: "capped(r=2)",
+		NewAdversary:   dynring.Fixed(dynring.CappedRemoval(2)),
+		MaxRounds:      50_000,
+	}
+	for _, tc := range []struct {
+		name    string
+		disable bool
+	}{{"leap", false}, {"step", true}} {
+		b.Run(tc.name, func(b *testing.B) {
+			sc := base
+			sc.DisableLeap = tc.disable
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := sc.Run()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Outcome != dynring.OutcomeHorizon || res.TotalMoves != 0 {
+					b.Fatalf("blockade broke: %+v", res)
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkTable1_Impossibilities replays the Theorem 1/2 and

@@ -23,7 +23,11 @@
 // the aggregate of the scenarios finished so far. -dry-run prints the
 // expanded, validated grid (name + fingerprint — the ringsimd cache keys)
 // without executing anything; -server submits the grid to a ringsimd
-// service instead of running it in-process.
+// service instead of running it in-process. Local sweeps memoize results
+// in-process by default (-memo): scenarios with identical resolved
+// fingerprints — including seed-axis copies of deterministic adversaries —
+// execute once and replay the cached Result, marked "(memo)" in the row
+// output. Replay is exact; -memo=false forces every scenario to execute.
 package main
 
 import (
@@ -75,6 +79,7 @@ func run(ctx context.Context, out io.Writer, args []string) error {
 		jsonOut  = fs.Bool("json", false, "emit JSON instead of text")
 
 		sweepMode = fs.Bool("sweep", false, "run a scenario grid instead of a single scenario")
+		memo      = fs.Bool("memo", true, "sweep: memoize results in-process so scenarios with identical resolved fingerprints (e.g. deterministic adversaries swept over seeds) execute once; replay is exact (-memo=false forces every scenario to execute)")
 		algos     = fs.String("algos", "", "sweep: comma-separated algorithm axis (default: -algo)")
 		sizes     = fs.String("sizes", "", "sweep: comma-separated ring-size axis (default: -n)")
 		seeds     = fs.String("seeds", "", "sweep: comma-separated seed axis (default: -seed)")
@@ -120,6 +125,7 @@ func run(ctx context.Context, out io.Writer, args []string) error {
 			workers: *workers, p: *p, edge: *edge, pin: *pin,
 			tconn: *tconn, capR: *capR, recW: *recW, actP: *actP,
 			jsonOut: *jsonOut, dryRun: *dryRun, server: *server,
+			memo: *memo,
 		})
 	}
 	if *server != "" {
@@ -181,6 +187,11 @@ func run(ctx context.Context, out io.Writer, args []string) error {
 	return nil
 }
 
+// memoCapacity bounds the per-invocation sweep memo. A CLI process runs one
+// grid, so the bound only matters for grids with more unique keys than
+// this; LRU eviction degrades gracefully to re-execution.
+const memoCapacity = 1 << 16
+
 // sweepFlags carries the sweep-mode command line. defaultAdv is the single
 // -adversary value, used when no -adversaries axis is given.
 type sweepFlags struct {
@@ -194,6 +205,7 @@ type sweepFlags struct {
 	jsonOut                          bool
 	dryRun                           bool
 	server                           string
+	memo                             bool
 }
 
 // params returns the flag-supplied adversary parameters.
@@ -214,6 +226,7 @@ type scenarioJSON struct {
 	Result dynring.Result `json:"result"`
 	Error  string         `json:"error,omitempty"`
 	WallMS float64        `json:"wall_ms"`
+	Cached bool           `json:"cached,omitempty"`
 }
 
 func runSweep(ctx context.Context, out io.Writer, base dynring.Scenario, f sweepFlags) error {
@@ -239,6 +252,11 @@ func runSweep(ctx context.Context, out io.Writer, base dynring.Scenario, f sweep
 	}
 
 	sw := dynring.Sweep{Base: base, Workers: f.workers, Sizes: sizes, Seeds: seeds}
+	if f.memo && f.server == "" {
+		// Local sweeps memoize by default; remote grids already hit the
+		// ringsimd service cache, and -dry-run never executes.
+		sw.Memo = dynring.NewMemo(memoCapacity)
+	}
 	if f.algos != "" {
 		sw.Algorithms = splitList(f.algos)
 	}
@@ -261,9 +279,13 @@ func runSweep(ctx context.Context, out io.Writer, base dynring.Scenario, f sweep
 		if r.Err != nil {
 			status = "error: " + r.Err.Error()
 		}
-		fmt.Fprintf(out, "[%4d] %-60s %-16s rounds=%-7d moves=%-7d %.1fms\n",
+		mark := ""
+		if r.Cached {
+			mark = " (memo)"
+		}
+		fmt.Fprintf(out, "[%4d] %-60s %-16s rounds=%-7d moves=%-7d %.1fms%s\n",
 			r.Index, r.Scenario.Name, status, r.Result.Rounds, r.Result.TotalMoves,
-			float64(r.Wall.Microseconds())/1000)
+			float64(r.Wall.Microseconds())/1000, mark)
 	}
 
 	if f.server != "" {
@@ -323,7 +345,7 @@ func runSweep(ctx context.Context, out io.Writer, base dynring.Scenario, f sweep
 		doc := sweepJSON{Aggregate: agg, Cancelled: cancelled}
 		for _, r := range results {
 			sj := scenarioJSON{Name: r.Scenario.Name, Result: r.Result,
-				WallMS: float64(r.Wall.Microseconds()) / 1000}
+				WallMS: float64(r.Wall.Microseconds()) / 1000, Cached: r.Cached}
 			if r.Err != nil {
 				sj.Error = r.Err.Error()
 			}

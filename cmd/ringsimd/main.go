@@ -7,6 +7,7 @@
 // Usage:
 //
 //	ringsimd -addr :8080 -workers 8 -cache 4096
+//	ringsimd -addr :8080 -pprof 127.0.0.1:6060   # profiling endpoint on a private port
 //
 // API (see internal/service and the dynring.Client type):
 //
@@ -18,6 +19,11 @@
 //
 // SIGINT/SIGTERM trigger a graceful shutdown: jobs are cancelled, streams
 // settle, and in-flight responses drain within -drain.
+//
+// -pprof addr (off by default) serves Go's net/http/pprof profiling
+// handlers on a dedicated listener, kept off the API address on purpose:
+// bind it to loopback or an operations network, never to the public API
+// surface.
 package main
 
 import (
@@ -27,6 +33,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -52,6 +59,7 @@ func run(ctx context.Context, out io.Writer, args []string) error {
 		cacheSize = fs.Int("cache", 4096, "result cache capacity in entries (0 disables)")
 		history   = fs.Int("job-history", 0, "settled jobs retained for queries (0 = default 1024)")
 		drain     = fs.Duration("drain", 5*time.Second, "graceful shutdown timeout")
+		pprofAddr = fs.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060; empty disables)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -65,6 +73,28 @@ func run(ctx context.Context, out io.Writer, args []string) error {
 	}
 	fmt.Fprintf(out, "ringsimd listening on http://%s (workers=%d cache=%d)\n",
 		ln.Addr(), mgr.Workers(), *cacheSize)
+
+	var pprofSrv *http.Server
+	if *pprofAddr != "" {
+		pln, perr := net.Listen("tcp", *pprofAddr)
+		if perr != nil {
+			ln.Close()
+			mgr.Close()
+			return fmt.Errorf("pprof listener: %w", perr)
+		}
+		// A dedicated mux, never http.DefaultServeMux: the profiling
+		// surface must not leak onto the API listener or pick up handlers
+		// other packages register globally.
+		pmux := http.NewServeMux()
+		pmux.HandleFunc("/debug/pprof/", pprof.Index)
+		pmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		pprofSrv = &http.Server{Handler: pmux}
+		fmt.Fprintf(out, "ringsimd pprof on http://%s/debug/pprof/\n", pln.Addr())
+		go func() { _ = pprofSrv.Serve(pln) }()
+	}
 
 	srv := &http.Server{Handler: service.NewHandler(mgr)}
 	errc := make(chan error, 1)
@@ -81,6 +111,9 @@ func run(ctx context.Context, out io.Writer, args []string) error {
 	mgr.Close()
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
+	if pprofSrv != nil {
+		_ = pprofSrv.Shutdown(shutdownCtx)
+	}
 	err = srv.Shutdown(shutdownCtx)
 	fmt.Fprintln(out, "ringsimd: shut down")
 	return err

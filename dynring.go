@@ -51,6 +51,13 @@ type (
 	// capped-removal dynamics: implement it to remove several edges per
 	// round (the engine then consults MissingEdges instead of MissingEdge).
 	MultiEdgeAdversary = sim.MultiAdversary
+	// ScheduledAdversary is the optional Adversary extension behind the
+	// engine's quiescence-leaping fast path: a deterministic adversary
+	// announces via NextChange the next round its behaviour may change, so
+	// the engine can skip proven no-progress rounds in O(1). All built-in
+	// deterministic strategies implement it. See the sim package contract
+	// for the purity window an implementation must respect.
+	ScheduledAdversary = sim.ScheduledAdversary
 	// Intent is an active agent's resolved decision, shown to adversaries.
 	Intent = sim.Intent
 	// World is the live simulation state passed to adversaries.
@@ -109,6 +116,9 @@ const (
 	NoLandmark = ring.NoLandmark
 	// NoEdge is an adversary's "remove nothing" answer.
 	NoEdge = sim.NoEdge
+	// NeverChanges is a ScheduledAdversary's NextChange answer for
+	// strategies that are pure functions of the configuration.
+	NeverChanges = sim.NeverChanges
 )
 
 // Run outcomes.

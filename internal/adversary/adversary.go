@@ -53,6 +53,9 @@ func (None) MissingEdge(int, *sim.World, []sim.Intent) int { return sim.NoEdge }
 // Fingerprint implements sim.Fingerprinter (the strategy is stateless).
 func (None) Fingerprint() string { return "none" }
 
+// NextChange implements sim.ScheduledAdversary: a static ring never changes.
+func (None) NextChange(int) int { return sim.NeverChanges }
+
 // PersistentEdge removes the same edge in every round, the simplest legal
 // dynamic behaviour; Theorem 11's partial-termination discussion and the
 // ET analyses build on it.
@@ -71,6 +74,10 @@ func (p PersistentEdge) MissingEdge(int, *sim.World, []sim.Intent) int { return 
 
 // Fingerprint implements sim.Fingerprinter.
 func (p PersistentEdge) Fingerprint() string { return "persistent" }
+
+// NextChange implements sim.ScheduledAdversary: the same edge is removed in
+// every round, forever.
+func (p PersistentEdge) NextChange(int) int { return sim.NeverChanges }
 
 // RandomEdge removes a uniformly random edge with probability P each round
 // (otherwise none). It activates every agent; combine with RandomActivation
@@ -181,6 +188,10 @@ func (a TargetAgent) MissingEdge(_ int, w *sim.World, intents []sim.Intent) int 
 // Fingerprint implements sim.Fingerprinter.
 func (a TargetAgent) Fingerprint() string { return "target" }
 
+// NextChange implements sim.ScheduledAdversary: the strategy is a stateless
+// pure function of the configuration (the victim's position and intent).
+func (a TargetAgent) NextChange(int) int { return sim.NeverChanges }
+
 // PreventMeeting realizes Observation 2: with two agents starting at
 // distinct nodes it removes an edge only when the agents would otherwise
 // end the round co-located, and never blocks both agents in the same round.
@@ -243,6 +254,10 @@ func (PreventMeeting) MissingEdge(_ int, w *sim.World, intents []sim.Intent) int
 // Fingerprint implements sim.Fingerprinter.
 func (PreventMeeting) Fingerprint() string { return "prevent-meeting" }
 
+// NextChange implements sim.ScheduledAdversary: the strategy is a stateless
+// pure function of the configuration.
+func (PreventMeeting) NextChange(int) int { return sim.NeverChanges }
+
 // FrontierGuard realizes the move lower bounds of Theorems 13 and 15 and
 // the growing-δ run of Figure 15: among the agents about to reach an
 // unvisited node it blocks the one with the largest id, so the designated
@@ -277,6 +292,10 @@ func (FrontierGuard) MissingEdge(_ int, w *sim.World, intents []sim.Intent) int 
 // Fingerprint implements sim.Fingerprinter.
 func (FrontierGuard) Fingerprint() string { return "frontier-guard" }
 
+// NextChange implements sim.ScheduledAdversary: the strategy is a stateless
+// pure function of the configuration (intents and the coverage frontier).
+func (FrontierGuard) NextChange(int) int { return sim.NeverChanges }
+
 // GreedyBlocker is a heuristic worst-case search adversary used in
 // ablations: it always removes the edge whose traversal would grow coverage
 // (ties: the lowest mover id), starving exploration as long as possible.
@@ -302,3 +321,7 @@ func (GreedyBlocker) MissingEdge(_ int, w *sim.World, intents []sim.Intent) int 
 
 // Fingerprint implements sim.Fingerprinter.
 func (GreedyBlocker) Fingerprint() string { return "greedy" }
+
+// NextChange implements sim.ScheduledAdversary: the strategy is a stateless
+// pure function of the configuration.
+func (GreedyBlocker) NextChange(int) int { return sim.NeverChanges }

@@ -32,3 +32,12 @@ func (f Figure2) MissingEdge(t int, _ *sim.World, _ []sim.Intent) int {
 	}
 	return f.N - 2
 }
+
+// NextChange implements sim.ScheduledAdversary: the schedule is stateless
+// and switches edges exactly once, at round N−3.
+func (f Figure2) NextChange(t int) int {
+	if t < f.N-3 {
+		return f.N - 3
+	}
+	return sim.NeverChanges
+}

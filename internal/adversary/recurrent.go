@@ -62,6 +62,14 @@ func (b *BoundedBlocking) MissingEdge(t int, w *sim.World, intents []sim.Intent)
 	return e
 }
 
+// NextChange implements sim.ScheduledAdversary, maximally conservatively:
+// the blockage streak advances on every call in which the inner strategy
+// blocks, so behaviour is only guaranteed stable for the round already
+// executed. Returning t+1 makes the purity window empty and disables
+// leaping — correct by construction, and cheap: δ-recurrent schedules bound
+// every stall at Delta rounds anyway, so there is little to leap over.
+func (b *BoundedBlocking) NextChange(t int) int { return t + 1 }
+
 // Fingerprint implements sim.Fingerprinter when the inner strategy does.
 func (b *BoundedBlocking) Fingerprint() string {
 	inner := ""

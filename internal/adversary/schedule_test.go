@@ -1,0 +1,57 @@
+package adversary
+
+import (
+	"testing"
+
+	"dynring/internal/sim"
+)
+
+// TestScheduledAdversaries checks which strategies advertise schedule
+// introspection and that their NextChange answers respect the contract
+// (strictly greater than t; phase boundaries for TInterval; empty purity
+// window for the streak-stateful recurrent strategy).
+func TestScheduledAdversaries(t *testing.T) {
+	pure := []sim.ScheduledAdversary{
+		None{}, PersistentEdge{Edge: 1}, TargetAgent{Agent: 0},
+		PreventMeeting{}, FrontierGuard{}, GreedyBlocker{}, CappedRemoval{R: 2},
+	}
+	for _, a := range pure {
+		for _, round := range []int{0, 1, 17, 100000} {
+			if got := a.NextChange(round); got != sim.NeverChanges {
+				t.Errorf("%T.NextChange(%d) = %d, want NeverChanges", a, round, got)
+			}
+		}
+	}
+
+	ti := NewTInterval(5, 42)
+	for _, tc := range []struct{ t, want int }{
+		{0, 5}, {3, 5}, {4, 5}, {5, 10}, {9, 10}, {10, 15}, {49, 50},
+	} {
+		if got := ti.NextChange(tc.t); got != tc.want {
+			t.Errorf("TInterval(T=5).NextChange(%d) = %d, want %d", tc.t, got, tc.want)
+		}
+	}
+
+	rec := NewRecurrent(3)
+	for _, round := range []int{0, 7, 1234} {
+		if got := rec.NextChange(round); got != round+1 {
+			t.Errorf("recurrent.NextChange(%d) = %d, want %d (empty purity window)", round, got, round+1)
+		}
+	}
+
+	fig := Figure2{N: 16}
+	if got := fig.NextChange(0); got != 13 {
+		t.Errorf("Figure2{16}.NextChange(0) = %d, want 13 (the round the schedule switches edges)", got)
+	}
+	if got := fig.NextChange(13); got != sim.NeverChanges {
+		t.Errorf("Figure2{16}.NextChange(13) = %d, want NeverChanges", got)
+	}
+
+	// Seeded-random strategies must NOT advertise a schedule: their
+	// behaviour changes every round.
+	for _, a := range []sim.Adversary{NewRandomEdge(0.5, 1), NewRandomActivation(0.5, 1, nil)} {
+		if _, ok := a.(sim.ScheduledAdversary); ok {
+			t.Errorf("%T advertises NextChange but draws randomness per round", a)
+		}
+	}
+}

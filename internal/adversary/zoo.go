@@ -61,6 +61,14 @@ func (a *TInterval) MissingEdge(t int, w *sim.World, _ []sim.Intent) int {
 	return a.edge
 }
 
+// NextChange implements sim.ScheduledAdversary: the next aligned phase
+// boundary, where the edge is re-drawn. Within a phase MissingEdge returns
+// the stored edge without touching the rng or any other state, so the
+// purity window contract holds. Leaping never skips a boundary round, so
+// the rng advances exactly once per phase — the same draw sequence as the
+// slow path.
+func (a *TInterval) NextChange(t int) int { return (t/a.T + 1) * a.T }
+
 // CappedRemoval removes up to R edges per round — the capped-removal
 // relaxation of 1-interval connectivity, under which the ring may
 // temporarily disconnect. The strategy is the multi-edge generalization of
@@ -115,6 +123,10 @@ func (c CappedRemoval) MissingEdges(_ int, w *sim.World, intents []sim.Intent, b
 
 // Fingerprint implements sim.Fingerprinter (the strategy is stateless).
 func (c CappedRemoval) Fingerprint() string { return "capped:" + strconv.Itoa(c.R) }
+
+// NextChange implements sim.ScheduledAdversary: the strategy is a stateless
+// pure function of the configuration.
+func (c CappedRemoval) NextChange(int) int { return sim.NeverChanges }
 
 // NewRecurrent returns the recurrent(w) zoo adversary: greedy blocking
 // constrained so that no edge stays missing for more than w consecutive

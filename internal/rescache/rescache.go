@@ -1,0 +1,128 @@
+package rescache
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Cache is a bounded, LRU-evicting map from string keys to values of type V.
+// It is safe for concurrent use; every counter — including the hit/miss
+// statistics — is read and written under the same mutex, so Stats snapshots
+// are always internally consistent (a Get observed by Stats has either fully
+// counted or not at all).
+//
+// It is the shared result-cache core behind the ringsimd service cache
+// (fingerprint → Result, see internal/service) and the in-process sweep
+// memo (memo key → Result, see dynring.Memo). Both key by a content hash
+// whose contract guarantees key equality implies value identity, which is
+// what makes "serve the cached copy" correct.
+type Cache[V any] struct {
+	mu       sync.Mutex
+	capacity int
+	copyVal  func(V) V
+	ll       *list.List // front = most recently used
+	items    map[string]*list.Element
+	hits     uint64
+	misses   uint64
+}
+
+// entry is one LRU node.
+type entry[V any] struct {
+	key string
+	val V
+}
+
+// New returns a cache bounded to capacity entries. A non-positive capacity
+// disables caching: every Get returns immediately (without counting a miss)
+// and Put is a no-op.
+//
+// copyVal, when non-nil, is applied to every value on its way in (Put) and
+// out (Get), so the cache stores and serves private copies. Pass a deep-copy
+// function whenever V carries reference fields (slices, maps): a value
+// aliased between the cache and a caller would let any caller that mutates
+// its apparently-owned value silently poison every future hit of that key.
+// A nil copyVal stores and serves values as-is, which is only safe for
+// value-semantics types.
+func New[V any](capacity int, copyVal func(V) V) *Cache[V] {
+	return &Cache[V]{
+		capacity: max(capacity, 0),
+		copyVal:  copyVal,
+		ll:       list.New(),
+		items:    make(map[string]*list.Element),
+	}
+}
+
+// copy applies the cache's copy function, if any.
+func (c *Cache[V]) copy(v V) V {
+	if c.copyVal == nil {
+		return v
+	}
+	return c.copyVal(v)
+}
+
+// Get returns a private copy of the cached value for key, marking it most
+// recently used. Callers own the returned value outright. On a disabled
+// cache (capacity 0) Get returns immediately without touching the hit/miss
+// counters — "caching off" must not masquerade as a 0% hit rate.
+func (c *Cache[V]) Get(key string) (V, bool) {
+	var zero V
+	if c.capacity == 0 {
+		return zero, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return zero, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return c.copy(el.Value.(*entry[V]).val), true
+}
+
+// Put stores a private copy of val under key, evicting the least recently
+// used entry when the cache is full. Storing an existing key refreshes its
+// recency without replacing the value (by the key contract the value is
+// identical).
+func (c *Cache[V]) Put(key string, val V) {
+	if c.capacity == 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&entry[V]{key: key, val: c.copy(val)})
+	if c.ll.Len() > c.capacity {
+		last := c.ll.Back()
+		c.ll.Remove(last)
+		delete(c.items, last.Value.(*entry[V]).key)
+	}
+}
+
+// Stats is a consistent snapshot of the cache counters.
+type Stats struct {
+	// Size is the current entry count; Capacity the bound (0: disabled).
+	Size     int
+	Capacity int
+	// Hits and Misses count Get outcomes since construction. A disabled
+	// cache counts neither.
+	Hits   uint64
+	Misses uint64
+}
+
+// Stats snapshots the counters under the cache mutex: the returned values
+// are mutually consistent even under concurrent Get/Put traffic.
+func (c *Cache[V]) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Size:     c.ll.Len(),
+		Capacity: c.capacity,
+		Hits:     c.hits,
+		Misses:   c.misses,
+	}
+}

@@ -1,39 +1,26 @@
 package service
 
 import (
-	"container/list"
-	"sync"
-
 	"dynring"
+	"dynring/internal/rescache"
 )
 
-// Cache is a bounded, LRU-evicting map from scenario fingerprints to
-// Results. Only successful Results are stored (the job manager never caches
-// failures: the one nondeterministic failure mode, cancellation, must not
-// poison later runs). Safe for concurrent use.
+// Cache is the service's bounded, LRU-evicting map from scenario
+// fingerprints to Results, layered over the shared internal/rescache core
+// (the same code the in-process sweep memo uses). Only successful Results
+// are stored (the job manager never caches failures: the one
+// nondeterministic failure mode, cancellation, must not poison later runs).
+// Safe for concurrent use; the hit/miss counters are maintained and read
+// under the cache mutex, so Stats snapshots are internally consistent.
 type Cache struct {
-	mu       sync.Mutex
-	capacity int
-	ll       *list.List // front = most recently used
-	items    map[string]*list.Element
-	hits     uint64
-	misses   uint64
-}
-
-// cacheEntry is one LRU node.
-type cacheEntry struct {
-	key string
-	res dynring.Result
+	c *rescache.Cache[dynring.Result]
 }
 
 // NewCache returns a cache bounded to capacity entries. A non-positive
-// capacity disables caching: every Get misses and Put is a no-op.
+// capacity disables caching: every Get misses (without counting) and Put is
+// a no-op.
 func NewCache(capacity int) *Cache {
-	return &Cache{
-		capacity: max(capacity, 0),
-		ll:       list.New(),
-		items:    make(map[string]*list.Element),
-	}
+	return &Cache{c: rescache.New(capacity, copyResult)}
 }
 
 // copyResult deep-copies a Result's slice fields (TerminatedAt, Moves).
@@ -55,51 +42,20 @@ func copyResult(res dynring.Result) dynring.Result {
 // cannot affect the cache. On a disabled cache (capacity 0) Get returns
 // immediately without touching the hit/miss counters — "caching off" must
 // not masquerade as a 0% hit rate in /statsz.
-func (c *Cache) Get(key string) (dynring.Result, bool) {
-	if c.capacity == 0 {
-		return dynring.Result{}, false
-	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	el, ok := c.items[key]
-	if !ok {
-		c.misses++
-		return dynring.Result{}, false
-	}
-	c.hits++
-	c.ll.MoveToFront(el)
-	return copyResult(el.Value.(*cacheEntry).res), true
-}
+func (c *Cache) Get(key string) (dynring.Result, bool) { return c.c.Get(key) }
 
 // Put stores a private copy of res under key, evicting the least recently
 // used entry when the cache is full. Storing an existing key refreshes its
 // recency (the value is identical by the fingerprint contract).
-func (c *Cache) Put(key string, res dynring.Result) {
-	if c.capacity == 0 {
-		return
-	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if el, ok := c.items[key]; ok {
-		c.ll.MoveToFront(el)
-		return
-	}
-	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, res: copyResult(res)})
-	if c.ll.Len() > c.capacity {
-		last := c.ll.Back()
-		c.ll.Remove(last)
-		delete(c.items, last.Value.(*cacheEntry).key)
-	}
-}
+func (c *Cache) Put(key string, res dynring.Result) { c.c.Put(key, res) }
 
 // Stats snapshots the cache counters.
 func (c *Cache) Stats() dynring.CacheStats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	st := c.c.Stats()
 	return dynring.CacheStats{
-		Size:     c.ll.Len(),
-		Capacity: c.capacity,
-		Hits:     c.hits,
-		Misses:   c.misses,
+		Size:     st.Size,
+		Capacity: st.Capacity,
+		Hits:     st.Hits,
+		Misses:   st.Misses,
 	}
 }

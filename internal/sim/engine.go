@@ -19,6 +19,13 @@ func (w *World) Step() error {
 		return ErrAllTerminated
 	}
 	t := w.round
+	// stepChanged certifies, when false after the round, that no durable
+	// engine state changed: the quiescence-leap probe builds on it (leap.go).
+	// Every mutation site below that survives the round must set it.
+	// forcedActivation flags a fairness/ET forcing in this round's
+	// activation set, which disqualifies the round as a leap probe.
+	w.stepChanged = false
+	w.forcedActivation = false
 
 	active, err := w.selectActive(t)
 	if err != nil {
@@ -110,6 +117,7 @@ func (w *World) Step() error {
 		}
 		if d.Terminate || d.Dir == agent.NoDir || w.toGlobal(id, d.Dir) != a.portDir {
 			a.onPort = false
+			w.stepChanged = true
 		}
 	}
 
@@ -165,18 +173,21 @@ func (w *World) Step() error {
 		a := &w.agents[winner]
 		a.onPort = true
 		a.portDir = k.dir
+		w.stepChanged = true
 	}
 
 	// Movement phase for active agents.
 	for _, id := range active {
 		a := &w.agents[id]
 		d := decisions[id]
+		prevMoved, prevFailed := a.moved, a.failed
 		a.failed = false
 		switch {
 		case d.Terminate:
 			a.term = true
 			a.moved = false
 			w.termAt[id] = t
+			w.stepChanged = true
 		case d.Dir == agent.NoDir:
 			a.moved = false
 		case !a.onPort:
@@ -191,9 +202,15 @@ func (w *World) Step() error {
 				a.moved = true
 				a.moves++
 				w.visit(a.node)
+				w.stepChanged = true
 			} else {
 				a.moved = false
 			}
+		}
+		// The moved/failed flags feed next round's views: a flip is durable
+		// state even when the agent stayed put.
+		if a.moved != prevMoved || a.failed != prevFailed {
+			w.stepChanged = true
 		}
 	}
 
@@ -216,16 +233,21 @@ func (w *World) Step() error {
 				a.moved = true
 				a.moves++
 				w.visit(a.node)
+				w.stepChanged = true
 			}
 		case SSyncET:
 			if present {
 				a.etDebt++
+				w.stepChanged = true
 			}
 		}
 	}
 	for _, id := range active {
 		activeBits[id] = false
-		w.agents[id].etDebt = 0
+		if w.agents[id].etDebt != 0 {
+			w.agents[id].etDebt = 0
+			w.stepChanged = true
+		}
 	}
 
 	if w.obs != nil {
@@ -256,9 +278,11 @@ func (w *World) Step() error {
 
 // selectActive computes the activation set for round t into the World's
 // scratch, applying fairness forcing in SSYNC models. The returned slice is
-// valid until the next call.
+// valid until the next call, and the scratch header is kept in sync so the
+// set stays readable after Step returns (the leap probe consults it).
 func (w *World) selectActive(t int) ([]int, error) {
 	act := w.scratch.active[:0]
+	defer func() { w.scratch.active = act }()
 	if w.model == FSync || w.adv == nil {
 		for id := range w.agents {
 			if !w.agents[id].term {
@@ -284,8 +308,13 @@ func (w *World) selectActive(t int) ([]int, error) {
 		}
 		starving := t-a.lastSeen > w.fairness
 		etDue := w.model == SSyncET && a.onPort && a.etDebt >= w.fairness
-		if starving || etDue {
+		if (starving || etDue) && !mark[id] {
 			mark[id] = true
+			// A forced activation makes this round's set differ from the
+			// adversary's pure choice, so the round cannot seed a leap: the
+			// forced agent would not be re-activated (and, asleep, might
+			// even be passively transported) in the rounds a leap skips.
+			w.forcedActivation = true
 		}
 	}
 	for id := range w.agents {

@@ -1,0 +1,246 @@
+package sim
+
+import (
+	"math"
+	"strconv"
+)
+
+// This file implements quiescence leaping: the engine's fast path over
+// rounds in which provably nothing happens. In the paper's adversarial
+// schedules agents spend most rounds waiting at a blocked edge, and the
+// round-by-round slow path faithfully burns a Step on every one of those
+// no-progress rounds. When the engine can prove that the configuration is a
+// fixed point of the round transition — and that the adversary's behaviour
+// cannot change before a known round — it leaps the round counter forward in
+// O(1) instead, with a result guaranteed identical to stepping.
+//
+// The proof obligation decomposes over the three state holders of a round:
+//
+//   - Engine state (positions, port occupancy, moved/failed flags, move
+//     counters, termination, ET debt, coverage): Step tracks every durable
+//     mutation in the stepChanged flag, so a round with stepChanged == false
+//     certifies the engine state is a fixed point of that round.
+//   - Protocol state: protocols are stepped every round even when blocked,
+//     so their private memory must be proven stable too. The probe compares
+//     each protocol's Fingerprint across one quiescent round; by the
+//     Fingerprinter contract (the fingerprint summarizes ALL
+//     decision-relevant memory — the same contract DetectCycles certifies
+//     cycles with), equal fingerprints mean the protocols are bisimilar:
+//     fed identical views they produce identical decisions and stay
+//     fingerprint-equal forever. A protocol whose behaviour genuinely
+//     depends on a running counter must include it in its fingerprint, and
+//     then the fingerprints never repeat and the leap never fires — the
+//     contract is self-protecting.
+//   - Adversary state: covered by the ScheduledAdversary purity window (see
+//     the interface contract). Stateful adversaries outside the window
+//     (BoundedBlocking mid-streak) report NextChange(t) = t+1 and are never
+//     leapt over.
+//
+// Round-number dependence outside those holders is handled explicitly: the
+// lastSeen activation stamps of the agents active in the probe round are
+// derived state (they equal the round index on every executed round) and are
+// fixed up by leapTo; the SSYNC fairness monitor's forced activations are a
+// pure function of (round, lastSeen, fairness), so the leap target is capped
+// just below the earliest round at which a sleeping agent would be forced
+// (starvationBound). ET transport-debt forcing cannot fire inside a leap
+// window: an agent with due debt is force-activated in the probe round
+// itself, and resetting non-zero debt sets stepChanged.
+//
+// Observers, traces, cycle detection and custom tie-breakers force the exact
+// slow path (see RunContext); they observe or influence individual rounds,
+// which leaping by definition does not execute.
+
+// NeverChanges is ScheduledAdversary.NextChange's answer for adversaries
+// whose behaviour is a pure function of the world configuration, with no
+// explicit dependence on the round number or on internal state that evolves
+// between rounds.
+const NeverChanges = math.MaxInt
+
+// ScheduledAdversary is the optional Adversary extension that makes an
+// adversary eligible for quiescence leaping: it announces, ahead of time,
+// the next round at which its behaviour may change.
+//
+// The contract: for every round u with t < u < NextChange(t), both Activate
+// and MissingEdge/MissingEdges at round u must behave as pure functions that
+// agree with round t — identical world configurations and intents yield
+// identical results — and must not mutate adversary state. The round-t call
+// itself is exempt (it has already happened when the engine consults
+// NextChange); only the window after it must be pure. Implementations whose
+// state evolves with every call (streak counters, per-round randomness)
+// must return t+1, which makes the window empty and disables leaping —
+// correct, if unprofitable. NextChange must be monotone in the trivial
+// sense of returning a value greater than t; NeverChanges declares the
+// whole future pure.
+type ScheduledAdversary interface {
+	Adversary
+
+	// NextChange returns the earliest round u > t at which the adversary's
+	// observable behaviour may differ from its round-t behaviour against an
+	// identical configuration, or NeverChanges.
+	NextChange(t int) int
+}
+
+// leapProbe is the per-run fixed-point detection state. It lives in
+// RunContext (one probe per run), not on the World: the World carries only
+// the per-round stepChanged flag and the reusable fingerprint buffers.
+type leapProbe struct {
+	// fpPrev/fpCur are the protocol fingerprint snapshots of the two most
+	// recent quiescent rounds; they alternate by swapping.
+	fpPrev, fpCur []byte
+	havePrev      bool
+	// cooldown/deferred implement exponential backoff when the engine state
+	// is quiescent but protocol state keeps drifting (a protocol timer in
+	// the fingerprint): deferred quiescent rounds are skipped without
+	// fingerprinting, and cooldown doubles on every failed comparison.
+	cooldown int
+	deferred int
+}
+
+// maxProbeCooldown caps the probe's exponential backoff: at most this many
+// consecutive quiescent rounds run unfingerprinted before the probe retries.
+const maxProbeCooldown = 1024
+
+// reset invalidates the probe after a round that changed engine state.
+func (p *leapProbe) reset() {
+	p.havePrev = false
+	p.cooldown = 0
+	p.deferred = 0
+}
+
+// leapEligible reports whether w can ever take the leap fast path with the
+// given options, and the ScheduledAdversary to consult (nil when the run has
+// no adversary at all, which is equivalent to a never-changing schedule).
+// It is evaluated once per run.
+func (w *World) leapEligible(opts RunOptions) (sched ScheduledAdversary, ok bool) {
+	if opts.DisableLeap || opts.DetectCycles || w.obs != nil || w.tie != nil {
+		return nil, false
+	}
+	if w.adv != nil {
+		sched, ok = w.adv.(ScheduledAdversary)
+		if !ok {
+			return nil, false
+		}
+	}
+	for i := range w.agents {
+		if _, fpOK := w.agents[i].proto.(Fingerprinter); !fpOK {
+			return nil, false
+		}
+	}
+	return sched, true
+}
+
+// leapCheck runs after a Step and returns the round to leap to, or 0 when no
+// leap is possible yet. A positive return certifies that executing rounds
+// w.round .. target-1 would change nothing; the caller commits with leapTo.
+func (w *World) leapCheck(p *leapProbe, sched ScheduledAdversary, maxRounds int) int {
+	if w.stepChanged || w.forcedActivation {
+		// A forced activation invalidates the probe even when nothing
+		// durable changed: the round's activation set included an agent the
+		// adversary's pure schedule would not re-activate, so the round is
+		// not the transition the leap would be replaying — and that agent,
+		// asleep in the skipped rounds, could be passively transported.
+		p.reset()
+		return 0
+	}
+	if p.deferred > 0 {
+		p.deferred--
+		return 0
+	}
+	p.fpCur = w.appendProtoFingerprints(p.fpCur[:0])
+	if !p.havePrev {
+		p.fpPrev, p.fpCur = p.fpCur, p.fpPrev
+		p.havePrev = true
+		return 0
+	}
+	if !bytesEqual(p.fpPrev, p.fpCur) {
+		// Engine-quiescent but protocol state is drifting: back off so the
+		// per-round fingerprint cost stays amortized.
+		p.cooldown = min(max(2*p.cooldown, 2), maxProbeCooldown)
+		p.deferred = p.cooldown
+		p.havePrev = false
+		return 0
+	}
+	// Fixed point confirmed across one full round. Bound the leap by the
+	// horizon, the adversary's schedule, and the fairness monitor.
+	t := w.round - 1 // the round just executed
+	target := maxRounds
+	if sched != nil {
+		if nc := sched.NextChange(t); nc < target {
+			target = nc
+		}
+	}
+	if b := w.starvationBound(); b < target {
+		target = b
+	}
+	if target <= w.round {
+		return 0
+	}
+	return target
+}
+
+// starvationBound returns the earliest round at which the SSYNC fairness
+// monitor would force-activate an agent that slept through the probe round,
+// or NeverChanges. That round must execute on the slow path: the activation
+// set changes there.
+func (w *World) starvationBound() int {
+	if w.model == FSync || w.adv == nil {
+		return NeverChanges
+	}
+	active := w.scratch.active // the probe round's activation set
+	mark := w.scratch.mark
+	for _, id := range active {
+		mark[id] = true
+	}
+	bound := NeverChanges
+	for id := range w.agents {
+		a := &w.agents[id]
+		if a.term || mark[id] {
+			continue
+		}
+		if b := a.lastSeen + w.fairness + 1; b < bound {
+			bound = b
+		}
+	}
+	for _, id := range active {
+		mark[id] = false
+	}
+	return bound
+}
+
+// leapTo commits a leap: the round counter jumps to target, and the
+// activation stamps of the agents that were active in the probe round (and
+// would therefore have been active in every leapt round) are set to the last
+// leapt round — exactly the state the slow path would have produced.
+func (w *World) leapTo(target int) {
+	for _, id := range w.scratch.active {
+		w.agents[id].lastSeen = target - 1
+	}
+	w.round = target
+}
+
+// appendProtoFingerprints appends every protocol's fingerprint to buf,
+// length-prefixed so per-agent boundaries stay unambiguous, and returns the
+// extended buffer. Callers must have checked that every protocol implements
+// Fingerprinter (leapEligible does).
+func (w *World) appendProtoFingerprints(buf []byte) []byte {
+	for i := range w.agents {
+		fp := w.agents[i].proto.(Fingerprinter).Fingerprint()
+		buf = strconv.AppendInt(buf, int64(len(fp)), 10)
+		buf = append(buf, ':')
+		buf = append(buf, fp...)
+	}
+	return buf
+}
+
+// bytesEqual avoids importing bytes into the engine for one comparison.
+func bytesEqual(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -47,8 +47,14 @@ type RunOptions struct {
 	StopWhenExplored bool
 	// DetectCycles enables configuration-cycle certificates. It requires
 	// every protocol (and the adversary, if any) to implement
-	// Fingerprinter; otherwise it is silently inactive.
+	// Fingerprinter; otherwise it is silently inactive. It forces the
+	// round-by-round slow path: the certificate is about individual rounds.
 	DetectCycles bool
+	// DisableLeap forces the round-by-round slow path even when the run is
+	// eligible for quiescence leaping (see leap.go). Leaping is provably
+	// result-identical, so this exists for verification (the leap/slow
+	// equivalence property tests) and debugging, not for correctness.
+	DisableLeap bool
 }
 
 // Result summarizes a finished run.
@@ -86,6 +92,15 @@ const ctxCheckMask = 63
 
 // RunContext is Run with cooperative cancellation: the loop polls ctx every
 // few rounds and returns ctx.Err() (and a zero Result) once it is done.
+//
+// Runs whose components permit it take the quiescence-leap fast path: once
+// a round is proven to be a configuration fixed point, the round counter
+// jumps straight to the next round at which anything can change (the
+// adversary's schedule, a fairness forcing, or the horizon) instead of
+// stepping through the identical rounds one by one. Leaping is
+// result-identical by construction (see leap.go); observers, cycle
+// detection, custom tie-breakers, non-scheduled adversaries, protocols
+// without fingerprints, and DisableLeap all force the exact slow path.
 func RunContext(ctx context.Context, w *World, opts RunOptions) (Result, error) {
 	if opts.MaxRounds <= 0 {
 		return Result{}, fmt.Errorf("%w: non-positive MaxRounds", ErrConfig)
@@ -94,6 +109,8 @@ func RunContext(ctx context.Context, w *World, opts RunOptions) (Result, error) 
 	if opts.DetectCycles {
 		seen = make(map[string]int)
 	}
+	sched, canLeap := w.leapEligible(opts)
+	var probe leapProbe
 	outcome := OutcomeHorizon
 	cycleStart := -1
 loop:
@@ -123,6 +140,11 @@ loop:
 		}
 		if err := w.Step(); err != nil {
 			return Result{}, err
+		}
+		if canLeap {
+			if target := w.leapCheck(&probe, sched, opts.MaxRounds); target > w.Round() {
+				w.leapTo(target)
+			}
 		}
 	}
 	if w.AllTerminated() {

@@ -346,6 +346,16 @@ type World struct {
 	visitedCount int
 	exploredAt   int // round after which all nodes had been visited; -1 if not yet
 	termAt       []int
+	// stepChanged reports whether the most recent Step mutated any durable
+	// state (positions, port occupancy, moved/failed flags, counters,
+	// termination, coverage, ET debt). It is the engine-state half of the
+	// quiescence-leap fixed-point certificate; see leap.go.
+	stepChanged bool
+	// forcedActivation reports whether the most recent Step's activation
+	// set contained a fairness- or ET-forced agent beyond the adversary's
+	// own picks. Such a round cannot seed a leap: its activation set is not
+	// the set the adversary would reproduce in the skipped rounds.
+	forcedActivation bool
 
 	scratch scratch
 	look    agent.View // reusable Look snapshot filled by fillView
@@ -399,6 +409,8 @@ func (w *World) Reset(cfg Config) error {
 	w.obs = cfg.Observer
 	w.fairness = fair
 	w.round = 0
+	w.stepChanged = false
+	w.forcedActivation = false
 	if cap(w.visited) < n {
 		w.visited = make([]bool, n)
 	} else {

@@ -1,0 +1,103 @@
+package dynring_test
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"dynring"
+)
+
+// leapEquivalenceAdversaries is the full zoo parameterization grid of the
+// parity corpus plus the deterministic proof strategies — every built-in
+// adversary family that advertises a schedule (and one that does not, as a
+// control: random stays slow-path on both sides by construction).
+func leapEquivalenceAdversaries(t testing.TB) []dynring.SweepAdversary {
+	t.Helper()
+	specs := []dynring.AdversarySpec{
+		{Kind: "none"},
+		{Kind: "greedy"},
+		{Kind: "frontier"},
+		{Kind: "pin", Pin: 0},
+		{Kind: "persistent", Edge: 1},
+		{Kind: "tinterval", T: 1},
+		{Kind: "tinterval", T: 2},
+		{Kind: "tinterval", T: 4},
+		{Kind: "capped", R: 1},
+		{Kind: "capped", R: 2},
+		{Kind: "capped", R: 3},
+		{Kind: "recurrent", W: 1},
+		{Kind: "recurrent", W: 3},
+	}
+	out := make([]dynring.SweepAdversary, 0, len(specs))
+	for _, spec := range specs {
+		f, err := spec.Factory()
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, dynring.SweepAdversary{Name: spec.Label(), New: f})
+	}
+	return out
+}
+
+// TestLeapSlowEquivalenceProperty is the leap fast path's property test:
+// for every zoo adversary parameterization × every registered algorithm ×
+// 20 pseudo-random seeds, running with quiescence leaping enabled (the
+// default) and disabled must produce deeply equal Results. The budget is
+// capped so fully blocked scenarios exercise the horizon outcome (the
+// leap's primary target) without making the slow side of the comparison
+// take minutes.
+func TestLeapSlowEquivalenceProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260730))
+	seeds := make([]int64, 20)
+	for i := range seeds {
+		seeds[i] = rng.Int63()
+	}
+
+	var algos []string
+	for _, spec := range dynring.Algorithms() {
+		algos = append(algos, spec.Name)
+	}
+	advs := leapEquivalenceAdversaries(t)
+
+	pairs, leapWins := 0, 0
+	for _, algo := range algos {
+		for _, adv := range advs {
+			for _, seed := range seeds {
+				sc := dynring.Scenario{
+					Size:      8,
+					Landmark:  0, // satisfies landmark algorithms; harmless otherwise
+					Algorithm: algo,
+					Seed:      seed,
+					MaxRounds: 4000,
+					// AdversaryLabel participates in the fingerprint only;
+					// here it documents the grid cell in failure output.
+					AdversaryLabel: adv.Name,
+					NewAdversary:   adv.New,
+				}
+				fast, err := sc.Run()
+				if err != nil {
+					t.Fatalf("%s/%s/seed=%d: leap run: %v", algo, adv.Name, seed, err)
+				}
+				slow := sc
+				slow.DisableLeap = true
+				want, err := slow.Run()
+				if err != nil {
+					t.Fatalf("%s/%s/seed=%d: slow run: %v", algo, adv.Name, seed, err)
+				}
+				if !reflect.DeepEqual(fast, want) {
+					t.Fatalf("%s/%s/seed=%d: leap diverged from slow path:\n leap %+v\n slow %+v",
+						algo, adv.Name, seed, fast, want)
+				}
+				pairs++
+				if fast.Outcome == dynring.OutcomeHorizon {
+					leapWins++
+				}
+			}
+		}
+	}
+	if pairs < len(algos)*len(advs)*len(seeds) {
+		t.Fatalf("ran %d pairs, expected %d", pairs, len(algos)*len(advs)*len(seeds))
+	}
+	t.Logf("verified %d leap/slow pairs (%d horizon-bounded, the leap's target shape)", pairs, leapWins)
+}

@@ -1,0 +1,213 @@
+package dynring_test
+
+import (
+	"context"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"dynring"
+)
+
+// memoSweep is a deterministic schedule-heavy grid with a fat seed axis:
+// greedy and capped ignore their seeds, so the memo must collapse each
+// (algorithm, size, adversary) cell to one execution.
+func memoSweep(memo *dynring.Memo, workers int) dynring.Sweep {
+	greedy, _ := dynring.AdversarySpec{Kind: "greedy"}.Factory()
+	capped, _ := dynring.AdversarySpec{Kind: "capped", R: 2}.Factory()
+	return dynring.Sweep{
+		Base: dynring.Scenario{Landmark: 0, MaxRounds: 3000},
+		Algorithms: []string{
+			"KnownNNoChirality", "PTBoundWithChirality",
+		},
+		Sizes: []int{6, 9},
+		Seeds: []int64{1, 2, 3, 4, 5},
+		Adversaries: []dynring.SweepAdversary{
+			{Name: "greedy", New: greedy},
+			{Name: "capped(r=2)", New: capped},
+		},
+		Workers: workers,
+		Memo:    memo,
+	}
+}
+
+// TestSweepMemoCollapsesSeeds: a memoized sweep must deliver results
+// identical to the unmemoized sweep, execute each unique memo key once
+// (seed axis collapsed for seed-ignoring adversaries), and mark replayed
+// rows Cached.
+func TestSweepMemoCollapsesSeeds(t *testing.T) {
+	ctx := context.Background()
+	plain, err := memoSweep(nil, 1).Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	memo := dynring.NewMemo(1024)
+	cached, err := memoSweep(memo, 1).Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain) != len(cached) {
+		t.Fatalf("row counts differ: %d vs %d", len(plain), len(cached))
+	}
+	uniqueCells := 2 * 2 * 2 // algorithms × sizes × adversaries; seeds collapse
+	executed := 0
+	for i := range plain {
+		if plain[i].Err != nil || cached[i].Err != nil {
+			t.Fatalf("row %d errored: %v / %v", i, plain[i].Err, cached[i].Err)
+		}
+		if !reflect.DeepEqual(plain[i].Result, cached[i].Result) {
+			t.Fatalf("row %d (%s): memoized Result differs:\n memo %+v\n plain %+v",
+				i, plain[i].Scenario.Name, cached[i].Result, plain[i].Result)
+		}
+		if !cached[i].Cached {
+			executed++
+		}
+	}
+	if executed != uniqueCells {
+		t.Fatalf("executed %d scenarios, want exactly %d unique cells", executed, uniqueCells)
+	}
+	st := memo.Stats()
+	if st.Size != uniqueCells {
+		t.Fatalf("memo holds %d entries, want %d", st.Size, uniqueCells)
+	}
+	if st.Hits == 0 {
+		t.Fatal("memo recorded no hits")
+	}
+
+	// A second sweep against the same memo replays everything.
+	again, err := memoSweep(memo, 4).Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range again {
+		if !again[i].Cached {
+			t.Fatalf("row %d (%s) re-executed on the second sweep", i, again[i].Scenario.Name)
+		}
+		if !reflect.DeepEqual(again[i].Result, plain[i].Result) {
+			t.Fatalf("row %d: replay differs from plain execution", i)
+		}
+	}
+}
+
+// TestSweepMemoKeepsSeedSensitiveSeeds: seed-consuming adversary kinds
+// (tinterval draws its phase edges from the seed) must NOT collapse across
+// the seed axis — each seed stays its own execution.
+func TestSweepMemoKeepsSeedSensitiveSeeds(t *testing.T) {
+	ti, _ := dynring.AdversarySpec{Kind: "tinterval", T: 2}.Factory()
+	memo := dynring.NewMemo(1024)
+	sw := dynring.Sweep{
+		Base:        dynring.Scenario{Landmark: 0, MaxRounds: 2000},
+		Algorithms:  []string{"KnownNNoChirality"},
+		Sizes:       []int{8},
+		Seeds:       []int64{1, 2, 3, 4},
+		Adversaries: []dynring.SweepAdversary{{Name: "tinterval(T=2)", New: ti}},
+		Workers:     1,
+		Memo:        memo,
+	}
+	results, err := sw.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if r.Cached {
+			t.Fatalf("%s replayed across seeds of a seeded adversary", r.Scenario.Name)
+		}
+	}
+	if st := memo.Stats(); st.Size != len(results) {
+		t.Fatalf("memo holds %d entries, want %d distinct keys", st.Size, len(results))
+	}
+}
+
+// TestRunnerMemoNotFingerprintableFallback: scenarios without a canonical
+// fingerprint must bypass the memo and execute normally.
+func TestRunnerMemoNotFingerprintableFallback(t *testing.T) {
+	r := dynring.NewRunner()
+	r.Memo = dynring.NewMemo(16)
+	sc := dynring.Scenario{
+		Size: 8, Landmark: 0, Algorithm: "KnownNNoChirality",
+		// A live factory without a label is not content-addressable.
+		NewAdversary: func(int64) dynring.Adversary { return dynring.GreedyBlocking() },
+	}
+	for i := 0; i < 2; i++ {
+		res, cached, err := r.RunCached(context.Background(), sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cached {
+			t.Fatal("unfingerprintable scenario reported as cached")
+		}
+		if res.Rounds == 0 {
+			t.Fatal("scenario did not run")
+		}
+	}
+	if st := r.Memo.Stats(); st.Size != 0 || st.Hits+st.Misses != 0 {
+		t.Fatalf("memo touched by unfingerprintable scenario: %+v", st)
+	}
+}
+
+// TestMemoSingleFlight: concurrent workers missing on the same key must
+// execute it once; the waiters replay the leader's Result.
+func TestMemoSingleFlight(t *testing.T) {
+	memo := dynring.NewMemo(16)
+	sc := dynring.Scenario{
+		Size: 9, Landmark: 0, Algorithm: "PTBoundWithChirality",
+		AdversaryLabel: "capped(r=2)",
+		NewAdversary:   dynring.Fixed(dynring.CappedRemoval(2)),
+		MaxRounds:      100_000,
+	}
+	const workers = 8
+	var executions atomic.Int32
+	var replays atomic.Int32
+	var wg sync.WaitGroup
+	results := make([]dynring.Result, workers)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r := dynring.NewRunner()
+			r.Memo = memo
+			res, cached, err := r.RunCached(context.Background(), sc)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = res
+			if cached {
+				replays.Add(1)
+			} else {
+				executions.Add(1)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := executions.Load(); got != 1 {
+		t.Fatalf("%d workers executed the same key, want exactly 1", got)
+	}
+	if got := replays.Load(); got != workers-1 {
+		t.Fatalf("%d replays, want %d", got, workers-1)
+	}
+	for i := 1; i < workers; i++ {
+		if !reflect.DeepEqual(results[i], results[0]) {
+			t.Fatalf("worker %d result differs from leader", i)
+		}
+	}
+}
+
+// TestMemoDisabledCapacity: a non-positive capacity memo stores nothing and
+// every scenario executes.
+func TestMemoDisabledCapacity(t *testing.T) {
+	memo := dynring.NewMemo(0)
+	results, err := memoSweep(memo, 1).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if r.Cached {
+			t.Fatalf("%s served from a disabled memo", r.Scenario.Name)
+		}
+	}
+	if st := memo.Stats(); st.Size != 0 || st.Hits != 0 || st.Misses != 0 {
+		t.Fatalf("disabled memo counted: %+v", st)
+	}
+}

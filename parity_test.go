@@ -72,7 +72,52 @@ func parityScenarios(t testing.TB) []dynring.Scenario {
 		},
 	}
 	out := append(scs, extras...)
-	return append(out, zooScenarios(t)...)
+	out = append(out, zooScenarios(t)...)
+	return append(out, leapScenarios(t)...)
+}
+
+// leapScenarios is the quiescence-leap grid appended to the parity corpus
+// after the zoo entries: fingerprint-capable SSYNC algorithms under
+// deterministic scheduled adversaries, with budgets long enough that
+// blocked-waiting dominates. These are exactly the runs the engine's leap
+// fast path rewrites, so pinning their Results (generated identically by
+// the slow path — see TestParityLeapGridMatchesSlowPath) locks the
+// leap/step equivalence into the golden file.
+func leapScenarios(t testing.TB) []dynring.Scenario {
+	t.Helper()
+	specs := []dynring.AdversarySpec{
+		{Kind: "capped", R: 2},
+		{Kind: "capped", R: 3},
+		{Kind: "frontier"},
+		{Kind: "pin", Pin: 0},
+		{Kind: "tinterval", T: 3},
+	}
+	advs := make([]dynring.SweepAdversary, 0, len(specs))
+	for _, spec := range specs {
+		f, err := spec.Factory()
+		if err != nil {
+			t.Fatal(err)
+		}
+		advs = append(advs, dynring.SweepAdversary{Name: spec.Label(), New: f})
+	}
+	sw := dynring.Sweep{
+		Base: dynring.Scenario{
+			Landmark:  dynring.NoLandmark,
+			MaxRounds: 60000,
+		},
+		Algorithms:  []string{"PTBoundWithChirality", "PTBoundNoChirality", "ETUnconscious"},
+		Sizes:       []int{8, 12},
+		Seeds:       []int64{1, 2},
+		Adversaries: advs,
+	}
+	scs, err := sw.Scenarios()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range scs {
+		scs[i].Name = "leap/" + scs[i].Name
+	}
+	return scs
 }
 
 // runParity executes the corpus and pairs each scenario with its fingerprint
@@ -140,5 +185,45 @@ func TestEngineParityGolden(t *testing.T) {
 			t.Errorf("%s: Result drifted from golden:\n got  %+v\n want %+v",
 				want[i].Name, got[i].Result, want[i].Result)
 		}
+	}
+}
+
+// TestParityLeapGridMatchesSlowPath re-runs the leap grid of the parity
+// corpus with quiescence leaping disabled and checks the slow-path Results
+// against the golden file (which the leap-enabled default path produced).
+// Together with TestEngineParityGolden this pins leap ≡ step for every
+// golden leap entry: the golden must simultaneously match both paths.
+func TestParityLeapGridMatchesSlowPath(t *testing.T) {
+	raw, err := os.ReadFile(filepath.Join("testdata", "engine_parity.json"))
+	if err != nil {
+		t.Fatalf("missing golden file (generate with -update-parity): %v", err)
+	}
+	var want []parityEntry
+	if err := json.Unmarshal(raw, &want); err != nil {
+		t.Fatal(err)
+	}
+	golden := make(map[string]parityEntry, len(want))
+	for _, e := range want {
+		golden[e.Name] = e
+	}
+	checked := 0
+	for _, sc := range leapScenarios(t) {
+		e, ok := golden[sc.Name]
+		if !ok {
+			t.Fatalf("%s missing from golden (regenerate with -update-parity)", sc.Name)
+		}
+		sc.DisableLeap = true
+		res, err := sc.Run()
+		if err != nil {
+			t.Fatalf("%s: slow run: %v", sc.Name, err)
+		}
+		if !reflect.DeepEqual(res, e.Result) {
+			t.Errorf("%s: slow path diverged from golden:\n slow   %+v\n golden %+v",
+				sc.Name, res, e.Result)
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Fatal("leap grid is empty")
 	}
 }

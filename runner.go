@@ -2,6 +2,7 @@ package dynring
 
 import (
 	"context"
+	"errors"
 
 	"dynring/internal/ring"
 	"dynring/internal/sim"
@@ -31,6 +32,15 @@ import (
 type Runner struct {
 	world sim.World
 	rings map[ringKey]*ring.Ring
+
+	// Memo optionally attaches an in-process result memo: scenarios whose
+	// memo keys match a cached entry replay the stored Result instead of
+	// executing (see Memo for the key construction and its correctness
+	// argument). A Memo is concurrency-safe and meant to be shared — one
+	// Memo across all workers of a sweep, or across repeated sweeps.
+	// Scenarios without a canonical fingerprint (NewProtocols, unlabelled
+	// adversary factories) bypass the memo and execute normally.
+	Memo *Memo
 }
 
 // ringKey identifies an immutable ring topology.
@@ -64,8 +74,39 @@ func (r *Runner) ring(n, landmark int) (*ring.Ring, error) {
 // is Scenario.RunContext with batched-execution economics: validation,
 // protocol construction and the Result are per-run as always, but the
 // engine state is recycled. On error the Runner stays usable — the next Run
-// fully reinitializes the world.
+// fully reinitializes the world. When a Memo is attached, Run consults it
+// exactly like RunCached, discarding only the replayed-vs-executed bit.
 func (r *Runner) Run(ctx context.Context, sc Scenario) (Result, error) {
+	res, _, err := r.RunCached(ctx, sc)
+	return res, err
+}
+
+// RunCached is Run plus provenance: the boolean reports whether the Result
+// was replayed from the attached Memo (a cache hit, or another worker's
+// concurrent execution of the same key) rather than executed by this call.
+// Without a Memo it is always false. Replayed Results are exact — the memo
+// key construction guarantees key equality implies Result identity — so the
+// bit is informational (SweepResult.Cached), never a quality warning.
+func (r *Runner) RunCached(ctx context.Context, sc Scenario) (Result, bool, error) {
+	if r.Memo == nil {
+		res, err := r.run(ctx, sc)
+		return res, false, err
+	}
+	key, err := sc.memoKey()
+	if err != nil {
+		if errors.Is(err, ErrNotFingerprintable) {
+			res, runErr := r.run(ctx, sc)
+			return res, false, runErr
+		}
+		// Any other memoKey failure is a validation failure: running would
+		// report the same error through resolve.
+		return Result{}, false, err
+	}
+	return r.Memo.do(ctx, key, func() (Result, error) { return r.run(ctx, sc) })
+}
+
+// run executes one scenario on the reused world, unconditionally.
+func (r *Runner) run(ctx context.Context, sc Scenario) (Result, error) {
 	rv, err := sc.resolveRings(true, r.ring)
 	if err != nil {
 		return Result{}, err
@@ -77,5 +118,6 @@ func (r *Runner) Run(ctx context.Context, sc Scenario) (Result, error) {
 		MaxRounds:        rv.maxRounds,
 		StopWhenExplored: sc.StopWhenExplored,
 		DetectCycles:     sc.DetectCycles,
+		DisableLeap:      sc.DisableLeap,
 	})
 }

@@ -122,3 +122,49 @@ func TestScenarioStepZeroAllocSteadyState(t *testing.T) {
 		t.Fatalf("steady-state Step allocates %.2f objects/round, want 0", avg)
 	}
 }
+
+// TestRunnerBatchedAllocBound gates the Runner's batched-reuse economics:
+// executing the mixed 12-scenario bench batch through one warm Runner must
+// stay within a small allocation budget per batch (the measured cost is 120
+// allocs — fresh per-run protocols, adversaries and Results — against ~300
+// for fresh Scenario.RunContext executions). A regression here means world
+// or ring reuse silently broke.
+func TestRunnerBatchedAllocBound(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; gate runs in the non-race pass")
+	}
+	sw := dynring.Sweep{
+		Base: dynring.Scenario{
+			Landmark:       0,
+			AdversaryLabel: "random(p=0.4)",
+			NewAdversary:   dynring.RandomEdgesFactory(0.4),
+		},
+		Algorithms: []string{"KnownNNoChirality", "LandmarkWithChirality"},
+		Sizes:      []int{8, 16, 32},
+		Seeds:      []int64{1, 2},
+	}
+	scs, err := sw.Scenarios()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	r := dynring.NewRunner()
+	for _, sc := range scs { // warm-up: build worlds, rings, scratch
+		if _, err := r.Run(ctx, sc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	avg := testing.AllocsPerRun(50, func() {
+		for _, sc := range scs {
+			if _, err := r.Run(ctx, sc); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+	// 120 measured + headroom for toolchain drift; 12 scenarios per batch.
+	const maxBatchAllocs = 132
+	if avg > maxBatchAllocs {
+		t.Fatalf("batched Runner.Run allocates %.1f objects per %d-scenario batch, want ≤ %d",
+			avg, len(scs), maxBatchAllocs)
+	}
+}

@@ -131,9 +131,16 @@ type Scenario struct {
 	// DetectCycles enables configuration-cycle certificates when all
 	// components support fingerprints.
 	DetectCycles bool
+	// DisableLeap forces the engine's round-by-round slow path even when
+	// the run qualifies for quiescence leaping (deterministic scheduled
+	// adversary, fingerprint-capable protocols, no observer). Leaping is
+	// provably result-identical, so the flag exists for verification and
+	// debugging; like Observer it does not affect the Result and is
+	// excluded from Fingerprint.
+	DisableLeap bool
 	// Observer optionally receives round records (e.g. a TraceRecorder).
 	// Sweeps drop it: one observer shared across concurrent runs would
-	// race.
+	// race. An observer forces the engine's round-by-round slow path.
 	Observer Observer
 }
 
@@ -369,7 +376,9 @@ func adversaryLabelKind(label string) string {
 // The hash covers the *resolved* scenario, so spelling a default explicitly
 // (UpperBound equal to Size, Starts at even spacing, Model at the
 // algorithm's first regime, MaxRounds at DefaultBudget) does not change the
-// fingerprint. Name and Observer are excluded: neither affects the Result.
+// fingerprint. Name, Observer and DisableLeap are excluded: none of them
+// affects the Result (quiescence leaping is result-identical by
+// construction, see internal/sim).
 //
 // Dynamics are identified by AdversaryLabel plus Seed, not by the factory
 // function itself, so the label must name the strategy and all its
@@ -465,5 +474,6 @@ func (s Scenario) RunContext(ctx context.Context) (Result, error) {
 		MaxRounds:        r.maxRounds,
 		StopWhenExplored: s.StopWhenExplored,
 		DetectCycles:     s.DetectCycles,
+		DisableLeap:      s.DisableLeap,
 	})
 }

@@ -1,10 +1,15 @@
 #!/usr/bin/env bash
 # Runs the engine/runner benchmarks with allocation tracking and emits
 # BENCH_engine.json so the perf trajectory is machine-readable. Fails hard
-# if the zero-allocation steady-state gates regress.
+# if the zero-allocation steady-state gates, the Runner batch-reuse
+# allocation bound, or the leap/slow equivalence property regress.
 #
 #   scripts/bench_engine.sh [output.json]
 #   BENCHTIME=2000x scripts/bench_engine.sh
+#
+# Compare a fresh run against the committed baseline with
+#   scripts/bench_engine.sh BENCH_engine.fresh.json
+#   go run ./scripts/benchgate -baseline BENCH_engine.json -fresh BENCH_engine.fresh.json
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -12,12 +17,12 @@ OUT="${1:-BENCH_engine.json}"
 TMP="$(mktemp)"
 trap 'rm -f "$TMP"' EXIT
 
-# The allocation gates are the contract; a regression must fail the build
-# before any numbers are published.
-go test -count=1 -run 'TestStepZeroAllocSteadyState' ./internal/sim
-go test -count=1 -run 'TestScenarioStepZeroAllocSteadyState|TestRunnerMatchesScenarioRun' .
+# The allocation and equivalence gates are the contract; a regression must
+# fail the build before any numbers are published.
+go test -count=1 -run 'TestStepZeroAllocSteadyState|TestLeapSkipsBlockedRounds' ./internal/sim
+go test -count=1 -run 'TestScenarioStepZeroAllocSteadyState|TestRunnerMatchesScenarioRun|TestRunnerBatchedAllocBound|TestLeapSlowEquivalenceProperty' .
 
-go test -run '^$' -bench 'BenchmarkEngine_|BenchmarkRunner_|BenchmarkSweep$' \
+go test -run '^$' -bench 'BenchmarkEngine_|BenchmarkRunner_|BenchmarkSweep|BenchmarkLeap_' \
   -benchmem -benchtime "${BENCHTIME:-1000x}" . | tee "$TMP"
 
 # Parse `BenchmarkName-8  N  T ns/op  M unit  ...` lines into JSON.

@@ -1,0 +1,147 @@
+// Command benchgate compares a fresh benchmark run against a committed
+// baseline (both in the BENCH_*.json format emitted by scripts/bench_*.sh)
+// and enforces a regression budget on ns/op: any benchmark slower than the
+// baseline by more than the tolerance fails the gate, any benchmark faster
+// by more than the tolerance is noted (a nudge to refresh the baseline so
+// the gate keeps teeth). Benchmarks present on only one side are reported
+// but never fail — adding or retiring a benchmark must not break CI.
+//
+// Absolute ns/op only compares cleanly on the machine the baseline was
+// recorded on. For cross-machine gating (CI runners vs the reference
+// machine), pass -calibrate with the name of a stable benchmark: every
+// fresh ns/op is scaled by baseline_cal/fresh_cal first, which cancels the
+// machines' speed difference to first order and leaves genuine per-
+// benchmark drift visible. The calibration benchmark itself is exempt from
+// the gate (its ratio is 1 by construction); it stays protected by the
+// allocation gates.
+//
+// Usage:
+//
+//	go run ./scripts/benchgate -baseline BENCH_engine.json -fresh BENCH_engine.fresh.json
+//	go run ./scripts/benchgate -calibrate BenchmarkEngine_StepFSync ...   # cross-machine
+//	go run ./scripts/benchgate -tolerance 0.5 ...                         # looser budget
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+// suite mirrors the bench_*.sh output document. Only name and ns_per_op are
+// compared; the other metrics (allocs/op, custom units) vary by benchmark
+// and are gated elsewhere (the zero-alloc tests).
+type suite struct {
+	Suite      string      `json:"suite"`
+	Benchmarks []benchmark `json:"benchmarks"`
+}
+
+type benchmark struct {
+	Name    string  `json:"name"`
+	NsPerOp float64 `json:"ns_per_op"`
+}
+
+func main() {
+	var (
+		baselinePath = flag.String("baseline", "BENCH_engine.json", "committed baseline JSON")
+		freshPath    = flag.String("fresh", "", "fresh benchmark run JSON (required)")
+		tolerance    = flag.Float64("tolerance", 0.30, "allowed relative ns/op drift in either direction")
+		calibrate    = flag.String("calibrate", "", "benchmark name to normalize machine speed by (cross-machine gating)")
+	)
+	flag.Parse()
+	if *freshPath == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -fresh is required")
+		os.Exit(2)
+	}
+	baseline, err := load(*baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	fresh, err := load(*freshPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+
+	freshByName := make(map[string]benchmark, len(fresh.Benchmarks))
+	for _, b := range fresh.Benchmarks {
+		freshByName[b.Name] = b
+	}
+	baseNames := make(map[string]bool, len(baseline.Benchmarks))
+
+	// Cross-machine normalization: scale every fresh ns/op so the
+	// calibration benchmark matches its baseline exactly.
+	scale := 1.0
+	if *calibrate != "" {
+		calFresh, okF := freshByName[*calibrate]
+		calBase := benchmark{}
+		okB := false
+		for _, b := range baseline.Benchmarks {
+			if b.Name == *calibrate {
+				calBase, okB = b, true
+				break
+			}
+		}
+		if !okF || !okB || calFresh.NsPerOp <= 0 || calBase.NsPerOp <= 0 {
+			fmt.Fprintf(os.Stderr, "benchgate: calibration benchmark %q missing or non-positive on one side\n", *calibrate)
+			os.Exit(2)
+		}
+		scale = calBase.NsPerOp / calFresh.NsPerOp
+		fmt.Printf("calibrated on %s: machine-speed scale %.3f\n", *calibrate, scale)
+	}
+
+	failed := false
+	for _, base := range baseline.Benchmarks {
+		baseNames[base.Name] = true
+		got, ok := freshByName[base.Name]
+		if !ok {
+			fmt.Printf("note: %s present in baseline only (retired?)\n", base.Name)
+			continue
+		}
+		if base.NsPerOp <= 0 {
+			fmt.Printf("note: %s has a non-positive baseline, skipping\n", base.Name)
+			continue
+		}
+		if base.Name == *calibrate {
+			fmt.Printf("ok:   %s is the calibration reference (exempt)\n", base.Name)
+			continue
+		}
+		ratio := got.NsPerOp * scale / base.NsPerOp
+		switch {
+		case ratio > 1+*tolerance:
+			fmt.Printf("FAIL: %s regressed %.1f%%: %.1f ns/op vs baseline %.1f (tolerance ±%.0f%%)\n",
+				base.Name, (ratio-1)*100, got.NsPerOp, base.NsPerOp, *tolerance*100)
+			failed = true
+		case ratio < 1-*tolerance:
+			fmt.Printf("note: %s is %.1f%% faster than baseline (%.1f vs %.1f ns/op) — consider refreshing BENCH_engine.json\n",
+				base.Name, (1-ratio)*100, got.NsPerOp, base.NsPerOp)
+		default:
+			fmt.Printf("ok:   %s within budget (%.1f vs %.1f ns/op)\n", base.Name, got.NsPerOp, base.NsPerOp)
+		}
+	}
+	for _, b := range fresh.Benchmarks {
+		if !baseNames[b.Name] {
+			fmt.Printf("note: %s is new (no baseline yet)\n", b.Name)
+		}
+	}
+	if failed {
+		fmt.Println("benchgate: ns/op regression beyond tolerance")
+		os.Exit(1)
+	}
+	fmt.Println("benchgate: ok")
+}
+
+// load reads and decodes one suite document.
+func load(path string) (suite, error) {
+	var s suite
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return s, err
+	}
+	if err := json.Unmarshal(raw, &s); err != nil {
+		return s, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}

@@ -41,6 +41,14 @@ type Sweep struct {
 	Adversaries []SweepAdversary
 	// Workers bounds the worker pool; non-positive means runtime.NumCPU().
 	Workers int
+	// Memo optionally attaches an in-process result memo shared by all
+	// workers: scenarios with identical memo keys — repeats within this
+	// grid, overlaps with any earlier sweep run against the same Memo, and
+	// seed-axis copies of seed-insensitive scenarios — execute once and
+	// replay the cached Result (delivered with Cached set). Replay is
+	// exact by the memo-key contract, so aggregation and determinism
+	// guarantees are unaffected. Nil means every scenario executes.
+	Memo *Memo
 }
 
 // SweepResult pairs one scenario of the grid with its outcome. Exactly one
@@ -55,6 +63,12 @@ type SweepResult struct {
 	Result   Result
 	Err      error
 	Wall     time.Duration
+	// Cached reports that the Result was replayed from the sweep's Memo
+	// (a hit, or another worker's concurrent execution of the same key)
+	// instead of executed for this row. Replayed Results are identical to
+	// executed ones; like Wall, Cached is provenance, not payload, and is
+	// ignored by Aggregate.
+	Cached bool
 }
 
 // Scenarios expands the grid into concrete, validated scenarios in grid
@@ -119,6 +133,10 @@ func (s Sweep) Scenarios() ([]Scenario, error) {
 // Scenario.RunContext with caching, instrumentation or remote dispatch.
 type ScenarioRunner func(ctx context.Context, sc Scenario) (Result, error)
 
+// cachedRunner is the internal per-worker execution hook: ScenarioRunner
+// plus the replayed-from-memo bit that fills SweepResult.Cached.
+type cachedRunner func(ctx context.Context, sc Scenario) (Result, bool, error)
+
 // Stream expands the grid and executes it on a bounded worker pool,
 // delivering results on the returned channel in grid order. The channel is
 // closed when the grid is exhausted or ctx is cancelled; scenarios cancelled
@@ -126,11 +144,14 @@ type ScenarioRunner func(ctx context.Context, sc Scenario) (Result, error)
 // not delivered. Expansion errors are reported up front, before any run.
 //
 // Execution is batched: each worker owns a Runner, so consecutive scenarios
-// on one worker reuse the engine's allocations (see Runner). Results are
+// on one worker reuse the engine's allocations (see Runner), and when the
+// sweep carries a Memo every worker's Runner shares it. Results are
 // identical to running every scenario through Scenario.RunContext.
 func (s Sweep) Stream(ctx context.Context) (<-chan SweepResult, error) {
-	return s.stream(ctx, func() ScenarioRunner {
-		return NewRunner().Run
+	return s.stream(ctx, func() cachedRunner {
+		r := NewRunner()
+		r.Memo = s.Memo
+		return r.RunCached
 	})
 }
 
@@ -139,15 +160,22 @@ func (s Sweep) Stream(ctx context.Context) (<-chan SweepResult, error) {
 // the grid expansion, worker pool and ordered delivery. It is the hook for
 // interposing a result cache (the contract the ringsimd service builds on:
 // scenarios with equal Fingerprints may share a Result), metrics, or any
-// other per-run middleware. run must be safe for concurrent use.
+// other per-run middleware. run must be safe for concurrent use. The
+// sweep's Memo is not consulted — caching is the hook's business here —
+// and every delivered result has Cached unset.
 func (s Sweep) StreamFunc(ctx context.Context, run ScenarioRunner) (<-chan SweepResult, error) {
-	return s.stream(ctx, func() ScenarioRunner { return run })
+	return s.stream(ctx, func() cachedRunner {
+		return func(ctx context.Context, sc Scenario) (Result, bool, error) {
+			res, err := run(ctx, sc)
+			return res, false, err
+		}
+	})
 }
 
 // stream is the shared engine of Stream and StreamFunc: newRun is invoked
 // once per worker goroutine, so it can hand each worker private reusable
 // state (a Runner) or a shared concurrency-safe hook.
-func (s Sweep) stream(ctx context.Context, newRun func() ScenarioRunner) (<-chan SweepResult, error) {
+func (s Sweep) stream(ctx context.Context, newRun func() cachedRunner) (<-chan SweepResult, error) {
 	scenarios, err := s.Scenarios()
 	if err != nil {
 		return nil, err
@@ -157,15 +185,16 @@ func (s Sweep) stream(ctx context.Context, newRun func() ScenarioRunner) (<-chan
 		defer close(ch)
 		_ = sweep.OrderedStates(ctx, len(scenarios), s.Workers,
 			newRun,
-			func(ctx context.Context, run ScenarioRunner, i int) SweepResult {
+			func(ctx context.Context, run cachedRunner, i int) SweepResult {
 				start := time.Now()
-				res, err := run(ctx, scenarios[i])
+				res, cached, err := run(ctx, scenarios[i])
 				return SweepResult{
 					Index:    i,
 					Scenario: scenarios[i],
 					Result:   res,
 					Err:      err,
 					Wall:     time.Since(start),
+					Cached:   cached,
 				}
 			},
 			func(_ int, v SweepResult) bool {
