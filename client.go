@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"strings"
 	"time"
 )
@@ -76,6 +77,29 @@ type CacheStats struct {
 	Misses uint64 `json:"misses"`
 }
 
+// DiskTierStats snapshots the durable content-addressed result tier
+// (ringsimd -data); it appears in /statsz when the tier is enabled.
+type DiskTierStats struct {
+	// Entries and Bytes describe the durable entries on disk.
+	Entries int   `json:"entries"`
+	Bytes   int64 `json:"bytes"`
+	// QueueDepth counts writes waiting on the asynchronous writer;
+	// -drain flushes it to zero before exit.
+	QueueDepth int `json:"queue_depth"`
+	// Hits and Misses count disk-tier lookups (memory-tier misses that
+	// fell through); Skipped counts corrupt entries ignored since boot.
+	Hits    uint64 `json:"hits"`
+	Misses  uint64 `json:"misses"`
+	Skipped int    `json:"skipped"`
+}
+
+// JobQueueStat is one job's scheduler backlog in /statsz.
+type JobQueueStat struct {
+	ID string `json:"id"`
+	// Pending counts scenarios not yet dispatched to a worker.
+	Pending int `json:"pending"`
+}
+
 // ServiceStats is the /statsz document.
 type ServiceStats struct {
 	// Jobs counts the jobs currently retained (settled jobs are evicted
@@ -85,10 +109,26 @@ type ServiceStats struct {
 	ActiveJobs int `json:"active_jobs"`
 	// Workers is the shared pool size.
 	Workers int `json:"workers"`
-	// Executions counts scenarios actually run (cache misses); cache hits
-	// do not execute anything and are visible in Cache.Hits instead.
+	// Executions counts scenarios actually run on this node (cache misses
+	// that were not proxied); Proxied counts scenarios this node routed to
+	// their owning peer instead of executing. Summing Executions across a
+	// cluster's nodes gives the cluster-wide execution count, which is how
+	// the exactly-once property is observable.
 	Executions uint64     `json:"executions"`
+	Proxied    uint64     `json:"proxied"`
 	Cache      CacheStats `json:"cache"`
+	// HitRatio is the combined cache-tier hit ratio: of all result
+	// lookups, the fraction served without executing (memory or disk
+	// tier). 0 when nothing has been looked up yet (or caching is off).
+	HitRatio float64 `json:"hit_ratio"`
+	// Disk describes the durable tier; absent when -data is unset.
+	Disk *DiskTierStats `json:"disk,omitempty"`
+	// Queue lists per-job scheduler backlogs for jobs with undispatched
+	// scenarios, in submission order.
+	Queue []JobQueueStat `json:"queue"`
+	// Cluster mirrors /v1/cluster (peer states included) so one /statsz
+	// poll captures capacity and topology; absent when clustering is off.
+	Cluster *ClusterStatus `json:"cluster,omitempty"`
 }
 
 // Client talks to a ringsimd service. The zero value is not usable; call
@@ -99,11 +139,47 @@ type Client struct {
 	// HTTPClient defaults to http.DefaultClient. Result streams are
 	// long-lived: give it no overall Timeout (use the ctx instead).
 	HTTPClient *http.Client
+	// Retries bounds the retry attempts after a transient failure of a
+	// JSON API call (a transport error or a 5xx response): one blip on a
+	// long sweep must not fail the whole run. 0 means the default of 3;
+	// negative disables retries. Retried POSTs can duplicate a submission
+	// when the lost response had actually landed — harmless here, since a
+	// duplicate job is served from the result cache.
+	Retries int
+	// RetryBaseDelay seeds the retry backoff: attempts sleep
+	// RetryBaseDelay, then double per retry, capped at retryMaxDelay, and
+	// the sleep aborts as soon as ctx does. 0 means the default of 50ms.
+	RetryBaseDelay time.Duration
 }
 
 // NewClient returns a client for the service at baseURL.
 func NewClient(baseURL string) *Client {
 	return &Client{BaseURL: strings.TrimRight(baseURL, "/")}
+}
+
+// defaultRetries, defaultRetryDelay and retryMaxDelay shape the transient
+// retry policy of Client.do.
+const (
+	defaultRetries    = 3
+	defaultRetryDelay = 50 * time.Millisecond
+	retryMaxDelay     = 2 * time.Second
+)
+
+func (c *Client) retries() int {
+	if c.Retries < 0 {
+		return 0
+	}
+	if c.Retries == 0 {
+		return defaultRetries
+	}
+	return c.Retries
+}
+
+func (c *Client) retryDelay() time.Duration {
+	if c.RetryBaseDelay <= 0 {
+		return defaultRetryDelay
+	}
+	return c.RetryBaseDelay
 }
 
 func (c *Client) httpClient() *http.Client {
@@ -120,14 +196,40 @@ type errorDoc struct {
 
 // do issues a request and decodes a JSON body into out (when non-nil).
 // Non-2xx responses are turned into errors carrying the server's message.
+// Transient failures — transport errors and 5xx responses — are retried
+// with capped exponential backoff (see Client.Retries); 4xx responses and
+// context cancellation are terminal.
 func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
-	var rd io.Reader
+	var buf []byte
 	if body != nil {
-		buf, err := json.Marshal(body)
-		if err != nil {
+		var err error
+		if buf, err = json.Marshal(body); err != nil {
 			return err
 		}
-		rd = bytes.NewReader(buf)
+	}
+	delay := c.retryDelay()
+	var err error
+	for attempt := 0; ; attempt++ {
+		if err = c.doOnce(ctx, method, path, buf, out); err == nil || !transientError(err) {
+			return err
+		}
+		if attempt >= c.retries() {
+			return err
+		}
+		// The sleep is context-aware: a cancelled caller aborts the backoff
+		// immediately instead of burning the remaining window.
+		if serr := sleepCtx(ctx, delay); serr != nil {
+			return err
+		}
+		delay = min(delay*2, retryMaxDelay)
+	}
+}
+
+// doOnce is one attempt of do.
+func (c *Client) doOnce(ctx context.Context, method, path string, body []byte, out any) error {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, rd)
 	if err != nil {
@@ -151,15 +253,56 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 	return json.NewDecoder(resp.Body).Decode(out)
 }
 
+// serverError is a non-2xx response as an error; Code drives the retry
+// decision.
+type serverError struct {
+	Code    int
+	Status  string
+	Message string
+}
+
+func (e *serverError) Error() string {
+	return fmt.Sprintf("dynring: server %s: %s", e.Status, e.Message)
+}
+
+// transientError reports whether err is worth retrying: any 5xx (the
+// service restarting, a proxy hiccup, ErrClosed during a rolling drain)
+// and any transport-level failure (connection refused, reset, timeout)
+// that is not the caller's own context ending.
+func transientError(err error) bool {
+	if err == nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	var se *serverError
+	if errors.As(err, &se) {
+		return se.Code >= 500
+	}
+	var ue *url.Error
+	return errors.As(err, &ue)
+}
+
+// sleepCtx sleeps for d or until ctx is done, whichever is first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
 // remoteError converts a non-2xx response into an error, preferring the
 // server's JSON error message.
 func remoteError(resp *http.Response) error {
 	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	msg := string(bytes.TrimSpace(raw))
 	var doc errorDoc
 	if json.Unmarshal(raw, &doc) == nil && doc.Error != "" {
-		return fmt.Errorf("dynring: server %s: %s", resp.Status, doc.Error)
+		msg = doc.Error
 	}
-	return fmt.Errorf("dynring: server %s: %s", resp.Status, bytes.TrimSpace(raw))
+	return &serverError{Code: resp.StatusCode, Status: resp.Status, Message: msg}
 }
 
 // SubmitSweep submits a grid and returns the new job's status. The job runs
@@ -270,11 +413,7 @@ func (c *Client) RunSweep(ctx context.Context, spec SweepSpec) ([]SweepResult, e
 // is cancelled best-effort, and the results collected so far are returned
 // with the error.
 func (c *Client) RunSweepFunc(ctx context.Context, spec SweepSpec, onStart func(JobStatus), onRow func(SweepResult)) ([]SweepResult, error) {
-	sw, err := spec.Sweep()
-	if err != nil {
-		return nil, err
-	}
-	scenarios, err := sw.Scenarios()
+	scenarios, err := spec.ScenarioList()
 	if err != nil {
 		return nil, err
 	}

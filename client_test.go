@@ -16,7 +16,10 @@ import (
 // newTestService boots an in-process ringsimd and a client pointed at it.
 func newTestService(t *testing.T, opts service.Options) (*dynring.Client, *service.Manager) {
 	t.Helper()
-	m := service.New(opts)
+	m, err := service.New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
 	t.Cleanup(m.Close)
 	srv := httptest.NewServer(service.NewHandler(m))
 	t.Cleanup(srv.Close)

@@ -1,0 +1,249 @@
+package dynring
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"dynring/internal/cluster"
+)
+
+// This file is the client side of a sharded ringsimd cluster: the wire
+// types of the /v1/cluster and /v1/run endpoints, and fingerprint-aware
+// sweep routing. Placement is computed client-side with the same
+// internal/cluster ring the servers use, from a single /v1/cluster
+// snapshot — the contract that makes this sound is that placement is a
+// pure function of (member set, vnodes), golden-tested server-side, so a
+// client and every node agree on each fingerprint's owner without any
+// coordination.
+
+// PeerStatus is one cluster member as reported by /v1/cluster (and
+// /statsz). State is "alive", "suspect", "dead" or "left" as seen by the
+// reporting node; health is local opinion, placement is global.
+type PeerStatus struct {
+	URL  string `json:"url"`
+	Self bool   `json:"self,omitempty"`
+	// State is the probe-derived health state. Peers in any state except
+	// "left" are ring members.
+	State string `json:"state"`
+	// Failures counts consecutive failed probes; LastSeen is the last
+	// successful one (zero: never probed successfully).
+	Failures int       `json:"failures,omitempty"`
+	LastSeen time.Time `json:"last_seen,omitempty"`
+}
+
+// ClusterStatus is the /v1/cluster document: this node's view of the
+// cluster. VNodes plus the non-left member URLs are sufficient to rebuild
+// the placement ring exactly.
+type ClusterStatus struct {
+	// Enabled reports whether the node runs in cluster mode at all; a
+	// standalone ringsimd serves Enabled false with an empty peer list.
+	Enabled bool         `json:"enabled"`
+	Self    string       `json:"self,omitempty"`
+	VNodes  int          `json:"vnodes,omitempty"`
+	Peers   []PeerStatus `json:"peers"`
+}
+
+// RingMembers returns the placement-ring member URLs (every peer that has
+// not left), in the sorted order NewRing would impose anyway.
+func (cs ClusterStatus) RingMembers() []string {
+	var members []string
+	for _, p := range cs.Peers {
+		if p.State != "left" {
+			members = append(members, p.URL)
+		}
+	}
+	return members
+}
+
+// RunRequest is the body of POST /v1/run: execute (or serve from cache)
+// one scenario on the receiving node, synchronously. It is the cluster's
+// internal proxy hop — a node that does not own a fingerprint forwards it
+// here — but is equally usable by external callers for one-off scenarios.
+type RunRequest struct {
+	Scenario ScenarioSpec `json:"scenario"`
+}
+
+// RunResponse is the document POST /v1/run answers with.
+type RunResponse struct {
+	Fingerprint string `json:"fingerprint"`
+	// Cached reports the result was served from the node's cache tiers
+	// rather than executed now.
+	Cached bool    `json:"cached"`
+	Result *Result `json:"result,omitempty"`
+	Error  string  `json:"error,omitempty"`
+}
+
+// ClusterStatus fetches the node's /v1/cluster document.
+func (c *Client) ClusterStatus(ctx context.Context) (ClusterStatus, error) {
+	var cs ClusterStatus
+	err := c.do(ctx, http.MethodGet, "/v1/cluster", nil, &cs)
+	return cs, err
+}
+
+// RunScenario executes one scenario on the node (or serves it from its
+// caches) via POST /v1/run, synchronously.
+func (c *Client) RunScenario(ctx context.Context, spec ScenarioSpec) (RunResponse, error) {
+	var rr RunResponse
+	err := c.do(ctx, http.MethodPost, "/v1/run", RunRequest{Scenario: spec}, &rr)
+	return rr, err
+}
+
+// peerClient derives a client for another cluster node, inheriting this
+// client's transport and retry policy.
+func (c *Client) peerClient(baseURL string) *Client {
+	return &Client{
+		BaseURL:        strings.TrimRight(baseURL, "/"),
+		HTTPClient:     c.HTTPClient,
+		Retries:        c.Retries,
+		RetryBaseDelay: c.RetryBaseDelay,
+	}
+}
+
+// RunSweepRouted is RunSweep with cluster routing: it snapshots the
+// cluster once, computes each expanded scenario's owner on the placement
+// ring, and submits each owner its share of the grid directly — so every
+// scenario lands on the node whose cache tiers own its fingerprint,
+// executing at most once cluster-wide, with no proxy hop in the common
+// path. Results are returned in grid order, exactly as RunSweep would.
+//
+// Degraded paths keep the sweep alive rather than precise:
+//
+//   - A standalone node (cluster disabled or single-member) and a grid
+//     that cannot be fingerprinted or re-serialized (custom factories)
+//     fall back to plain RunSweep against this client's node.
+//   - Scenarios whose owner is not alive in the snapshot are submitted to
+//     this client's node, which executes them locally (its own fallback).
+//   - A share that fails against its owner — the peer died after the
+//     snapshot, or moved — is transparently retried against this client's
+//     node before the sweep is failed.
+//
+// onRow, when non-nil, receives each result as its share settles; unlike
+// RunSweepFunc's hook the calls are NOT in grid order across shares
+// (shares stream concurrently), though the returned slice always is.
+func (c *Client) RunSweepRouted(ctx context.Context, spec SweepSpec, onRow func(SweepResult)) ([]SweepResult, error) {
+	cs, err := c.ClusterStatus(ctx)
+	if err != nil {
+		return nil, err
+	}
+	members := cs.RingMembers()
+	if !cs.Enabled || len(members) <= 1 {
+		return c.RunSweepFunc(ctx, spec, nil, onRow)
+	}
+	scenarios, err := spec.ScenarioList()
+	if err != nil {
+		return nil, err
+	}
+	shares, routable := routeShares(scenarios, cs)
+	if !routable {
+		// Not content-addressable (custom factories, unlabelled
+		// adversaries): no owner exists, so routing is meaningless.
+		return c.RunSweepFunc(ctx, spec, nil, onRow)
+	}
+
+	out := make([]SweepResult, len(scenarios))
+	var (
+		mu       sync.Mutex
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	deliver := func(indices []int, results []SweepResult) {
+		mu.Lock()
+		defer mu.Unlock()
+		for _, r := range results {
+			if r.Index < 0 || r.Index >= len(indices) {
+				continue
+			}
+			r.Index = indices[r.Index]
+			r.Scenario = scenarios[r.Index]
+			out[r.Index] = r
+			if onRow != nil {
+				onRow(r)
+			}
+		}
+	}
+	for target, indices := range shares {
+		wg.Add(1)
+		go func(target string, indices []int) {
+			defer wg.Done()
+			share, err := shareSpec(scenarios, indices)
+			if err == nil {
+				var results []SweepResult
+				results, err = c.runShare(ctx, target, share)
+				if err != nil && target != c.BaseURL && ctx.Err() == nil {
+					// The owner died or moved after the snapshot:
+					// transparently retry the whole share against our own
+					// node, which executes locally what it cannot route.
+					results, err = c.runShare(ctx, c.BaseURL, share)
+				}
+				if len(results) > 0 {
+					deliver(indices, results)
+				}
+			}
+			if err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = fmt.Errorf("dynring: share of %d scenarios on %s: %w", len(indices), target, err)
+				}
+				mu.Unlock()
+			}
+		}(target, indices)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return out, firstErr
+	}
+	return out, nil
+}
+
+// routeShares groups scenario indices by the node each should be
+// submitted to: the fingerprint's owner when alive, this client's own node
+// otherwise. The second return is false when any scenario has no
+// fingerprint (the grid is unroutable as a whole — one submission beats a
+// split brain).
+func routeShares(scenarios []Scenario, cs ClusterStatus) (map[string][]int, bool) {
+	ring := cluster.NewRing(cs.RingMembers(), cs.VNodes)
+	alive := make(map[string]bool, len(cs.Peers))
+	var self string
+	for _, p := range cs.Peers {
+		alive[p.URL] = p.State == "alive" || p.Self
+		if p.Self {
+			self = p.URL
+		}
+	}
+	shares := make(map[string][]int)
+	for i, sc := range scenarios {
+		fp, err := sc.Fingerprint()
+		if err != nil {
+			return nil, false
+		}
+		target := ring.Owner(fp)
+		if !alive[target] {
+			target = self
+		}
+		shares[target] = append(shares[target], i)
+	}
+	return shares, true
+}
+
+// shareSpec builds the explicit-list SweepSpec for one owner's share.
+func shareSpec(scenarios []Scenario, indices []int) (SweepSpec, error) {
+	share := SweepSpec{Scenarios: make([]ScenarioSpec, len(indices))}
+	for k, i := range indices {
+		sp, err := scenarios[i].WireSpec()
+		if err != nil {
+			return SweepSpec{}, err
+		}
+		share.Scenarios[k] = sp
+	}
+	return share, nil
+}
+
+// runShare runs one share against target, reusing the full RunSweepFunc
+// machinery (submission, streaming, truncation checks, abandonment).
+func (c *Client) runShare(ctx context.Context, target string, share SweepSpec) ([]SweepResult, error) {
+	return c.peerClient(target).RunSweepFunc(ctx, share, nil, nil)
+}

@@ -279,7 +279,10 @@ func TestDryRun(t *testing.T) {
 // TestServerMode: -sweep -server submits the grid to a ringsimd service and
 // renders the same report shape as local execution.
 func TestServerMode(t *testing.T) {
-	mgr := service.New(service.Options{Workers: 2, CacheSize: 64})
+	mgr, err := service.New(service.Options{Workers: 2, CacheSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
 	defer mgr.Close()
 	srv := httptest.NewServer(service.NewHandler(mgr))
 	defer srv.Close()

@@ -2,12 +2,17 @@
 // grids over HTTP, schedules them on one shared worker pool (fair
 // round-robin between jobs), and serves results from a content-addressed
 // cache keyed by Scenario.Fingerprint, so repeated or overlapping grids
-// skip recomputation entirely.
+// skip recomputation entirely. With -data the cache gains a durable disk
+// tier that survives restarts; with -self/-peers the node joins a sharded
+// cluster that routes each fingerprint to one owning node.
 //
 // Usage:
 //
 //	ringsimd -addr :8080 -workers 8 -cache 4096
-//	ringsimd -addr :8080 -pprof 127.0.0.1:6060   # profiling endpoint on a private port
+//	ringsimd -addr :8080 -data /var/lib/ringsimd        # durable result tier
+//	ringsimd -addr :8080 -pprof 127.0.0.1:6060          # profiling endpoint on a private port
+//	ringsimd -addr :8081 -self http://127.0.0.1:8081 \
+//	         -peers http://127.0.0.1:8081,http://127.0.0.1:8082,http://127.0.0.1:8083
 //
 // API (see internal/service and the dynring.Client type):
 //
@@ -15,10 +20,14 @@
 //	GET    /v1/sweeps/{id}          job status
 //	GET    /v1/sweeps/{id}/results  NDJSON results in grid order
 //	DELETE /v1/sweeps/{id}          cancel
+//	POST   /v1/run                  run one scenario synchronously (the cluster proxy hop)
+//	GET    /v1/cluster              this node's cluster view
+//	POST   /v1/cluster/{leave,join} peer shutdown/boot announcements
 //	GET    /healthz, /statsz        liveness and counters
 //
-// SIGINT/SIGTERM trigger a graceful shutdown: jobs are cancelled, streams
-// settle, and in-flight responses drain within -drain.
+// SIGINT/SIGTERM trigger a graceful shutdown: the node announces its leave
+// to peers, jobs are cancelled, streams settle, queued durable-tier writes
+// are flushed to disk, and in-flight responses drain within -drain.
 //
 // -pprof addr (off by default) serves Go's net/http/pprof profiling
 // handlers on a dedicated listener, kept off the API address on purpose:
@@ -31,11 +40,13 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log"
 	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -57,15 +68,45 @@ func run(ctx context.Context, out io.Writer, args []string) error {
 		addr      = fs.String("addr", ":8080", "listen address")
 		workers   = fs.Int("workers", 0, "shared worker pool size (0 = NumCPU)")
 		cacheSize = fs.Int("cache", 4096, "result cache capacity in entries (0 disables)")
+		dataDir   = fs.String("data", "", "durable result-tier directory (empty disables; survives restarts)")
 		history   = fs.Int("job-history", 0, "settled jobs retained for queries (0 = default 1024)")
+		self      = fs.String("self", "", "this node's advertised base URL (enables cluster mode)")
+		peers     = fs.String("peers", "", "comma-separated seed peer base URLs (same list on every node)")
+		vnodes    = fs.Int("vnodes", 0, "virtual nodes per member on the placement ring (0 = default; must match cluster-wide)")
+		probeIvl  = fs.Duration("probe-interval", 0, "peer health-probe period (0 = default 1s)")
 		drain     = fs.Duration("drain", 5*time.Second, "graceful shutdown timeout")
 		pprofAddr = fs.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060; empty disables)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *peers != "" && *self == "" {
+		return fmt.Errorf("-peers requires -self (the URL peers reach this node at)")
+	}
+	var seedPeers []string
+	for _, p := range strings.Split(*peers, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			seedPeers = append(seedPeers, strings.TrimRight(p, "/"))
+		}
+	}
 
-	mgr := service.New(service.Options{Workers: *workers, CacheSize: *cacheSize, JobHistory: *history})
+	logger := log.New(out, "", log.LstdFlags)
+	mgr, err := service.New(service.Options{
+		Workers:    *workers,
+		CacheSize:  *cacheSize,
+		DiskDir:    *dataDir,
+		JobHistory: *history,
+		Cluster: service.ClusterOptions{
+			Self:          strings.TrimRight(*self, "/"),
+			Peers:         seedPeers,
+			VNodes:        *vnodes,
+			ProbeInterval: *probeIvl,
+		},
+		Logf: logger.Printf,
+	})
+	if err != nil {
+		return err
+	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		mgr.Close()
@@ -73,6 +114,9 @@ func run(ctx context.Context, out io.Writer, args []string) error {
 	}
 	fmt.Fprintf(out, "ringsimd listening on http://%s (workers=%d cache=%d)\n",
 		ln.Addr(), mgr.Workers(), *cacheSize)
+	if *self != "" {
+		fmt.Fprintf(out, "ringsimd cluster mode: self=%s peers=%d\n", *self, len(seedPeers))
+	}
 
 	var pprofSrv *http.Server
 	if *pprofAddr != "" {

@@ -1,0 +1,16 @@
+// Package cluster is the peer-coordination layer of a sharded ringsimd
+// deployment: a consistent-hash ring that assigns every scenario
+// fingerprint to exactly one owning peer, and a membership table that
+// tracks peer health through periodic HTTP probes with gossip-style
+// member discovery.
+//
+// The two halves are deliberately decoupled. Placement (Ring) is a pure
+// function of the configured member set and the vnode count — health never
+// moves keys, so two nodes that agree on the member list agree on every
+// owner, and a client can compute owners locally from a single
+// /v1/cluster snapshot. Health (Membership) only gates *routing*: a
+// request whose owner is not alive falls back to local execution on the
+// node that holds it, trading one duplicate execution for availability.
+// The package has no dependency on the rest of the module, so the root
+// dynring client and internal/service share one placement implementation.
+package cluster

@@ -1,0 +1,282 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeProbe is a scriptable prober: per-URL responses, call counting.
+type fakeProbe struct {
+	mu      sync.Mutex
+	fail    map[string]bool
+	members map[string][]string
+	calls   map[string]int
+}
+
+func newFakeProbe() *fakeProbe {
+	return &fakeProbe{fail: map[string]bool{}, members: map[string][]string{}, calls: map[string]int{}}
+}
+
+func (f *fakeProbe) probe(_ context.Context, url string) ([]string, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.calls[url]++
+	if f.fail[url] {
+		return nil, errors.New("connection refused")
+	}
+	return f.members[url], nil
+}
+
+func (f *fakeProbe) setFail(url string, v bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.fail[url] = v
+}
+
+func (f *fakeProbe) callCount(url string) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.calls[url]
+}
+
+// newTestMembership builds an unstarted membership with a scripted prober
+// and a fast probe interval; tests drive ticks by calling probeDue and
+// waiting for in-flight probes.
+func newTestMembership(t *testing.T, probe *fakeProbe, peers ...string) *Membership {
+	t.Helper()
+	m := NewMembership(Config{
+		Self:          "http://self:1",
+		Peers:         peers,
+		ProbeInterval: 10 * time.Millisecond,
+		DeadAfter:     3,
+		Probe:         probe.probe,
+	})
+	return m
+}
+
+// settle waits until no probe is in flight and cond holds.
+func settle(t *testing.T, m *Membership, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		m.mu.Lock()
+		busy := false
+		for _, p := range m.peers {
+			busy = busy || p.probing
+		}
+		m.mu.Unlock()
+		if !busy && cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("membership did not settle")
+}
+
+func state(m *Membership, url string) State {
+	for _, p := range m.Snapshot() {
+		if p.URL == url {
+			return p.State
+		}
+	}
+	return StateLeft
+}
+
+// TestMembershipBootstrapAndStates: seed peers start suspect, go alive on
+// a successful probe, back to suspect on one failure, dead after
+// DeadAfter consecutive failures, and alive again on recovery.
+func TestMembershipBootstrapAndStates(t *testing.T) {
+	probe := newFakeProbe()
+	m := newTestMembership(t, probe, "http://a:1", "http://self:1")
+	if got := state(m, "http://a:1"); got != StateSuspect {
+		t.Fatalf("seed peer starts %v, want suspect", got)
+	}
+	if len(m.Snapshot()) != 2 {
+		t.Fatalf("self must be filtered from seeds: %v", m.Snapshot())
+	}
+
+	m.probeDue()
+	settle(t, m, func() bool { return state(m, "http://a:1") == StateAlive })
+
+	probe.setFail("http://a:1", true)
+	for i := 0; i < 2; i++ {
+		advance(m, time.Hour)
+		m.probeDue()
+		settle(t, m, func() bool { return true })
+	}
+	if got := state(m, "http://a:1"); got != StateSuspect {
+		t.Fatalf("after 2 failures state = %v, want suspect", got)
+	}
+	advance(m, time.Hour)
+	m.probeDue()
+	settle(t, m, func() bool { return state(m, "http://a:1") == StateDead })
+	if m.Alive("http://a:1") {
+		t.Fatal("dead peer reported alive")
+	}
+
+	probe.setFail("http://a:1", false)
+	advance(m, time.Hour)
+	m.probeDue()
+	settle(t, m, func() bool { return state(m, "http://a:1") == StateAlive })
+}
+
+// advance shifts the membership clock forward so backoff windows expire
+// without sleeping.
+func advance(m *Membership, d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, p := range m.peers {
+		p.nextProbe = p.nextProbe.Add(-d)
+	}
+}
+
+// TestMembershipBackoff: a failing peer is probed with exponentially
+// growing gaps — within a fixed wall-clock budget it must be probed far
+// fewer times than interval-paced probing would.
+func TestMembershipBackoff(t *testing.T) {
+	probe := newFakeProbe()
+	probe.setFail("http://a:1", true)
+	m := newTestMembership(t, probe, "http://a:1")
+	for i := 0; i < 10; i++ {
+		m.probeDue()
+		settle(t, m, func() bool { return true })
+	}
+	// Without backoff every probeDue tick fires one probe (10 calls);
+	// with exponential backoff only the first tick's probe is due (a
+	// couple more may slip in on a slow machine as early windows expire).
+	if got := probe.callCount("http://a:1"); got > 4 {
+		t.Fatalf("failing peer probed %d times across immediate ticks, want backoff to suppress repeats", got)
+	}
+	m.mu.Lock()
+	next := m.peers["http://a:1"].nextProbe
+	m.mu.Unlock()
+	if until := time.Until(next); until < m.cfg.ProbeInterval {
+		t.Fatalf("backoff window %v not grown past the base interval", until)
+	}
+}
+
+// TestMembershipGossipJoin: members discovered in a probe response join as
+// suspect and enter the ring; self is never added.
+func TestMembershipGossipJoin(t *testing.T) {
+	probe := newFakeProbe()
+	probe.members["http://a:1"] = []string{"http://b:2", "http://self:1"}
+	m := newTestMembership(t, probe, "http://a:1")
+	m.probeDue()
+	settle(t, m, func() bool { return state(m, "http://a:1") == StateAlive })
+	if got := state(m, "http://b:2"); got != StateSuspect {
+		t.Fatalf("gossiped peer state = %v, want suspect", got)
+	}
+	members := m.Ring().Members()
+	want := []string{"http://a:1", "http://b:2", "http://self:1"}
+	if fmt.Sprint(members) != fmt.Sprint(want) {
+		t.Fatalf("ring members = %v, want %v", members, want)
+	}
+}
+
+// TestMembershipLeaveAndRejoin: a left peer leaves the ring, stops being
+// probed, survives gossip mentions, and re-enters only via Rejoin.
+func TestMembershipLeaveAndRejoin(t *testing.T) {
+	probe := newFakeProbe()
+	probe.members["http://a:1"] = []string{"http://b:2"}
+	m := newTestMembership(t, probe, "http://a:1", "http://b:2")
+	m.MarkLeft("http://b:2")
+	if got := state(m, "http://b:2"); got != StateLeft {
+		t.Fatalf("state = %v, want left", got)
+	}
+	for _, mem := range m.Ring().Members() {
+		if mem == "http://b:2" {
+			t.Fatal("left peer still in ring")
+		}
+	}
+	m.probeDue()
+	settle(t, m, func() bool { return state(m, "http://a:1") == StateAlive })
+	if got := state(m, "http://b:2"); got != StateLeft {
+		t.Fatalf("gossip resurrected a left peer to %v", got)
+	}
+	if probe.callCount("http://b:2") != 0 {
+		t.Fatal("left peer was probed")
+	}
+	m.Rejoin("http://b:2")
+	if got := state(m, "http://b:2"); got != StateSuspect {
+		t.Fatalf("rejoined state = %v, want suspect", got)
+	}
+}
+
+// TestMembershipMarkFailed: proxy-failure evidence transitions the peer
+// without waiting for the prober, and placement does not move.
+func TestMembershipMarkFailed(t *testing.T) {
+	probe := newFakeProbe()
+	m := newTestMembership(t, probe, "http://a:1")
+	m.probeDue()
+	settle(t, m, func() bool { return state(m, "http://a:1") == StateAlive })
+	ringBefore := m.Ring()
+	for i := 0; i < 3; i++ {
+		m.MarkFailed("http://a:1", errors.New("connection refused"))
+	}
+	if got := state(m, "http://a:1"); got != StateDead {
+		t.Fatalf("after 3 MarkFailed state = %v, want dead", got)
+	}
+	if m.Ring() != ringBefore {
+		t.Fatal("health transition rebuilt the ring — placement must not move on failures")
+	}
+}
+
+// TestMembershipHTTPProbe drives the default HTTP prober against live
+// httptest servers end to end: Start discovers health and gossip over real
+// /v1/cluster responses, and a killed server goes dead.
+func TestMembershipHTTPProbe(t *testing.T) {
+	peerB := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, `{"peers":[]}`)
+	}))
+	defer peerB.Close()
+	peerA := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/cluster" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprintf(w, `{"peers":[{"url":%q,"state":"alive"},{"url":"http://gone:1","state":"left"}]}`, peerB.URL)
+	}))
+	m := NewMembership(Config{
+		Self:          "http://self:1",
+		Peers:         []string{peerA.URL},
+		ProbeInterval: 10 * time.Millisecond,
+		ProbeTimeout:  time.Second,
+		DeadAfter:     2,
+	})
+	m.Start()
+	defer m.Close()
+
+	waitFor(t, func() bool {
+		return state(m, peerA.URL) == StateAlive && state(m, peerB.URL) == StateAlive
+	})
+	if got := state(m, "http://gone:1"); got != StateLeft {
+		// The left peer must not have been adopted at all; state() returns
+		// StateLeft for unknown URLs, which is the acceptable outcome.
+		t.Fatalf("remote-left peer adopted with state %v", got)
+	}
+
+	peerA.Close()
+	waitFor(t, func() bool { return state(m, peerA.URL) == StateDead })
+	if state(m, peerB.URL) != StateAlive {
+		t.Fatal("killing peer A must not affect peer B")
+	}
+}
+
+// waitFor polls cond for up to 5 seconds.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("condition not reached in 5s")
+}

@@ -1,0 +1,116 @@
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// DefaultVNodes is the virtual-node count per member when a Ring (or a
+// Membership) is built with a non-positive vnode count. 64 points per
+// member keeps the worst member's share within a few percent of fair for
+// small clusters while the ring stays tiny (a 16-node cluster is 1024
+// points).
+const DefaultVNodes = 64
+
+// Ring is a consistent-hash ring over a fixed member set. Each member
+// contributes vnodes points on a 64-bit circle; a key is owned by the
+// member whose point follows the key's hash. Placement is a deterministic
+// function of (member set, vnodes) only — it is independent of member
+// order, health, and process history, and the hash layout is frozen (see
+// pointHash) so owners never silently shift across releases; the golden
+// test in ring_test.go pins it.
+//
+// A Ring is immutable after New and therefore safe for concurrent use.
+type Ring struct {
+	vnodes  int
+	members []string // sorted, deduplicated
+	points  []point  // sorted by hash
+}
+
+// point is one virtual node on the circle.
+type point struct {
+	hash   uint64
+	member string
+}
+
+// NewRing builds a ring over members with vnodes virtual nodes each
+// (non-positive means DefaultVNodes). Members are deduplicated and sorted,
+// so any permutation of the same set yields an identical ring. An empty
+// member set yields a ring whose Owner always returns "".
+func NewRing(members []string, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	seen := make(map[string]bool, len(members))
+	uniq := make([]string, 0, len(members))
+	for _, m := range members {
+		if m == "" || seen[m] {
+			continue
+		}
+		seen[m] = true
+		uniq = append(uniq, m)
+	}
+	sort.Strings(uniq)
+	r := &Ring{
+		vnodes:  vnodes,
+		members: uniq,
+		points:  make([]point, 0, len(uniq)*vnodes),
+	}
+	for _, m := range uniq {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, point{hash: pointHash(m, v), member: m})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		a, b := r.points[i], r.points[j]
+		if a.hash != b.hash {
+			return a.hash < b.hash
+		}
+		// A full 64-bit collision between two members' points is
+		// astronomically unlikely, but the tie must still break
+		// deterministically for placement to be a pure function.
+		return a.member < b.member
+	})
+	return r
+}
+
+// pointHash places virtual node v of member m on the circle. The encoding
+// — sha256 over "m\x00v" with the member length prefixed, first 8 bytes
+// big-endian — is part of the placement contract: changing it moves every
+// key and invalidates the golden test on purpose.
+func pointHash(m string, v int) uint64 {
+	h := sha256.New()
+	fmt.Fprintf(h, "%d:%s\x00%d", len(m), m, v)
+	return binary.BigEndian.Uint64(h.Sum(nil))
+}
+
+// keyHash places a key on the circle: first 8 bytes of sha256(key),
+// big-endian. Scenario fingerprints are already uniform hashes, but Ring
+// re-hashes so arbitrary keys (and future key families) spread equally.
+func keyHash(key string) uint64 {
+	sum := sha256.Sum256([]byte(key))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// Members returns the sorted member set. Callers must not mutate it.
+func (r *Ring) Members() []string { return r.members }
+
+// VNodes is the virtual-node count per member.
+func (r *Ring) VNodes() int { return r.vnodes }
+
+// Owner returns the member owning key: the first point at or after the
+// key's hash, wrapping to the first point of the circle. An empty ring
+// owns nothing and returns "".
+func (r *Ring) Owner(key string) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	h := keyHash(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].member
+}

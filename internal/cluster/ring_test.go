@@ -1,0 +1,170 @@
+package cluster
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+var updatePlacement = flag.Bool("update-placement", false, "rewrite testdata/placement_golden.json from the current ring implementation")
+
+// goldenMembers is the fixed 3-node cluster the placement golden is pinned
+// against. Do not edit: changing it regenerates every owner.
+var goldenMembers = []string{
+	"http://10.0.0.1:8080",
+	"http://10.0.0.2:8080",
+	"http://10.0.0.3:8080",
+}
+
+// goldenKeys are fingerprint-shaped sample keys (32 hex chars, like
+// Scenario.Fingerprint output) spread over the key space deterministically.
+func goldenKeys() []string {
+	keys := make([]string, 48)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("%032x", uint64(i)*0x9e3779b97f4a7c15)
+	}
+	return keys
+}
+
+// TestPlacementGolden pins the consistent-hash placement: fingerprint →
+// owner must be byte-identical across releases, or every cached result in
+// a running cluster silently lands on the wrong node. Regenerate only on a
+// deliberate placement change with -update-placement (which is a
+// cluster-wide cache flush and must be called out in the changelog).
+func TestPlacementGolden(t *testing.T) {
+	r := NewRing(goldenMembers, 0)
+	got := make(map[string]string)
+	for _, k := range goldenKeys() {
+		got[k] = r.Owner(k)
+	}
+	path := filepath.Join("testdata", "placement_golden.json")
+	if *updatePlacement {
+		buf, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s with %d placements", path, len(got))
+		return
+	}
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (regenerate with -update-placement): %v", err)
+	}
+	var want map[string]string
+	if err := json.Unmarshal(buf, &want); err != nil {
+		t.Fatal(err)
+	}
+	if len(want) != len(got) {
+		t.Fatalf("golden has %d keys, ring produced %d", len(want), len(got))
+	}
+	for k, owner := range want {
+		if got[k] != owner {
+			t.Errorf("placement shifted: key %s owned by %s, golden says %s", k, got[k], owner)
+		}
+	}
+}
+
+// TestRingDeterministic: any permutation of the member set builds an
+// identical ring, and repeated construction is stable.
+func TestRingDeterministic(t *testing.T) {
+	perm := []string{goldenMembers[2], goldenMembers[0], goldenMembers[1], goldenMembers[0]} // shuffled + dup
+	a, b := NewRing(goldenMembers, 16), NewRing(perm, 16)
+	if !reflect.DeepEqual(a.Members(), b.Members()) {
+		t.Fatalf("member sets differ: %v vs %v", a.Members(), b.Members())
+	}
+	for _, k := range goldenKeys() {
+		if a.Owner(k) != b.Owner(k) {
+			t.Fatalf("owner of %s differs across member orderings", k)
+		}
+	}
+}
+
+// TestRingBalance: with DefaultVNodes every member owns a non-trivial
+// share of a large key population (no member starved, none hogging).
+func TestRingBalance(t *testing.T) {
+	r := NewRing(goldenMembers, 0)
+	counts := make(map[string]int)
+	n := 3000
+	for i := 0; i < n; i++ {
+		counts[r.Owner(fmt.Sprintf("key-%d", i))]++
+	}
+	for _, m := range goldenMembers {
+		share := float64(counts[m]) / float64(n)
+		if share < 0.15 || share > 0.55 {
+			t.Errorf("member %s owns %.1f%% of keys — vnode spread degenerated", m, 100*share)
+		}
+	}
+}
+
+// TestRingMinimalDisruption: removing one member only moves the keys that
+// member owned; every other key keeps its owner. This is the property that
+// makes "dead peers keep their ring position" cheap — a node coming back
+// reclaims exactly its old keys.
+func TestRingMinimalDisruption(t *testing.T) {
+	full := NewRing(goldenMembers, 0)
+	reduced := NewRing(goldenMembers[:2], 0)
+	moved := 0
+	for i := 0; i < 1000; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		before, after := full.Owner(k), reduced.Owner(k)
+		if before == goldenMembers[2] {
+			moved++
+			continue
+		}
+		if before != after {
+			t.Fatalf("key %s moved %s → %s though its owner was not removed", k, before, after)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("removed member owned zero of 1000 keys — balance is broken")
+	}
+}
+
+// TestRingEmptyAndSingle covers the degenerate member sets.
+func TestRingEmptyAndSingle(t *testing.T) {
+	if owner := NewRing(nil, 8).Owner("k"); owner != "" {
+		t.Fatalf("empty ring owns %q", owner)
+	}
+	one := NewRing([]string{"http://only:1"}, 8)
+	for _, k := range goldenKeys() {
+		if one.Owner(k) != "http://only:1" {
+			t.Fatal("single-member ring must own every key")
+		}
+	}
+}
+
+// TestRingVNodesDefault: non-positive vnode counts resolve to DefaultVNodes
+// so config zero values agree with explicitly-defaulted peers.
+func TestRingVNodesDefault(t *testing.T) {
+	if got := NewRing(goldenMembers, 0).VNodes(); got != DefaultVNodes {
+		t.Fatalf("vnodes = %d, want %d", got, DefaultVNodes)
+	}
+	a, b := NewRing(goldenMembers, 0), NewRing(goldenMembers, DefaultVNodes)
+	for _, k := range goldenKeys() {
+		if a.Owner(k) != b.Owner(k) {
+			t.Fatal("vnodes 0 and DefaultVNodes must place identically")
+		}
+	}
+}
+
+// TestRingMembersSorted: Members is sorted and deduplicated regardless of
+// input order, because snapshots of it feed client-side ring rebuilds that
+// must agree with the server's.
+func TestRingMembersSorted(t *testing.T) {
+	r := NewRing([]string{"c", "a", "b", "a", ""}, 4)
+	want := []string{"a", "b", "c"}
+	if !sort.StringsAreSorted(r.Members()) || !reflect.DeepEqual(r.Members(), want) {
+		t.Fatalf("Members() = %v, want %v", r.Members(), want)
+	}
+}

@@ -1,0 +1,230 @@
+package rescache
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+type dval struct {
+	N  int    `json:"n"`
+	S  string `json:"s"`
+	Xs []int  `json:"xs,omitempty"`
+}
+
+func openDisk(t *testing.T, dir string, warm func(string, dval)) *Disk[dval] {
+	t.Helper()
+	d, err := OpenDisk[dval](dir, t.Logf, warm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(d.Close)
+	return d
+}
+
+// TestDiskPutGetFlush: a Put becomes durable by Close (the -drain
+// contract), and a fresh open serves it back.
+func TestDiskPutGetFlush(t *testing.T) {
+	dir := t.TempDir()
+	d := openDisk(t, dir, nil)
+	for i := 0; i < 50; i++ {
+		d.Put(fmt.Sprintf("%032x", i), dval{N: i, S: "payload", Xs: []int{i, i + 1}})
+	}
+	d.Close() // must flush all 50 queued writes
+	files, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil || len(files) != 50 {
+		t.Fatalf("after Close: %d entry files on disk, want 50 (err=%v)", len(files), err)
+	}
+	if st := d.Stats(); st.QueueDepth != 0 || st.Entries != 50 {
+		t.Fatalf("stats after flush: %+v", st)
+	}
+
+	warmed := map[string]dval{}
+	d2 := openDisk(t, dir, func(k string, v dval) { warmed[k] = v })
+	if len(warmed) != 50 {
+		t.Fatalf("warm start handed %d entries, want 50", len(warmed))
+	}
+	got, ok := d2.Get(fmt.Sprintf("%032x", 7))
+	if !ok || got.N != 7 || got.Xs[1] != 8 {
+		t.Fatalf("Get after restart = %+v, %v", got, ok)
+	}
+	if st := d2.Stats(); st.Hits != 1 || st.Bytes <= 0 {
+		t.Fatalf("stats after restart get: %+v", st)
+	}
+}
+
+// TestDiskCorruptEntriesSkipped: truncated and garbage entries — and an
+// entry whose embedded key disagrees with its filename — are logged and
+// skipped on open and on Get, never fatal, and a re-Put repairs the key.
+func TestDiskCorruptEntriesSkipped(t *testing.T) {
+	dir := t.TempDir()
+	d := openDisk(t, dir, nil)
+	d.Put("goodkey", dval{N: 1})
+	d.Put("truncated", dval{N: 2})
+	d.Put("garbage", dval{N: 3})
+	d.Close()
+
+	// Sabotage two entries the way a crash or bitrot would.
+	if err := os.WriteFile(filepath.Join(dir, "garbage.json"), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	full, err := os.ReadFile(filepath.Join(dir, "truncated.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "truncated.json"), full[:len(full)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var logged []string
+	logf := func(format string, args ...any) { logged = append(logged, fmt.Sprintf(format, args...)) }
+	warmed := map[string]dval{}
+	d2, err := OpenDisk[dval](dir, logf, func(k string, v dval) { warmed[k] = v })
+	if err != nil {
+		t.Fatalf("corrupt entries must not fail open: %v", err)
+	}
+	defer d2.Close()
+	if len(warmed) != 1 || warmed["goodkey"].N != 1 {
+		t.Fatalf("warm start = %v, want only goodkey", warmed)
+	}
+	if st := d2.Stats(); st.Skipped != 2 {
+		t.Fatalf("skipped = %d, want 2", st.Skipped)
+	}
+	if len(logged) != 2 {
+		t.Fatalf("corruption must be logged, got %q", logged)
+	}
+	if _, ok := d2.Get("garbage"); ok {
+		t.Fatal("corrupt entry served")
+	}
+	// A fresh Put repairs the corrupted key.
+	d2.Put("garbage", dval{N: 33})
+	d2.Close()
+	d3 := openDisk(t, dir, nil)
+	if got, ok := d3.Get("garbage"); !ok || got.N != 33 {
+		t.Fatalf("repaired entry = %+v, %v", got, ok)
+	}
+
+	// Key/filename mismatch (hand-copied file) must not serve under the
+	// wrong key.
+	if err := os.Rename(filepath.Join(dir, "garbage.json"), filepath.Join(dir, "stolen.json")); err != nil {
+		t.Fatal(err)
+	}
+	d5, err := OpenDisk[dval](dir, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d5.Close()
+	if _, ok := d5.Get("stolen"); ok {
+		t.Fatal("renamed entry served under its filename key")
+	}
+}
+
+// TestDiskTmpLeftoverIgnored is the SIGTERM-during-write regression: a
+// partial ".tmp" file (the writer died before rename) must be invisible to
+// a warm start — the atomic rename is the only publication point — and is
+// cleaned up on open.
+func TestDiskTmpLeftoverIgnored(t *testing.T) {
+	dir := t.TempDir()
+	d := openDisk(t, dir, nil)
+	d.Put("survivor", dval{N: 9})
+	d.Close()
+	// Simulate dying mid-write: a half-encoded envelope under a tmp name,
+	// exactly what WriteFile leaves when the process is killed between
+	// open and the final write/rename.
+	tmp := filepath.Join(dir, "victim.json.tmp")
+	if err := os.WriteFile(tmp, []byte(`{"key":"victim","value":{"n":`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	warmed := map[string]dval{}
+	var logged []string
+	d2, err := OpenDisk[dval](dir, func(f string, a ...any) { logged = append(logged, fmt.Sprintf(f, a...)) },
+		func(k string, v dval) { warmed[k] = v })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	if len(warmed) != 1 || warmed["survivor"].N != 9 {
+		t.Fatalf("warm start = %v, want only survivor", warmed)
+	}
+	if st := d2.Stats(); st.Skipped != 0 {
+		t.Fatalf("a tmp leftover is not corruption, skipped = %d", st.Skipped)
+	}
+	if _, ok := d2.Get("victim"); ok {
+		t.Fatal("partial write became visible")
+	}
+	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+		t.Fatal("tmp leftover not cleaned up on open")
+	}
+}
+
+// TestDiskUnsafeKeys: keys that cannot be filenames round-trip through the
+// hex quoting, including across restart.
+func TestDiskUnsafeKeys(t *testing.T) {
+	dir := t.TempDir()
+	d := openDisk(t, dir, nil)
+	keys := []string{"a/b", "dynring/scenario/v2:abc", strings.Repeat("k", 200), "x-already"}
+	for i, k := range keys {
+		d.Put(k, dval{N: i})
+	}
+	d.Close()
+	d2 := openDisk(t, dir, nil)
+	for i, k := range keys {
+		if got, ok := d2.Get(k); !ok || got.N != i {
+			t.Fatalf("key %q = %+v, %v", k, got, ok)
+		}
+	}
+}
+
+// TestDiskConcurrentHammer drives concurrent Put/Get/Stats under -race.
+func TestDiskConcurrentHammer(t *testing.T) {
+	d := openDisk(t, t.TempDir(), nil)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := fmt.Sprintf("key-%d", i%40)
+				if i%3 == 0 {
+					d.Put(k, dval{N: i % 40})
+				} else if v, ok := d.Get(k); ok && v.N != i%40 {
+					t.Errorf("key %s served %d", k, v.N)
+				}
+				if i%50 == 0 {
+					d.Stats()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	d.Close()
+	if st := d.Stats(); st.Entries != 40 || st.QueueDepth != 0 {
+		t.Fatalf("after hammer: %+v", st)
+	}
+	// Every entry must be durable and well-formed.
+	n := 0
+	d3 := openDisk(t, d.dir, func(string, dval) { n++ })
+	defer d3.Close()
+	if n != 40 {
+		t.Fatalf("warm start found %d entries, want 40", n)
+	}
+}
+
+// TestDiskPutAfterCloseDropped: the shutdown contract — late Puts are
+// dropped, Gets keep serving.
+func TestDiskPutAfterCloseDropped(t *testing.T) {
+	d := openDisk(t, t.TempDir(), nil)
+	d.Put("k", dval{N: 1})
+	d.Close()
+	d.Put("late", dval{N: 2})
+	if _, ok := d.Get("late"); ok {
+		t.Fatal("post-Close Put stored")
+	}
+	if v, ok := d.Get("k"); !ok || v.N != 1 {
+		t.Fatal("Get after Close must keep serving durable entries")
+	}
+}

@@ -46,7 +46,7 @@ func submitAndWait(b *testing.B, m *Manager, spec dynring.SweepSpec) *Job {
 // iteration runs the full grid (distinct seeds per iteration keep every
 // fingerprint fresh while the cache stays warm-but-useless).
 func BenchmarkServiceSweep_CacheMiss(b *testing.B) {
-	m := New(Options{Workers: 4, CacheSize: 1 << 16})
+	m := mustNew(b, Options{Workers: 4, CacheSize: 1 << 16})
 	defer m.Close()
 	spec := benchSpec()
 	sw, err := spec.Sweep()
@@ -69,7 +69,7 @@ func BenchmarkServiceSweep_CacheMiss(b *testing.B) {
 // BenchmarkServiceSweep_CacheHit measures warm-cache throughput: the grid
 // is primed once, then every iteration is served entirely from the cache.
 func BenchmarkServiceSweep_CacheHit(b *testing.B) {
-	m := New(Options{Workers: 4, CacheSize: 1 << 16})
+	m := mustNew(b, Options{Workers: 4, CacheSize: 1 << 16})
 	defer m.Close()
 	spec := benchSpec()
 	prime := submitAndWait(b, m, spec)

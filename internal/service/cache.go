@@ -5,22 +5,54 @@ import (
 	"dynring/internal/rescache"
 )
 
-// Cache is the service's bounded, LRU-evicting map from scenario
-// fingerprints to Results, layered over the shared internal/rescache core
-// (the same code the in-process sweep memo uses). Only successful Results
-// are stored (the job manager never caches failures: the one
-// nondeterministic failure mode, cancellation, must not poison later runs).
-// Safe for concurrent use; the hit/miss counters are maintained and read
-// under the cache mutex, so Stats snapshots are internally consistent.
+// Cache is the service's result store, layered in two tiers that share one
+// correctness contract (equal fingerprints imply identical Results):
+//
+//   - a bounded in-memory LRU (internal/rescache.Cache, the same core the
+//     in-process sweep memo uses) serving the hot set, and
+//   - an optional durable content-addressed tier (internal/rescache.Disk,
+//     ringsimd -data): one file per fingerprint, written asynchronously
+//     behind the LRU, read on LRU misses and warm-started into the LRU on
+//     boot — so identical grids survive restarts with zero re-executions.
+//
+// A Get falls through the tiers in order and promotes a disk hit back into
+// the LRU; a Put lands in both. Eviction from the LRU never touches the
+// durable tier, which is what makes the layering safe: the memory tier is
+// a working set, the disk tier is the archive. Only successful Results are
+// stored (the job manager never caches failures: the one nondeterministic
+// failure mode, cancellation, must not poison later runs). Safe for
+// concurrent use.
 type Cache struct {
-	c *rescache.Cache[dynring.Result]
+	c    *rescache.Cache[dynring.Result]
+	disk *rescache.Disk[dynring.Result]
 }
 
-// NewCache returns a cache bounded to capacity entries. A non-positive
-// capacity disables caching: every Get misses (without counting) and Put is
-// a no-op.
+// NewCache returns a memory-only cache bounded to capacity entries. A
+// non-positive capacity disables the memory tier: every Get misses
+// (without counting) and Put is a no-op.
 func NewCache(capacity int) *Cache {
 	return &Cache{c: rescache.New(capacity, copyResult)}
+}
+
+// NewTieredCache returns a cache with the durable tier rooted at diskDir
+// (creating it if needed). Existing entries are scanned once: well-formed
+// ones are warm-started into the memory tier (the LRU's own eviction
+// bounds how many stay resident), corrupt or truncated ones are logged
+// through logf and skipped, and leftover temp files from an interrupted
+// writer are removed. With an empty diskDir this is NewCache.
+func NewTieredCache(capacity int, diskDir string, logf func(format string, args ...any)) (*Cache, error) {
+	c := NewCache(capacity)
+	if diskDir == "" {
+		return c, nil
+	}
+	disk, err := rescache.OpenDisk[dynring.Result](diskDir, logf, func(key string, res dynring.Result) {
+		c.c.Put(key, res)
+	})
+	if err != nil {
+		return nil, err
+	}
+	c.disk = disk
+	return c, nil
 }
 
 // copyResult deep-copies a Result's slice fields (TerminatedAt, Moves).
@@ -37,19 +69,47 @@ func copyResult(res dynring.Result) dynring.Result {
 	return res
 }
 
-// Get returns a private copy of the cached Result for key, marking it most
-// recently used. Callers own the returned value outright; mutating it
-// cannot affect the cache. On a disabled cache (capacity 0) Get returns
-// immediately without touching the hit/miss counters — "caching off" must
-// not masquerade as a 0% hit rate in /statsz.
-func (c *Cache) Get(key string) (dynring.Result, bool) { return c.c.Get(key) }
+// Get returns a private copy of the cached Result for key, trying the
+// memory tier first and falling through to the durable tier; a disk hit is
+// promoted back into the LRU. Callers own the returned value outright;
+// mutating it cannot affect the cache. On a disabled memory tier
+// (capacity 0) the memory probe short-circuits without touching the
+// hit/miss counters — "caching off" must not masquerade as a 0% hit rate
+// in /statsz.
+func (c *Cache) Get(key string) (dynring.Result, bool) {
+	if res, ok := c.c.Get(key); ok {
+		return res, true
+	}
+	if c.disk == nil {
+		return dynring.Result{}, false
+	}
+	res, ok := c.disk.Get(key)
+	if !ok {
+		return dynring.Result{}, false
+	}
+	c.c.Put(key, res)
+	return copyResult(res), true
+}
 
-// Put stores a private copy of res under key, evicting the least recently
-// used entry when the cache is full. Storing an existing key refreshes its
-// recency (the value is identical by the fingerprint contract).
-func (c *Cache) Put(key string, res dynring.Result) { c.c.Put(key, res) }
+// Put stores a private copy of res under key in the memory tier and queues
+// it for the durable tier. Storing an existing key refreshes its recency
+// (the value is identical by the fingerprint contract).
+func (c *Cache) Put(key string, res dynring.Result) {
+	c.c.Put(key, res)
+	if c.disk != nil {
+		c.disk.Put(key, res)
+	}
+}
 
-// Stats snapshots the cache counters.
+// Close flushes every queued durable write — the ringsimd -drain
+// guarantee — and stops the background writer. The cache stays readable.
+func (c *Cache) Close() {
+	if c.disk != nil {
+		c.disk.Close()
+	}
+}
+
+// Stats snapshots the memory-tier counters.
 func (c *Cache) Stats() dynring.CacheStats {
 	st := c.c.Stats()
 	return dynring.CacheStats{
@@ -58,4 +118,36 @@ func (c *Cache) Stats() dynring.CacheStats {
 		Hits:     st.Hits,
 		Misses:   st.Misses,
 	}
+}
+
+// DiskStats snapshots the durable tier, or nil when it is disabled.
+func (c *Cache) DiskStats() *dynring.DiskTierStats {
+	if c.disk == nil {
+		return nil
+	}
+	st := c.disk.Stats()
+	return &dynring.DiskTierStats{
+		Entries:    st.Entries,
+		Bytes:      st.Bytes,
+		QueueDepth: st.QueueDepth,
+		Hits:       st.Hits,
+		Misses:     st.Misses,
+		Skipped:    st.Skipped,
+	}
+}
+
+// HitRatio is the combined hit ratio across both tiers: served-without-
+// executing lookups over all lookups. Every lookup probes the memory tier,
+// so its hit+miss count is the denominator; disk hits upgrade misses.
+func (c *Cache) HitRatio() float64 {
+	st := c.c.Stats()
+	total := st.Hits + st.Misses
+	if total == 0 {
+		return 0
+	}
+	hits := st.Hits
+	if c.disk != nil {
+		hits += c.disk.Stats().Hits
+	}
+	return float64(hits) / float64(total)
 }

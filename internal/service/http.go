@@ -17,12 +17,22 @@ const maxSpecBytes = 1 << 20
 //	GET    /v1/sweeps/{id}          JobStatus
 //	GET    /v1/sweeps/{id}/results  NDJSON dynring.ResultRow stream in grid order
 //	DELETE /v1/sweeps/{id}          cancel, returns post-cancellation JobStatus
+//	POST   /v1/run                  execute one scenario synchronously, returns RunResponse
+//	GET    /v1/cluster              dynring.ClusterStatus (this node's cluster view)
+//	POST   /v1/cluster/leave        peer announces graceful shutdown ({"url": ...})
+//	POST   /v1/cluster/join         peer announces (re)join ({"url": ...})
 //	GET    /healthz                 liveness
 //	GET    /statsz                  dynring.ServiceStats (cache + execution counters)
 //
 // The results stream is live — rows are flushed as scenarios settle — and,
 // for a job that ran to completion, byte-identical across repeats and
 // worker counts: rows carry only deterministic fields.
+//
+// /v1/run is the cluster's proxy hop and deliberately executes on the
+// handler goroutine, never on the shared worker pool: if proxy hops queued
+// on the pool, two nodes whose workers were all blocked proxying to each
+// other could deadlock. Request-level errors (bad spec) are 4xx; scenario
+// execution errors travel inside a 200 RunResponse, mirroring result rows.
 func NewHandler(m *Manager) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/sweeps", func(w http.ResponseWriter, r *http.Request) {
@@ -119,6 +129,61 @@ func NewHandler(m *Manager) http.Handler {
 		}
 	})
 
+	mux.HandleFunc("POST /v1/run", func(w http.ResponseWriter, r *http.Request) {
+		var req dynring.RunRequest
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSpecBytes))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		sc, err := req.Scenario.Scenario()
+		if err == nil {
+			err = sc.Validate()
+		}
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		fp, err := sc.Fingerprint()
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		res, cached, err := m.ExecuteLocal(r.Context(), sc, fp)
+		resp := dynring.RunResponse{Fingerprint: fp, Cached: cached}
+		if err != nil {
+			resp.Error = err.Error()
+		} else {
+			resp.Result = &res
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
+
+	mux.HandleFunc("GET /v1/cluster", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, m.ClusterStatus())
+	})
+
+	mux.HandleFunc("POST /v1/cluster/leave", func(w http.ResponseWriter, r *http.Request) {
+		url, err := decodePeerURL(w, r)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		m.PeerLeft(url)
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+
+	mux.HandleFunc("POST /v1/cluster/join", func(w http.ResponseWriter, r *http.Request) {
+		url, err := decodePeerURL(w, r)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		m.PeerJoined(url)
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
@@ -128,6 +193,22 @@ func NewHandler(m *Manager) http.Handler {
 	})
 
 	return mux
+}
+
+// decodePeerURL reads the {"url": ...} body of the cluster announcement
+// endpoints.
+func decodePeerURL(w http.ResponseWriter, r *http.Request) (string, error) {
+	var body struct {
+		URL string `json:"url"`
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 4096))
+	if err := dec.Decode(&body); err != nil {
+		return "", err
+	}
+	if body.URL == "" {
+		return "", errors.New("missing url")
+	}
+	return body.URL, nil
 }
 
 // writeJSON writes v as a JSON response.

@@ -1,13 +1,16 @@
 package service
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"net/http"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"dynring"
+	"dynring/internal/cluster"
 	"dynring/internal/sweep"
 )
 
@@ -19,14 +22,45 @@ type Options struct {
 	// Workers bounds the shared pool all jobs run on; non-positive means
 	// runtime.NumCPU().
 	Workers int
-	// CacheSize bounds the result cache in entries; non-positive disables
-	// caching.
+	// CacheSize bounds the in-memory result cache in entries; non-positive
+	// disables the memory tier.
 	CacheSize int
+	// DiskDir, when non-empty, roots the durable content-addressed result
+	// tier (ringsimd -data): results survive restarts and are warm-started
+	// into the memory tier on boot.
+	DiskDir string
 	// JobHistory bounds how many settled jobs are retained for status and
 	// result queries; when exceeded, the oldest settled jobs are evicted
 	// (their IDs then answer 404). Running jobs are never evicted.
 	// Non-positive means the default of 1024.
 	JobHistory int
+	// Cluster, when Cluster.Self is set, runs the node as a member of a
+	// sharded cluster: scenarios whose fingerprint another node owns are
+	// proxied there instead of executed locally.
+	Cluster ClusterOptions
+	// Logf, when non-nil, receives operational log lines (cluster state
+	// transitions, skipped disk entries, proxy fallbacks).
+	Logf func(format string, args ...any)
+}
+
+// ClusterOptions configure cluster membership. The zero value means
+// standalone (no ring, no probing, every scenario executes locally).
+type ClusterOptions struct {
+	// Self is this node's advertised base URL (e.g. "http://host:8080");
+	// setting it enables cluster mode. It must be the URL peers can reach
+	// this node at.
+	Self string
+	// Peers seeds the membership table; Self is filtered out, so every node
+	// can be started with the identical list. Further members are
+	// discovered by gossip.
+	Peers []string
+	// VNodes is the per-member virtual-node count on the placement ring
+	// (non-positive: cluster.DefaultVNodes). All nodes must agree on it.
+	VNodes int
+	// ProbeInterval and ProbeTimeout tune health probing; zero means the
+	// membership defaults (1s, and probe timeout = interval).
+	ProbeInterval time.Duration
+	ProbeTimeout  time.Duration
 }
 
 // defaultJobHistory is the settled-job retention bound when Options leaves
@@ -34,24 +68,60 @@ type Options struct {
 // grid and Result it ever served.
 const defaultJobHistory = 1024
 
+// leaveTimeout bounds the graceful-leave (and join) broadcasts at
+// startup/shutdown; they are best-effort and must not stall either.
+const leaveTimeout = 2 * time.Second
+
 // task is one schedulable unit: scenario i of job j.
 type task struct {
 	j *Job
 	i int
 }
 
-// Manager owns the shared worker pool, the job table and the result cache.
-// Scheduling is fair round-robin at task granularity: the pool cycles
-// through all jobs with unscheduled scenarios, taking one scenario from
-// each in turn, so a huge grid cannot starve a small one submitted after
-// it. Each job has its own context; cancelling a job aborts its in-flight
-// runs and settles its pending rows without disturbing other jobs.
+// flight is one in-progress execution of a fingerprint, deduplicating
+// concurrent requests for the same scenario (a pool worker and a /v1/run
+// proxy hop, or two jobs sharing grid cells).
+type flight struct {
+	done chan struct{} // closed when the leader settles
+	err  error
+}
+
+// Manager owns the shared worker pool, the job table, the tiered result
+// cache and (in cluster mode) the membership table. Scheduling is fair
+// round-robin at task granularity: the pool cycles through all jobs with
+// unscheduled scenarios, taking one scenario from each in turn, so a huge
+// grid cannot starve a small one submitted after it. Each job has its own
+// context; cancelling a job aborts its in-flight runs and settles its
+// pending rows without disturbing other jobs.
+//
+// In cluster mode each fingerprint has one owning node on the placement
+// ring. A scenario owned elsewhere is proxied to its owner (POST /v1/run)
+// when that owner looks alive, and executed locally otherwise — the
+// cluster degrades to correct-but-duplicated work, never to unavailability.
+// All local executions funnel through a fingerprint-keyed singleflight, so
+// the owner runs each fingerprint at most once no matter how many workers,
+// jobs or proxy hops ask for it concurrently: cluster-wide exactly-once is
+// routing (concentrate a fingerprint on its owner) plus this dedupe.
 type Manager struct {
 	workers    int
 	history    int
+	vnodes     int
 	cache      *Cache
+	membership *cluster.Membership // nil when standalone
+	proxyHTTP  *http.Client
+	logf       func(format string, args ...any)
 	executions atomic.Uint64
+	proxied    atomic.Uint64
 	settled    atomic.Int64 // retained settled jobs; guards prune scans
+
+	// runners pools engine Runners for the singleflight execution path: a
+	// Runner is single-goroutine state, so each execution checks one out
+	// for its duration. Pooling keeps the engine's zero-alloc reuse across
+	// consecutive runs without pinning one Runner per worker.
+	runners sync.Pool
+
+	flightMu sync.Mutex
+	flights  map[string]*flight
 
 	mu     sync.Mutex
 	cond   *sync.Cond // wakes idle workers on submit/close
@@ -65,9 +135,19 @@ type Manager struct {
 	wg sync.WaitGroup
 }
 
-// New starts a manager and its worker pool. Callers must Close it.
-func New(opts Options) *Manager {
-	m := newManager(opts)
+// New starts a manager and its worker pool. The only construction failure
+// is an unusable DiskDir. Callers must Close it.
+func New(opts Options) (*Manager, error) {
+	m, err := newManager(opts)
+	if err != nil {
+		return nil, err
+	}
+	if m.membership != nil {
+		m.membership.Start()
+		// Tell peers we are (back) up so any that hold us dead or left
+		// re-probe immediately instead of waiting out their backoff.
+		go m.membership.AnnounceJoin(leaveTimeout)
+	}
 	m.wg.Add(m.workers)
 	for w := 0; w < m.workers; w++ {
 		go func() {
@@ -75,29 +155,58 @@ func New(opts Options) *Manager {
 			m.work()
 		}()
 	}
-	return m
+	return m, nil
 }
 
-// newManager builds a manager without starting workers; tests use it to
-// drive the scheduler by hand.
-func newManager(opts Options) *Manager {
+// newManager builds a manager without starting workers or probes; tests
+// use it to drive the scheduler by hand.
+func newManager(opts Options) (*Manager, error) {
 	m := &Manager{
 		workers: sweep.Workers(opts.Workers, 0),
 		history: opts.JobHistory,
-		cache:   NewCache(opts.CacheSize),
+		logf:    opts.Logf,
 		jobs:    make(map[string]*Job),
+		flights: make(map[string]*flight),
+	}
+	if m.logf == nil {
+		m.logf = func(string, ...any) {}
 	}
 	if m.history <= 0 {
 		m.history = defaultJobHistory
 	}
+	cache, err := NewTieredCache(opts.CacheSize, opts.DiskDir, m.logf)
+	if err != nil {
+		return nil, err
+	}
+	m.cache = cache
+	m.runners.New = func() any { return dynring.NewRunner() }
+	if opts.Cluster.Self != "" {
+		m.vnodes = opts.Cluster.VNodes
+		if m.vnodes <= 0 {
+			m.vnodes = cluster.DefaultVNodes
+		}
+		m.proxyHTTP = &http.Client{}
+		m.membership = cluster.NewMembership(cluster.Config{
+			Self:          opts.Cluster.Self,
+			Peers:         opts.Cluster.Peers,
+			VNodes:        m.vnodes,
+			ProbeInterval: opts.Cluster.ProbeInterval,
+			ProbeTimeout:  opts.Cluster.ProbeTimeout,
+			HTTPClient:    m.proxyHTTP,
+			Logf:          m.logf,
+		})
+	}
 	m.cond = sync.NewCond(&m.mu)
-	return m
+	return m, nil
 }
 
 // Workers is the shared pool size.
 func (m *Manager) Workers() int { return m.workers }
 
-// Close cancels every job, stops the workers and waits for them to exit.
+// Close shuts the node down in dependency order: announce the graceful
+// leave and stop probing (so peers stop proxying here), cancel every job
+// and stop the workers, then flush the durable cache tier — the -drain
+// guarantee that every computed result is on disk before exit.
 func (m *Manager) Close() {
 	m.mu.Lock()
 	if m.closed {
@@ -113,22 +222,24 @@ func (m *Manager) Close() {
 	}
 	m.cond.Broadcast()
 	m.mu.Unlock()
+	if m.membership != nil {
+		m.membership.Leave(leaveTimeout)
+		m.membership.Close()
+	}
 	for _, j := range jobs {
 		j.cancel()
 		j.markCancelled()
 	}
 	m.wg.Wait()
+	m.cache.Close()
 }
 
-// Submit expands and fingerprints the grid, registers the job and queues it
-// on the shared pool. Expansion, validation and fingerprint errors are
-// reported here, before anything runs.
+// Submit expands and fingerprints the grid (axis form or explicit-list
+// form — the latter is how cluster peers ship grid shares), registers the
+// job and queues it on the shared pool. Expansion, validation and
+// fingerprint errors are reported here, before anything runs.
 func (m *Manager) Submit(spec dynring.SweepSpec) (*Job, error) {
-	sw, err := spec.Sweep()
-	if err != nil {
-		return nil, err
-	}
-	scenarios, err := sw.Scenarios()
+	scenarios, err := spec.ScenarioList()
 	if err != nil {
 		return nil, err
 	}
@@ -229,6 +340,49 @@ func (m *Manager) dequeueLocked(j *Job) {
 	}
 }
 
+// ClusterStatus snapshots this node's view of the cluster as the
+// /v1/cluster wire document. A standalone node reports Enabled false with
+// an empty peer list.
+func (m *Manager) ClusterStatus() dynring.ClusterStatus {
+	if m.membership == nil {
+		return dynring.ClusterStatus{Peers: []dynring.PeerStatus{}}
+	}
+	snap := m.membership.Snapshot()
+	peers := make([]dynring.PeerStatus, len(snap))
+	for i, p := range snap {
+		peers[i] = dynring.PeerStatus{
+			URL:      p.URL,
+			Self:     p.Self,
+			State:    p.State.String(),
+			Failures: p.Failures,
+			LastSeen: p.LastSeen,
+		}
+	}
+	return dynring.ClusterStatus{
+		Enabled: true,
+		Self:    m.membership.Self(),
+		VNodes:  m.vnodes,
+		Peers:   peers,
+	}
+}
+
+// PeerLeft records a peer's graceful-leave announcement (POST
+// /v1/cluster/leave). No-op when standalone.
+func (m *Manager) PeerLeft(url string) {
+	if m.membership != nil {
+		m.membership.MarkLeft(url)
+	}
+}
+
+// PeerJoined records a peer's join announcement (POST /v1/cluster/join):
+// new and left peers re-enter the ring, dead ones are re-probed
+// immediately. No-op when standalone.
+func (m *Manager) PeerJoined(url string) {
+	if m.membership != nil {
+		m.membership.Rejoin(url)
+	}
+}
+
 // Stats snapshots the service counters.
 func (m *Manager) Stats() dynring.ServiceStats {
 	m.mu.Lock()
@@ -236,12 +390,24 @@ func (m *Manager) Stats() dynring.ServiceStats {
 	for _, j := range m.jobs {
 		jobs = append(jobs, j)
 	}
+	queue := []dynring.JobQueueStat{}
+	for _, j := range m.queue {
+		queue = append(queue, dynring.JobQueueStat{ID: j.ID, Pending: j.Total() - j.next})
+	}
 	m.mu.Unlock()
 	st := dynring.ServiceStats{
 		Jobs:       len(jobs),
 		Workers:    m.workers,
 		Executions: m.executions.Load(),
+		Proxied:    m.proxied.Load(),
 		Cache:      m.cache.Stats(),
+		HitRatio:   m.cache.HitRatio(),
+		Disk:       m.cache.DiskStats(),
+		Queue:      queue,
+	}
+	if m.membership != nil {
+		cs := m.ClusterStatus()
+		st.Cluster = &cs
 	}
 	for _, j := range jobs {
 		if j.Status().State == "running" {
@@ -252,17 +418,14 @@ func (m *Manager) Stats() dynring.ServiceStats {
 }
 
 // work is one pool worker: pull the next task in round-robin order, run it,
-// repeat until Close. Each worker owns a Runner, so consecutive scenarios —
-// across jobs — reuse the engine's allocations; a Runner is single-goroutine
-// state and must never be shared between workers.
+// repeat until Close.
 func (m *Manager) work() {
-	runner := dynring.NewRunner()
 	for {
 		t, ok := m.nextTask()
 		if !ok {
 			return
 		}
-		m.runTask(t, runner)
+		m.runTask(t)
 	}
 }
 
@@ -295,36 +458,154 @@ func (m *Manager) nextTask() (task, bool) {
 	}
 }
 
-// runTask settles one scenario: cache hit, or an actual run whose
-// successful Result is written back to the cache. Failures are never
-// cached — the deterministic ones (validation) are caught at Submit, and
-// cancellation must not poison later submissions.
-//
-// A panicking run (an adversary parameter only checkable at run time, a
-// buggy custom strategy) settles its own row with an error instead of
-// killing the worker — one bad scenario must not take down the daemon and
-// every other client's job. The runner stays usable after a panic: its next
-// Run fully reinitializes the reused engine state.
-func (m *Manager) runTask(t task, runner *dynring.Runner) {
+// runTask settles one scenario: cache hit, proxy to the fingerprint's
+// owner (cluster mode, owner elsewhere and alive), or local execution.
+// A failed proxy marks the owner failed for the prober and falls back to
+// local execution — a dying peer costs one extra hop, never the sweep.
+func (m *Manager) runTask(t task) {
 	j, i := t.j, t.i
-	defer func() {
-		if r := recover(); r != nil {
-			j.setRow(i, Row{Err: fmt.Errorf("scenario panicked: %v", r)})
-		}
-	}()
 	if j.ctx.Err() != nil {
 		j.setRow(i, Row{Err: j.ctx.Err()})
 		return
 	}
 	fp := j.fps[i]
-	if res, ok := m.cache.Get(fp); ok {
-		j.setRow(i, Row{Cached: true, Result: res})
-		return
+	if target := m.proxyTarget(fp); target != "" {
+		// Serve from our own tiers before hopping: adopted and previously
+		// proxied results answer repeats locally. (Standalone nodes skip
+		// straight to ExecuteLocal, whose own probe is then the only
+		// lookup — each scheduled scenario counts one hit or miss.)
+		if res, ok := m.cache.Get(fp); ok {
+			j.setRow(i, Row{Cached: true, Result: res})
+			return
+		}
+		if rr, ok := m.proxyRun(j.ctx, target, j.scenarios[i], fp); ok {
+			if rr.Error != "" {
+				j.setRow(i, Row{Err: errors.New(rr.Error)})
+				return
+			}
+			res := *rr.Result
+			// Adopt the owner's result into our own tiers: the fingerprint
+			// contract makes cross-node reuse safe, and the local copy
+			// serves repeats without another hop.
+			m.cache.Put(fp, res)
+			j.setRow(i, Row{Cached: rr.Cached, Result: res})
+			return
+		}
 	}
+	res, cached, err := m.ExecuteLocal(j.ctx, j.scenarios[i], fp)
+	j.setRow(i, Row{Cached: cached, Result: res, Err: err})
+}
+
+// proxyTarget returns the URL to proxy fp to: its ring owner, when that is
+// another node currently believed alive. Empty means execute locally —
+// standalone mode, we own it, or the owner is suspect/dead (placement
+// never moves on health; availability comes from this local fallback).
+func (m *Manager) proxyTarget(fp string) string {
+	if m.membership == nil || fp == "" {
+		return ""
+	}
+	owner := m.membership.Ring().Owner(fp)
+	if owner == "" || owner == m.membership.Self() || !m.membership.Alive(owner) {
+		return ""
+	}
+	return owner
+}
+
+// proxyRun forwards one scenario to its owner via POST /v1/run. The second
+// return is false when the caller should fall back to local execution: the
+// scenario has no wire form (custom factory), or the owner failed — the
+// latter also feeds the membership's failure evidence so the prober
+// confirms promptly. Retries are disabled on the hop: the local fallback
+// IS the retry, and it cannot lose work.
+func (m *Manager) proxyRun(ctx context.Context, target string, sc dynring.Scenario, fp string) (dynring.RunResponse, bool) {
+	sp, err := sc.WireSpec()
+	if err != nil {
+		return dynring.RunResponse{}, false
+	}
+	c := &dynring.Client{BaseURL: target, HTTPClient: m.proxyHTTP, Retries: -1}
+	rr, err := c.RunScenario(ctx, sp)
+	if err != nil {
+		m.membership.MarkFailed(target, err)
+		m.logf("service: proxy of %s to %s failed, executing locally: %v", fp, target, err)
+		return dynring.RunResponse{}, false
+	}
+	if rr.Error == "" && rr.Result == nil {
+		m.logf("service: proxy of %s to %s returned no result, executing locally", fp, target)
+		return dynring.RunResponse{}, false
+	}
+	m.proxied.Add(1)
+	return rr, true
+}
+
+// ExecuteLocal runs one scenario on this node — cache tiers first, then an
+// actual engine run — deduplicating concurrent executions of the same
+// fingerprint through a singleflight. It is the execution primitive shared
+// by the worker pool and the /v1/run handler; the handler calls it on its
+// own goroutine precisely so proxy hops never occupy pool workers (two
+// nodes whose pools were full of proxy hops to each other would deadlock).
+//
+// The returned bool reports the result was served without executing here
+// (a cache hit, or a concurrent flight's result read back through the
+// cache). Failures are never cached: validation errors are caught at
+// Submit, so what remains — cancellation, panic — must not poison later
+// runs of the fingerprint.
+func (m *Manager) ExecuteLocal(ctx context.Context, sc dynring.Scenario, fp string) (dynring.Result, bool, error) {
+	if fp == "" {
+		res, err := m.execute(ctx, sc)
+		return res, false, err
+	}
+	for {
+		if res, ok := m.cache.Get(fp); ok {
+			return res, true, nil
+		}
+		m.flightMu.Lock()
+		if f, ok := m.flights[fp]; ok {
+			m.flightMu.Unlock()
+			select {
+			case <-f.done:
+			case <-ctx.Done():
+				return dynring.Result{}, false, ctx.Err()
+			}
+			if f.err != nil {
+				// The leader failed (typically its job was cancelled).
+				// Its failure is not ours: loop and run as leader.
+				continue
+			}
+			// Success landed in the cache before done closed; the loop's
+			// cache probe serves a private copy.
+			continue
+		}
+		f := &flight{done: make(chan struct{})}
+		m.flights[fp] = f
+		m.flightMu.Unlock()
+
+		res, err := m.execute(ctx, sc)
+		if err == nil {
+			m.cache.Put(fp, res)
+		}
+		f.err = err
+		m.flightMu.Lock()
+		delete(m.flights, fp)
+		m.flightMu.Unlock()
+		close(f.done)
+		return res, false, err
+	}
+}
+
+// execute performs one engine run with a pooled Runner, converting panics
+// (an adversary parameter only checkable at run time, a buggy custom
+// strategy) into errors so one bad scenario can never take down the daemon
+// and every other client's job. A panicked Runner is abandoned to the GC
+// rather than repooled.
+func (m *Manager) execute(ctx context.Context, sc dynring.Scenario) (res dynring.Result, err error) {
+	runner := m.runners.Get().(*dynring.Runner)
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("scenario panicked: %v", r)
+			return
+		}
+		m.runners.Put(runner)
+	}()
 	m.executions.Add(1)
-	res, err := runner.Run(j.ctx, j.scenarios[i])
-	if err == nil {
-		m.cache.Put(fp, res)
-	}
-	j.setRow(i, Row{Result: res, Err: err})
+	return runner.Run(ctx, sc)
 }

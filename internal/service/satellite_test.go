@@ -74,7 +74,7 @@ func TestDisabledCacheReportsCachingOff(t *testing.T) {
 func TestStreamAbortEmitsTerminalRow(t *testing.T) {
 	// No workers: rows never settle, so WaitRow can only end via the
 	// request context.
-	m := newManager(Options{Workers: 1, CacheSize: 0})
+	m := mustManager(t, Options{Workers: 1, CacheSize: 0})
 	j, err := m.Submit(testSpec())
 	if err != nil {
 		t.Fatal(err)
@@ -115,7 +115,7 @@ func TestStreamAbortEmitsTerminalRow(t *testing.T) {
 // snapshot taken after cancellation settled the job, not the pre-cancel one.
 func TestDeleteReturnsPostCancelStatus(t *testing.T) {
 	// No workers: the job stays fully pending until the cancel settles it.
-	m := newManager(Options{Workers: 1, CacheSize: 0})
+	m := mustManager(t, Options{Workers: 1, CacheSize: 0})
 	j, err := m.Submit(testSpec())
 	if err != nil {
 		t.Fatal(err)
@@ -145,7 +145,7 @@ func TestDeleteReturnsPostCancelStatus(t *testing.T) {
 // streaming results concurrently against one manager — i.e. one shared
 // pool of per-worker Runners plus the shared result cache. Run with -race.
 func TestConcurrentSubmitStreamRace(t *testing.T) {
-	m := New(Options{Workers: 4, CacheSize: 64})
+	m := mustNew(t, Options{Workers: 4, CacheSize: 64})
 	defer m.Close()
 	srv := httptest.NewServer(NewHandler(m))
 	defer srv.Close()

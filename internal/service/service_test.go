@@ -30,6 +30,27 @@ func testSpec() dynring.SweepSpec {
 	}
 }
 
+// mustManager builds an unstarted manager (no workers, no probes) for
+// scheduler-driving tests.
+func mustManager(t *testing.T, opts Options) *Manager {
+	t.Helper()
+	m, err := newManager(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// mustNew starts a full manager, failing the test on construction errors.
+func mustNew(tb testing.TB, opts Options) *Manager {
+	tb.Helper()
+	m, err := New(opts)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return m
+}
+
 func waitDone(t *testing.T, j *Job) {
 	t.Helper()
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
@@ -74,7 +95,7 @@ func TestCacheLRUAndCounters(t *testing.T) {
 // TestRepeatedSubmissionServedFromCache is the PR's acceptance gate: an
 // identical grid resubmitted after completion executes zero scenarios.
 func TestRepeatedSubmissionServedFromCache(t *testing.T) {
-	m := New(Options{Workers: 4, CacheSize: 1024})
+	m := mustNew(t, Options{Workers: 4, CacheSize: 1024})
 	defer m.Close()
 
 	j1, err := m.Submit(testSpec())
@@ -127,7 +148,7 @@ func TestRepeatedSubmissionServedFromCache(t *testing.T) {
 // TestFairRoundRobin drives the scheduler by hand: with two queued jobs the
 // pool must alternate between them task by task.
 func TestFairRoundRobin(t *testing.T) {
-	m := newManager(Options{Workers: 1, CacheSize: 0})
+	m := mustManager(t, Options{Workers: 1, CacheSize: 0})
 	spec := testSpec()
 	spec.Algorithms = []string{"KnownNNoChirality"}
 	spec.Sizes = []int{6}
@@ -162,7 +183,7 @@ func TestFairRoundRobin(t *testing.T) {
 
 func TestCancelSettlesPendingRows(t *testing.T) {
 	// One worker and a grid big enough that cancellation lands mid-flight.
-	m := New(Options{Workers: 1, CacheSize: 0})
+	m := mustNew(t, Options{Workers: 1, CacheSize: 0})
 	defer m.Close()
 	spec := testSpec()
 	spec.Sizes = []int{8, 10, 12, 14}
@@ -244,7 +265,7 @@ func postSweep(t *testing.T, srv *httptest.Server, spec dynring.SweepSpec) dynri
 // the same grid on a server with a different worker count — is byte-for-byte
 // identical, and /statsz proves the repeat ran nothing.
 func TestHTTPStreamsAreByteIdentical(t *testing.T) {
-	m8 := New(Options{Workers: 8, CacheSize: 1024})
+	m8 := mustNew(t, Options{Workers: 8, CacheSize: 1024})
 	defer m8.Close()
 	srv8 := httptest.NewServer(NewHandler(m8))
 	defer srv8.Close()
@@ -273,7 +294,7 @@ func TestHTTPStreamsAreByteIdentical(t *testing.T) {
 		t.Fatalf("cache hits = %d, want %d", stats.Cache.Hits, st2.Total)
 	}
 
-	m1 := New(Options{Workers: 1, CacheSize: 1024})
+	m1 := mustNew(t, Options{Workers: 1, CacheSize: 1024})
 	defer m1.Close()
 	srv1 := httptest.NewServer(NewHandler(m1))
 	defer srv1.Close()
@@ -306,7 +327,7 @@ func TestHTTPStreamsAreByteIdentical(t *testing.T) {
 }
 
 func TestHTTPErrorsAndLifecycle(t *testing.T) {
-	m := New(Options{Workers: 2, CacheSize: 16})
+	m := mustNew(t, Options{Workers: 2, CacheSize: 16})
 	defer m.Close()
 	srv := httptest.NewServer(NewHandler(m))
 	defer srv.Close()
@@ -386,7 +407,7 @@ func TestHTTPErrorsAndLifecycle(t *testing.T) {
 }
 
 func TestSubmitAfterClose(t *testing.T) {
-	m := New(Options{Workers: 1, CacheSize: 0})
+	m := mustNew(t, Options{Workers: 1, CacheSize: 0})
 	m.Close()
 	if _, err := m.Submit(testSpec()); err == nil {
 		t.Fatal("Submit after Close succeeded")
@@ -396,7 +417,7 @@ func TestSubmitAfterClose(t *testing.T) {
 // TestConcurrentJobsAllSettle exercises the shared pool under many
 // overlapping jobs (also a -race workout for the scheduler).
 func TestConcurrentJobsAllSettle(t *testing.T) {
-	m := New(Options{Workers: 4, CacheSize: 256})
+	m := mustNew(t, Options{Workers: 4, CacheSize: 256})
 	defer m.Close()
 	var jobs []*Job
 	for k := 0; k < 6; k++ {
@@ -423,7 +444,7 @@ func TestConcurrentJobsAllSettle(t *testing.T) {
 // evicted oldest-first, so the job table stays bounded on a long-running
 // service; running jobs are never evicted.
 func TestJobHistoryEviction(t *testing.T) {
-	m := New(Options{Workers: 2, CacheSize: 64, JobHistory: 2})
+	m := mustNew(t, Options{Workers: 2, CacheSize: 64, JobHistory: 2})
 	defer m.Close()
 	spec := testSpec()
 	spec.Algorithms = []string{"KnownNNoChirality"}
@@ -463,7 +484,7 @@ func TestJobHistoryEviction(t *testing.T) {
 // grid position, so a differently-shaped grid that overlaps an earlier one
 // is served from cache for the shared scenarios.
 func TestOverlappingGridsShareCache(t *testing.T) {
-	m := New(Options{Workers: 4, CacheSize: 1024})
+	m := mustNew(t, Options{Workers: 4, CacheSize: 1024})
 	defer m.Close()
 
 	wide := testSpec() // sizes [6 8] × algos × seeds
@@ -493,7 +514,7 @@ func TestOverlappingGridsShareCache(t *testing.T) {
 // (here: a pin target no algorithm has) settles that row with an error; the
 // worker, the job, and every other client survive.
 func TestPanickingScenarioDoesNotKillDaemon(t *testing.T) {
-	m := New(Options{Workers: 2, CacheSize: 16})
+	m := mustNew(t, Options{Workers: 2, CacheSize: 16})
 	defer m.Close()
 
 	bad := dynring.SweepSpec{

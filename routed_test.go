@@ -1,0 +1,189 @@
+package dynring_test
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dynring"
+	"dynring/internal/service"
+)
+
+// bootCluster starts n in-process ringsimd nodes on loopback listeners,
+// seeded with each other, and waits until every node sees all peers alive.
+func bootCluster(t *testing.T, n int) ([]string, []*service.Manager, []*http.Server) {
+	t.Helper()
+	lns := make([]net.Listener, n)
+	urls := make([]string, n)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		urls[i] = "http://" + ln.Addr().String()
+	}
+	mgrs := make([]*service.Manager, n)
+	srvs := make([]*http.Server, n)
+	for i := range mgrs {
+		m, err := service.New(service.Options{
+			Workers:   2,
+			CacheSize: 256,
+			Cluster: service.ClusterOptions{
+				Self:          urls[i],
+				Peers:         urls,
+				ProbeInterval: 25 * time.Millisecond,
+				ProbeTimeout:  5 * time.Second,
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := &http.Server{Handler: service.NewHandler(m)}
+		go srv.Serve(lns[i])
+		mgrs[i] = m
+		srvs[i] = srv
+		t.Cleanup(func() {
+			srv.Close()
+			m.Close()
+		})
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for _, m := range mgrs {
+		for {
+			alive := 0
+			for _, p := range m.ClusterStatus().Peers {
+				if p.State == "alive" {
+					alive++
+				}
+			}
+			if alive == n {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatal("cluster never converged to all-alive")
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	return urls, mgrs, srvs
+}
+
+// clusterExecutions sums per-node execution counters.
+func clusterExecutions(mgrs []*service.Manager) uint64 {
+	var sum uint64
+	for _, m := range mgrs {
+		sum += m.Stats().Executions
+	}
+	return sum
+}
+
+// TestRunSweepRoutedMatchesLocal: routed execution over a 3-node cluster
+// returns exactly the rows a local sweep produces, in grid order, while
+// executing each scenario once cluster-wide — and a repeat through a
+// different coordinator executes nothing at all.
+func TestRunSweepRoutedMatchesLocal(t *testing.T) {
+	urls, mgrs, _ := bootCluster(t, 3)
+	ctx := context.Background()
+	spec := clientSpec()
+
+	sw, err := spec.Sweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := sw.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var rows atomic.Int32
+	routed, err := dynring.NewClient(urls[0]).RunSweepRouted(ctx, spec, func(dynring.SweepResult) {
+		rows.Add(1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(routed) != len(local) {
+		t.Fatalf("routed %d rows, local %d", len(routed), len(local))
+	}
+	if int(rows.Load()) != len(local) {
+		t.Fatalf("onRow saw %d rows, want %d", rows.Load(), len(local))
+	}
+	for i, r := range routed {
+		if r.Err != nil {
+			t.Fatalf("row %d: %v", i, r.Err)
+		}
+		if r.Index != i {
+			t.Fatalf("row %d has Index %d — grid order broken", i, r.Index)
+		}
+		if fmt.Sprint(r.Result) != fmt.Sprint(local[i].Result) {
+			t.Fatalf("row %d differs from local run:\n%v\n%v", i, r.Result, local[i].Result)
+		}
+	}
+	total := uint64(len(local))
+	if got := clusterExecutions(mgrs); got != total {
+		t.Fatalf("cluster executed %d scenarios, want %d (exactly once)", got, total)
+	}
+
+	// The same grid through another coordinator: zero new executions.
+	if _, err := dynring.NewClient(urls[1]).RunSweepRouted(ctx, spec, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := clusterExecutions(mgrs); got != total {
+		t.Fatalf("repeat executed %d new scenarios, want 0", got-total)
+	}
+}
+
+// TestRunSweepRoutedStandaloneFallback: against a non-clustered node,
+// RunSweepRouted degrades to a plain sweep submission.
+func TestRunSweepRoutedStandaloneFallback(t *testing.T) {
+	client, m := newTestService(t, service.Options{Workers: 2, CacheSize: 256})
+	results, err := client.RunSweepRouted(context.Background(), clientSpec(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range results {
+		if r.Err != nil || r.Index != i {
+			t.Fatalf("row %d: err=%v index=%d", i, r.Err, r.Index)
+		}
+	}
+	if got := m.Stats().Executions; got != uint64(len(results)) {
+		t.Fatalf("standalone executed %d of %d", got, len(results))
+	}
+}
+
+// TestRunSweepRoutedSurvivesDeadOwner: a routed sweep whose share targets
+// a peer that died after the cluster snapshot retries the share through
+// the coordinator and still completes.
+func TestRunSweepRoutedSurvivesDeadOwner(t *testing.T) {
+	urls, mgrs, srvs := bootCluster(t, 2)
+	client := dynring.NewClient(urls[0])
+	cs, err := client.ClusterStatus(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cs.Enabled || len(cs.RingMembers()) != 2 {
+		t.Fatalf("cluster status = %+v", cs)
+	}
+	// Kill node 1 abruptly — listener down, no graceful leave — so the
+	// snapshot the routed sweep takes can still list it as alive and the
+	// share targeted at it must be retried through the coordinator.
+	srvs[1].Close()
+
+	results, err := client.RunSweepRouted(context.Background(), clientSpec(), nil)
+	if err != nil {
+		t.Fatalf("routed sweep failed after owner death: %v", err)
+	}
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("row %d: %v", i, r.Err)
+		}
+	}
+	if got := mgrs[0].Stats().Executions; got != uint64(len(results)) {
+		t.Fatalf("survivor executed %d of %d", got, len(results))
+	}
+}

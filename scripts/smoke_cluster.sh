@@ -1,0 +1,150 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for the sharded ringsimd cluster, as run by CI:
+# build, boot three peers (each with a durable -data tier), POST the same
+# grid to two different nodes concurrently, and assert (a) each scenario
+# executed exactly once cluster-wide (the summed per-node execution
+# counters equal the grid size), (b) both NDJSON result streams are
+# byte-identical, (c) a sweep still completes when a non-coordinator peer
+# is killed mid-flight, and (d) a restarted peer with the same -data
+# directory serves a re-POST of the original grid with zero new executions
+# anywhere (disk warm start). Needs only bash, curl and the go toolchain.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+HOST="${RINGSIMD_HOST:-127.0.0.1}"
+P1="${RINGSIMD_P1:-18181}"
+P2="${RINGSIMD_P2:-18182}"
+P3="${RINGSIMD_P3:-18183}"
+N1="http://$HOST:$P1"
+N2="http://$HOST:$P2"
+N3="http://$HOST:$P3"
+PEERS="$N1,$N2,$N3"
+WORKDIR="$(mktemp -d)"
+PIDS=()
+trap 'kill "${PIDS[@]}" 2>/dev/null || true; rm -rf "$WORKDIR"' EXIT
+
+# json_field FILE FIELD: extract a scalar JSON field without jq.
+json_field() {
+  sed -nE 's/.*"'"$2"'":[[:space:]]*"?([^",}]*)"?.*/\1/p' "$1" | head -n1
+}
+
+# boot NAME PORT: start one peer with its own data dir; appends to PIDS.
+boot() {
+  local name="$1" port="$2"
+  mkdir -p "$WORKDIR/data-$name"
+  "$WORKDIR/ringsimd" -addr "$HOST:$port" -self "http://$HOST:$port" \
+    -peers "$PEERS" -data "$WORKDIR/data-$name" -workers 2 -cache 1024 \
+    >>"$WORKDIR/$name.log" 2>&1 &
+  PIDS+=($!)
+}
+
+# wait_alive BASE N: poll BASE/v1/cluster until N members report alive.
+wait_alive() {
+  local base="$1" want="$2" got=0
+  for _ in $(seq 200); do
+    if curl -fsS "$base/v1/cluster" >"$WORKDIR/cluster.json" 2>/dev/null; then
+      got="$(grep -o '"state":"alive"' "$WORKDIR/cluster.json" | wc -l)"
+      [ "$got" -ge "$want" ] && return 0
+    fi
+    sleep 0.1
+  done
+  echo "cluster at $base never converged ($got/$want alive)" >&2
+  cat "$WORKDIR/cluster.json" >&2 || true
+  return 1
+}
+
+# submit BASE SPEC OUT: POST a grid, print the job id.
+submit() {
+  curl -fsS -X POST "$1/v1/sweeps" -H 'Content-Type: application/json' \
+    -d "$2" >"$3"
+  json_field "$3" id
+}
+
+# wait_done BASE ID: poll until the job settles; fail unless it is done.
+wait_done() {
+  local state=running
+  for _ in $(seq 600); do
+    curl -fsS "$1/v1/sweeps/$2" >"$WORKDIR/status.json"
+    state="$(json_field "$WORKDIR/status.json" state)"
+    [ "$state" != running ] && break
+    sleep 0.1
+  done
+  [ "$state" = done ] || { echo "job $2 on $1 ended in state '$state'" >&2; exit 1; }
+}
+
+# executions BASE: this node's lifetime execution counter from /statsz.
+executions() {
+  curl -fsS "$1/statsz" >"$WORKDIR/stats.json"
+  json_field "$WORKDIR/stats.json" executions
+}
+
+echo "== build"
+go build -o "$WORKDIR/ringsimd" ./cmd/ringsimd
+
+echo "== boot 3 peers"
+boot n1 "$P1"; boot n2 "$P2"; boot n3 "$P3"
+for base in "$N1" "$N2" "$N3"; do wait_alive "$base" 3; done
+
+SPEC='{"base":{"size":8,"landmark":0,"algorithm":"LandmarkWithChirality","adversary":{"kind":"random","p":0.5}},"algorithms":["KnownNNoChirality","LandmarkWithChirality"],"sizes":[6,8],"seeds":[1,2,3]}'
+TOTAL=12
+
+echo "== same grid POSTed to two different nodes, concurrently"
+submit "$N1" "$SPEC" "$WORKDIR/job1.json" >"$WORKDIR/id1" &
+SUB1=$!
+submit "$N2" "$SPEC" "$WORKDIR/job2.json" >"$WORKDIR/id2" &
+SUB2=$!
+wait "$SUB1" "$SUB2"
+ID1="$(cat "$WORKDIR/id1")"; ID2="$(cat "$WORKDIR/id2")"
+wait_done "$N1" "$ID1"
+wait_done "$N2" "$ID2"
+curl -fsS "$N1/v1/sweeps/$ID1/results" >"$WORKDIR/run1.ndjson"
+curl -fsS "$N2/v1/sweeps/$ID2/results" >"$WORKDIR/run2.ndjson"
+
+echo "== exactly-once cluster-wide"
+E1="$(executions "$N1")"; E2="$(executions "$N2")"; E3="$(executions "$N3")"
+SUM=$((E1 + E2 + E3))
+echo "executions: n1=$E1 n2=$E2 n3=$E3 sum=$SUM (grid=$TOTAL, twice)"
+[ "$SUM" = "$TOTAL" ] || {
+  echo "cluster executed $SUM scenarios for a $TOTAL-scenario grid submitted twice" >&2
+  exit 1
+}
+
+echo "== streams byte-identical across nodes"
+cmp "$WORKDIR/run1.ndjson" "$WORKDIR/run2.ndjson" || {
+  echo "result streams differ between coordinators" >&2; exit 1
+}
+
+echo "== kill non-coordinator peer mid-sweep; sweep must still complete"
+SPEC2='{"base":{"size":8,"landmark":0,"algorithm":"LandmarkWithChirality","adversary":{"kind":"random","p":0.5}},"algorithms":["KnownNNoChirality","LandmarkWithChirality"],"sizes":[6,8],"seeds":[7,8,9]}'
+ID3="$(submit "$N1" "$SPEC2" "$WORKDIR/job3.json")"
+kill -KILL "${PIDS[2]}" 2>/dev/null || true
+wait_done "$N1" "$ID3"
+curl -fsS "$N1/v1/sweeps/$ID3/results" >"$WORKDIR/run3.ndjson"
+if grep -q '"error"' "$WORKDIR/run3.ndjson"; then
+  echo "sweep after peer death carries errored rows:" >&2
+  grep '"error"' "$WORKDIR/run3.ndjson" >&2
+  exit 1
+fi
+
+echo "== restart killed peer with same -data; original grid re-POST runs nothing"
+boot n3 "$P3"
+wait_alive "$N3" 3
+wait_alive "$N1" 3
+B1="$(executions "$N1")"; B2="$(executions "$N2")"; B3="$(executions "$N3")"
+ID4="$(submit "$N3" "$SPEC" "$WORKDIR/job4.json")"
+wait_done "$N3" "$ID4"
+curl -fsS "$N3/v1/sweeps/$ID4/results" >"$WORKDIR/run4.ndjson"
+A1="$(executions "$N1")"; A2="$(executions "$N2")"; A3="$(executions "$N3")"
+NEW=$(((A1 - B1) + (A2 - B2) + (A3 - B3)))
+echo "executions after restart re-POST: +$NEW (want 0; disk warm start)"
+[ "$NEW" = 0 ] || { echo "warm-started cluster re-executed $NEW scenarios" >&2; exit 1; }
+cmp "$WORKDIR/run1.ndjson" "$WORKDIR/run4.ndjson" || {
+  echo "restart-served stream differs from the original run" >&2; exit 1
+}
+
+echo "== graceful shutdown"
+kill -TERM "${PIDS[0]}" "${PIDS[1]}" "${PIDS[3]}" 2>/dev/null || true
+for pid in "${PIDS[0]}" "${PIDS[1]}" "${PIDS[3]}"; do wait "$pid" 2>/dev/null || true; done
+grep -q "shut down" "$WORKDIR/n1.log" || { cat "$WORKDIR/n1.log" >&2; exit 1; }
+
+echo "cluster smoke OK: exactly-once across nodes, identical streams, survives peer death, warm restart runs nothing"

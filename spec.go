@@ -2,6 +2,7 @@ package dynring
 
 import (
 	"fmt"
+	"reflect"
 	"strconv"
 	"strings"
 )
@@ -362,21 +363,96 @@ func (s Scenario) Spec() (ScenarioSpec, error) {
 	return sp, nil
 }
 
+// WireSpec converts the scenario to wire form like Spec, additionally
+// reconstructing the AdversarySpec from a live factory's canonical
+// AdversaryLabel (Spec rejects live factories outright). This is what lets
+// a cluster node re-serialize a scenario it expanded from a grid and proxy
+// it to the fingerprint's owner: for every built-in adversary the label
+// round-trips through ParseAdversary by construction.
+//
+// The reconstruction leans on the label contract behind
+// Scenario.Fingerprint — a factory labelled with a canonical kind must
+// behave as that kind. A custom factory with a non-canonical label (or an
+// unlabelled one) fails with ErrNotFingerprintable; such scenarios are
+// not proxyable and execute on the node that holds them.
+func (s Scenario) WireSpec() (ScenarioSpec, error) {
+	if s.NewAdversary == nil {
+		return s.Spec()
+	}
+	as, err := ParseAdversary(s.AdversaryLabel)
+	if err != nil {
+		return ScenarioSpec{}, fmt.Errorf("%w: adversary label %q has no wire form: %v",
+			ErrNotFingerprintable, s.AdversaryLabel, err)
+	}
+	bare := s
+	bare.NewAdversary = nil
+	bare.AdversaryLabel = ""
+	sp, err := bare.Spec()
+	if err != nil {
+		return ScenarioSpec{}, err
+	}
+	sp.Adversary = &as
+	return sp, nil
+}
+
 // SweepSpec is the serializable counterpart of Sweep: a base scenario spec
 // plus the grid axes. It deliberately has no worker knob — local callers set
 // Sweep.Workers after conversion, and the ringsimd service schedules every
 // job on one shared pool.
+//
+// Scenarios, when non-empty, switches the spec to explicit-list form: the
+// job is exactly that scenario list, in order, and Base plus every axis
+// must be empty (mixing the two forms is rejected — a grid silently glued
+// to a list would make the job's row order ambiguous). The explicit form
+// is how the cluster-routing client ships each owner its share of an
+// expanded grid; axis-form specs remain the wire format for whole grids.
 type SweepSpec struct {
 	Base        ScenarioSpec    `json:"base"`
 	Algorithms  []string        `json:"algorithms,omitempty"`
 	Sizes       []int           `json:"sizes,omitempty"`
 	Seeds       []int64         `json:"seeds,omitempty"`
 	Adversaries []AdversarySpec `json:"adversaries,omitempty"`
+	Scenarios   []ScenarioSpec  `json:"scenarios,omitempty"`
+}
+
+// ScenarioList expands the spec to its job rows, in order, handling both
+// forms: explicit-list specs materialize and validate each ScenarioSpec,
+// axis-form specs expand through Sweep.Scenarios. It is the single
+// expansion path of the ringsimd service and the remote client, so both
+// ends of the wire agree on row order by construction.
+func (sp SweepSpec) ScenarioList() ([]Scenario, error) {
+	if len(sp.Scenarios) == 0 {
+		sw, err := sp.Sweep()
+		if err != nil {
+			return nil, err
+		}
+		return sw.Scenarios()
+	}
+	if len(sp.Algorithms)+len(sp.Sizes)+len(sp.Seeds)+len(sp.Adversaries) > 0 ||
+		!reflect.DeepEqual(sp.Base, ScenarioSpec{}) {
+		return nil, fmt.Errorf("dynring: SweepSpec mixes explicit scenarios with base/axes — use one form")
+	}
+	out := make([]Scenario, len(sp.Scenarios))
+	for i, ss := range sp.Scenarios {
+		sc, err := ss.Scenario()
+		if err != nil {
+			return nil, fmt.Errorf("dynring: scenarios[%d]: %w", i, err)
+		}
+		if err := sc.Validate(); err != nil {
+			return nil, fmt.Errorf("dynring: scenarios[%d]: %w", i, err)
+		}
+		out[i] = sc
+	}
+	return out, nil
 }
 
 // Sweep materializes the spec. Axis expansion and validation still happen in
 // Sweep.Scenarios, so an invalid grid is reported there, not here.
+// Explicit-list specs have no Sweep form; use ScenarioList.
 func (sp SweepSpec) Sweep() (Sweep, error) {
+	if len(sp.Scenarios) > 0 {
+		return Sweep{}, fmt.Errorf("dynring: explicit-list SweepSpec has no axis form — expand with ScenarioList")
+	}
 	base, err := sp.Base.Scenario()
 	if err != nil {
 		return Sweep{}, err
