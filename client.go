@@ -20,9 +20,18 @@ import (
 // vocabulary as local execution: build a SweepSpec, and either materialize
 // it locally (SweepSpec.Sweep) or hand it to a Client.
 
+// TraceHeader is the HTTP header that propagates a sweep's trace ID: the
+// service stamps it on POST /v1/sweeps responses, accepts a caller-supplied
+// ID on submission, and forwards it across POST /v1/run proxy hops so every
+// span a sweep causes — on any node — carries one trace ID.
+const TraceHeader = "X-Dynring-Trace"
+
 // JobStatus is the service's snapshot of one sweep job.
 type JobStatus struct {
 	ID string `json:"id"`
+	// TraceID is the sweep's trace identifier; GET /v1/sweeps/{id}/trace
+	// returns the spans recorded under it.
+	TraceID string `json:"trace_id,omitempty"`
 	// State is "running", "done" or "cancelled".
 	State string `json:"state"`
 	// Total is the grid size; Completed counts settled scenarios (finished,
@@ -62,6 +71,42 @@ type ResultRow struct {
 	// or cancellation failures.
 	Result *Result `json:"result,omitempty"`
 	Error  string  `json:"error,omitempty"`
+}
+
+// TraceSpan is one traced scenario of a sweep as exposed by
+// GET /v1/sweeps/{id}/trace: which node served it, how (executed, cache
+// hit, or proxied to its owner), and when. Spans adopted from a proxy hop
+// carry the owning node's name, so a proxied sweep's trace shows work from
+// multiple nodes under the one trace ID.
+type TraceSpan struct {
+	// Index is the scenario's grid position; Name its expanded grid name.
+	Index int    `json:"index"`
+	Name  string `json:"name,omitempty"`
+	// Node is the advertised URL of the node the span ran on ("local" for
+	// a standalone service).
+	Node string `json:"node"`
+	// Kind is "executed", "cache-hit", "proxied" (the coordinator-side
+	// hop record) or "error".
+	Kind string `json:"kind"`
+	// EnqueuedAt→StartedAt is the scenario's queue wait; StartedAt→
+	// FinishedAt its execution (or proxy round trip). EnqueuedAt is zero
+	// for spans recorded outside a job queue (the /v1/run handler).
+	EnqueuedAt time.Time `json:"enqueued_at,omitempty"`
+	StartedAt  time.Time `json:"started_at"`
+	FinishedAt time.Time `json:"finished_at"`
+	// Error carries the failure when Kind is "error".
+	Error string `json:"error,omitempty"`
+}
+
+// SweepTrace is the GET /v1/sweeps/{id}/trace document: the spans recorded
+// for one sweep, oldest first, under its trace ID. The server's span buffer
+// is bounded per sweep; Dropped counts spans evicted once the cap was hit,
+// so consumers can tell a complete trace from an elided one.
+type SweepTrace struct {
+	SweepID string      `json:"sweep_id"`
+	TraceID string      `json:"trace_id"`
+	Spans   []TraceSpan `json:"spans"`
+	Dropped int         `json:"dropped,omitempty"`
 }
 
 // CacheStats snapshots the service's result cache.
@@ -200,6 +245,12 @@ type errorDoc struct {
 // with capped exponential backoff (see Client.Retries); 4xx responses and
 // context cancellation are terminal.
 func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	return c.doTraced(ctx, method, path, "", body, out)
+}
+
+// doTraced is do with an optional trace ID stamped into TraceHeader on every
+// attempt, so retried requests stay attributed to the same trace.
+func (c *Client) doTraced(ctx context.Context, method, path, trace string, body, out any) error {
 	var buf []byte
 	if body != nil {
 		var err error
@@ -210,7 +261,7 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 	delay := c.retryDelay()
 	var err error
 	for attempt := 0; ; attempt++ {
-		if err = c.doOnce(ctx, method, path, buf, out); err == nil || !transientError(err) {
+		if err = c.doOnce(ctx, method, path, trace, buf, out); err == nil || !transientError(err) {
 			return err
 		}
 		if attempt >= c.retries() {
@@ -226,7 +277,7 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 }
 
 // doOnce is one attempt of do.
-func (c *Client) doOnce(ctx context.Context, method, path string, body []byte, out any) error {
+func (c *Client) doOnce(ctx context.Context, method, path, trace string, body []byte, out any) error {
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
@@ -237,6 +288,9 @@ func (c *Client) doOnce(ctx context.Context, method, path string, body []byte, o
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	if trace != "" {
+		req.Header.Set(TraceHeader, trace)
 	}
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
@@ -327,6 +381,15 @@ func (c *Client) CancelSweep(ctx context.Context, id string) (JobStatus, error) 
 	var st JobStatus
 	err := c.do(ctx, http.MethodDelete, "/v1/sweeps/"+id, nil, &st)
 	return st, err
+}
+
+// SweepTrace fetches a job's trace view: the per-scenario spans recorded
+// under the sweep's trace ID, including spans adopted from remote nodes the
+// sweep's scenarios were proxied to.
+func (c *Client) SweepTrace(ctx context.Context, id string) (SweepTrace, error) {
+	var tr SweepTrace
+	err := c.do(ctx, http.MethodGet, "/v1/sweeps/"+id+"/trace", nil, &tr)
+	return tr, err
 }
 
 // ServiceStats fetches the /statsz counters.

@@ -75,6 +75,11 @@ type RunResponse struct {
 	Cached bool    `json:"cached"`
 	Result *Result `json:"result,omitempty"`
 	Error  string  `json:"error,omitempty"`
+	// Span is the receiving node's span for this execution (how it served
+	// the scenario, and under which node name). A proxying coordinator
+	// adopts it into the sweep's trace, which is how one trace ID ends up
+	// spanning multiple nodes.
+	Span *TraceSpan `json:"span,omitempty"`
 }
 
 // ClusterStatus fetches the node's /v1/cluster document.
@@ -87,8 +92,15 @@ func (c *Client) ClusterStatus(ctx context.Context) (ClusterStatus, error) {
 // RunScenario executes one scenario on the node (or serves it from its
 // caches) via POST /v1/run, synchronously.
 func (c *Client) RunScenario(ctx context.Context, spec ScenarioSpec) (RunResponse, error) {
+	return c.RunScenarioTraced(ctx, spec, "")
+}
+
+// RunScenarioTraced is RunScenario carrying a trace ID: traceID (when
+// non-empty) is sent in TraceHeader so the receiving node records its span
+// under the caller's trace. The cluster proxy path uses this for every hop.
+func (c *Client) RunScenarioTraced(ctx context.Context, spec ScenarioSpec, traceID string) (RunResponse, error) {
 	var rr RunResponse
-	err := c.do(ctx, http.MethodPost, "/v1/run", RunRequest{Scenario: spec}, &rr)
+	err := c.doTraced(ctx, http.MethodPost, "/v1/run", traceID, RunRequest{Scenario: spec}, &rr)
 	return rr, err
 }
 

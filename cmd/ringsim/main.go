@@ -10,6 +10,7 @@
 //	ringsim -sweep -algos KnownNNoChirality,UnconsciousExploration -sizes 8,16,32 -seeds 1,2,3 -adversaries random,greedy
 //	ringsim -sweep -adversaries "tinterval(T=2),capped(r=2),recurrent(w=3)" -sizes 8,16
 //	ringsim -sweep -sizes 8,16 -json
+//	ringsim -sweep -sizes 8,16 -stats
 //	ringsim -sweep -sizes 8,16 -dry-run
 //	ringsim -sweep -sizes 8,16 -server http://127.0.0.1:8080
 //	ringsim -list
@@ -87,9 +88,18 @@ func run(ctx context.Context, out io.Writer, args []string) error {
 		workers   = fs.Int("workers", 0, "sweep: worker pool size (0 = NumCPU)")
 		dryRun    = fs.Bool("dry-run", false, "print the expanded grid (name + fingerprint) without executing")
 		server    = fs.String("server", "", "sweep: submit the grid to a ringsimd service at this URL instead of running locally")
+		stats     = fs.Bool("stats", false, "sweep: report engine execution stats per row (rounds stepped/leapt, leap ratio); local sweeps only")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *stats && *server != "" {
+		// Remote rows deliberately carry no execution stats (the NDJSON
+		// stream is deterministic); scrape the service's /metrics instead.
+		return fmt.Errorf("-stats reports local engine accounting and cannot be combined with -server")
+	}
+	if *stats && !*sweepMode {
+		return fmt.Errorf("-stats reports per-row sweep accounting: combine it with -sweep")
 	}
 	if *showTr && (*jsonOut || *sweepMode) {
 		return fmt.Errorf("-trace renders a text diagram and cannot be combined with -json or -sweep")
@@ -125,7 +135,7 @@ func run(ctx context.Context, out io.Writer, args []string) error {
 			workers: *workers, p: *p, edge: *edge, pin: *pin,
 			tconn: *tconn, capR: *capR, recW: *recW, actP: *actP,
 			jsonOut: *jsonOut, dryRun: *dryRun, server: *server,
-			memo: *memo,
+			memo: *memo, stats: *stats,
 		})
 	}
 	if *server != "" {
@@ -206,6 +216,7 @@ type sweepFlags struct {
 	dryRun                           bool
 	server                           string
 	memo                             bool
+	stats                            bool
 }
 
 // params returns the flag-supplied adversary parameters.
@@ -221,12 +232,15 @@ type sweepJSON struct {
 }
 
 // scenarioJSON flattens one SweepResult for encoding (error as string).
+// Stats appears only under -stats: it is execution provenance, not part of
+// the deterministic result, and zero for memo-replayed rows.
 type scenarioJSON struct {
-	Name   string         `json:"name"`
-	Result dynring.Result `json:"result"`
-	Error  string         `json:"error,omitempty"`
-	WallMS float64        `json:"wall_ms"`
-	Cached bool           `json:"cached,omitempty"`
+	Name   string            `json:"name"`
+	Result dynring.Result    `json:"result"`
+	Error  string            `json:"error,omitempty"`
+	WallMS float64           `json:"wall_ms"`
+	Cached bool              `json:"cached,omitempty"`
+	Stats  *dynring.RunStats `json:"stats,omitempty"`
 }
 
 func runSweep(ctx context.Context, out io.Writer, base dynring.Scenario, f sweepFlags) error {
@@ -282,6 +296,10 @@ func runSweep(ctx context.Context, out io.Writer, base dynring.Scenario, f sweep
 		mark := ""
 		if r.Cached {
 			mark = " (memo)"
+		}
+		if f.stats && !r.Cached && r.Err == nil {
+			mark += fmt.Sprintf(" steps=%d leapt=%d (leap %.0f%%)",
+				r.Stats.RoundsStepped, r.Stats.RoundsLeapt, 100*r.Stats.LeapRatio())
 		}
 		fmt.Fprintf(out, "[%4d] %-60s %-16s rounds=%-7d moves=%-7d %.1fms%s\n",
 			r.Index, r.Scenario.Name, status, r.Result.Rounds, r.Result.TotalMoves,
@@ -348,6 +366,10 @@ func runSweep(ctx context.Context, out io.Writer, base dynring.Scenario, f sweep
 				WallMS: float64(r.Wall.Microseconds()) / 1000, Cached: r.Cached}
 			if r.Err != nil {
 				sj.Error = r.Err.Error()
+			}
+			if f.stats && !r.Cached && r.Err == nil {
+				st := r.Stats
+				sj.Stats = &st
 			}
 			doc.Scenarios = append(doc.Scenarios, sj)
 		}

@@ -29,10 +29,18 @@
 // to peers, jobs are cancelled, streams settle, queued durable-tier writes
 // are flushed to disk, and in-flight responses drain within -drain.
 //
+// Observability: GET /metrics serves the node's Prometheus text exposition
+// (see docs/ARCHITECTURE.md for the metric catalogue), operational logs are
+// structured log/slog records on stderr (-log-level, -log-format json|text),
+// and every sweep carries a trace ID queryable at /v1/sweeps/{id}/trace.
+//
 // -pprof addr (off by default) serves Go's net/http/pprof profiling
 // handlers on a dedicated listener, kept off the API address on purpose:
 // bind it to loopback or an operations network, never to the public API
-// surface.
+// surface. -profile-fraction N additionally enables mutex and blocking
+// profiles (sampling 1/N of contention events) on that listener; it
+// requires -pprof, and N=0 keeps both profiles off (their bookkeeping is
+// not free).
 package main
 
 import (
@@ -40,12 +48,13 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime"
 	"strings"
 	"syscall"
 	"time"
@@ -65,23 +74,32 @@ func main() {
 func run(ctx context.Context, out io.Writer, args []string) error {
 	fs := flag.NewFlagSet("ringsimd", flag.ContinueOnError)
 	var (
-		addr      = fs.String("addr", ":8080", "listen address")
-		workers   = fs.Int("workers", 0, "shared worker pool size (0 = NumCPU)")
-		cacheSize = fs.Int("cache", 4096, "result cache capacity in entries (0 disables)")
-		dataDir   = fs.String("data", "", "durable result-tier directory (empty disables; survives restarts)")
-		history   = fs.Int("job-history", 0, "settled jobs retained for queries (0 = default 1024)")
-		self      = fs.String("self", "", "this node's advertised base URL (enables cluster mode)")
-		peers     = fs.String("peers", "", "comma-separated seed peer base URLs (same list on every node)")
-		vnodes    = fs.Int("vnodes", 0, "virtual nodes per member on the placement ring (0 = default; must match cluster-wide)")
-		probeIvl  = fs.Duration("probe-interval", 0, "peer health-probe period (0 = default 1s)")
-		drain     = fs.Duration("drain", 5*time.Second, "graceful shutdown timeout")
-		pprofAddr = fs.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060; empty disables)")
+		addr        = fs.String("addr", ":8080", "listen address")
+		workers     = fs.Int("workers", 0, "shared worker pool size (0 = NumCPU)")
+		cacheSize   = fs.Int("cache", 4096, "result cache capacity in entries (0 disables)")
+		dataDir     = fs.String("data", "", "durable result-tier directory (empty disables; survives restarts)")
+		history     = fs.Int("job-history", 0, "settled jobs retained for queries (0 = default 1024)")
+		self        = fs.String("self", "", "this node's advertised base URL (enables cluster mode)")
+		peers       = fs.String("peers", "", "comma-separated seed peer base URLs (same list on every node)")
+		vnodes      = fs.Int("vnodes", 0, "virtual nodes per member on the placement ring (0 = default; must match cluster-wide)")
+		probeIvl    = fs.Duration("probe-interval", 0, "peer health-probe period (0 = default 1s)")
+		drain       = fs.Duration("drain", 5*time.Second, "graceful shutdown timeout")
+		pprofAddr   = fs.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060; empty disables)")
+		profileFrac = fs.Int("profile-fraction", 0, "sample 1/N of mutex-contention and blocking events for the -pprof mutex/block profiles (0 disables; requires -pprof)")
+		logLevel    = fs.String("log-level", "info", "minimum log level: debug, info, warn, error")
+		logFormat   = fs.String("log-format", "text", "log record format: text or json")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *peers != "" && *self == "" {
 		return fmt.Errorf("-peers requires -self (the URL peers reach this node at)")
+	}
+	if *profileFrac < 0 {
+		return fmt.Errorf("-profile-fraction must be >= 0")
+	}
+	if *profileFrac > 0 && *pprofAddr == "" {
+		return fmt.Errorf("-profile-fraction requires -pprof (the profiles are served there)")
 	}
 	var seedPeers []string
 	for _, p := range strings.Split(*peers, ",") {
@@ -90,7 +108,16 @@ func run(ctx context.Context, out io.Writer, args []string) error {
 		}
 	}
 
-	logger := log.New(out, "", log.LstdFlags)
+	logger, err := newLogger(out, *logLevel, *logFormat)
+	if err != nil {
+		return err
+	}
+	if *profileFrac > 0 {
+		// Both profiles sample 1/N of their events; they stay zero-cost at
+		// N=0, which is why this is opt-in rather than always on.
+		runtime.SetMutexProfileFraction(*profileFrac)
+		runtime.SetBlockProfileRate(*profileFrac)
+	}
 	mgr, err := service.New(service.Options{
 		Workers:    *workers,
 		CacheSize:  *cacheSize,
@@ -102,7 +129,7 @@ func run(ctx context.Context, out io.Writer, args []string) error {
 			VNodes:        *vnodes,
 			ProbeInterval: *probeIvl,
 		},
-		Logf: logger.Printf,
+		Logger: logger,
 	})
 	if err != nil {
 		return err
@@ -161,4 +188,24 @@ func run(ctx context.Context, out io.Writer, args []string) error {
 	err = srv.Shutdown(shutdownCtx)
 	fmt.Fprintln(out, "ringsimd: shut down")
 	return err
+}
+
+// newLogger builds the process logger from the -log-level and -log-format
+// flags. Records go to the same writer as the startup banner; the "ringsimd
+// listening on ..." and "shut down" lines stay plain prints so scripts that
+// watch for them are format-independent.
+func newLogger(w io.Writer, level, format string) (*slog.Logger, error) {
+	var lv slog.Level
+	if err := lv.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("-log-level: %w", err)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	default:
+		return nil, fmt.Errorf("-log-format must be text or json, got %q", format)
+	}
 }

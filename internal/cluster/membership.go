@@ -5,10 +5,12 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -81,8 +83,9 @@ type Config struct {
 	// HTTPClient backs the default prober and Leave broadcasts; nil means
 	// a private client (per-probe timeouts come from ProbeTimeout).
 	HTTPClient *http.Client
-	// Logf, when non-nil, receives state-transition and gossip log lines.
-	Logf func(format string, args ...any)
+	// Logger, when non-nil, receives structured state-transition and gossip
+	// records. Nil discards them.
+	Logger *slog.Logger
 }
 
 // peer is the mutable tracking record of one remote member.
@@ -103,6 +106,11 @@ type peer struct {
 type Membership struct {
 	cfg    Config
 	client *http.Client
+	log    *slog.Logger
+
+	// probeFailures counts failed probes (and out-of-band MarkFailed
+	// evidence) since construction; /metrics exposes it.
+	probeFailures atomic.Uint64
 
 	mu    sync.Mutex
 	peers map[string]*peer
@@ -129,6 +137,7 @@ func NewMembership(cfg Config) *Membership {
 	m := &Membership{
 		cfg:    cfg,
 		client: cfg.HTTPClient,
+		log:    cfg.Logger,
 		peers:  make(map[string]*peer),
 		now:    time.Now,
 		stop:   make(chan struct{}),
@@ -136,6 +145,9 @@ func NewMembership(cfg Config) *Membership {
 	}
 	if m.client == nil {
 		m.client = &http.Client{}
+	}
+	if m.log == nil {
+		m.log = slog.New(slog.DiscardHandler)
 	}
 	for _, p := range cfg.Peers {
 		if p != "" && p != cfg.Self {
@@ -215,7 +227,7 @@ func (m *Membership) probeOne(url string) {
 		return
 	}
 	if p.state != StateAlive {
-		m.logf("cluster: peer %s alive", url)
+		m.log.Info("peer alive", "peer", url)
 	}
 	p.state = StateAlive
 	p.failures = 0
@@ -278,6 +290,7 @@ func (m *Membership) httpProbe(ctx context.Context, url string) ([]string, error
 // backed-off next probe (capped at 32 intervals) so a long-dead peer costs
 // a trickle, not a stream, of timeouts. Callers hold m.mu.
 func (m *Membership) recordFailureLocked(url string, p *peer, err error) {
+	m.probeFailures.Add(1)
 	p.failures++
 	prev := p.state
 	if p.failures >= m.cfg.DeadAfter {
@@ -286,7 +299,8 @@ func (m *Membership) recordFailureLocked(url string, p *peer, err error) {
 		p.state = StateSuspect
 	}
 	if p.state != prev {
-		m.logf("cluster: peer %s %s (%d consecutive failures): %v", url, p.state, p.failures, err)
+		m.log.Warn("peer state changed",
+			"peer", url, "state", p.state.String(), "failures", p.failures, "error", err)
 	}
 	backoff := min(p.failures, 5)
 	p.nextProbe = m.now().Add(m.cfg.ProbeInterval << backoff)
@@ -306,9 +320,13 @@ func (m *Membership) mergeLocked(members []string) {
 		}
 		m.peers[url] = &peer{state: StateSuspect}
 		m.ring = nil
-		m.logf("cluster: discovered peer %s via gossip", url)
+		m.log.Info("peer discovered via gossip", "peer", url)
 	}
 }
+
+// ProbeFailures returns the count of failed probes (including MarkFailed
+// evidence) since construction.
+func (m *Membership) ProbeFailures() uint64 { return m.probeFailures.Load() }
 
 // MarkFailed records out-of-band failure evidence for a peer — typically a
 // refused or timed-out proxy request — applying the same suspect/dead
@@ -338,7 +356,7 @@ func (m *Membership) MarkLeft(url string) {
 	}
 	p.state = StateLeft
 	m.ring = nil
-	m.logf("cluster: peer %s left", url)
+	m.log.Info("peer left", "peer", url)
 }
 
 // Rejoin re-admits a peer (or admits a brand-new one) as suspect with an
@@ -358,13 +376,13 @@ func (m *Membership) Rejoin(url string) {
 		if p.state != StateAlive {
 			p.failures = 0
 			p.nextProbe = m.now()
-			m.logf("cluster: peer %s announced rejoin, probing now", url)
+			m.log.Info("peer announced rejoin, probing now", "peer", url)
 		}
 		return
 	}
 	m.peers[url] = &peer{state: StateSuspect}
 	m.ring = nil
-	m.logf("cluster: peer %s joined", url)
+	m.log.Info("peer joined", "peer", url)
 }
 
 // Alive reports whether url is this node (always alive) or a peer whose
@@ -470,11 +488,4 @@ func (m *Membership) broadcast(path string, timeout time.Duration) {
 		}(url)
 	}
 	wg.Wait()
-}
-
-// logf forwards to the configured logger, if any.
-func (m *Membership) logf(format string, args ...any) {
-	if m.cfg.Logf != nil {
-		m.cfg.Logf(format, args...)
-	}
 }

@@ -1,6 +1,8 @@
 package service
 
 import (
+	"sync/atomic"
+
 	"dynring"
 	"dynring/internal/rescache"
 )
@@ -25,6 +27,11 @@ import (
 type Cache struct {
 	c    *rescache.Cache[dynring.Result]
 	disk *rescache.Disk[dynring.Result]
+
+	// promotions counts disk hits promoted back into the memory tier; it is
+	// the tier-interaction signal /metrics exposes (a high promotion rate
+	// means the working set no longer fits the LRU).
+	promotions atomic.Uint64
 }
 
 // NewCache returns a memory-only cache bounded to capacity entries. A
@@ -88,8 +95,12 @@ func (c *Cache) Get(key string) (dynring.Result, bool) {
 		return dynring.Result{}, false
 	}
 	c.c.Put(key, res)
+	c.promotions.Add(1)
 	return copyResult(res), true
 }
+
+// Promotions counts disk hits promoted into the memory tier since startup.
+func (c *Cache) Promotions() uint64 { return c.promotions.Load() }
 
 // Put stores a private copy of res under key in the memory tier and queues
 // it for the durable tier. Storing an existing key refreshes its recency

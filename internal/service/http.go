@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+	"time"
 
 	"dynring"
 )
@@ -16,6 +17,7 @@ const maxSpecBytes = 1 << 20
 //	POST   /v1/sweeps               submit a dynring.SweepSpec, returns JobStatus (201)
 //	GET    /v1/sweeps/{id}          JobStatus
 //	GET    /v1/sweeps/{id}/results  NDJSON dynring.ResultRow stream in grid order
+//	GET    /v1/sweeps/{id}/trace    dynring.SweepTrace (per-scenario spans)
 //	DELETE /v1/sweeps/{id}          cancel, returns post-cancellation JobStatus
 //	POST   /v1/run                  execute one scenario synchronously, returns RunResponse
 //	GET    /v1/cluster              dynring.ClusterStatus (this node's cluster view)
@@ -23,6 +25,13 @@ const maxSpecBytes = 1 << 20
 //	POST   /v1/cluster/join         peer announces (re)join ({"url": ...})
 //	GET    /healthz                 liveness
 //	GET    /statsz                  dynring.ServiceStats (cache + execution counters)
+//	GET    /metrics                 Prometheus text exposition of the node's registry
+//
+// Trace propagation: POST /v1/sweeps accepts a caller-supplied trace ID in
+// dynring.TraceHeader (generating one otherwise) and stamps the job's ID
+// back on the response; POST /v1/run reads the same header so a proxy
+// hop's span is recorded under the originating sweep's trace and returned
+// in RunResponse.Span for the coordinator to adopt.
 //
 // The results stream is live — rows are flushed as scenarios settle — and,
 // for a job that ran to completion, byte-identical across repeats and
@@ -43,7 +52,7 @@ func NewHandler(m *Manager) http.Handler {
 			writeError(w, http.StatusBadRequest, err)
 			return
 		}
-		j, err := m.Submit(spec)
+		j, err := m.SubmitTraced(spec, r.Header.Get(dynring.TraceHeader))
 		if err != nil {
 			code := http.StatusBadRequest
 			if errors.Is(err, ErrClosed) {
@@ -52,8 +61,10 @@ func NewHandler(m *Manager) http.Handler {
 			writeError(w, code, err)
 			return
 		}
+		st := j.Status()
 		w.Header().Set("Location", "/v1/sweeps/"+j.ID)
-		writeJSON(w, http.StatusCreated, j.Status())
+		w.Header().Set(dynring.TraceHeader, st.TraceID)
+		writeJSON(w, http.StatusCreated, st)
 	})
 
 	mux.HandleFunc("GET /v1/sweeps/{id}", func(w http.ResponseWriter, r *http.Request) {
@@ -150,14 +161,38 @@ func NewHandler(m *Manager) http.Handler {
 			writeError(w, http.StatusBadRequest, err)
 			return
 		}
+		started := time.Now()
 		res, cached, err := m.ExecuteLocal(r.Context(), sc, fp)
 		resp := dynring.RunResponse{Fingerprint: fp, Cached: cached}
+		// This node's side of the hop, for the coordinator to adopt into
+		// its sweep trace: what happened here, under whose name.
+		span := &dynring.TraceSpan{
+			Node:       m.NodeName(),
+			Kind:       "executed",
+			StartedAt:  started,
+			FinishedAt: time.Now(),
+		}
+		if cached {
+			span.Kind = "cache-hit"
+		}
 		if err != nil {
 			resp.Error = err.Error()
+			span.Kind = "error"
+			span.Error = err.Error()
 		} else {
 			resp.Result = &res
 		}
+		resp.Span = span
 		writeJSON(w, http.StatusOK, resp)
+	})
+
+	mux.HandleFunc("GET /v1/sweeps/{id}/trace", func(w http.ResponseWriter, r *http.Request) {
+		tr, ok := m.Trace(r.PathValue("id"))
+		if !ok {
+			writeError(w, http.StatusNotFound, errors.New("unknown sweep id"))
+			return
+		}
+		writeJSON(w, http.StatusOK, tr)
 	})
 
 	mux.HandleFunc("GET /v1/cluster", func(w http.ResponseWriter, r *http.Request) {
@@ -191,6 +226,8 @@ func NewHandler(m *Manager) http.Handler {
 	mux.HandleFunc("GET /statsz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, m.Stats())
 	})
+
+	mux.Handle("GET /metrics", m.Registry())
 
 	return mux
 }

@@ -52,6 +52,10 @@ type Job struct {
 	ID      string
 	created time.Time
 
+	// traceID is the sweep's trace identifier (immutable after newJob);
+	// spans recorded for this job's scenarios carry it, on every node.
+	traceID string
+
 	scenarios []dynring.Scenario
 	fps       []string
 
@@ -79,11 +83,12 @@ type Job struct {
 }
 
 // newJob builds a job over an expanded grid.
-func newJob(id string, scenarios []dynring.Scenario, fps []string, now time.Time) *Job {
+func newJob(id, traceID string, scenarios []dynring.Scenario, fps []string, now time.Time) *Job {
 	ctx, cancel := context.WithCancel(context.Background())
 	j := &Job{
 		ID:        id,
 		created:   now,
+		traceID:   traceID,
 		scenarios: scenarios,
 		fps:       fps,
 		ctx:       ctx,
@@ -154,6 +159,7 @@ func (j *Job) Status() dynring.JobStatus {
 	defer j.mu.Unlock()
 	return dynring.JobStatus{
 		ID:        j.ID,
+		TraceID:   j.traceID,
 		State:     j.state.String(),
 		Total:     len(j.rows),
 		Completed: j.completed,

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"sync"
 	"sync/atomic"
@@ -12,6 +13,7 @@ import (
 	"dynring"
 	"dynring/internal/cluster"
 	"dynring/internal/sweep"
+	"dynring/internal/telemetry"
 )
 
 // ErrClosed is returned by Submit after Close.
@@ -38,9 +40,11 @@ type Options struct {
 	// sharded cluster: scenarios whose fingerprint another node owns are
 	// proxied there instead of executed locally.
 	Cluster ClusterOptions
-	// Logf, when non-nil, receives operational log lines (cluster state
-	// transitions, skipped disk entries, proxy fallbacks).
-	Logf func(format string, args ...any)
+	// Logger, when non-nil, receives structured operational records
+	// (cluster state transitions, skipped disk entries, proxy fallbacks,
+	// job lifecycle). The manager derives per-component child loggers
+	// ("service", "cluster", "cache") from it. Nil discards everything.
+	Logger *slog.Logger
 }
 
 // ClusterOptions configure cluster membership. The zero value means
@@ -109,7 +113,10 @@ type Manager struct {
 	cache      *Cache
 	membership *cluster.Membership // nil when standalone
 	proxyHTTP  *http.Client
-	logf       func(format string, args ...any)
+	log        *slog.Logger
+	registry   *telemetry.Registry
+	tracer     *telemetry.Tracer
+	met        *metrics
 	executions atomic.Uint64
 	proxied    atomic.Uint64
 	settled    atomic.Int64 // retained settled jobs; guards prune scans
@@ -161,20 +168,28 @@ func New(opts Options) (*Manager, error) {
 // newManager builds a manager without starting workers or probes; tests
 // use it to drive the scheduler by hand.
 func newManager(opts Options) (*Manager, error) {
-	m := &Manager{
-		workers: sweep.Workers(opts.Workers, 0),
-		history: opts.JobHistory,
-		logf:    opts.Logf,
-		jobs:    make(map[string]*Job),
-		flights: make(map[string]*flight),
+	base := opts.Logger
+	if base == nil {
+		base = slog.New(slog.DiscardHandler)
 	}
-	if m.logf == nil {
-		m.logf = func(string, ...any) {}
+	m := &Manager{
+		workers:  sweep.Workers(opts.Workers, 0),
+		history:  opts.JobHistory,
+		log:      base.With("component", "service"),
+		registry: telemetry.NewRegistry(),
+		tracer:   telemetry.NewTracer(0, 0),
+		jobs:     make(map[string]*Job),
+		flights:  make(map[string]*flight),
 	}
 	if m.history <= 0 {
 		m.history = defaultJobHistory
 	}
-	cache, err := NewTieredCache(opts.CacheSize, opts.DiskDir, m.logf)
+	// The durable tier's rescache layer speaks printf; adapt it onto the
+	// structured logger — its lines are rare (corrupt entries at boot).
+	cacheLog := base.With("component", "cache")
+	cache, err := NewTieredCache(opts.CacheSize, opts.DiskDir, func(format string, args ...any) {
+		cacheLog.Warn(fmt.Sprintf(format, args...))
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -193,11 +208,25 @@ func newManager(opts Options) (*Manager, error) {
 			ProbeInterval: opts.Cluster.ProbeInterval,
 			ProbeTimeout:  opts.Cluster.ProbeTimeout,
 			HTTPClient:    m.proxyHTTP,
-			Logf:          m.logf,
+			Logger:        base.With("component", "cluster"),
 		})
 	}
+	m.met = newMetrics(m)
 	m.cond = sync.NewCond(&m.mu)
 	return m, nil
+}
+
+// Registry exposes the node's metric registry; NewHandler serves it at
+// GET /metrics, and the metricscheck lint renders it to validate names.
+func (m *Manager) Registry() *telemetry.Registry { return m.registry }
+
+// NodeName is the identity spans carry: the advertised cluster URL, or
+// "local" for a standalone service.
+func (m *Manager) NodeName() string {
+	if m.membership != nil {
+		return m.membership.Self()
+	}
+	return "local"
 }
 
 // Workers is the shared pool size.
@@ -237,8 +266,17 @@ func (m *Manager) Close() {
 // Submit expands and fingerprints the grid (axis form or explicit-list
 // form — the latter is how cluster peers ship grid shares), registers the
 // job and queues it on the shared pool. Expansion, validation and
-// fingerprint errors are reported here, before anything runs.
+// fingerprint errors are reported here, before anything runs. The job gets
+// a fresh trace ID; callers propagating an existing trace (the TraceHeader
+// on POST /v1/sweeps) use SubmitTraced.
 func (m *Manager) Submit(spec dynring.SweepSpec) (*Job, error) {
+	return m.SubmitTraced(spec, "")
+}
+
+// SubmitTraced is Submit under a caller-supplied trace ID (empty: a fresh
+// one is generated). The ID binds every span the sweep causes — locally and
+// on nodes its scenarios are proxied to — into one trace.
+func (m *Manager) SubmitTraced(spec dynring.SweepSpec, traceID string) (*Job, error) {
 	scenarios, err := spec.ScenarioList()
 	if err != nil {
 		return nil, err
@@ -249,6 +287,9 @@ func (m *Manager) Submit(spec dynring.SweepSpec) (*Job, error) {
 			return nil, fmt.Errorf("scenario %s: %w", sc.Name, err)
 		}
 	}
+	if traceID == "" {
+		traceID = telemetry.NewTraceID()
+	}
 
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -256,10 +297,11 @@ func (m *Manager) Submit(spec dynring.SweepSpec) (*Job, error) {
 		return nil, ErrClosed
 	}
 	m.nextID++
-	j := newJob(fmt.Sprintf("sw-%d", m.nextID), scenarios, fps, time.Now())
+	j := newJob(fmt.Sprintf("sw-%d", m.nextID), traceID, scenarios, fps, time.Now())
 	j.onSettle = func() { m.settled.Add(1) }
 	m.jobs[j.ID] = j
 	m.order = append(m.order, j)
+	m.tracer.Register(j.ID, traceID)
 	m.pruneLocked()
 	if j.Total() == 0 {
 		// Unreachable through Sweep expansion (empty axes collapse to the
@@ -270,7 +312,36 @@ func (m *Manager) Submit(spec dynring.SweepSpec) (*Job, error) {
 		m.queue = append(m.queue, j)
 		m.cond.Broadcast()
 	}
+	m.log.Info("sweep submitted", "job", j.ID, "trace", traceID, "scenarios", j.Total())
 	return j, nil
+}
+
+// Trace snapshots a job's trace view as the wire document, or ok=false when
+// the sweep is unknown (never submitted, or evicted with its job).
+func (m *Manager) Trace(id string) (dynring.SweepTrace, bool) {
+	traceID, spans, dropped, ok := m.tracer.Snapshot(id)
+	if !ok {
+		return dynring.SweepTrace{}, false
+	}
+	out := dynring.SweepTrace{
+		SweepID: id,
+		TraceID: traceID,
+		Spans:   make([]dynring.TraceSpan, len(spans)),
+		Dropped: dropped,
+	}
+	for i, s := range spans {
+		out.Spans[i] = dynring.TraceSpan{
+			Index:      s.Index,
+			Name:       s.Name,
+			Node:       s.Node,
+			Kind:       s.Kind,
+			EnqueuedAt: s.Enqueued,
+			StartedAt:  s.Started,
+			FinishedAt: s.Finished,
+			Error:      s.Err,
+		}
+	}
+	return out, true
 }
 
 // Job looks up a job by ID.
@@ -314,6 +385,7 @@ func (m *Manager) pruneLocked() {
 	for _, j := range m.order {
 		if m.settled.Load() > int64(m.history) && j.Status().State != "running" {
 			delete(m.jobs, j.ID)
+			m.tracer.Drop(j.ID)
 			m.settled.Add(-1)
 			continue
 		}
@@ -462,10 +534,32 @@ func (m *Manager) nextTask() (task, bool) {
 // owner (cluster mode, owner elsewhere and alive), or local execution.
 // A failed proxy marks the owner failed for the prober and falls back to
 // local execution — a dying peer costs one extra hop, never the sweep.
+// Every settle records one span in the sweep's trace (proxied scenarios
+// record two: the owner's span, adopted from the hop response, plus this
+// node's hop record).
 func (m *Manager) runTask(t task) {
 	j, i := t.j, t.i
-	if j.ctx.Err() != nil {
-		j.setRow(i, Row{Err: j.ctx.Err()})
+	start := time.Now()
+	m.met.queueWait.Observe(start.Sub(j.created).Seconds())
+	span := func(kind string, err error) {
+		s := telemetry.Span{
+			Index:    i,
+			Name:     j.scenarios[i].Name,
+			Node:     m.NodeName(),
+			Kind:     kind,
+			Enqueued: j.created,
+			Started:  start,
+			Finished: time.Now(),
+		}
+		if err != nil {
+			s.Kind = "error"
+			s.Err = err.Error()
+		}
+		m.tracer.Record(j.ID, s)
+	}
+	if err := j.ctx.Err(); err != nil {
+		j.setRow(i, Row{Err: err})
+		span("error", err)
 		return
 	}
 	fp := j.fps[i]
@@ -476,11 +570,28 @@ func (m *Manager) runTask(t task) {
 		// lookup — each scheduled scenario counts one hit or miss.)
 		if res, ok := m.cache.Get(fp); ok {
 			j.setRow(i, Row{Cached: true, Result: res})
+			span("cache-hit", nil)
 			return
 		}
-		if rr, ok := m.proxyRun(j.ctx, target, j.scenarios[i], fp); ok {
+		if rr, ok := m.proxyRun(j.ctx, target, j.scenarios[i], fp, j.traceID); ok {
+			// Adopt the owner's span first: under one trace ID the sweep's
+			// trace then shows both the hop (this node) and the work (the
+			// owner), which is the cross-node view /v1/sweeps/{id}/trace
+			// exists for.
+			if rr.Span != nil {
+				m.tracer.Record(j.ID, telemetry.Span{
+					Index:    i,
+					Name:     j.scenarios[i].Name,
+					Node:     rr.Span.Node,
+					Kind:     rr.Span.Kind,
+					Started:  rr.Span.StartedAt,
+					Finished: rr.Span.FinishedAt,
+					Err:      rr.Span.Error,
+				})
+			}
 			if rr.Error != "" {
 				j.setRow(i, Row{Err: errors.New(rr.Error)})
+				span("error", errors.New(rr.Error))
 				return
 			}
 			res := *rr.Result
@@ -489,11 +600,20 @@ func (m *Manager) runTask(t task) {
 			// serves repeats without another hop.
 			m.cache.Put(fp, res)
 			j.setRow(i, Row{Cached: rr.Cached, Result: res})
+			span("proxied", nil)
 			return
 		}
 	}
 	res, cached, err := m.ExecuteLocal(j.ctx, j.scenarios[i], fp)
 	j.setRow(i, Row{Cached: cached, Result: res, Err: err})
+	switch {
+	case err != nil:
+		span("error", err)
+	case cached:
+		span("cache-hit", nil)
+	default:
+		span("executed", nil)
+	}
 }
 
 // proxyTarget returns the URL to proxy fp to: its ring owner, when that is
@@ -511,28 +631,35 @@ func (m *Manager) proxyTarget(fp string) string {
 	return owner
 }
 
-// proxyRun forwards one scenario to its owner via POST /v1/run. The second
-// return is false when the caller should fall back to local execution: the
-// scenario has no wire form (custom factory), or the owner failed — the
-// latter also feeds the membership's failure evidence so the prober
-// confirms promptly. Retries are disabled on the hop: the local fallback
-// IS the retry, and it cannot lose work.
-func (m *Manager) proxyRun(ctx context.Context, target string, sc dynring.Scenario, fp string) (dynring.RunResponse, bool) {
+// proxyRun forwards one scenario to its owner via POST /v1/run, carrying
+// the sweep's trace ID in TraceHeader so the owner's span lands in the same
+// trace. The second return is false when the caller should fall back to
+// local execution: the scenario has no wire form (custom factory), or the
+// owner failed — the latter also feeds the membership's failure evidence so
+// the prober confirms promptly. Retries are disabled on the hop: the local
+// fallback IS the retry, and it cannot lose work.
+func (m *Manager) proxyRun(ctx context.Context, target string, sc dynring.Scenario, fp, traceID string) (dynring.RunResponse, bool) {
 	sp, err := sc.WireSpec()
 	if err != nil {
 		return dynring.RunResponse{}, false
 	}
 	c := &dynring.Client{BaseURL: target, HTTPClient: m.proxyHTTP, Retries: -1}
-	rr, err := c.RunScenario(ctx, sp)
+	hop := time.Now()
+	rr, err := c.RunScenarioTraced(ctx, sp, traceID)
 	if err != nil {
 		m.membership.MarkFailed(target, err)
-		m.logf("service: proxy of %s to %s failed, executing locally: %v", fp, target, err)
+		m.met.proxyFallbacks.Inc()
+		m.log.Warn("proxy failed, executing locally",
+			"fingerprint", fp, "target", target, "trace", traceID, "error", err)
 		return dynring.RunResponse{}, false
 	}
 	if rr.Error == "" && rr.Result == nil {
-		m.logf("service: proxy of %s to %s returned no result, executing locally", fp, target)
+		m.met.proxyFallbacks.Inc()
+		m.log.Warn("proxy returned no result, executing locally",
+			"fingerprint", fp, "target", target, "trace", traceID)
 		return dynring.RunResponse{}, false
 	}
+	m.met.proxyRTT.Observe(time.Since(hop).Seconds())
 	m.proxied.Add(1)
 	return rr, true
 }
@@ -599,12 +726,17 @@ func (m *Manager) ExecuteLocal(ctx context.Context, sc dynring.Scenario, fp stri
 // rather than repooled.
 func (m *Manager) execute(ctx context.Context, sc dynring.Scenario) (res dynring.Result, err error) {
 	runner := m.runners.Get().(*dynring.Runner)
+	start := time.Now()
 	defer func() {
+		m.met.runSeconds.Observe(time.Since(start).Seconds())
 		if r := recover(); r != nil {
 			err = fmt.Errorf("scenario panicked: %v", r)
 			return
 		}
 		m.runners.Put(runner)
+		if err == nil {
+			m.met.observeRun(runner.LastStats())
+		}
 	}()
 	m.executions.Add(1)
 	return runner.Run(ctx, sc)

@@ -1,0 +1,185 @@
+package service
+
+import (
+	"dynring"
+	"dynring/internal/cluster"
+	"dynring/internal/telemetry"
+)
+
+// metrics holds the Manager's write-side instruments. Everything the code
+// already counts for /statsz (executions, cache hits, peer states) is
+// exposed through CounterFunc/GaugeFunc callbacks over those same atomics —
+// one source of truth, no double accounting; only genuinely new
+// measurements (latency distributions, fallbacks, engine round accounting)
+// get dedicated instruments.
+type metrics struct {
+	// queueWait is submit→dispatch per scenario; runSeconds is one engine
+	// execution (cache hits and proxy hops excluded).
+	queueWait  *telemetry.Histogram
+	runSeconds *telemetry.Histogram
+
+	// proxyRTT times successful proxy hops; proxyFallbacks counts hops that
+	// failed over to local execution. Nil/unregistered when standalone.
+	proxyRTT       *telemetry.Histogram
+	proxyFallbacks *telemetry.Counter
+
+	// Engine accounting, accumulated from Runner.LastStats after each
+	// successful execution: the leap fast path's win as cluster-visible
+	// counters (rate(rounds_leapt)/rate(rounds_stepped+rounds_leapt) is the
+	// fleet-wide leap ratio).
+	engineRoundsStepped *telemetry.Counter
+	engineRoundsLeapt   *telemetry.Counter
+	engineLeaps         *telemetry.Counter
+	engineLeapDisq      *telemetry.Counter
+	engineCycles        *telemetry.Counter
+}
+
+// observeRun folds one successful execution's engine stats into the
+// counters.
+func (mt *metrics) observeRun(st dynring.RunStats) {
+	mt.engineRoundsStepped.Add(uint64(st.RoundsStepped))
+	mt.engineRoundsLeapt.Add(uint64(st.RoundsLeapt))
+	mt.engineLeaps.Add(uint64(st.Leaps))
+	mt.engineLeapDisq.Add(uint64(st.LeapProbesDisqualified))
+	mt.engineCycles.Add(uint64(st.CycleDetections))
+}
+
+// newMetrics registers the node's full metric catalogue on m.registry.
+// Families whose subsystem is absent (disk tier, cluster) are not
+// registered at all, so a standalone /metrics page carries no dead series.
+// Called once from newManager, after the cache and membership exist.
+func newMetrics(m *Manager) *metrics {
+	r := m.registry
+	mt := &metrics{}
+
+	// --- service: the job manager and worker pool ---
+	r.CounterFunc("dynring_service_executions_total",
+		"Scenarios executed by the engine on this node (cache hits and proxied scenarios excluded). Summed across a cluster this is the cluster-wide execution count.",
+		func() float64 { return float64(m.executions.Load()) })
+	for _, state := range []string{"running", "done", "cancelled"} {
+		r.GaugeFunc("dynring_service_jobs",
+			"Jobs currently retained in the job table, by state.",
+			m.jobStateCount(state), telemetry.Label{Name: "state", Value: state})
+	}
+	r.GaugeFunc("dynring_service_queue_depth",
+		"Scenarios accepted but not yet dispatched to a worker, across all jobs.",
+		func() float64 {
+			m.mu.Lock()
+			defer m.mu.Unlock()
+			depth := 0
+			for _, j := range m.queue {
+				depth += j.Total() - j.next
+			}
+			return float64(depth)
+		})
+	r.GaugeFunc("dynring_service_workers",
+		"Shared worker pool size.",
+		func() float64 { return float64(m.workers) })
+	mt.queueWait = r.Histogram("dynring_service_queue_wait_seconds",
+		"Time a scenario spent queued between job submission and dispatch to a worker.", nil)
+	mt.runSeconds = r.Histogram("dynring_service_run_seconds",
+		"Wall time of one engine execution (excludes cache hits and proxy hops).", nil)
+
+	// --- cache: the tiered result store ---
+	r.CounterFunc("dynring_cache_hits_total",
+		"Result-cache hits, by tier.",
+		func() float64 { return float64(m.cache.Stats().Hits) },
+		telemetry.Label{Name: "tier", Value: "memory"})
+	r.CounterFunc("dynring_cache_misses_total",
+		"Result-cache misses, by tier. A memory miss that hits disk counts as both a memory miss and a disk hit.",
+		func() float64 { return float64(m.cache.Stats().Misses) },
+		telemetry.Label{Name: "tier", Value: "memory"})
+	r.GaugeFunc("dynring_cache_entries",
+		"Entries resident per cache tier.",
+		func() float64 { return float64(m.cache.Stats().Size) },
+		telemetry.Label{Name: "tier", Value: "memory"})
+	if m.cache.DiskStats() != nil {
+		diskStat := func(f func(dynring.DiskTierStats) float64) func() float64 {
+			return func() float64 {
+				if st := m.cache.DiskStats(); st != nil {
+					return f(*st)
+				}
+				return 0
+			}
+		}
+		r.CounterFunc("dynring_cache_hits_total",
+			"Result-cache hits, by tier.",
+			diskStat(func(st dynring.DiskTierStats) float64 { return float64(st.Hits) }),
+			telemetry.Label{Name: "tier", Value: "disk"})
+		r.CounterFunc("dynring_cache_misses_total",
+			"Result-cache misses, by tier.",
+			diskStat(func(st dynring.DiskTierStats) float64 { return float64(st.Misses) }),
+			telemetry.Label{Name: "tier", Value: "disk"})
+		r.GaugeFunc("dynring_cache_entries",
+			"Entries resident per cache tier.",
+			diskStat(func(st dynring.DiskTierStats) float64 { return float64(st.Entries) }),
+			telemetry.Label{Name: "tier", Value: "disk"})
+		r.CounterFunc("dynring_cache_promotions_total",
+			"Disk-tier hits promoted back into the memory tier.",
+			func() float64 { return float64(m.cache.Promotions()) })
+		r.GaugeFunc("dynring_cache_write_queue_depth",
+			"Durable-tier writes waiting on the asynchronous writer.",
+			diskStat(func(st dynring.DiskTierStats) float64 { return float64(st.QueueDepth) }))
+	}
+
+	// --- cluster: membership and the proxy path ---
+	if m.membership != nil {
+		for _, state := range []cluster.State{cluster.StateAlive, cluster.StateSuspect, cluster.StateDead, cluster.StateLeft} {
+			state := state
+			r.GaugeFunc("dynring_cluster_peers",
+				"Cluster members by probe-derived health state, as seen by this node (self counts as alive).",
+				func() float64 {
+					n := 0
+					for _, p := range m.membership.Snapshot() {
+						if p.State == state {
+							n++
+						}
+					}
+					return float64(n)
+				}, telemetry.Label{Name: "state", Value: state.String()})
+		}
+		r.CounterFunc("dynring_cluster_proxied_total",
+			"Scenarios this node proxied to their owning peer instead of executing.",
+			func() float64 { return float64(m.proxied.Load()) })
+		r.CounterFunc("dynring_cluster_probe_failures_total",
+			"Failed health probes (including out-of-band proxy-failure evidence).",
+			func() float64 { return float64(m.membership.ProbeFailures()) })
+		mt.proxyFallbacks = r.Counter("dynring_cluster_proxy_fallbacks_total",
+			"Proxy hops that failed and fell back to local execution.")
+		mt.proxyRTT = r.Histogram("dynring_cluster_proxy_rtt_seconds",
+			"Round-trip time of successful POST /v1/run proxy hops.", nil)
+	}
+
+	// --- engine: per-run execution accounting ---
+	mt.engineRoundsStepped = r.Counter("dynring_engine_rounds_stepped_total",
+		"Simulation rounds executed one by one.")
+	mt.engineRoundsLeapt = r.Counter("dynring_engine_rounds_leapt_total",
+		"Simulation rounds skipped by the quiescence-leap fast path.")
+	mt.engineLeaps = r.Counter("dynring_engine_leaps_total",
+		"Committed quiescence leaps.")
+	mt.engineLeapDisq = r.Counter("dynring_engine_leap_probes_disqualified_total",
+		"Quiescent rounds whose leap probe was invalidated by a fairness- or ET-forced activation.")
+	mt.engineCycles = r.Counter("dynring_engine_cycle_detections_total",
+		"Configuration-cycle certificates issued.")
+	return mt
+}
+
+// jobStateCount returns a render-time callback counting retained jobs in
+// one wire state.
+func (m *Manager) jobStateCount(state string) func() float64 {
+	return func() float64 {
+		m.mu.Lock()
+		jobs := make([]*Job, 0, len(m.jobs))
+		for _, j := range m.jobs {
+			jobs = append(jobs, j)
+		}
+		m.mu.Unlock()
+		n := 0
+		for _, j := range jobs {
+			if j.Status().State == state {
+				n++
+			}
+		}
+		return float64(n)
+	}
+}

@@ -79,6 +79,30 @@ type Result struct {
 	CycleStart int
 }
 
+// RunStats accounts for how a run was executed, as opposed to what it
+// computed (Result). The split matters: stats depend on the execution path
+// — the leap fast path and the slow path produce identical Results but very
+// different stats — so they are deliberately not part of Result, never
+// cached, and never compared by the parity or equivalence suites. They are
+// the engine's round-count accounting: RoundsStepped+RoundsLeapt equals
+// Result.Rounds, making exploration-time bounds (and the leap fast path's
+// win) observable per run.
+type RunStats struct {
+	// RoundsStepped counts rounds executed by World.Step; RoundsLeapt
+	// counts rounds skipped by the quiescence-leap fast path.
+	RoundsStepped int
+	RoundsLeapt   int
+	// Leaps counts committed leaps (each covering >= 1 leapt round).
+	Leaps int
+	// LeapProbesDisqualified counts engine-quiescent rounds whose leap
+	// probe was invalidated because the activation set contained a
+	// fairness- or ET-forced agent (see leapCheck).
+	LeapProbesDisqualified int
+	// CycleDetections counts configuration-cycle certificates issued
+	// (0 or 1 per run; only with RunOptions.DetectCycles).
+	CycleDetections int
+}
+
 // Run drives w until all agents terminate, the horizon is reached, the ring
 // is explored (if requested), or a configuration cycle is certified.
 func Run(w *World, opts RunOptions) (Result, error) {
@@ -102,8 +126,17 @@ const ctxCheckMask = 63
 // detection, custom tie-breakers, non-scheduled adversaries, protocols
 // without fingerprints, and DisableLeap all force the exact slow path.
 func RunContext(ctx context.Context, w *World, opts RunOptions) (Result, error) {
+	res, _, err := RunContextStats(ctx, w, opts)
+	return res, err
+}
+
+// RunContextStats is RunContext plus the run's execution accounting. The
+// Result is identical to RunContext's; the RunStats are meaningful only for
+// runs that return a nil error.
+func RunContextStats(ctx context.Context, w *World, opts RunOptions) (Result, RunStats, error) {
+	var stats RunStats
 	if opts.MaxRounds <= 0 {
-		return Result{}, fmt.Errorf("%w: non-positive MaxRounds", ErrConfig)
+		return Result{}, stats, fmt.Errorf("%w: non-positive MaxRounds", ErrConfig)
 	}
 	var seen map[string]int
 	if opts.DetectCycles {
@@ -117,7 +150,7 @@ loop:
 	for w.Round() < opts.MaxRounds {
 		if w.Round()&ctxCheckMask == 0 {
 			if err := ctx.Err(); err != nil {
-				return Result{}, err
+				return Result{}, stats, err
 			}
 		}
 		if w.AllTerminated() {
@@ -133,16 +166,23 @@ loop:
 				if prev, dup := seen[sig]; dup {
 					outcome = OutcomeCycle
 					cycleStart = prev
+					stats.CycleDetections++
 					break loop
 				}
 				seen[sig] = w.Round()
 			}
 		}
 		if err := w.Step(); err != nil {
-			return Result{}, err
+			return Result{}, stats, err
 		}
+		stats.RoundsStepped++
 		if canLeap {
+			if !w.stepChanged && w.forcedActivation {
+				stats.LeapProbesDisqualified++
+			}
 			if target := w.leapCheck(&probe, sched, opts.MaxRounds); target > w.Round() {
+				stats.Leaps++
+				stats.RoundsLeapt += target - w.Round()
 				w.leapTo(target)
 			}
 		}
@@ -169,5 +209,5 @@ loop:
 		}
 		res.Moves[i] = w.AgentMoves(i)
 	}
-	return res, nil
+	return res, stats, nil
 }

@@ -1,0 +1,13 @@
+// Package telemetry is the repo's zero-dependency observability core: a
+// small metrics registry (counters, gauges and fixed-bucket histograms,
+// with optional constant labels and callback-backed series) rendered in the
+// Prometheus text exposition format, and a bounded per-sweep span tracer
+// keyed by trace IDs that propagate across cluster proxy hops.
+//
+// The registry enforces the repo's metric naming convention at registration
+// time — dynring_<subsystem>_<name>, counters ending in _total, histograms
+// in _seconds or _bytes — so a misnamed metric fails the first test that
+// touches it instead of surviving until a dashboard breaks; the
+// scripts/metricscheck lint applies the same rules to the rendered output
+// of a live registry.
+package telemetry

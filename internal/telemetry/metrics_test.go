@@ -1,0 +1,167 @@
+package telemetry
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeRender(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("dynring_test_things_total", "Things.")
+	c.Add(3)
+	r.CounterFunc("dynring_test_calls_total", "Calls.", func() float64 { return 7 })
+	g := r.Gauge("dynring_test_depth", "Depth.", Label{Name: "tier", Value: "memory"})
+	g.Set(2)
+	g.Add(-0.5)
+	out := r.Render()
+	for _, want := range []string{
+		"# HELP dynring_test_things_total Things.\n",
+		"# TYPE dynring_test_things_total counter\n",
+		"dynring_test_things_total 3\n",
+		"dynring_test_calls_total 7\n",
+		"# TYPE dynring_test_depth gauge\n",
+		`dynring_test_depth{tier="memory"} 1.5` + "\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramRender(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("dynring_test_wait_seconds", "Wait.", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.5, 0.5, 5, 100} {
+		h.Observe(v)
+	}
+	out := r.Render()
+	for _, want := range []string{
+		"# TYPE dynring_test_wait_seconds histogram\n",
+		`dynring_test_wait_seconds_bucket{le="0.1"} 1` + "\n",
+		`dynring_test_wait_seconds_bucket{le="1"} 3` + "\n",
+		`dynring_test_wait_seconds_bucket{le="10"} 4` + "\n",
+		`dynring_test_wait_seconds_bucket{le="+Inf"} 5` + "\n",
+		"dynring_test_wait_seconds_sum 106.05\n",
+		"dynring_test_wait_seconds_count 5\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramBucketBoundary(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("dynring_test_edge_seconds", "Edge.", []float64{1, 2})
+	h.Observe(1) // le="1" is inclusive, per Prometheus semantics
+	out := r.Render()
+	if !strings.Contains(out, `dynring_test_edge_seconds_bucket{le="1"} 1`+"\n") {
+		t.Errorf("observation at a bound must land in that bucket:\n%s", out)
+	}
+}
+
+func TestNamingEnforcement(t *testing.T) {
+	cases := []struct {
+		name string
+		reg  func(r *Registry)
+	}{
+		{"counter without _total", func(r *Registry) { r.Counter("dynring_test_things", "x") }},
+		{"histogram without unit", func(r *Registry) { r.Histogram("dynring_test_wait", "x", nil) }},
+		{"gauge with _total", func(r *Registry) { r.Gauge("dynring_test_depth_total", "x") }},
+		{"no subsystem", func(r *Registry) { r.Counter("dynring_total", "x") }},
+		{"wrong prefix", func(r *Registry) { r.Counter("other_test_things_total", "x") }},
+		{"uppercase", func(r *Registry) { r.Counter("dynring_test_Things_total", "x") }},
+		{"kind conflict", func(r *Registry) {
+			r.Counter("dynring_test_mixed_total", "x")
+			r.GaugeFunc("dynring_test_mixed_total", "x", func() float64 { return 0 })
+		}},
+		{"bad label name", func(r *Registry) {
+			r.Counter("dynring_test_l_total", "x", Label{Name: "bad-name", Value: "v"})
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("registration %s did not panic", tc.name)
+				}
+			}()
+			tc.reg(NewRegistry())
+		})
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("dynring_test_esc_total", "x", Label{Name: "v", Value: `a"b\c` + "\n"})
+	c.Inc()
+	out := r.Render()
+	want := `dynring_test_esc_total{v="a\"b\\c\n"} 1` + "\n"
+	if !strings.Contains(out, want) {
+		t.Errorf("render missing %q in:\n%s", want, out)
+	}
+}
+
+// TestConcurrentObserveAndRender hammers one registry from many goroutines
+// while concurrently rendering: the satellite -race gate for the lock-free
+// instrument paths. Rendered totals must equal the written totals once the
+// writers finish.
+func TestConcurrentObserveAndRender(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("dynring_test_hits_total", "x")
+	g := r.Gauge("dynring_test_level", "x")
+	h := r.Histogram("dynring_test_lat_seconds", "x", []float64{0.25, 0.75})
+
+	const goroutines, perG = 8, 2000
+	var writers, scraper sync.WaitGroup
+	stop := make(chan struct{})
+	scraper.Add(1)
+	go func() { // concurrent scraper
+		defer scraper.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = r.Render()
+			}
+		}
+	}()
+	for i := 0; i < goroutines; i++ {
+		writers.Add(1)
+		go func() {
+			defer writers.Done()
+			for k := 0; k < perG; k++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(k%2) / 2) // alternates 0 and 0.5
+			}
+		}()
+	}
+	writers.Wait()
+	close(stop)
+	scraper.Wait()
+
+	const total = goroutines * perG
+	if got := c.Value(); got != total {
+		t.Errorf("counter = %d, want %d", got, total)
+	}
+	if got := g.Value(); got != total {
+		t.Errorf("gauge = %v, want %d", got, total)
+	}
+	if got := h.Count(); got != total {
+		t.Errorf("histogram count = %d, want %d", got, total)
+	}
+	out := r.Render()
+	if want := fmt.Sprintf("dynring_test_hits_total %d\n", total); !strings.Contains(out, want) {
+		t.Errorf("render missing %q", want)
+	}
+	if want := fmt.Sprintf("dynring_test_lat_seconds_count %d\n", total); !strings.Contains(out, want) {
+		t.Errorf("render missing %q", want)
+	}
+	if want := fmt.Sprintf(`dynring_test_lat_seconds_bucket{le="+Inf"} %d`+"\n", total); !strings.Contains(out, want) {
+		t.Errorf("render missing %q", want)
+	}
+}

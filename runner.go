@@ -30,8 +30,9 @@ import (
 //		...
 //	}
 type Runner struct {
-	world sim.World
-	rings map[ringKey]*ring.Ring
+	world     sim.World
+	rings     map[ringKey]*ring.Ring
+	lastStats RunStats
 
 	// Memo optionally attaches an in-process result memo: scenarios whose
 	// memo keys match a cached entry replay the stored Result instead of
@@ -41,6 +42,40 @@ type Runner struct {
 	// Scenarios without a canonical fingerprint (NewProtocols, unlabelled
 	// adversary factories) bypass the memo and execute normally.
 	Memo *Memo
+}
+
+// RunStats is the engine's per-run execution accounting: how the Result was
+// produced, as opposed to what it says. RoundsStepped+RoundsLeapt equals
+// Result.Rounds, so the leap fast path's win is directly observable — a run
+// that spends most of its horizon blocked reports a leap ratio near 1.
+// Stats describe one concrete execution, not the scenario: they differ
+// between the leap and slow paths (which produce identical Results), are
+// zero for results replayed from a Memo or cache, and are therefore carried
+// beside Results (SweepResult.Stats), never inside them.
+type RunStats struct {
+	// RoundsStepped counts rounds executed one by one; RoundsLeapt counts
+	// rounds skipped by the quiescence-leap fast path.
+	RoundsStepped int `json:"rounds_stepped"`
+	RoundsLeapt   int `json:"rounds_leapt"`
+	// Leaps counts committed leaps.
+	Leaps int `json:"leaps"`
+	// LeapProbesDisqualified counts engine-quiescent rounds whose leap
+	// probe was invalidated by a fairness- or ET-forced activation.
+	LeapProbesDisqualified int `json:"leap_probes_disqualified"`
+	// CycleDetections counts configuration-cycle certificates (0 or 1 per
+	// run, and only when Scenario.DetectCycles is set).
+	CycleDetections int `json:"cycle_detections"`
+}
+
+// LeapRatio is the fraction of the run's rounds covered by leaps: 0 when
+// every round was stepped (or nothing ran), approaching 1 when the run was
+// dominated by provably quiescent rounds.
+func (s RunStats) LeapRatio() float64 {
+	total := s.RoundsStepped + s.RoundsLeapt
+	if total == 0 {
+		return 0
+	}
+	return float64(s.RoundsLeapt) / float64(total)
 }
 
 // ringKey identifies an immutable ring topology.
@@ -88,6 +123,7 @@ func (r *Runner) Run(ctx context.Context, sc Scenario) (Result, error) {
 // key construction guarantees key equality implies Result identity — so the
 // bit is informational (SweepResult.Cached), never a quality warning.
 func (r *Runner) RunCached(ctx context.Context, sc Scenario) (Result, bool, error) {
+	r.lastStats = RunStats{}
 	if r.Memo == nil {
 		res, err := r.run(ctx, sc)
 		return res, false, err
@@ -105,6 +141,13 @@ func (r *Runner) RunCached(ctx context.Context, sc Scenario) (Result, bool, erro
 	return r.Memo.do(ctx, key, func() (Result, error) { return r.run(ctx, sc) })
 }
 
+// LastStats returns the execution accounting of the most recent Run (or
+// RunCached) call. It is zero before the first run, after an error, and for
+// results replayed from the Memo — replay executes no rounds. A Runner is
+// single-goroutine, so "last" is unambiguous; callers that interleave runs
+// must read the stats before the next call.
+func (r *Runner) LastStats() RunStats { return r.lastStats }
+
 // run executes one scenario on the reused world, unconditionally.
 func (r *Runner) run(ctx context.Context, sc Scenario) (Result, error) {
 	rv, err := sc.resolveRings(true, r.ring)
@@ -114,10 +157,21 @@ func (r *Runner) run(ctx context.Context, sc Scenario) (Result, error) {
 	if err := r.world.Reset(sc.simConfig(rv)); err != nil {
 		return Result{}, err
 	}
-	return sim.RunContext(ctx, &r.world, sim.RunOptions{
+	res, st, err := sim.RunContextStats(ctx, &r.world, sim.RunOptions{
 		MaxRounds:        rv.maxRounds,
 		StopWhenExplored: sc.StopWhenExplored,
 		DetectCycles:     sc.DetectCycles,
 		DisableLeap:      sc.DisableLeap,
 	})
+	if err != nil {
+		return Result{}, err
+	}
+	r.lastStats = RunStats{
+		RoundsStepped:          st.RoundsStepped,
+		RoundsLeapt:            st.RoundsLeapt,
+		Leaps:                  st.Leaps,
+		LeapProbesDisqualified: st.LeapProbesDisqualified,
+		CycleDetections:        st.CycleDetections,
+	}
+	return res, nil
 }

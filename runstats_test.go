@@ -1,0 +1,138 @@
+package dynring_test
+
+import (
+	"context"
+	"testing"
+
+	"dynring"
+)
+
+// leapingScenario is a deterministic configuration known to take the
+// quiescence-leap fast path: ETBoundNoChirality under pin(0) blocks to the
+// horizon, so nearly all of its 500 rounds are provably quiescent.
+func leapingScenario(t *testing.T) dynring.Scenario {
+	t.Helper()
+	spec := dynring.AdversarySpec{Kind: "pin", Pin: 0}
+	f, err := spec.Factory()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dynring.Scenario{
+		Size:           8,
+		Landmark:       0,
+		Algorithm:      "ETBoundNoChirality",
+		Seed:           1,
+		MaxRounds:      500,
+		AdversaryLabel: spec.Label(),
+		NewAdversary:   f,
+	}
+}
+
+// TestRunStatsAccounting pins the RunStats contract: RoundsStepped plus
+// RoundsLeapt always equals Result.Rounds, the leap path reports its leaps,
+// and DisableLeap reports a pure-stepped execution of the identical Result.
+func TestRunStatsAccounting(t *testing.T) {
+	ctx := context.Background()
+	sc := leapingScenario(t)
+
+	r := dynring.NewRunner()
+	res, err := r.Run(ctx, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := r.LastStats()
+	if st.RoundsStepped+st.RoundsLeapt != res.Rounds {
+		t.Fatalf("stepped %d + leapt %d != rounds %d", st.RoundsStepped, st.RoundsLeapt, res.Rounds)
+	}
+	if st.Leaps == 0 || st.RoundsLeapt == 0 {
+		t.Fatalf("leap-eligible blocked run reported no leaps: %+v", st)
+	}
+	if ratio := st.LeapRatio(); ratio <= 0 || ratio >= 1 {
+		t.Fatalf("LeapRatio = %v, want in (0,1)", ratio)
+	}
+
+	slow := sc
+	slow.DisableLeap = true
+	slowRes, err := r.Run(ctx, slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slowSt := r.LastStats()
+	if slowSt.RoundsLeapt != 0 || slowSt.Leaps != 0 {
+		t.Fatalf("DisableLeap run reported leaps: %+v", slowSt)
+	}
+	if slowSt.RoundsStepped != slowRes.Rounds {
+		t.Fatalf("slow path stepped %d of %d rounds", slowSt.RoundsStepped, slowRes.Rounds)
+	}
+	// Same Result, different stats: the reason RunStats lives beside the
+	// Result rather than inside it.
+	if res.Rounds != slowRes.Rounds || res.Outcome != slowRes.Outcome {
+		t.Fatalf("leap/slow results diverged: %+v vs %+v", res, slowRes)
+	}
+	if zero := (dynring.RunStats{}).LeapRatio(); zero != 0 {
+		t.Fatalf("zero-stats LeapRatio = %v, want 0", zero)
+	}
+}
+
+// TestRunStatsMemoReplayZero pins the provenance rule: a Result replayed
+// from the memo executed no rounds, so LastStats must be zero — not the
+// stale stats of the run that populated the memo.
+func TestRunStatsMemoReplayZero(t *testing.T) {
+	ctx := context.Background()
+	sc := leapingScenario(t)
+	r := dynring.NewRunner()
+	r.Memo = dynring.NewMemo(16)
+
+	if _, _, err := r.RunCached(ctx, sc); err != nil {
+		t.Fatal(err)
+	}
+	if st := r.LastStats(); st.RoundsStepped+st.RoundsLeapt == 0 {
+		t.Fatalf("executing run reported zero stats: %+v", st)
+	}
+	_, cached, err := r.RunCached(ctx, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cached {
+		t.Fatal("second run of the same fingerprint was not a memo replay")
+	}
+	if st := r.LastStats(); st != (dynring.RunStats{}) {
+		t.Fatalf("memo replay reported execution stats: %+v", st)
+	}
+}
+
+// TestSweepResultStats verifies Stats rides along each executed sweep row
+// and is zeroed on memo-replayed rows.
+func TestSweepResultStats(t *testing.T) {
+	sc := leapingScenario(t)
+	sw := dynring.Sweep{
+		Base:    sc,
+		Seeds:   []int64{1, 2},
+		Workers: 1,
+		Memo:    dynring.NewMemo(16),
+	}
+	results, err := sw.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("got %d results, want 2", len(results))
+	}
+	for _, r := range results {
+		if r.Err != nil {
+			t.Fatalf("[%d] %s: %v", r.Index, r.Scenario.Name, r.Err)
+		}
+		if r.Cached {
+			if r.Stats != (dynring.RunStats{}) {
+				t.Errorf("[%d] replayed row carries stats: %+v", r.Index, r.Stats)
+			}
+			continue
+		}
+		if r.Stats.RoundsStepped+r.Stats.RoundsLeapt != r.Result.Rounds {
+			t.Errorf("[%d] stats %+v inconsistent with rounds %d", r.Index, r.Stats, r.Result.Rounds)
+		}
+		if r.Stats.RoundsLeapt == 0 {
+			t.Errorf("[%d] blocked run reported no leapt rounds", r.Index)
+		}
+	}
+}

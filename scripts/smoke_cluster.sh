@@ -5,9 +5,12 @@
 # executed exactly once cluster-wide (the summed per-node execution
 # counters equal the grid size), (b) both NDJSON result streams are
 # byte-identical, (c) a sweep still completes when a non-coordinator peer
-# is killed mid-flight, and (d) a restarted peer with the same -data
+# is killed mid-flight, (d) a restarted peer with the same -data
 # directory serves a re-POST of the original grid with zero new executions
-# anywhere (disk warm start). Needs only bash, curl and the go toolchain.
+# anywhere (disk warm start), (e) the dynring_service_executions_total
+# counters scraped from /metrics on all three peers sum to the grid size,
+# and (f) a proxied sweep's trace names spans from at least two distinct
+# nodes under one trace ID. Needs only bash, curl and the go toolchain.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -109,6 +112,37 @@ echo "executions: n1=$E1 n2=$E2 n3=$E3 sum=$SUM (grid=$TOTAL, twice)"
   exit 1
 }
 
+echo "== /metrics on all 3 peers: executions_total sums to the grid size"
+MSUM=0
+for base in "$N1" "$N2" "$N3"; do
+  curl -fsS "$base/metrics" >"$WORKDIR/metrics.txt"
+  grep -q '^# TYPE dynring_service_executions_total counter$' "$WORKDIR/metrics.txt" || {
+    echo "$base/metrics missing the executions_total TYPE line" >&2
+    head -n 20 "$WORKDIR/metrics.txt" >&2
+    exit 1
+  }
+  V="$(awk '$1 == "dynring_service_executions_total" {print $2}' "$WORKDIR/metrics.txt")"
+  [ -n "$V" ] || { echo "$base/metrics has no executions_total sample" >&2; exit 1; }
+  MSUM=$((MSUM + V))
+done
+echo "scraped executions_total sum=$MSUM (grid=$TOTAL)"
+[ "$MSUM" = "$TOTAL" ] || {
+  echo "/metrics counters sum to $MSUM for a $TOTAL-scenario grid" >&2
+  exit 1
+}
+
+echo "== proxied sweep's trace spans >= 2 distinct nodes under one trace ID"
+curl -fsS "$N1/v1/sweeps/$ID1/trace" >"$WORKDIR/trace.json"
+TRACE_ID="$(json_field "$WORKDIR/trace.json" trace_id)"
+[ -n "$TRACE_ID" ] || { echo "trace has no trace_id" >&2; cat "$WORKDIR/trace.json" >&2; exit 1; }
+NODE_COUNT="$(grep -o '"node":"[^"]*"' "$WORKDIR/trace.json" | sort -u | wc -l)"
+echo "trace $TRACE_ID names $NODE_COUNT distinct node(s)"
+[ "$NODE_COUNT" -ge 2 ] || {
+  echo "trace for proxied sweep $ID1 names fewer than 2 nodes:" >&2
+  cat "$WORKDIR/trace.json" >&2
+  exit 1
+}
+
 echo "== streams byte-identical across nodes"
 cmp "$WORKDIR/run1.ndjson" "$WORKDIR/run2.ndjson" || {
   echo "result streams differ between coordinators" >&2; exit 1
@@ -147,4 +181,4 @@ kill -TERM "${PIDS[0]}" "${PIDS[1]}" "${PIDS[3]}" 2>/dev/null || true
 for pid in "${PIDS[0]}" "${PIDS[1]}" "${PIDS[3]}"; do wait "$pid" 2>/dev/null || true; done
 grep -q "shut down" "$WORKDIR/n1.log" || { cat "$WORKDIR/n1.log" >&2; exit 1; }
 
-echo "cluster smoke OK: exactly-once across nodes, identical streams, survives peer death, warm restart runs nothing"
+echo "cluster smoke OK: exactly-once across nodes (statsz and /metrics agree), multi-node trace, identical streams, survives peer death, warm restart runs nothing"

@@ -69,6 +69,12 @@ type SweepResult struct {
 	// executed ones; like Wall, Cached is provenance, not payload, and is
 	// ignored by Aggregate.
 	Cached bool
+	// Stats is the engine's execution accounting for this row (rounds
+	// stepped vs leapt, see RunStats). Like Wall and Cached it describes
+	// how the row ran, not what it computed: it is zero for replayed rows
+	// and for rows executed through StreamFunc or a remote service, and is
+	// ignored by Aggregate.
+	Stats RunStats
 }
 
 // Scenarios expands the grid into concrete, validated scenarios in grid
@@ -134,8 +140,9 @@ func (s Sweep) Scenarios() ([]Scenario, error) {
 type ScenarioRunner func(ctx context.Context, sc Scenario) (Result, error)
 
 // cachedRunner is the internal per-worker execution hook: ScenarioRunner
-// plus the replayed-from-memo bit that fills SweepResult.Cached.
-type cachedRunner func(ctx context.Context, sc Scenario) (Result, bool, error)
+// plus the replayed-from-memo bit that fills SweepResult.Cached and the
+// engine accounting that fills SweepResult.Stats.
+type cachedRunner func(ctx context.Context, sc Scenario) (Result, RunStats, bool, error)
 
 // Stream expands the grid and executes it on a bounded worker pool,
 // delivering results on the returned channel in grid order. The channel is
@@ -151,7 +158,10 @@ func (s Sweep) Stream(ctx context.Context) (<-chan SweepResult, error) {
 	return s.stream(ctx, func() cachedRunner {
 		r := NewRunner()
 		r.Memo = s.Memo
-		return r.RunCached
+		return func(ctx context.Context, sc Scenario) (Result, RunStats, bool, error) {
+			res, cached, err := r.RunCached(ctx, sc)
+			return res, r.LastStats(), cached, err
+		}
 	})
 }
 
@@ -165,9 +175,9 @@ func (s Sweep) Stream(ctx context.Context) (<-chan SweepResult, error) {
 // and every delivered result has Cached unset.
 func (s Sweep) StreamFunc(ctx context.Context, run ScenarioRunner) (<-chan SweepResult, error) {
 	return s.stream(ctx, func() cachedRunner {
-		return func(ctx context.Context, sc Scenario) (Result, bool, error) {
+		return func(ctx context.Context, sc Scenario) (Result, RunStats, bool, error) {
 			res, err := run(ctx, sc)
-			return res, false, err
+			return res, RunStats{}, false, err
 		}
 	})
 }
@@ -187,7 +197,7 @@ func (s Sweep) stream(ctx context.Context, newRun func() cachedRunner) (<-chan S
 			newRun,
 			func(ctx context.Context, run cachedRunner, i int) SweepResult {
 				start := time.Now()
-				res, cached, err := run(ctx, scenarios[i])
+				res, stats, cached, err := run(ctx, scenarios[i])
 				return SweepResult{
 					Index:    i,
 					Scenario: scenarios[i],
@@ -195,6 +205,7 @@ func (s Sweep) stream(ctx context.Context, newRun func() cachedRunner) (<-chan S
 					Err:      err,
 					Wall:     time.Since(start),
 					Cached:   cached,
+					Stats:    stats,
 				}
 			},
 			func(_ int, v SweepResult) bool {
