@@ -10,6 +10,7 @@ import (
 	"io"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
 	"time"
 )
@@ -26,12 +27,33 @@ import (
 // span a sweep causes — on any node — carries one trace ID.
 const TraceHeader = "X-Dynring-Trace"
 
+// TenantHeader is the HTTP header that carries a tenant's API key on
+// work-creating requests, as an alternative to "Authorization: Bearer".
+// The service's cluster proxy also forwards it on POST /v1/run hops so the
+// owning node accounts the execution to the originating tenant.
+const TenantHeader = "X-Dynring-Tenant"
+
+// PriorityHeader and DeadlineHeader qualify a POST /v1/sweeps submission:
+// an integer scheduling priority (higher is served first within the
+// tenant), and a relative deadline as a Go duration after which the server
+// cancels the job.
+const (
+	PriorityHeader = "X-Dynring-Priority"
+	DeadlineHeader = "X-Dynring-Deadline"
+)
+
 // JobStatus is the service's snapshot of one sweep job.
 type JobStatus struct {
 	ID string `json:"id"`
 	// TraceID is the sweep's trace identifier; GET /v1/sweeps/{id}/trace
 	// returns the spans recorded under it.
 	TraceID string `json:"trace_id,omitempty"`
+	// Tenant is the admission principal the job was accepted under;
+	// Priority its scheduling class within that tenant. Deadline, when
+	// set, is the absolute time the server will cancel the job at.
+	Tenant   string    `json:"tenant,omitempty"`
+	Priority int       `json:"priority,omitempty"`
+	Deadline time.Time `json:"deadline,omitzero"`
 	// State is "running", "done" or "cancelled".
 	State string `json:"state"`
 	// Total is the grid size; Completed counts settled scenarios (finished,
@@ -141,8 +163,32 @@ type DiskTierStats struct {
 // JobQueueStat is one job's scheduler backlog in /statsz.
 type JobQueueStat struct {
 	ID string `json:"id"`
+	// Tenant and Priority locate the job in the scheduler: which tenant
+	// lane it queues in, and its class within that lane.
+	Tenant   string `json:"tenant,omitempty"`
+	Priority int    `json:"priority,omitempty"`
 	// Pending counts scenarios not yet dispatched to a worker.
 	Pending int `json:"pending"`
+}
+
+// TenantStat is one tenant's admission accounting in /statsz; present only
+// on nodes running with a tenant config.
+type TenantStat struct {
+	Name   string `json:"name"`
+	Weight int    `json:"weight"`
+	// QueuedScenarios is the tenant's undispatched backlog (what MaxQueued
+	// bounds); RunningJobs its admitted, unsettled jobs (what
+	// MaxConcurrent bounds).
+	QueuedScenarios int   `json:"queued_scenarios"`
+	RunningJobs     int64 `json:"running_jobs"`
+	// Admitted and Rejected count submissions past and against the quota
+	// checks; ServedTasks counts scenario dispatches (the realized
+	// weighted share); DeadlineExpirations counts jobs cancelled by their
+	// deadline.
+	Admitted            uint64 `json:"admitted"`
+	Rejected            uint64 `json:"rejected"`
+	ServedTasks         uint64 `json:"served_tasks"`
+	DeadlineExpirations uint64 `json:"deadline_expirations"`
 }
 
 // ServiceStats is the /statsz document.
@@ -171,6 +217,9 @@ type ServiceStats struct {
 	// Queue lists per-job scheduler backlogs for jobs with undispatched
 	// scenarios, in submission order.
 	Queue []JobQueueStat `json:"queue"`
+	// Tenants lists per-tenant admission accounting, in the server's
+	// declared tenant order; absent without a tenant config.
+	Tenants []TenantStat `json:"tenants,omitempty"`
 	// Cluster mirrors /v1/cluster (peer states included) so one /statsz
 	// poll captures capacity and topology; absent when clustering is off.
 	Cluster *ClusterStatus `json:"cluster,omitempty"`
@@ -195,6 +244,10 @@ type Client struct {
 	// RetryBaseDelay, then double per retry, capped at retryMaxDelay, and
 	// the sleep aborts as soon as ctx does. 0 means the default of 50ms.
 	RetryBaseDelay time.Duration
+	// TenantKey, when set, is sent as "Authorization: Bearer <key>" on
+	// every request — the client's identity against a service running with
+	// a tenant config. WithTenant overrides it per submission.
+	TenantKey string
 }
 
 // NewClient returns a client for the service at baseURL.
@@ -241,16 +294,19 @@ type errorDoc struct {
 
 // do issues a request and decodes a JSON body into out (when non-nil).
 // Non-2xx responses are turned into errors carrying the server's message.
-// Transient failures — transport errors and 5xx responses — are retried
-// with capped exponential backoff (see Client.Retries); 4xx responses and
-// context cancellation are terminal.
+// Transient failures — transport errors, 5xx responses, and 429
+// quota rejections — are retried with capped exponential backoff (see
+// Client.Retries); other 4xx responses and context cancellation are
+// terminal. A 429 carrying Retry-After waits out the server's hint instead
+// of the computed backoff step.
 func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
-	return c.doTraced(ctx, method, path, "", body, out)
+	return c.doTraced(ctx, method, path, "", nil, body, out)
 }
 
-// doTraced is do with an optional trace ID stamped into TraceHeader on every
-// attempt, so retried requests stay attributed to the same trace.
-func (c *Client) doTraced(ctx context.Context, method, path, trace string, body, out any) error {
+// doTraced is do with an optional trace ID stamped into TraceHeader and
+// extra headers applied on every attempt, so retried requests stay
+// attributed to the same trace and tenant.
+func (c *Client) doTraced(ctx context.Context, method, path, trace string, hdr map[string]string, body, out any) error {
 	var buf []byte
 	if body != nil {
 		var err error
@@ -261,15 +317,22 @@ func (c *Client) doTraced(ctx context.Context, method, path, trace string, body,
 	delay := c.retryDelay()
 	var err error
 	for attempt := 0; ; attempt++ {
-		if err = c.doOnce(ctx, method, path, trace, buf, out); err == nil || !transientError(err) {
+		if err = c.doOnce(ctx, method, path, trace, hdr, buf, out); err == nil || !transientError(err) {
 			return err
 		}
 		if attempt >= c.retries() {
 			return err
 		}
+		// Prefer the server's own Retry-After hint (a 429's statement of
+		// when quota headroom is expected) over the blind backoff step.
+		wait := delay
+		var se *serverError
+		if errors.As(err, &se) && se.RetryAfter > 0 {
+			wait = se.RetryAfter
+		}
 		// The sleep is context-aware: a cancelled caller aborts the backoff
 		// immediately instead of burning the remaining window.
-		if serr := sleepCtx(ctx, delay); serr != nil {
+		if serr := sleepCtx(ctx, wait); serr != nil {
 			return err
 		}
 		delay = min(delay*2, retryMaxDelay)
@@ -277,7 +340,7 @@ func (c *Client) doTraced(ctx context.Context, method, path, trace string, body,
 }
 
 // doOnce is one attempt of do.
-func (c *Client) doOnce(ctx context.Context, method, path, trace string, body []byte, out any) error {
+func (c *Client) doOnce(ctx context.Context, method, path, trace string, hdr map[string]string, body []byte, out any) error {
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
@@ -291,6 +354,12 @@ func (c *Client) doOnce(ctx context.Context, method, path, trace string, body []
 	}
 	if trace != "" {
 		req.Header.Set(TraceHeader, trace)
+	}
+	if c.TenantKey != "" {
+		req.Header.Set("Authorization", "Bearer "+c.TenantKey)
+	}
+	for k, v := range hdr {
+		req.Header.Set(k, v)
 	}
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
@@ -308,11 +377,12 @@ func (c *Client) doOnce(ctx context.Context, method, path, trace string, body []
 }
 
 // serverError is a non-2xx response as an error; Code drives the retry
-// decision.
+// decision and RetryAfter (from a 429's Retry-After header) the backoff.
 type serverError struct {
-	Code    int
-	Status  string
-	Message string
+	Code       int
+	Status     string
+	Message    string
+	RetryAfter time.Duration
 }
 
 func (e *serverError) Error() string {
@@ -320,16 +390,18 @@ func (e *serverError) Error() string {
 }
 
 // transientError reports whether err is worth retrying: any 5xx (the
-// service restarting, a proxy hiccup, ErrClosed during a rolling drain)
-// and any transport-level failure (connection refused, reset, timeout)
-// that is not the caller's own context ending.
+// service restarting, a proxy hiccup, ErrClosed during a rolling drain), a
+// 429 quota rejection (headroom frees as queued work drains), and any
+// transport-level failure (connection refused, reset, timeout) that is not
+// the caller's own context ending. Other 4xx responses — bad spec, unknown
+// job, bad credentials — are deterministic and never retried.
 func transientError(err error) bool {
 	if err == nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 		return false
 	}
 	var se *serverError
 	if errors.As(err, &se) {
-		return se.Code >= 500
+		return se.Code >= 500 || se.Code == http.StatusTooManyRequests
 	}
 	var ue *url.Error
 	return errors.As(err, &ue)
@@ -348,7 +420,8 @@ func sleepCtx(ctx context.Context, d time.Duration) error {
 }
 
 // remoteError converts a non-2xx response into an error, preferring the
-// server's JSON error message.
+// server's JSON error message and capturing its Retry-After hint (whole
+// seconds; the HTTP-date form is not used by this service).
 func remoteError(resp *http.Response) error {
 	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
 	msg := string(bytes.TrimSpace(raw))
@@ -356,15 +429,68 @@ func remoteError(resp *http.Response) error {
 	if json.Unmarshal(raw, &doc) == nil && doc.Error != "" {
 		msg = doc.Error
 	}
-	return &serverError{Code: resp.StatusCode, Status: resp.Status, Message: msg}
+	se := &serverError{Code: resp.StatusCode, Status: resp.Status, Message: msg}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		if secs, err := strconv.Atoi(ra); err == nil && secs > 0 {
+			se.RetryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	return se
+}
+
+// SubmitOption qualifies one submission (SubmitSweep, RunSweep,
+// RunSweepFunc, RunSweepRouted).
+type SubmitOption func(*submitOptions)
+
+type submitOptions struct {
+	tenantKey string
+	priority  *int
+	deadline  time.Duration
+}
+
+// WithTenant submits under the given tenant API key, overriding the
+// client's TenantKey for this call.
+func WithTenant(key string) SubmitOption {
+	return func(o *submitOptions) { o.tenantKey = key }
+}
+
+// WithPriority sets the job's scheduling priority within its tenant;
+// higher is served strictly first. The default is 0.
+func WithPriority(p int) SubmitOption {
+	return func(o *submitOptions) { o.priority = &p }
+}
+
+// WithDeadline bounds the job's lifetime: if it has not settled after d
+// the server cancels it, its unfinished rows erroring with the deadline.
+func WithDeadline(d time.Duration) SubmitOption {
+	return func(o *submitOptions) { o.deadline = d }
+}
+
+// headers renders the options as submission request headers.
+func (o *submitOptions) headers() map[string]string {
+	hdr := map[string]string{}
+	if o.tenantKey != "" {
+		hdr["Authorization"] = "Bearer " + o.tenantKey
+	}
+	if o.priority != nil {
+		hdr[PriorityHeader] = strconv.Itoa(*o.priority)
+	}
+	if o.deadline > 0 {
+		hdr[DeadlineHeader] = o.deadline.String()
+	}
+	return hdr
 }
 
 // SubmitSweep submits a grid and returns the new job's status. The job runs
 // on the server regardless of what happens to this client; cancel it with
 // CancelSweep.
-func (c *Client) SubmitSweep(ctx context.Context, spec SweepSpec) (JobStatus, error) {
+func (c *Client) SubmitSweep(ctx context.Context, spec SweepSpec, opts ...SubmitOption) (JobStatus, error) {
+	var so submitOptions
+	for _, opt := range opts {
+		opt(&so)
+	}
 	var st JobStatus
-	err := c.do(ctx, http.MethodPost, "/v1/sweeps", spec, &st)
+	err := c.doTraced(ctx, http.MethodPost, "/v1/sweeps", "", so.headers(), spec, &st)
 	return st, err
 }
 
@@ -409,14 +535,92 @@ func (c *Client) ServiceStats(ctx context.Context) (ServiceStats, error) {
 // the server surfaces as its error, and a stream that ends short of the
 // full grid without one (connection cut, proxy timeout) is rejected too.
 // fn is never invoked for the terminal sentinel row.
+//
+// A transiently failed stream is resumed, not restarted: the client
+// reconnects with ?from=<next index> (the server's resume cursor) up to
+// Retries times, and rows the server re-serves below the cursor are
+// silently skipped, so fn observes each index at most once regardless of
+// how many reconnects it took. Resume attempts reset whenever a connection
+// makes progress; negative Retries disables resumption along with every
+// other retry.
 func (c *Client) StreamResults(ctx context.Context, id string, fn func(ResultRow) error) error {
+	return c.StreamResultsFrom(ctx, id, 0, fn)
+}
+
+// errFnAbort wraps an error returned by the caller's row callback so the
+// resume loop can tell "the consumer gave up" (terminal, unwrap) from "the
+// stream broke" (resumable).
+type errFnAbort struct{ err error }
+
+func (e *errFnAbort) Error() string { return e.err.Error() }
+
+// StreamResultsFrom is StreamResults starting at grid index from: rows
+// below from are never delivered. It is the resume primitive — a consumer
+// that already holds rows [0,N) continues with from=N after its own
+// restart, not just after a transport blip.
+func (c *Client) StreamResultsFrom(ctx context.Context, id string, from int, fn func(ResultRow) error) error {
 	st, err := c.SweepStatus(ctx, id)
 	if err != nil {
 		return err
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/sweeps/"+id+"/results", nil)
+	if from < 0 || from > st.Total {
+		return fmt.Errorf("dynring: resume index %d out of range for %d rows", from, st.Total)
+	}
+	next := from
+	delay := c.retryDelay()
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		before := next
+		err := c.streamOnce(ctx, id, st.Total, &next, fn)
+		if err == nil {
+			return nil
+		}
+		var fa *errFnAbort
+		if errors.As(err, &fa) {
+			return fa.err
+		}
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return err
+		}
+		var se *serverError
+		if errors.As(err, &se) && !transientError(err) {
+			// A deterministic rejection of the resume GET itself (404 after
+			// job eviction, 400 on a bad cursor) cannot be waited out.
+			return err
+		}
+		if next > before {
+			// The connection made progress before dying; a stream can be
+			// arbitrarily long-lived, so progress re-earns the full retry
+			// budget rather than draining one global allowance.
+			attempt = 0
+			delay = c.retryDelay()
+		}
+		if attempt >= c.retries() {
+			return err
+		}
+		lastErr = err
+		if serr := sleepCtx(ctx, delay); serr != nil {
+			return lastErr
+		}
+		delay = min(delay*2, retryMaxDelay)
+	}
+}
+
+// streamOnce runs one results connection from *next, advancing *next past
+// each row it delivers. Rows below *next (re-served by a resume) are
+// skipped without invoking fn. fn errors come back wrapped in errFnAbort;
+// every other failure is a broken stream the caller may resume.
+func (c *Client) streamOnce(ctx context.Context, id string, total int, next *int, fn func(ResultRow) error) error {
+	path := "/v1/sweeps/" + id + "/results"
+	if *next > 0 {
+		path += "?from=" + strconv.Itoa(*next)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+path, nil)
 	if err != nil {
 		return err
+	}
+	if c.TenantKey != "" {
+		req.Header.Set("Authorization", "Bearer "+c.TenantKey)
 	}
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
@@ -428,7 +632,6 @@ func (c *Client) StreamResults(ctx context.Context, id string, fn func(ResultRow
 	}
 	sc := bufio.NewScanner(resp.Body)
 	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
-	rows := 0
 	for sc.Scan() {
 		line := bytes.TrimSpace(sc.Bytes())
 		if len(line) == 0 {
@@ -436,24 +639,32 @@ func (c *Client) StreamResults(ctx context.Context, id string, fn func(ResultRow
 		}
 		var row ResultRow
 		if err := json.Unmarshal(line, &row); err != nil {
+			// Typically a line cut mid-write by a dying connection; the
+			// resume re-fetches it whole.
 			return fmt.Errorf("dynring: bad result row: %w", err)
 		}
 		if row.Index < 0 {
 			if row.Error != "" {
-				return fmt.Errorf("dynring: server aborted result stream after %d/%d rows: %s", rows, st.Total, row.Error)
+				return fmt.Errorf("dynring: server aborted result stream after %d/%d rows: %s", *next, total, row.Error)
 			}
-			return fmt.Errorf("dynring: server aborted result stream after %d/%d rows", rows, st.Total)
+			return fmt.Errorf("dynring: server aborted result stream after %d/%d rows", *next, total)
 		}
-		rows++
+		if row.Index < *next {
+			continue
+		}
+		if row.Index > *next {
+			return fmt.Errorf("dynring: result stream skipped from row %d to %d", *next, row.Index)
+		}
+		*next = row.Index + 1
 		if err := fn(row); err != nil {
-			return err
+			return &errFnAbort{err: err}
 		}
 	}
 	if err := sc.Err(); err != nil {
 		return err
 	}
-	if rows < st.Total {
-		return fmt.Errorf("dynring: result stream truncated: got %d of %d rows", rows, st.Total)
+	if *next < total {
+		return fmt.Errorf("dynring: result stream truncated: got %d of %d rows", *next, total)
 	}
 	return nil
 }
@@ -465,8 +676,8 @@ func (c *Client) StreamResults(ctx context.Context, id string, fn func(ResultRow
 // anything is sent); Wall is zero, since the server deliberately does not
 // report nondeterministic timings. On ctx cancellation the server-side job
 // is cancelled too.
-func (c *Client) RunSweep(ctx context.Context, spec SweepSpec) ([]SweepResult, error) {
-	return c.RunSweepFunc(ctx, spec, nil, nil)
+func (c *Client) RunSweep(ctx context.Context, spec SweepSpec, opts ...SubmitOption) ([]SweepResult, error) {
+	return c.RunSweepFunc(ctx, spec, nil, nil, opts...)
 }
 
 // RunSweepFunc is RunSweep with progress hooks: onStart (when non-nil) is
@@ -475,12 +686,12 @@ func (c *Client) RunSweep(ctx context.Context, spec SweepSpec) ([]SweepResult, e
 // live remote sweeps. On any failure after submission the server-side job
 // is cancelled best-effort, and the results collected so far are returned
 // with the error.
-func (c *Client) RunSweepFunc(ctx context.Context, spec SweepSpec, onStart func(JobStatus), onRow func(SweepResult)) ([]SweepResult, error) {
+func (c *Client) RunSweepFunc(ctx context.Context, spec SweepSpec, onStart func(JobStatus), onRow func(SweepResult), opts ...SubmitOption) ([]SweepResult, error) {
 	scenarios, err := spec.ScenarioList()
 	if err != nil {
 		return nil, err
 	}
-	st, err := c.SubmitSweep(ctx, spec)
+	st, err := c.SubmitSweep(ctx, spec, opts...)
 	if err != nil {
 		return nil, err
 	}

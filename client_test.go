@@ -3,11 +3,16 @@ package dynring_test
 import (
 	"context"
 	"errors"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"reflect"
+	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"dynring"
 	"dynring/internal/service"
@@ -163,6 +168,104 @@ func TestClientErrors(t *testing.T) {
 	}
 	if after.State != "cancelled" && after.State != "done" {
 		t.Fatalf("state after cancel %q", after.State)
+	}
+}
+
+// TestClientStreamAutoResume: a results connection that dies mid-stream is
+// resumed with ?from=<cursor>, rows the resume re-serves below the cursor
+// are skipped, and fn observes each index exactly once.
+func TestClientStreamAutoResume(t *testing.T) {
+	row := func(i int) string {
+		return fmt.Sprintf(`{"index":%d,"name":"s%d","fingerprint":"f"}`+"\n", i, i)
+	}
+	var conns atomic.Int32
+	var fromSeen []string
+	var mu sync.Mutex
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/sweeps/j1", func(w http.ResponseWriter, r *http.Request) {
+		_, _ = w.Write([]byte(`{"id":"j1","state":"done","total":4}`))
+	})
+	mux.HandleFunc("GET /v1/sweeps/j1/results", func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		fromSeen = append(fromSeen, r.URL.Query().Get("from"))
+		mu.Unlock()
+		if conns.Add(1) == 1 {
+			// First connection: two rows, then the connection dies.
+			_, _ = w.Write([]byte(row(0) + row(1)))
+			return
+		}
+		// The resume: re-serve one row below the cursor (a server may
+		// round down), then the genuine suffix.
+		from, _ := strconv.Atoi(r.URL.Query().Get("from"))
+		for i := from - 1; i < 4; i++ {
+			_, _ = w.Write([]byte(row(i)))
+		}
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	c := dynring.NewClient(srv.URL)
+	c.RetryBaseDelay = time.Millisecond
+	var got []int
+	err := c.StreamResults(context.Background(), "j1", func(r dynring.ResultRow) error {
+		got = append(got, r.Index)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("resumed stream failed: %v", err)
+	}
+	if want := []int{0, 1, 2, 3}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("fn saw rows %v, want %v (each index exactly once)", got, want)
+	}
+	if want := []string{"", "2"}; !reflect.DeepEqual(fromSeen, want) {
+		t.Fatalf("resume cursors %v, want %v", fromSeen, want)
+	}
+
+	// Retries < 0 disables resumption: the same first-connection cut is a
+	// terminal truncation error.
+	conns.Store(0)
+	c2 := dynring.NewClient(srv.URL)
+	c2.Retries = -1
+	err = c2.StreamResults(context.Background(), "j1", func(dynring.ResultRow) error { return nil })
+	if err == nil || !strings.Contains(err.Error(), "truncated") {
+		t.Fatalf("with retries disabled, error = %v, want truncation", err)
+	}
+}
+
+// TestClientStreamResultsFrom: the explicit resume primitive against a real
+// service — a consumer holding rows [0,N) continues at N and sees exactly
+// the suffix.
+func TestClientStreamResultsFrom(t *testing.T) {
+	client, _ := newTestService(t, service.Options{Workers: 2, CacheSize: 64})
+	ctx := context.Background()
+	st, err := client.SubmitSweep(ctx, clientSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var all []dynring.ResultRow
+	if err := client.StreamResults(ctx, st.ID, func(r dynring.ResultRow) error {
+		all = append(all, r)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	from := st.Total / 2
+	var tail []dynring.ResultRow
+	if err := client.StreamResultsFrom(ctx, st.ID, from, func(r dynring.ResultRow) error {
+		tail = append(tail, r)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tail, all[from:]) {
+		t.Fatalf("resumed tail diverges from full stream's suffix:\n%+v\nvs\n%+v", tail, all[from:])
+	}
+	// Out-of-range cursors are rejected client-side before any request.
+	if err := client.StreamResultsFrom(ctx, st.ID, st.Total+1, nil); err == nil {
+		t.Fatal("out-of-range resume index accepted")
+	}
+	if err := client.StreamResultsFrom(ctx, st.ID, -1, nil); err == nil {
+		t.Fatal("negative resume index accepted")
 	}
 }
 

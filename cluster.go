@@ -97,10 +97,11 @@ func (c *Client) RunScenario(ctx context.Context, spec ScenarioSpec) (RunRespons
 
 // RunScenarioTraced is RunScenario carrying a trace ID: traceID (when
 // non-empty) is sent in TraceHeader so the receiving node records its span
-// under the caller's trace. The cluster proxy path uses this for every hop.
+// under the caller's trace. The cluster proxy path uses this for every hop,
+// with the client's TenantKey identifying the originating tenant.
 func (c *Client) RunScenarioTraced(ctx context.Context, spec ScenarioSpec, traceID string) (RunResponse, error) {
 	var rr RunResponse
-	err := c.doTraced(ctx, http.MethodPost, "/v1/run", traceID, RunRequest{Scenario: spec}, &rr)
+	err := c.doTraced(ctx, http.MethodPost, "/v1/run", traceID, nil, RunRequest{Scenario: spec}, &rr)
 	return rr, err
 }
 
@@ -112,6 +113,7 @@ func (c *Client) peerClient(baseURL string) *Client {
 		HTTPClient:     c.HTTPClient,
 		Retries:        c.Retries,
 		RetryBaseDelay: c.RetryBaseDelay,
+		TenantKey:      c.TenantKey,
 	}
 }
 
@@ -136,14 +138,17 @@ func (c *Client) peerClient(baseURL string) *Client {
 // onRow, when non-nil, receives each result as its share settles; unlike
 // RunSweepFunc's hook the calls are NOT in grid order across shares
 // (shares stream concurrently), though the returned slice always is.
-func (c *Client) RunSweepRouted(ctx context.Context, spec SweepSpec, onRow func(SweepResult)) ([]SweepResult, error) {
+//
+// SubmitOptions (tenant, priority, deadline) apply to every share
+// submission: each owning node admits its share under the same tenant.
+func (c *Client) RunSweepRouted(ctx context.Context, spec SweepSpec, onRow func(SweepResult), opts ...SubmitOption) ([]SweepResult, error) {
 	cs, err := c.ClusterStatus(ctx)
 	if err != nil {
 		return nil, err
 	}
 	members := cs.RingMembers()
 	if !cs.Enabled || len(members) <= 1 {
-		return c.RunSweepFunc(ctx, spec, nil, onRow)
+		return c.RunSweepFunc(ctx, spec, nil, onRow, opts...)
 	}
 	scenarios, err := spec.ScenarioList()
 	if err != nil {
@@ -153,7 +158,7 @@ func (c *Client) RunSweepRouted(ctx context.Context, spec SweepSpec, onRow func(
 	if !routable {
 		// Not content-addressable (custom factories, unlabelled
 		// adversaries): no owner exists, so routing is meaningless.
-		return c.RunSweepFunc(ctx, spec, nil, onRow)
+		return c.RunSweepFunc(ctx, spec, nil, onRow, opts...)
 	}
 
 	out := make([]SweepResult, len(scenarios))
@@ -184,12 +189,12 @@ func (c *Client) RunSweepRouted(ctx context.Context, spec SweepSpec, onRow func(
 			share, err := shareSpec(scenarios, indices)
 			if err == nil {
 				var results []SweepResult
-				results, err = c.runShare(ctx, target, share)
+				results, err = c.runShare(ctx, target, share, opts)
 				if err != nil && target != c.BaseURL && ctx.Err() == nil {
 					// The owner died or moved after the snapshot:
 					// transparently retry the whole share against our own
 					// node, which executes locally what it cannot route.
-					results, err = c.runShare(ctx, c.BaseURL, share)
+					results, err = c.runShare(ctx, c.BaseURL, share, opts)
 				}
 				if len(results) > 0 {
 					deliver(indices, results)
@@ -256,6 +261,6 @@ func shareSpec(scenarios []Scenario, indices []int) (SweepSpec, error) {
 
 // runShare runs one share against target, reusing the full RunSweepFunc
 // machinery (submission, streaming, truncation checks, abandonment).
-func (c *Client) runShare(ctx context.Context, target string, share SweepSpec) ([]SweepResult, error) {
-	return c.peerClient(target).RunSweepFunc(ctx, share, nil, nil)
+func (c *Client) runShare(ctx context.Context, target string, share SweepSpec, opts []SubmitOption) ([]SweepResult, error) {
+	return c.peerClient(target).RunSweepFunc(ctx, share, nil, nil, opts...)
 }

@@ -1,24 +1,37 @@
 // Command ringsimd is the long-running sweep service: it accepts scenario
-// grids over HTTP, schedules them on one shared worker pool (fair
-// round-robin between jobs), and serves results from a content-addressed
-// cache keyed by Scenario.Fingerprint, so repeated or overlapping grids
-// skip recomputation entirely. With -data the cache gains a durable disk
-// tier that survives restarts; with -self/-peers the node joins a sharded
-// cluster that routes each fingerprint to one owning node.
+// grids over HTTP, schedules them on one shared worker pool, and serves
+// results from a content-addressed cache keyed by Scenario.Fingerprint, so
+// repeated or overlapping grids skip recomputation entirely. Scheduling is
+// weighted deficit round-robin across tenants (see -tenants), strict
+// priority within a tenant, and fair round-robin between a priority
+// class's jobs; without -tenants everything runs as one anonymous tenant,
+// which is plain fair round-robin between jobs. With -data the cache gains
+// a durable disk tier that survives restarts; with -self/-peers the node
+// joins a sharded cluster that routes each fingerprint to one owning node.
 //
 // Usage:
 //
 //	ringsimd -addr :8080 -workers 8 -cache 4096
 //	ringsimd -addr :8080 -data /var/lib/ringsimd        # durable result tier
+//	ringsimd -addr :8080 -tenants 'alice:sk-alice:3:500:8,bob:sk-bob:1'
+//	ringsimd -addr :8080 -tenants @/etc/ringsimd/tenants.json
 //	ringsimd -addr :8080 -pprof 127.0.0.1:6060          # profiling endpoint on a private port
 //	ringsimd -addr :8081 -self http://127.0.0.1:8081 \
 //	         -peers http://127.0.0.1:8081,http://127.0.0.1:8082,http://127.0.0.1:8083
 //
+// -tenants declares admission principals as
+// name:key:weight[:maxQueued[:maxConcurrent]] entries (or @file naming a
+// JSON []TenantConfig). With tenants configured, POST /v1/sweeps and
+// POST /v1/run require a tenant's API key (Authorization: Bearer, or
+// X-Dynring-Tenant) and reject over-quota submissions with 429 plus a
+// Retry-After hint; per-tenant dynring_admission_* metric families appear
+// on /metrics and a tenants section in /statsz.
+//
 // API (see internal/service and the dynring.Client type):
 //
-//	POST   /v1/sweeps               submit a SweepSpec
+//	POST   /v1/sweeps               submit a SweepSpec (X-Dynring-Priority, X-Dynring-Deadline honored)
 //	GET    /v1/sweeps/{id}          job status
-//	GET    /v1/sweeps/{id}/results  NDJSON results in grid order
+//	GET    /v1/sweeps/{id}/results  NDJSON results in grid order (?from=N resumes at grid index N)
 //	DELETE /v1/sweeps/{id}          cancel
 //	POST   /v1/run                  run one scenario synchronously (the cluster proxy hop)
 //	GET    /v1/cluster              this node's cluster view
@@ -79,6 +92,7 @@ func run(ctx context.Context, out io.Writer, args []string) error {
 		cacheSize   = fs.Int("cache", 4096, "result cache capacity in entries (0 disables)")
 		dataDir     = fs.String("data", "", "durable result-tier directory (empty disables; survives restarts)")
 		history     = fs.Int("job-history", 0, "settled jobs retained for queries (0 = default 1024)")
+		tenants     = fs.String("tenants", "", "tenant declarations: name:key:weight[:maxQueued[:maxConcurrent]],... or @file.json (empty = single anonymous tenant)")
 		self        = fs.String("self", "", "this node's advertised base URL (enables cluster mode)")
 		peers       = fs.String("peers", "", "comma-separated seed peer base URLs (same list on every node)")
 		vnodes      = fs.Int("vnodes", 0, "virtual nodes per member on the placement ring (0 = default; must match cluster-wide)")
@@ -107,6 +121,10 @@ func run(ctx context.Context, out io.Writer, args []string) error {
 			seedPeers = append(seedPeers, strings.TrimRight(p, "/"))
 		}
 	}
+	tenantCfg, err := service.ParseTenants(*tenants)
+	if err != nil {
+		return fmt.Errorf("-tenants: %w", err)
+	}
 
 	logger, err := newLogger(out, *logLevel, *logFormat)
 	if err != nil {
@@ -123,6 +141,7 @@ func run(ctx context.Context, out io.Writer, args []string) error {
 		CacheSize:  *cacheSize,
 		DiskDir:    *dataDir,
 		JobHistory: *history,
+		Tenants:    tenantCfg,
 		Cluster: service.ClusterOptions{
 			Self:          strings.TrimRight(*self, "/"),
 			Peers:         seedPeers,
@@ -143,6 +162,9 @@ func run(ctx context.Context, out io.Writer, args []string) error {
 		ln.Addr(), mgr.Workers(), *cacheSize)
 	if *self != "" {
 		fmt.Fprintf(out, "ringsimd cluster mode: self=%s peers=%d\n", *self, len(seedPeers))
+	}
+	if len(tenantCfg) > 0 {
+		fmt.Fprintf(out, "ringsimd admission: %d tenants\n", len(tenantCfg))
 	}
 
 	var pprofSrv *http.Server

@@ -1,0 +1,394 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"dynring"
+)
+
+// twoTenants is the standard test config: alice carries triple bob's
+// weight and a tight queue quota.
+func twoTenants() []TenantConfig {
+	return []TenantConfig{
+		{Name: "alice", Key: "sk-alice", Weight: 3, MaxQueued: 64},
+		{Name: "bob", Key: "sk-bob", Weight: 1},
+	}
+}
+
+// postSweepAs POSTs a spec with the given extra headers and returns the
+// raw response (caller closes the body).
+func postSweepAs(t *testing.T, srv *httptest.Server, spec dynring.SweepSpec, hdr map[string]string) *http.Response {
+	t.Helper()
+	buf, _ := json.Marshal(spec)
+	req, err := http.NewRequest(http.MethodPost, srv.URL+"/v1/sweeps", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// TestAdmissionAuth: with tenants configured, work-creating endpoints
+// require a configured key (Bearer or X-Dynring-Tenant), reads stay open,
+// and without tenants every request is the anonymous tenant.
+func TestAdmissionAuth(t *testing.T) {
+	m := mustNew(t, Options{Workers: 2, CacheSize: 16, Tenants: twoTenants()})
+	defer m.Close()
+	srv := httptest.NewServer(NewHandler(m))
+	defer srv.Close()
+
+	spec := testSpec()
+	for name, hdr := range map[string]map[string]string{
+		"no key":    nil,
+		"wrong key": {"Authorization": "Bearer sk-mallory"},
+	} {
+		resp := postSweepAs(t, srv, spec, hdr)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusUnauthorized {
+			t.Fatalf("%s: status %d, want 401", name, resp.StatusCode)
+		}
+	}
+	// POST /v1/run is equally gated (it creates work on the proxy path).
+	resp, err := http.Post(srv.URL+"/v1/run", "application/json",
+		strings.NewReader(`{"scenario":{"size":6,"algorithm":"KnownNNoChirality"}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("unauthenticated /v1/run: status %d, want 401", resp.StatusCode)
+	}
+
+	var created dynring.JobStatus
+	for name, hdr := range map[string]map[string]string{
+		"bearer":        {"Authorization": "Bearer sk-alice"},
+		"tenant header": {TenantHeader: "sk-alice"},
+	} {
+		resp := postSweepAs(t, srv, spec, hdr)
+		if resp.StatusCode != http.StatusCreated {
+			t.Fatalf("%s: status %d, want 201", name, resp.StatusCode)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&created); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if created.Tenant != "alice" {
+			t.Fatalf("%s: job tenant %q, want alice", name, created.Tenant)
+		}
+	}
+	// Reads need no credentials: observability must survive a lost key.
+	if body := streamBody(t, srv, created.ID); len(body) == 0 {
+		t.Fatal("unauthenticated results stream empty")
+	}
+
+	// Without tenants, keyless submissions run as the anonymous tenant.
+	anon := mustNew(t, Options{Workers: 1, CacheSize: 0})
+	defer anon.Close()
+	asrv := httptest.NewServer(NewHandler(anon))
+	defer asrv.Close()
+	st := postSweep(t, asrv, spec)
+	if st.Tenant != AnonymousTenant {
+		t.Fatalf("tenant without config = %q, want %q", st.Tenant, AnonymousTenant)
+	}
+}
+
+// TestQuota429RetryAfter: a submission past MaxQueued is rejected with
+// 429 plus the Retry-After hint, and MaxConcurrent bounds live jobs.
+func TestQuota429RetryAfter(t *testing.T) {
+	m := mustNew(t, Options{Workers: 1, CacheSize: 0, Tenants: []TenantConfig{
+		{Name: "alice", Key: "sk-alice", Weight: 1, MaxQueued: 4},
+	}})
+	defer m.Close()
+	srv := httptest.NewServer(NewHandler(m))
+	defer srv.Close()
+
+	// testSpec expands to 8 scenarios > MaxQueued 4: rejected up front.
+	resp := postSweepAs(t, srv, testSpec(), map[string]string{"Authorization": "Bearer sk-alice"})
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-quota status %d, want 429: %s", resp.StatusCode, raw)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "1" {
+		t.Fatalf("Retry-After = %q, want %q", ra, "1")
+	}
+	if !strings.Contains(string(raw), "queued scenarios") {
+		t.Fatalf("429 body does not name the quota: %s", raw)
+	}
+
+	// MaxConcurrent: with one admitted-and-unsettled job, the next is
+	// rejected. An unstarted manager keeps the first job alive forever.
+	um := mustManager(t, Options{Workers: 1, CacheSize: 0, Tenants: []TenantConfig{
+		{Name: "carol", Key: "sk-carol", Weight: 1, MaxConcurrent: 1},
+	}})
+	if _, err := um.SubmitJob(testSpec(), SubmitOptions{Tenant: "carol"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := um.SubmitJob(testSpec(), SubmitOptions{Tenant: "carol"}); !errors.Is(err, ErrQuotaExceeded) {
+		t.Fatalf("second concurrent job error = %v, want ErrQuotaExceeded", err)
+	}
+}
+
+// TestDeadlineExpiry: a job that misses its deadline is cancelled exactly
+// as DELETE would, except rows carry context.DeadlineExceeded, and the
+// expiry is visible in tenant stats.
+func TestDeadlineExpiry(t *testing.T) {
+	// No workers: the job can never complete, only expire.
+	m := mustManager(t, Options{Workers: 1, CacheSize: 0, Tenants: twoTenants()})
+	j, err := m.SubmitJob(testSpec(), SubmitOptions{Tenant: "alice", Deadline: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Status().Deadline.IsZero() {
+		t.Fatal("status does not expose the deadline")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := j.Wait(ctx); err != nil {
+		t.Fatalf("expired job did not settle: %v", err)
+	}
+	st := j.Status()
+	if st.State != "cancelled" || st.Completed != st.Total {
+		t.Fatalf("expired job status %+v", st)
+	}
+	row, err := j.WaitRow(ctx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(row.Err, context.DeadlineExceeded) {
+		t.Fatalf("row error = %v, want context.DeadlineExceeded", row.Err)
+	}
+	m.mu.Lock()
+	if n := m.sched.Len(); n != 0 {
+		t.Fatalf("expired job left %d tasks queued", n)
+	}
+	m.mu.Unlock()
+	stats := m.Stats()
+	var alice dynring.TenantStat
+	for _, ts := range stats.Tenants {
+		if ts.Name == "alice" {
+			alice = ts
+		}
+	}
+	if alice.DeadlineExpirations != 1 || alice.RunningJobs != 0 {
+		t.Fatalf("alice stats after expiry: %+v", alice)
+	}
+
+	// A job that settles first must not count as expired later.
+	j2, err := m.SubmitJob(testSpec(), SubmitOptions{Tenant: "bob", Deadline: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Cancel(j2.ID) {
+		t.Fatal("Cancel returned false")
+	}
+	time.Sleep(50 * time.Millisecond) // let the (stopped) timer window pass
+	for _, ts := range m.Stats().Tenants {
+		if ts.Name == "bob" && ts.DeadlineExpirations != 0 {
+			t.Fatalf("cancelled-then-expired job double-counted: %+v", ts)
+		}
+	}
+}
+
+// TestPriorityThroughHeaders: X-Dynring-Priority orders jobs within a
+// tenant strictly, and malformed QoS headers are 400s.
+func TestPriorityThroughHeaders(t *testing.T) {
+	m := mustManager(t, Options{Workers: 1, CacheSize: 0})
+	srv := httptest.NewServer(NewHandler(m))
+	defer srv.Close()
+
+	spec := testSpec()
+	spec.Algorithms = []string{"KnownNNoChirality"}
+	spec.Sizes = []int{6}
+	spec.Seeds = []int64{1, 2} // 2 scenarios per job
+
+	resp := postSweepAs(t, srv, spec, nil) // bulk, priority 0
+	var bulk dynring.JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&bulk); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	spec.Seeds = []int64{3, 4}
+	resp = postSweepAs(t, srv, spec, map[string]string{PriorityHeader: "5"})
+	var urgent dynring.JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&urgent); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if urgent.Priority != 5 {
+		t.Fatalf("created status priority = %d, want 5", urgent.Priority)
+	}
+
+	// The later, higher-priority job drains completely first.
+	var order []string
+	for i := 0; i < 4; i++ {
+		tk, ok := m.nextTask()
+		if !ok {
+			t.Fatal("scheduler closed")
+		}
+		order = append(order, tk.j.ID)
+	}
+	want := []string{urgent.ID, urgent.ID, bulk.ID, bulk.ID}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("dispatch order %v, want urgent before bulk", order)
+		}
+	}
+
+	for hdr, val := range map[string]string{
+		PriorityHeader: "not-a-number",
+		DeadlineHeader: "yesterday",
+	} {
+		resp := postSweepAs(t, srv, spec, map[string]string{hdr: val})
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("bad %s: status %d, want 400", hdr, resp.StatusCode)
+		}
+	}
+	// A non-positive deadline is meaningless (already expired).
+	resp = postSweepAs(t, srv, spec, map[string]string{DeadlineHeader: "-5s"})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("negative deadline: status %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestCrossTenantExactlyOnce: the result cache is deliberately
+// tenant-agnostic — an identical grid submitted by a second tenant is
+// served from cache, executing nothing.
+func TestCrossTenantExactlyOnce(t *testing.T) {
+	m := mustNew(t, Options{Workers: 4, CacheSize: 1024, Tenants: twoTenants()})
+	defer m.Close()
+
+	ja, err := m.SubmitJob(testSpec(), SubmitOptions{Tenant: "alice"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, ja)
+	jb, err := m.SubmitJob(testSpec(), SubmitOptions{Tenant: "bob"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, jb)
+
+	st := m.Stats()
+	if st.Executions != uint64(ja.Total()) {
+		t.Fatalf("executions = %d, want %d (bob's grid must be all cache hits)",
+			st.Executions, ja.Total())
+	}
+	if jb.Status().CacheHits != jb.Total() {
+		t.Fatalf("bob's cache hits = %d/%d", jb.Status().CacheHits, jb.Total())
+	}
+}
+
+// TestResultsResumeFrom: GET ?from=N serves exactly the suffix of the
+// full stream starting at grid index N, and out-of-range cursors are 400s.
+func TestResultsResumeFrom(t *testing.T) {
+	m := mustNew(t, Options{Workers: 4, CacheSize: 64})
+	defer m.Close()
+	srv := httptest.NewServer(NewHandler(m))
+	defer srv.Close()
+
+	st := postSweep(t, srv, testSpec())
+	full := streamBody(t, srv, st.ID)
+	lines := bytes.SplitAfter(full, []byte("\n"))
+
+	for _, from := range []int{0, 1, st.Total / 2, st.Total - 1, st.Total} {
+		resp, err := http.Get(fmt.Sprintf("%s/v1/sweeps/%s/results?from=%d", srv.URL, st.ID, from))
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("from=%d: status %d", from, resp.StatusCode)
+		}
+		want := bytes.Join(lines[from:], nil)
+		if !bytes.Equal(body, want) {
+			t.Fatalf("from=%d: resumed stream is not the full stream's suffix:\n%s\nvs\n%s", from, body, want)
+		}
+	}
+
+	for _, bad := range []string{"-1", fmt.Sprint(st.Total + 1), "abc", "1.5"} {
+		resp, err := http.Get(srv.URL + "/v1/sweeps/" + st.ID + "/results?from=" + bad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("from=%s: status %d, want 400", bad, resp.StatusCode)
+		}
+	}
+}
+
+// TestStatszTenantsSection: configured tenants appear in /statsz with
+// their weights and admission counters; without config the key is absent.
+func TestStatszTenantsSection(t *testing.T) {
+	m := mustNew(t, Options{Workers: 2, CacheSize: 16, Tenants: twoTenants()})
+	defer m.Close()
+	srv := httptest.NewServer(NewHandler(m))
+	defer srv.Close()
+
+	resp := postSweepAs(t, srv, testSpec(), map[string]string{"Authorization": "Bearer sk-alice"})
+	var st dynring.JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	streamBody(t, srv, st.ID) // wait for settle
+
+	var stats dynring.ServiceStats
+	sr, err := http.Get(srv.URL + "/statsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(sr.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	sr.Body.Close()
+	if len(stats.Tenants) != 2 {
+		t.Fatalf("tenants section has %d entries, want 2: %+v", len(stats.Tenants), stats.Tenants)
+	}
+	byName := map[string]dynring.TenantStat{}
+	for _, ts := range stats.Tenants {
+		byName[ts.Name] = ts
+	}
+	if byName["alice"].Weight != 3 || byName["bob"].Weight != 1 {
+		t.Fatalf("weights not reported: %+v", stats.Tenants)
+	}
+	if byName["alice"].Admitted != 1 || byName["alice"].ServedTasks == 0 {
+		t.Fatalf("alice counters: %+v", byName["alice"])
+	}
+
+	// No tenant config → no tenants key (the pre-admission document).
+	anon := mustNew(t, Options{Workers: 1, CacheSize: 0})
+	defer anon.Close()
+	asrv := httptest.NewServer(NewHandler(anon))
+	defer asrv.Close()
+	raw, err := http.Get(asrv.URL + "/statsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, _ := io.ReadAll(raw.Body)
+	raw.Body.Close()
+	if bytes.Contains(doc, []byte(`"tenants"`)) {
+		t.Fatalf("anonymous /statsz leaks a tenants section: %s", doc)
+	}
+}

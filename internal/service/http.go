@@ -3,7 +3,9 @@ package service
 import (
 	"encoding/json"
 	"errors"
+	"fmt"
 	"net/http"
+	"strconv"
 	"time"
 
 	"dynring"
@@ -16,7 +18,7 @@ const maxSpecBytes = 1 << 20
 //
 //	POST   /v1/sweeps               submit a dynring.SweepSpec, returns JobStatus (201)
 //	GET    /v1/sweeps/{id}          JobStatus
-//	GET    /v1/sweeps/{id}/results  NDJSON dynring.ResultRow stream in grid order
+//	GET    /v1/sweeps/{id}/results  NDJSON dynring.ResultRow stream in grid order (?from=N resumes)
 //	GET    /v1/sweeps/{id}/trace    dynring.SweepTrace (per-scenario spans)
 //	DELETE /v1/sweeps/{id}          cancel, returns post-cancellation JobStatus
 //	POST   /v1/run                  execute one scenario synchronously, returns RunResponse
@@ -33,6 +35,18 @@ const maxSpecBytes = 1 << 20
 // hop's span is recorded under the originating sweep's trace and returned
 // in RunResponse.Span for the coordinator to adopt.
 //
+// Admission: on a node with a tenant config, the two work-creating
+// endpoints (POST /v1/sweeps, POST /v1/run) require a configured tenant's
+// API key — "Authorization: Bearer <key>" or the TenantHeader — answering
+// 401 to anything else, and 429 with a Retry-After header when the tenant
+// is over quota. Everything else (status, results, cancel, stats) stays
+// open: job IDs are unguessable enough for this service's trust model, and
+// an operator can always inspect or kill work. Without a tenant config
+// every endpoint is open and all work runs as the anonymous tenant.
+// POST /v1/sweeps additionally honors PriorityHeader (integer class within
+// the tenant) and DeadlineHeader (Go duration; the job is cancelled when
+// it expires).
+//
 // The results stream is live — rows are flushed as scenarios settle — and,
 // for a job that ran to completion, byte-identical across repeats and
 // worker counts: rows carry only deterministic fields.
@@ -45,6 +59,24 @@ const maxSpecBytes = 1 << 20
 func NewHandler(m *Manager) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/sweeps", func(w http.ResponseWriter, r *http.Request) {
+		tenant, err := m.ResolveTenant(r)
+		if err != nil {
+			writeError(w, http.StatusUnauthorized, err)
+			return
+		}
+		opts := SubmitOptions{TraceID: r.Header.Get(dynring.TraceHeader), Tenant: tenant}
+		if p := r.Header.Get(PriorityHeader); p != "" {
+			if opts.Priority, err = strconv.Atoi(p); err != nil {
+				writeError(w, http.StatusBadRequest, fmt.Errorf("bad %s: %w", PriorityHeader, err))
+				return
+			}
+		}
+		if d := r.Header.Get(DeadlineHeader); d != "" {
+			if opts.Deadline, err = time.ParseDuration(d); err != nil || opts.Deadline <= 0 {
+				writeError(w, http.StatusBadRequest, fmt.Errorf("bad %s: want a positive Go duration", DeadlineHeader))
+				return
+			}
+		}
 		var spec dynring.SweepSpec
 		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSpecBytes))
 		dec.DisallowUnknownFields()
@@ -52,11 +84,15 @@ func NewHandler(m *Manager) http.Handler {
 			writeError(w, http.StatusBadRequest, err)
 			return
 		}
-		j, err := m.SubmitTraced(spec, r.Header.Get(dynring.TraceHeader))
+		j, err := m.SubmitJob(spec, opts)
 		if err != nil {
 			code := http.StatusBadRequest
-			if errors.Is(err, ErrClosed) {
+			switch {
+			case errors.Is(err, ErrClosed):
 				code = http.StatusServiceUnavailable
+			case errors.Is(err, ErrQuotaExceeded):
+				code = http.StatusTooManyRequests
+				w.Header().Set("Retry-After", strconv.Itoa(int(RetryAfter.Seconds())))
 			}
 			writeError(w, code, err)
 			return
@@ -100,11 +136,25 @@ func NewHandler(m *Manager) http.Handler {
 			writeError(w, http.StatusNotFound, errors.New("unknown sweep id"))
 			return
 		}
+		// ?from=N is the resume cursor: rows are emitted in grid order, so
+		// a consumer that already holds rows [0,N) reconnects with from=N
+		// and receives exactly the suffix it is missing — byte-identical to
+		// the tail of an uninterrupted stream, because rows carry only
+		// deterministic fields. from == Total is a valid empty resume.
+		from := 0
+		if f := r.URL.Query().Get("from"); f != "" {
+			var err error
+			if from, err = strconv.Atoi(f); err != nil || from < 0 || from > j.Total() {
+				writeError(w, http.StatusBadRequest,
+					fmt.Errorf("bad from=%q: want an integer in [0,%d]", f, j.Total()))
+				return
+			}
+		}
 		w.Header().Set("Content-Type", "application/x-ndjson")
 		w.WriteHeader(http.StatusOK)
 		flusher, _ := w.(http.Flusher)
 		enc := json.NewEncoder(w)
-		for i := 0; i < j.Total(); i++ {
+		for i := from; i < j.Total(); i++ {
 			row, err := j.WaitRow(r.Context(), i)
 			if err != nil {
 				// Aborted mid-stream (request context cancelled — client
@@ -141,6 +191,14 @@ func NewHandler(m *Manager) http.Handler {
 	})
 
 	mux.HandleFunc("POST /v1/run", func(w http.ResponseWriter, r *http.Request) {
+		tenant, err := m.ResolveTenant(r)
+		if err != nil {
+			// Config skew on a proxy hop lands here; the coordinator's
+			// local-execution fallback absorbs the rejection.
+			writeError(w, http.StatusUnauthorized, err)
+			return
+		}
+		m.countRunRequest(tenant)
 		var req dynring.RunRequest
 		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSpecBytes))
 		dec.DisallowUnknownFields()

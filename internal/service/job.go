@@ -46,11 +46,24 @@ type Row struct {
 }
 
 // Job is one submitted sweep: the expanded grid plus per-row completion
-// state. The scheduler cursor (next) is owned by the Manager and guarded by
-// its mutex; everything below mu is guarded by mu.
+// state. Scheduling state (the dispatch cursor) lives in the Manager's
+// sched.Scheduler, not here; everything below mu is guarded by mu.
 type Job struct {
 	ID      string
 	created time.Time
+
+	// Tenant is the admission principal the job was accepted under
+	// (AnonymousTenant when the node has no tenant config). Priority is its
+	// scheduling class within the tenant; higher is served first. Both are
+	// immutable after newJob.
+	Tenant   string
+	Priority int
+
+	// deadline, when non-zero, is the absolute time after which the Manager
+	// expires the job (cancelling it with context.DeadlineExceeded); the
+	// timer that enforces it is stopped when the job settles first.
+	deadline      time.Time
+	deadlineTimer *time.Timer
 
 	// traceID is the sweep's trace identifier (immutable after newJob);
 	// spans recorded for this job's scenarios carry it, on every node.
@@ -63,10 +76,6 @@ type Job struct {
 	// through it.
 	ctx    context.Context
 	cancel context.CancelFunc
-
-	// next is the index of the first unscheduled scenario. Guarded by the
-	// owning Manager's mutex, not by mu: it is scheduling state.
-	next int
 
 	// onSettle, when set (by the Manager, before the job is queued), is
 	// called exactly once when the job leaves StateRunning. It runs under
@@ -129,19 +138,26 @@ func (j *Job) setRow(i int, r Row) {
 }
 
 // markCancelled settles every pending row with context.Canceled and flips
-// the job to StateCancelled. Rows that already settled keep their results —
-// a repeat submission will still hit the cache for them. The job's context
-// is cancelled first by the caller, so in-flight runs abort promptly; their
-// late setRow calls are ignored.
-func (j *Job) markCancelled() {
+// the job to StateCancelled.
+func (j *Job) markCancelled() { j.settleAbort(context.Canceled) }
+
+// settleAbort settles every pending row with err and flips the job to
+// StateCancelled, reporting whether it was this call that settled the job
+// (false when the job already left StateRunning — the caller's counter
+// must not tick twice). Rows that already settled keep their results — a
+// repeat submission will still hit the cache for them. The job's context
+// is cancelled first by the caller, so in-flight runs abort promptly;
+// their late setRow calls are ignored. Cancellation and deadline expiry
+// share this path, differing only in err.
+func (j *Job) settleAbort(err error) bool {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.state != StateRunning {
-		return
+		return false
 	}
 	for i := range j.rows {
 		if !j.rows[i].Done {
-			j.rows[i] = Row{Done: true, Err: context.Canceled}
+			j.rows[i] = Row{Done: true, Err: err}
 			j.completed++
 			j.errors++
 		}
@@ -151,6 +167,7 @@ func (j *Job) markCancelled() {
 		j.onSettle()
 	}
 	j.cond.Broadcast()
+	return true
 }
 
 // Status snapshots the job.
@@ -160,6 +177,9 @@ func (j *Job) Status() dynring.JobStatus {
 	return dynring.JobStatus{
 		ID:        j.ID,
 		TraceID:   j.traceID,
+		Tenant:    j.Tenant,
+		Priority:  j.Priority,
+		Deadline:  j.deadline,
 		State:     j.state.String(),
 		Total:     len(j.rows),
 		Completed: j.completed,

@@ -12,6 +12,7 @@ import (
 
 	"dynring"
 	"dynring/internal/cluster"
+	"dynring/internal/service/sched"
 	"dynring/internal/sweep"
 	"dynring/internal/telemetry"
 )
@@ -40,6 +41,13 @@ type Options struct {
 	// sharded cluster: scenarios whose fingerprint another node owns are
 	// proxied there instead of executed locally.
 	Cluster ClusterOptions
+	// Tenants, when non-empty, turns on the admission layer: work-creating
+	// requests must present one of these tenants' API keys, each tenant is
+	// scheduled by its weight and bounded by its quotas, and per-tenant
+	// dynring_admission_* metric families are registered. Empty means the
+	// single anonymous tenant with no quotas — scheduling is then identical
+	// to the pre-tenant service. Must pass ValidateTenants.
+	Tenants []TenantConfig
 	// Logger, when non-nil, receives structured operational records
 	// (cluster state transitions, skipped disk entries, proxy fallbacks,
 	// job lifecycle). The manager derives per-component child loggers
@@ -90,13 +98,27 @@ type flight struct {
 	err  error
 }
 
-// Manager owns the shared worker pool, the job table, the tiered result
-// cache and (in cluster mode) the membership table. Scheduling is fair
-// round-robin at task granularity: the pool cycles through all jobs with
-// unscheduled scenarios, taking one scenario from each in turn, so a huge
-// grid cannot starve a small one submitted after it. Each job has its own
-// context; cancelling a job aborts its in-flight runs and settles its
-// pending rows without disturbing other jobs.
+// Manager owns the admission layer, the shared worker pool, the job table,
+// the tiered result cache and (in cluster mode) the membership table. It is
+// split in two along the submit path:
+//
+//   - Admission (this type): resolve the request to a tenant, enforce that
+//     tenant's quotas (max queued scenarios, max concurrent jobs —
+//     violations surface as ErrQuotaExceeded, HTTP 429), arm the job's
+//     deadline, and register it in the job table. Rejection happens before
+//     anything is queued, so an over-quota tenant can never occupy queue
+//     positions that would delay anyone else.
+//   - Scheduling (the sched package): weighted deficit round-robin across
+//     tenants, strict priority classes within a tenant, and task-level
+//     fair round-robin between a class's jobs — one scenario from each in
+//     turn, so a huge grid cannot starve a small one submitted after it.
+//     With no tenant config everything runs as the single anonymous
+//     tenant, which collapses the policy to exactly the pre-tenant fair
+//     round-robin ring.
+//
+// Each job has its own context; cancelling a job (or its deadline
+// expiring) aborts its in-flight runs and settles its pending rows without
+// disturbing other jobs.
 //
 // In cluster mode each fingerprint has one owning node on the placement
 // ring. A scenario owned elsewhere is proxied to its owner (POST /v1/run)
@@ -105,7 +127,10 @@ type flight struct {
 // All local executions funnel through a fingerprint-keyed singleflight, so
 // the owner runs each fingerprint at most once no matter how many workers,
 // jobs or proxy hops ask for it concurrently: cluster-wide exactly-once is
-// routing (concentrate a fingerprint on its owner) plus this dedupe.
+// routing (concentrate a fingerprint on its owner) plus this dedupe. The
+// result cache and this dedupe are deliberately tenant-blind: results are
+// keyed by scenario fingerprint alone, so identical work from different
+// tenants is charged the admission of both but executed once.
 type Manager struct {
 	workers    int
 	history    int
@@ -121,6 +146,15 @@ type Manager struct {
 	proxied    atomic.Uint64
 	settled    atomic.Int64 // retained settled jobs; guards prune scans
 
+	// Admission state: tenants by name and by API key (both immutable
+	// after newManager; tenantList preserves declaration order for stats),
+	// plus the count of rejected credentials. byKey is empty on a node
+	// with no tenant config — every request is then the anonymous tenant.
+	tenants      map[string]*tenantState
+	byKey        map[string]*tenantState
+	tenantList   []*tenantState
+	unauthorized atomic.Uint64
+
 	// runners pools engine Runners for the singleflight execution path: a
 	// Runner is single-goroutine state, so each execution checks one out
 	// for its duration. Pooling keeps the engine's zero-alloc reuse across
@@ -133,9 +167,8 @@ type Manager struct {
 	mu     sync.Mutex
 	cond   *sync.Cond // wakes idle workers on submit/close
 	jobs   map[string]*Job
-	order  []*Job // submission order, for settled-job eviction
-	queue  []*Job // jobs with unscheduled scenarios, round-robin ring
-	rr     int    // next queue position to serve
+	order  []*Job                 // submission order, for settled-job eviction
+	sched  *sched.Scheduler[*Job] // dispatch policy; driven under mu
 	nextID int
 	closed bool
 
@@ -172,6 +205,9 @@ func newManager(opts Options) (*Manager, error) {
 	if base == nil {
 		base = slog.New(slog.DiscardHandler)
 	}
+	if err := ValidateTenants(opts.Tenants); err != nil {
+		return nil, err
+	}
 	m := &Manager{
 		workers:  sweep.Workers(opts.Workers, 0),
 		history:  opts.JobHistory,
@@ -180,9 +216,26 @@ func newManager(opts Options) (*Manager, error) {
 		tracer:   telemetry.NewTracer(0, 0),
 		jobs:     make(map[string]*Job),
 		flights:  make(map[string]*flight),
+		sched:    sched.New[*Job](),
+		tenants:  make(map[string]*tenantState),
+		byKey:    make(map[string]*tenantState),
 	}
 	if m.history <= 0 {
 		m.history = defaultJobHistory
+	}
+	// The anonymous tenant always exists (quota-free, weight 1): it is the
+	// only tenant when no config is given, and the fallback principal for
+	// in-process submissions (tests, library callers) when one is. Configured
+	// tenants are registered after it, in declaration order.
+	anon := &tenantState{cfg: TenantConfig{Name: AnonymousTenant, Weight: 1}}
+	m.tenants[AnonymousTenant] = anon
+	m.sched.AddTenant(AnonymousTenant, 1)
+	for _, tc := range opts.Tenants {
+		ts := &tenantState{cfg: tc}
+		m.tenants[tc.Name] = ts
+		m.byKey[tc.Key] = ts
+		m.tenantList = append(m.tenantList, ts)
+		m.sched.AddTenant(tc.Name, tc.Weight)
 	}
 	// The durable tier's rescache layer speaks printf; adapt it onto the
 	// structured logger — its lines are rare (corrupt entries at boot).
@@ -244,7 +297,7 @@ func (m *Manager) Close() {
 		return
 	}
 	m.closed = true
-	m.queue = nil
+	m.sched = sched.New[*Job]() // drop undispatched work; workers exit on closed
 	jobs := make([]*Job, 0, len(m.jobs))
 	for _, j := range m.jobs {
 		jobs = append(jobs, j)
@@ -267,16 +320,44 @@ func (m *Manager) Close() {
 // form — the latter is how cluster peers ship grid shares), registers the
 // job and queues it on the shared pool. Expansion, validation and
 // fingerprint errors are reported here, before anything runs. The job gets
-// a fresh trace ID; callers propagating an existing trace (the TraceHeader
-// on POST /v1/sweeps) use SubmitTraced.
+// a fresh trace ID and runs as the anonymous tenant at default priority;
+// callers carrying a trace, tenant, priority or deadline use SubmitJob.
 func (m *Manager) Submit(spec dynring.SweepSpec) (*Job, error) {
-	return m.SubmitTraced(spec, "")
+	return m.SubmitJob(spec, SubmitOptions{})
 }
 
 // SubmitTraced is Submit under a caller-supplied trace ID (empty: a fresh
 // one is generated). The ID binds every span the sweep causes — locally and
 // on nodes its scenarios are proxied to — into one trace.
 func (m *Manager) SubmitTraced(spec dynring.SweepSpec, traceID string) (*Job, error) {
+	return m.SubmitJob(spec, SubmitOptions{TraceID: traceID})
+}
+
+// SubmitOptions qualify one submission. The zero value reproduces the
+// historical Submit: fresh trace, anonymous tenant, priority 0, no
+// deadline.
+type SubmitOptions struct {
+	// TraceID binds the sweep's spans to an existing trace; empty means a
+	// fresh one.
+	TraceID string
+	// Tenant is the admission principal (resolved by the HTTP layer from
+	// the request's API key); empty means AnonymousTenant. An undeclared
+	// name is rejected with ErrUnknownTenant.
+	Tenant string
+	// Priority orders this job against the tenant's other jobs: higher is
+	// served strictly first.
+	Priority int
+	// Deadline, when positive, bounds the job's lifetime: if it has not
+	// settled after this duration it is cancelled exactly as DELETE would,
+	// with rows settling as context.DeadlineExceeded.
+	Deadline time.Duration
+}
+
+// SubmitJob is the full submission path: expand and fingerprint the grid,
+// admit it against the tenant's quotas (ErrQuotaExceeded — HTTP 429 — when
+// over), register the job, arm its deadline and queue it on the tenant's
+// scheduler lane.
+func (m *Manager) SubmitJob(spec dynring.SweepSpec, opts SubmitOptions) (*Job, error) {
 	scenarios, err := spec.ScenarioList()
 	if err != nil {
 		return nil, err
@@ -287,8 +368,13 @@ func (m *Manager) SubmitTraced(spec dynring.SweepSpec, traceID string) (*Job, er
 			return nil, fmt.Errorf("scenario %s: %w", sc.Name, err)
 		}
 	}
+	traceID := opts.TraceID
 	if traceID == "" {
 		traceID = telemetry.NewTraceID()
+	}
+	tenantName := opts.Tenant
+	if tenantName == "" {
+		tenantName = AnonymousTenant
 	}
 
 	m.mu.Lock()
@@ -296,24 +382,63 @@ func (m *Manager) SubmitTraced(spec dynring.SweepSpec, traceID string) (*Job, er
 	if m.closed {
 		return nil, ErrClosed
 	}
+	ts, ok := m.tenants[tenantName]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownTenant, tenantName)
+	}
+	if err := m.admitLocked(ts, len(scenarios)); err != nil {
+		return nil, err
+	}
 	m.nextID++
 	j := newJob(fmt.Sprintf("sw-%d", m.nextID), traceID, scenarios, fps, time.Now())
-	j.onSettle = func() { m.settled.Add(1) }
+	j.Tenant = ts.cfg.Name
+	j.Priority = opts.Priority
+	ts.admitted.Add(1)
+	ts.running.Add(1)
+	// onSettle runs under j.mu (never m.mu): atomics and a timer stop only.
+	j.onSettle = func() {
+		m.settled.Add(1)
+		ts.running.Add(-1)
+		if j.deadlineTimer != nil {
+			j.deadlineTimer.Stop()
+		}
+	}
 	m.jobs[j.ID] = j
 	m.order = append(m.order, j)
 	m.tracer.Register(j.ID, traceID)
 	m.pruneLocked()
 	if j.Total() == 0 {
 		// Unreachable through Sweep expansion (empty axes collapse to the
-		// base scenario), but an empty job must never enter the ring.
+		// base scenario), but an empty job must never enter the scheduler.
 		j.state = StateDone
 		m.settled.Add(1)
+		ts.running.Add(-1)
 	} else {
-		m.queue = append(m.queue, j)
+		if opts.Deadline > 0 {
+			j.deadline = j.created.Add(opts.Deadline)
+			// Armed before the job is dispatchable, so the timer exists by
+			// the time any row can settle (onSettle stops it).
+			j.deadlineTimer = time.AfterFunc(opts.Deadline, func() { m.expireJob(j, ts) })
+		}
+		m.sched.Enqueue(ts.cfg.Name, j, j.Total(), opts.Priority)
 		m.cond.Broadcast()
 	}
-	m.log.Info("sweep submitted", "job", j.ID, "trace", traceID, "scenarios", j.Total())
+	m.log.Info("sweep submitted", "job", j.ID, "trace", traceID,
+		"tenant", ts.cfg.Name, "priority", opts.Priority, "scenarios", j.Total())
 	return j, nil
+}
+
+// expireJob is the deadline path: identical to Cancel except rows settle
+// with context.DeadlineExceeded and the tenant's expiration counter ticks.
+func (m *Manager) expireJob(j *Job, ts *tenantState) {
+	m.mu.Lock()
+	m.sched.Remove(j)
+	m.mu.Unlock()
+	j.cancel()
+	if j.settleAbort(context.DeadlineExceeded) {
+		ts.expired.Add(1)
+		m.log.Warn("sweep deadline expired", "job", j.ID, "tenant", ts.cfg.Name)
+	}
 }
 
 // Trace snapshots a job's trace view as the wire document, or ok=false when
@@ -353,8 +478,8 @@ func (m *Manager) Job(id string) (*Job, bool) {
 }
 
 // Cancel cancels a job: its unscheduled scenarios are dropped from the
-// queue, in-flight runs abort through the job context, and pending rows
-// settle with context.Canceled. Cancelling a settled job is a no-op.
+// scheduler, in-flight runs abort through the job context, and pending
+// rows settle with context.Canceled. Cancelling a settled job is a no-op.
 // Returns false when the ID is unknown.
 func (m *Manager) Cancel(id string) bool {
 	m.mu.Lock()
@@ -363,7 +488,7 @@ func (m *Manager) Cancel(id string) bool {
 		m.mu.Unlock()
 		return false
 	}
-	m.dequeueLocked(j)
+	m.sched.Remove(j)
 	m.mu.Unlock()
 
 	j.cancel()
@@ -396,20 +521,6 @@ func (m *Manager) pruneLocked() {
 		m.order[i] = nil
 	}
 	m.order = keep
-}
-
-// dequeueLocked removes j from the round-robin ring, keeping rr pointing at
-// the same next job. Callers hold m.mu.
-func (m *Manager) dequeueLocked(j *Job) {
-	for i, q := range m.queue {
-		if q == j {
-			m.queue = append(m.queue[:i], m.queue[i+1:]...)
-			if i < m.rr {
-				m.rr--
-			}
-			return
-		}
-	}
 }
 
 // ClusterStatus snapshots this node's view of the cluster as the
@@ -463,8 +574,26 @@ func (m *Manager) Stats() dynring.ServiceStats {
 		jobs = append(jobs, j)
 	}
 	queue := []dynring.JobQueueStat{}
-	for _, j := range m.queue {
-		queue = append(queue, dynring.JobQueueStat{ID: j.ID, Pending: j.Total() - j.next})
+	for _, qs := range m.sched.Snapshot() {
+		queue = append(queue, dynring.JobQueueStat{
+			ID:       qs.Job.ID,
+			Tenant:   qs.Tenant,
+			Priority: qs.Priority,
+			Pending:  qs.Pending,
+		})
+	}
+	var tenants []dynring.TenantStat
+	for _, ts := range m.tenantList {
+		tenants = append(tenants, dynring.TenantStat{
+			Name:                ts.cfg.Name,
+			Weight:              ts.cfg.Weight,
+			QueuedScenarios:     m.sched.Backlog(ts.cfg.Name),
+			RunningJobs:         ts.running.Load(),
+			Admitted:            ts.admitted.Load(),
+			Rejected:            ts.rejectedQueue.Load() + ts.rejectedJobs.Load(),
+			ServedTasks:         ts.served.Load(),
+			DeadlineExpirations: ts.expired.Load(),
+		})
 	}
 	m.mu.Unlock()
 	st := dynring.ServiceStats{
@@ -476,6 +605,7 @@ func (m *Manager) Stats() dynring.ServiceStats {
 		HitRatio:   m.cache.HitRatio(),
 		Disk:       m.cache.DiskStats(),
 		Queue:      queue,
+		Tenants:    tenants,
 	}
 	if m.membership != nil {
 		cs := m.ClusterStatus()
@@ -502,8 +632,9 @@ func (m *Manager) work() {
 }
 
 // nextTask blocks until a task is schedulable (or the manager closes) and
-// claims it. Fairness: rr advances past each served job, so consecutive
-// claims cycle through all queued jobs before returning to the first.
+// claims it from the scheduler, crediting the serving tenant. All policy —
+// tenant weights, priorities, per-class fairness — lives in sched; this is
+// just the blocking shim between the worker pool and that pure structure.
 func (m *Manager) nextTask() (task, bool) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -511,20 +642,11 @@ func (m *Manager) nextTask() (task, bool) {
 		if m.closed {
 			return task{}, false
 		}
-		if len(m.queue) > 0 {
-			if m.rr >= len(m.queue) {
-				m.rr = 0
+		if tk, ok := m.sched.Next(); ok {
+			if ts, ok := m.tenants[tk.Job.Tenant]; ok {
+				ts.served.Add(1)
 			}
-			j := m.queue[m.rr]
-			i := j.next
-			j.next++
-			if j.next >= j.Total() {
-				// Fully dispatched (not necessarily settled): leave the ring.
-				m.queue = append(m.queue[:m.rr], m.queue[m.rr+1:]...)
-			} else {
-				m.rr++
-			}
-			return task{j: j, i: i}, true
+			return task{j: tk.Job, i: tk.Index}, true
 		}
 		m.cond.Wait()
 	}
@@ -573,7 +695,7 @@ func (m *Manager) runTask(t task) {
 			span("cache-hit", nil)
 			return
 		}
-		if rr, ok := m.proxyRun(j.ctx, target, j.scenarios[i], fp, j.traceID); ok {
+		if rr, ok := m.proxyRun(j.ctx, target, j.scenarios[i], fp, j.traceID, j.Tenant); ok {
 			// Adopt the owner's span first: under one trace ID the sweep's
 			// trace then shows both the hop (this node) and the work (the
 			// owner), which is the cross-node view /v1/sweeps/{id}/trace
@@ -633,17 +755,21 @@ func (m *Manager) proxyTarget(fp string) string {
 
 // proxyRun forwards one scenario to its owner via POST /v1/run, carrying
 // the sweep's trace ID in TraceHeader so the owner's span lands in the same
-// trace. The second return is false when the caller should fall back to
-// local execution: the scenario has no wire form (custom factory), or the
-// owner failed — the latter also feeds the membership's failure evidence so
-// the prober confirms promptly. Retries are disabled on the hop: the local
-// fallback IS the retry, and it cannot lose work.
-func (m *Manager) proxyRun(ctx context.Context, target string, sc dynring.Scenario, fp, traceID string) (dynring.RunResponse, bool) {
+// trace, and the originating tenant's API key so the owner accounts the
+// execution to that tenant rather than to the proxying node. The second
+// return is false when the caller should fall back to local execution: the
+// scenario has no wire form (custom factory), or the owner failed — the
+// latter also feeds the membership's failure evidence so the prober
+// confirms promptly. Retries are disabled on the hop: the local fallback
+// IS the retry, and it cannot lose work. A tenant the owner does not know
+// (config skew across the cluster) is rejected there with 401, which lands
+// here as a failed hop and degrades to the same local fallback.
+func (m *Manager) proxyRun(ctx context.Context, target string, sc dynring.Scenario, fp, traceID, tenant string) (dynring.RunResponse, bool) {
 	sp, err := sc.WireSpec()
 	if err != nil {
 		return dynring.RunResponse{}, false
 	}
-	c := &dynring.Client{BaseURL: target, HTTPClient: m.proxyHTTP, Retries: -1}
+	c := &dynring.Client{BaseURL: target, HTTPClient: m.proxyHTTP, Retries: -1, TenantKey: m.TenantKey(tenant)}
 	hop := time.Now()
 	rr, err := c.RunScenarioTraced(ctx, sp, traceID)
 	if err != nil {

@@ -62,15 +62,11 @@ func newMetrics(m *Manager) *metrics {
 			m.jobStateCount(state), telemetry.Label{Name: "state", Value: state})
 	}
 	r.GaugeFunc("dynring_service_queue_depth",
-		"Scenarios accepted but not yet dispatched to a worker, across all jobs.",
+		"Scenarios accepted but not yet dispatched to a worker, across all jobs and tenants.",
 		func() float64 {
 			m.mu.Lock()
 			defer m.mu.Unlock()
-			depth := 0
-			for _, j := range m.queue {
-				depth += j.Total() - j.next
-			}
-			return float64(depth)
+			return float64(m.sched.Len())
 		})
 	r.GaugeFunc("dynring_service_workers",
 		"Shared worker pool size.",
@@ -79,6 +75,51 @@ func newMetrics(m *Manager) *metrics {
 		"Time a scenario spent queued between job submission and dispatch to a worker.", nil)
 	mt.runSeconds = r.Histogram("dynring_service_run_seconds",
 		"Wall time of one engine execution (excludes cache hits and proxy hops).", nil)
+
+	// --- admission: per-tenant QoS accounting ---
+	// Registered only when tenants are configured, so a default node's
+	// /metrics page is unchanged. Tenant names are constant labels: the
+	// tenant set is fixed at boot, which keeps the registry's
+	// bounded-cardinality guarantee.
+	for _, ts := range m.tenantList {
+		ts := ts
+		name := telemetry.Label{Name: "tenant", Value: ts.cfg.Name}
+		r.CounterFunc("dynring_admission_admitted_total",
+			"Sweeps admitted past quota checks, by tenant.",
+			func() float64 { return float64(ts.admitted.Load()) }, name)
+		r.CounterFunc("dynring_admission_rejected_total",
+			"Sweeps rejected with 429, by tenant and exceeded quota.",
+			func() float64 { return float64(ts.rejectedQueue.Load()) },
+			name, telemetry.Label{Name: "quota", Value: "queued_scenarios"})
+		r.CounterFunc("dynring_admission_rejected_total",
+			"Sweeps rejected with 429, by tenant and exceeded quota.",
+			func() float64 { return float64(ts.rejectedJobs.Load()) },
+			name, telemetry.Label{Name: "quota", Value: "concurrent_jobs"})
+		r.CounterFunc("dynring_admission_served_total",
+			"Scenario tasks dispatched to workers, by tenant — the realized WDRR share.",
+			func() float64 { return float64(ts.served.Load()) }, name)
+		r.CounterFunc("dynring_admission_run_requests_total",
+			"Proxied POST /v1/run executions accounted to this tenant by the owning node.",
+			func() float64 { return float64(ts.runRequests.Load()) }, name)
+		r.CounterFunc("dynring_admission_deadline_expirations_total",
+			"Jobs cancelled because their submission deadline passed, by tenant.",
+			func() float64 { return float64(ts.expired.Load()) }, name)
+		r.GaugeFunc("dynring_admission_queued_scenarios",
+			"Undispatched scenarios held in the tenant's scheduler lane.",
+			func() float64 {
+				m.mu.Lock()
+				defer m.mu.Unlock()
+				return float64(m.sched.Backlog(ts.cfg.Name))
+			}, name)
+		r.GaugeFunc("dynring_admission_running_jobs",
+			"Admitted, unsettled jobs, by tenant (what MaxConcurrent bounds).",
+			func() float64 { return float64(ts.running.Load()) }, name)
+	}
+	if len(m.tenantList) > 0 {
+		r.CounterFunc("dynring_admission_unauthorized_total",
+			"Work-creating requests rejected for a missing or unknown API key.",
+			func() float64 { return float64(m.unauthorized.Load()) })
+	}
 
 	// --- cache: the tiered result store ---
 	r.CounterFunc("dynring_cache_hits_total",

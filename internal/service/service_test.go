@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -175,10 +176,84 @@ func TestFairRoundRobin(t *testing.T) {
 		}
 	}
 	m.mu.Lock()
-	if len(m.queue) != 0 {
-		t.Fatalf("queue not drained: %d jobs", len(m.queue))
+	if n := m.sched.Len(); n != 0 {
+		t.Fatalf("queue not drained: %d tasks", n)
 	}
 	m.mu.Unlock()
+}
+
+// TestWeightedFairnessUnderChurn is the property form of the fairness
+// gate through the full Manager: a 3:1 tenant weight ratio yields a ~3:1
+// served-task ratio under continuous job churn, and a tenant whose quota
+// is exhausted never blocks the others.
+func TestWeightedFairnessUnderChurn(t *testing.T) {
+	m := mustManager(t, Options{Workers: 1, CacheSize: 0, Tenants: []TenantConfig{
+		{Name: "heavy", Key: "kh", Weight: 3},
+		{Name: "light", Key: "kl", Weight: 1},
+		{Name: "capped", Key: "kc", Weight: 100, MaxQueued: 3},
+	}})
+	spec := testSpec()
+	spec.Algorithms = []string{"KnownNNoChirality"}
+	spec.Sizes = []int{6}
+	spec.Seeds = []int64{1, 2, 3} // 3 scenarios per job
+	submit := func(tenant string) error {
+		_, err := m.SubmitJob(spec, SubmitOptions{Tenant: tenant})
+		return err
+	}
+	// Exhaust capped's queue quota up front; every further submission for
+	// it must bounce, and its huge weight must be irrelevant below.
+	if err := submit("capped"); err != nil {
+		t.Fatal(err)
+	}
+	if err := submit("capped"); !errors.Is(err, ErrQuotaExceeded) {
+		t.Fatalf("over-quota submit error = %v, want ErrQuotaExceeded", err)
+	}
+
+	served := map[string]int{}
+	for i := 0; i < 800; i++ {
+		// Keep heavy and light saturated (backlog deeper than heavy's
+		// quantum) so neither ever forfeits deficit by running dry.
+		m.mu.Lock()
+		needHeavy := m.sched.Backlog("heavy") < 4
+		needLight := m.sched.Backlog("light") < 4
+		m.mu.Unlock()
+		if needHeavy {
+			if err := submit("heavy"); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if needLight {
+			if err := submit("light"); err != nil {
+				t.Fatal(err)
+			}
+		}
+		tk, ok := m.nextTask()
+		if !ok {
+			t.Fatal("scheduler closed mid-test")
+		}
+		served[tk.j.Tenant]++
+	}
+	// capped's one admitted job (3 tasks) drains early thanks to its
+	// weight; after that it is dry and must cost heavy/light nothing.
+	if served["capped"] != 3 {
+		t.Fatalf("capped served %d tasks, want exactly its 3 admitted", served["capped"])
+	}
+	ratio := float64(served["heavy"]) / float64(served["light"])
+	if ratio < 2.7 || ratio > 3.3 {
+		t.Fatalf("served ratio heavy:light = %.2f (heavy=%d light=%d), want ~3.0",
+			ratio, served["heavy"], served["light"])
+	}
+	// The exhausted tenant's rejections are visible in its stats.
+	st := m.Stats()
+	var capped *dynring.TenantStat
+	for i := range st.Tenants {
+		if st.Tenants[i].Name == "capped" {
+			capped = &st.Tenants[i]
+		}
+	}
+	if capped == nil || capped.Rejected == 0 {
+		t.Fatalf("capped tenant stats missing rejection: %+v", st.Tenants)
+	}
 }
 
 func TestCancelSettlesPendingRows(t *testing.T) {

@@ -88,6 +88,32 @@ func TestClientRetriesDroppedConnection(t *testing.T) {
 	}
 }
 
+// TestClientRetries429HonoringRetryAfter: a quota rejection is transient
+// (headroom frees as queued work drains) and the server's Retry-After hint
+// replaces the computed backoff step.
+func TestClientRetries429HonoringRetryAfter(t *testing.T) {
+	h := &flakyHandler{until: 1, ok: okStats,
+		fail: func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, `{"error":"tenant quota exceeded"}`, http.StatusTooManyRequests)
+		}}
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	c := dynring.NewClient(srv.URL)
+	c.RetryBaseDelay = time.Millisecond // the hint, not this, must set the wait
+	start := time.Now()
+	if _, err := c.ServiceStats(context.Background()); err != nil {
+		t.Fatalf("429 not retried: %v", err)
+	}
+	if got := h.calls.Load(); got != 2 {
+		t.Fatalf("server saw %d calls, want 2 (one 429 + success)", got)
+	}
+	if elapsed := time.Since(start); elapsed < 900*time.Millisecond {
+		t.Fatalf("retry waited %v, want >= ~1s (the Retry-After hint)", elapsed)
+	}
+}
+
 // TestClientDoesNotRetry4xx: client errors are deterministic — retrying a
 // bad spec can only repeat the rejection.
 func TestClientDoesNotRetry4xx(t *testing.T) {

@@ -1,8 +1,8 @@
 // Command metricscheck is the metric-naming lint behind the CI docs job: it
 // boots a real service.Manager in every shape that registers metric
-// families (standalone, disk tier, cluster), renders the registry's
-// Prometheus text exposition, and fails on any family whose name violates
-// the repository convention
+// families (standalone, disk tier, cluster, tenant admission), renders the
+// registry's Prometheus text exposition, and fails on any family whose name
+// violates the repository convention
 //
 //	dynring_<subsystem>_<name>[_total|_seconds|_bytes]
 //
@@ -35,6 +35,12 @@ func main() {
 			os.Exit(1)
 		}
 		problems = append(problems, lint(shape, text)...)
+		// The tenants shape exists to cover the per-tenant admission
+		// families; their absence means the branch silently stopped
+		// registering, which the generic lint cannot notice.
+		if shape == "tenants" && !strings.Contains(text, "dynring_admission_") {
+			problems = append(problems, "tenants: no dynring_admission_* families rendered")
+		}
 	}
 	if len(problems) > 0 {
 		for _, p := range problems {
@@ -61,6 +67,10 @@ func shapes() map[string]service.Options {
 		"cluster": {Workers: 1, CacheSize: 8, Cluster: service.ClusterOptions{
 			Self:  "http://127.0.0.1:0",
 			Peers: []string{"http://127.0.0.1:1"},
+		}},
+		"tenants": {Workers: 1, CacheSize: 8, Tenants: []service.TenantConfig{
+			{Name: "alice", Key: "sk-alice", Weight: 3, MaxQueued: 64, MaxConcurrent: 4},
+			{Name: "bob", Key: "sk-bob", Weight: 1},
 		}},
 	}
 }

@@ -1,0 +1,127 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of the tenant admission layer, as run by CI: boot
+# ringsimd with two weighted tenants (3:1) plus a quota-capped one on a
+# single-worker pool, then assert
+#   (a) work-creating requests without a key are 401s,
+#   (b) an over-quota submission is a 429 carrying Retry-After,
+#   (c) under saturation the weighted tenants' served shares realize the
+#       3:1 ratio (checked when the heavy job completes: the light job must
+#       be roughly a third done, far from the ~equal split plain fair RR
+#       would give),
+#   (d) a result stream killed mid-transfer and resumed with ?from=N is
+#       byte-identical to the uninterrupted stream, and
+#   (e) the per-tenant dynring_admission_* families are on /metrics.
+# Needs only bash, curl and the go toolchain.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+ADDR="${RINGSIMD_ADDR:-127.0.0.1:18083}"
+BASE="http://$ADDR"
+WORKDIR="$(mktemp -d)"
+SERVER_PID=""
+trap 'kill "${SERVER_PID:-}" 2>/dev/null || true; rm -rf "$WORKDIR"' EXIT
+
+# json_field FILE FIELD: extract a scalar JSON field without jq.
+json_field() {
+  sed -nE 's/.*"'"$2"'":[[:space:]]*"?([^",}]*)"?.*/\1/p' "$1" | head -n1
+}
+
+echo "== build"
+go build -o "$WORKDIR/ringsimd" ./cmd/ringsimd
+
+echo "== boot on $ADDR (workers=1, tenants heavy:3 light:1 capped:1 maxQueued=4)"
+"$WORKDIR/ringsimd" -addr "$ADDR" -workers 1 -cache 0 \
+  -tenants 'heavy:sk-heavy:3,light:sk-light:1,capped:sk-capped:1:4' \
+  >"$WORKDIR/server.log" 2>&1 &
+SERVER_PID=$!
+for _ in $(seq 100); do
+  if curl -fsS "$BASE/healthz" >/dev/null 2>&1; then break; fi
+  sleep 0.1
+done
+curl -fsS "$BASE/healthz" >/dev/null
+
+# Big per-scenario cost (size 2048) keeps the single worker saturated long
+# enough to observe the weighted shares; disjoint seed ranges keep the two
+# grids from coalescing in the in-flight dedup.
+grid() { # grid FIRST_SEED LAST_SEED
+  echo '{"base":{"size":2048,"landmark":0,"algorithm":"KnownNNoChirality","adversary":{"kind":"random","p":0.5}},"seeds":['"$(seq -s, "$1" "$2")"']}'
+}
+
+echo "== unauthenticated submission is rejected"
+CODE="$(curl -s -o "$WORKDIR/err.json" -w '%{http_code}' -X POST "$BASE/v1/sweeps" \
+  -H 'Content-Type: application/json' -d "$(grid 1 2)")"
+[ "$CODE" = 401 ] || { echo "keyless POST got $CODE, want 401" >&2; exit 1; }
+
+echo "== over-quota submission is a 429 with Retry-After"
+SMALL='{"base":{"size":6,"landmark":0,"algorithm":"KnownNNoChirality","adversary":{"kind":"random","p":0.5}},"seeds":[1,2,3,4,5,6,7,8]}'
+CODE="$(curl -s -D "$WORKDIR/429.headers" -o "$WORKDIR/429.json" -w '%{http_code}' \
+  -X POST "$BASE/v1/sweeps" -H 'Content-Type: application/json' \
+  -H 'Authorization: Bearer sk-capped' -d "$SMALL")"
+[ "$CODE" = 429 ] || { echo "over-quota POST got $CODE, want 429: $(cat "$WORKDIR/429.json")" >&2; exit 1; }
+grep -qi '^Retry-After: [0-9]' "$WORKDIR/429.headers" || {
+  echo "429 carries no Retry-After hint:" >&2; cat "$WORKDIR/429.headers" >&2; exit 1
+}
+grep -q 'quota' "$WORKDIR/429.json" || { echo "429 body does not name the quota: $(cat "$WORKDIR/429.json")" >&2; exit 1; }
+
+echo "== weighted share on a saturated pool (heavy 300 + light 300 scenarios)"
+curl -fsS -X POST "$BASE/v1/sweeps" -H 'Content-Type: application/json' \
+  -H 'Authorization: Bearer sk-heavy' -d "$(grid 1 300)" >"$WORKDIR/heavy.json"
+curl -fsS -X POST "$BASE/v1/sweeps" -H 'Content-Type: application/json' \
+  -H 'Authorization: Bearer sk-light' -d "$(grid 301 600)" >"$WORKDIR/light.json"
+HID="$(json_field "$WORKDIR/heavy.json" id)"
+LID="$(json_field "$WORKDIR/light.json" id)"
+[ -n "$HID" ] && [ -n "$LID" ] || { echo "missing job ids" >&2; exit 1; }
+
+for _ in $(seq 2400); do
+  curl -fsS "$BASE/v1/sweeps/$HID" >"$WORKDIR/hstatus.json"
+  if [ "$(json_field "$WORKDIR/hstatus.json" state)" != running ]; then break; fi
+  sleep 0.05
+done
+[ "$(json_field "$WORKDIR/hstatus.json" state)" = done ] || {
+  echo "heavy job ended in state '$(json_field "$WORKDIR/hstatus.json" state)'" >&2; exit 1
+}
+curl -fsS "$BASE/v1/sweeps/$LID" >"$WORKDIR/lstatus.json"
+LDONE="$(json_field "$WORKDIR/lstatus.json" completed)"
+# At 3:1 the light job should be ~100/300 done when heavy's 300 finish;
+# plain fair round-robin would have it at ~300. The window is wide for CI
+# scheduling noise yet cleanly separates the two policies.
+[ "$LDONE" -ge 20 ] && [ "$LDONE" -le 220 ] || {
+  echo "light completed $LDONE of 300 at heavy completion, want ~100 (3:1 share)" >&2; exit 1
+}
+echo "heavy done; light at $LDONE/300 (3:1 share realized)"
+
+echo "== killed-and-resumed ?from=N stream is byte-identical"
+curl -fsS "$BASE/v1/sweeps/$HID/results" >"$WORKDIR/full.ndjson"
+[ "$(wc -l <"$WORKDIR/full.ndjson")" = 300 ] || { echo "full stream short" >&2; exit 1; }
+# head closing the pipe kills curl mid-stream — the client's view of a
+# dropped connection after 120 rows.
+(curl -sN "$BASE/v1/sweeps/$HID/results" 2>/dev/null || true) | head -n 120 >"$WORKDIR/part1.ndjson"
+curl -fsS "$BASE/v1/sweeps/$HID/results?from=120" >"$WORKDIR/part2.ndjson"
+tail -n +121 "$WORKDIR/full.ndjson" | cmp -s - "$WORKDIR/part2.ndjson" || {
+  echo "?from=120 is not the uninterrupted stream's suffix" >&2; exit 1
+}
+cat "$WORKDIR/part1.ndjson" "$WORKDIR/part2.ndjson" | cmp -s - "$WORKDIR/full.ndjson" || {
+  echo "killed+resumed stream differs from uninterrupted stream" >&2; exit 1
+}
+# Out-of-range cursors are rejected, not clamped.
+CODE="$(curl -s -o /dev/null -w '%{http_code}' "$BASE/v1/sweeps/$HID/results?from=301")"
+[ "$CODE" = 400 ] || { echo "from=301 got $CODE, want 400" >&2; exit 1; }
+
+echo "== per-tenant admission metrics on /metrics"
+curl -fsS "$BASE/metrics" >"$WORKDIR/metrics.txt"
+for want in \
+  'dynring_admission_served_total{tenant="heavy"}' \
+  'dynring_admission_served_total{tenant="light"}' \
+  'dynring_admission_rejected_total{tenant="capped",quota="queued_scenarios"}' \
+  'dynring_admission_unauthorized_total'; do
+  grep -qF "$want" "$WORKDIR/metrics.txt" || {
+    echo "/metrics lacks $want" >&2; exit 1
+  }
+done
+
+echo "== graceful shutdown"
+kill -TERM "$SERVER_PID"
+wait "$SERVER_PID" || true
+grep -q "shut down" "$WORKDIR/server.log" || { cat "$WORKDIR/server.log" >&2; exit 1; }
+
+echo "qos smoke OK: 401/429 admission, 3:1 weighted share, resumable stream, admission metrics"
