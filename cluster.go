@@ -33,6 +33,10 @@ type PeerStatus struct {
 	// successful one (zero: never probed successfully).
 	Failures int       `json:"failures,omitempty"`
 	LastSeen time.Time `json:"last_seen,omitempty"`
+	// QueueDepth is the peer's scheduler backlog: live for the reporting
+	// node's self entry, last-gossiped for everyone else. Replicas compare
+	// depths to decide when to steal an overloaded owner's work.
+	QueueDepth int `json:"queue_depth,omitempty"`
 }
 
 // ClusterStatus is the /v1/cluster document: this node's view of the
@@ -41,10 +45,14 @@ type PeerStatus struct {
 type ClusterStatus struct {
 	// Enabled reports whether the node runs in cluster mode at all; a
 	// standalone ringsimd serves Enabled false with an empty peer list.
-	Enabled bool         `json:"enabled"`
-	Self    string       `json:"self,omitempty"`
-	VNodes  int          `json:"vnodes,omitempty"`
-	Peers   []PeerStatus `json:"peers"`
+	Enabled bool   `json:"enabled"`
+	Self    string `json:"self,omitempty"`
+	VNodes  int    `json:"vnodes,omitempty"`
+	// Replicas is the cluster's replica-set size k (0 or 1: unreplicated).
+	// Clients consult a fingerprint's whole replica set — Owners(fp, k) —
+	// when its owner dies mid-sweep.
+	Replicas int          `json:"replicas,omitempty"`
+	Peers    []PeerStatus `json:"peers"`
 }
 
 // RingMembers returns the placement-ring member URLs (every peer that has
@@ -191,10 +199,12 @@ func (c *Client) RunSweepRouted(ctx context.Context, spec SweepSpec, onRow func(
 				var results []SweepResult
 				results, err = c.runShare(ctx, target, share, opts)
 				if err != nil && target != c.BaseURL && ctx.Err() == nil {
-					// The owner died or moved after the snapshot:
-					// transparently retry the whole share against our own
-					// node, which executes locally what it cannot route.
-					results, err = c.runShare(ctx, c.BaseURL, share, opts)
+					// The owner died or moved after the snapshot: re-route
+					// each scenario through the rest of its replica set —
+					// which holds its envelope and keeps the exactly-once
+					// counters honest — before the coordinator executes
+					// anything locally.
+					results, err = c.retryShare(ctx, scenarios, indices, cs, target, opts)
 				}
 				if len(results) > 0 {
 					deliver(indices, results)
@@ -217,33 +227,115 @@ func (c *Client) RunSweepRouted(ctx context.Context, spec SweepSpec, onRow func(
 }
 
 // routeShares groups scenario indices by the node each should be
-// submitted to: the fingerprint's owner when alive, this client's own node
-// otherwise. The second return is false when any scenario has no
-// fingerprint (the grid is unroutable as a whole — one submission beats a
-// split brain).
+// submitted to: the fingerprint's owner when alive, else the first alive
+// member of its replica set (whose tiers hold the replicated envelope),
+// else this client's own node. The second return is false when any
+// scenario has no fingerprint (the grid is unroutable as a whole — one
+// submission beats a split brain).
 func routeShares(scenarios []Scenario, cs ClusterStatus) (map[string][]int, bool) {
 	ring := cluster.NewRing(cs.RingMembers(), cs.VNodes)
-	alive := make(map[string]bool, len(cs.Peers))
-	var self string
-	for _, p := range cs.Peers {
-		alive[p.URL] = p.State == "alive" || p.Self
-		if p.Self {
-			self = p.URL
-		}
-	}
+	alive := aliveSet(cs)
+	self := selfURL(cs)
 	shares := make(map[string][]int)
 	for i, sc := range scenarios {
 		fp, err := sc.Fingerprint()
 		if err != nil {
 			return nil, false
 		}
-		target := ring.Owner(fp)
-		if !alive[target] {
-			target = self
+		target := self
+		for _, o := range ring.Owners(fp, replicaCount(cs)) {
+			if alive[o] {
+				target = o
+				break
+			}
 		}
 		shares[target] = append(shares[target], i)
 	}
 	return shares, true
+}
+
+// retryShare re-routes one failed share: each of its scenarios goes to the
+// first alive member of its replica set other than the failed node, and
+// only scenarios with no surviving replica (or whose replica also fails)
+// fall back to this client's own node. With replication enabled the
+// surviving replicas hold the share's envelopes, so the retry is served
+// from their tiers — zero re-executions — instead of re-executing on the
+// coordinator. Returned results are indexed relative to the original
+// share order, so the caller's deliver() mapping applies unchanged.
+func (c *Client) retryShare(ctx context.Context, scenarios []Scenario, indices []int, cs ClusterStatus, failed string, opts []SubmitOption) ([]SweepResult, error) {
+	ring := cluster.NewRing(cs.RingMembers(), cs.VNodes)
+	alive := aliveSet(cs)
+	groups := make(map[string][]int) // retry target → positions within indices
+	for pos, i := range indices {
+		fp, err := scenarios[i].Fingerprint()
+		if err != nil {
+			return nil, err
+		}
+		target := c.BaseURL
+		for _, o := range ring.Owners(fp, replicaCount(cs)) {
+			if o != failed && alive[o] {
+				target = o
+				break
+			}
+		}
+		groups[target] = append(groups[target], pos)
+	}
+	out := make([]SweepResult, len(indices))
+	for target, positions := range groups {
+		sub := make([]int, len(positions))
+		for k, pos := range positions {
+			sub[k] = indices[pos]
+		}
+		share, err := shareSpec(scenarios, sub)
+		if err != nil {
+			return nil, err
+		}
+		results, err := c.runShare(ctx, target, share, opts)
+		if err != nil && target != c.BaseURL && ctx.Err() == nil {
+			// The replica died too; the coordinator is the last resort.
+			results, err = c.runShare(ctx, c.BaseURL, share, opts)
+		}
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range results {
+			if r.Index < 0 || r.Index >= len(positions) {
+				continue
+			}
+			r.Index = positions[r.Index]
+			out[r.Index] = r
+		}
+	}
+	return out, nil
+}
+
+// aliveSet maps member URL → routable (alive, or the reporting node
+// itself).
+func aliveSet(cs ClusterStatus) map[string]bool {
+	alive := make(map[string]bool, len(cs.Peers))
+	for _, p := range cs.Peers {
+		alive[p.URL] = p.State == "alive" || p.Self
+	}
+	return alive
+}
+
+// selfURL is the reporting node's URL from a /v1/cluster snapshot.
+func selfURL(cs ClusterStatus) string {
+	for _, p := range cs.Peers {
+		if p.Self {
+			return p.URL
+		}
+	}
+	return cs.Self
+}
+
+// replicaCount normalizes a snapshot's replica-set size (pre-replication
+// servers omit the field).
+func replicaCount(cs ClusterStatus) int {
+	if cs.Replicas < 1 {
+		return 1
+	}
+	return cs.Replicas
 }
 
 // shareSpec builds the explicit-list SweepSpec for one owner's share.

@@ -8,6 +8,12 @@
 // which is plain fair round-robin between jobs. With -data the cache gains
 // a durable disk tier that survives restarts; with -self/-peers the node
 // joins a sharded cluster that routes each fingerprint to one owning node.
+// With -replicas k (and -data) each fingerprint's envelope is further
+// replicated to the owner's next k-1 ring successors: completed results
+// are pushed to every replica's disk tier, routing falls over to replicas
+// when the owner dies, an overloaded owner's replicas steal its work, and
+// a background anti-entropy pass (-antientropy-interval) reconciles
+// replica -data directories to their set union.
 //
 // Usage:
 //
@@ -18,6 +24,8 @@
 //	ringsimd -addr :8080 -pprof 127.0.0.1:6060          # profiling endpoint on a private port
 //	ringsimd -addr :8081 -self http://127.0.0.1:8081 \
 //	         -peers http://127.0.0.1:8081,http://127.0.0.1:8082,http://127.0.0.1:8083
+//	ringsimd -addr :8081 -self http://127.0.0.1:8081 -peers ... \
+//	         -data /var/lib/ringsimd -replicas 3         # 3-way replicated tiers
 //
 // -tenants declares admission principals as
 // name:key:weight[:maxQueued[:maxConcurrent]] entries (or @file naming a
@@ -36,6 +44,9 @@
 //	POST   /v1/run                  run one scenario synchronously (the cluster proxy hop)
 //	GET    /v1/cluster              this node's cluster view
 //	POST   /v1/cluster/{leave,join} peer shutdown/boot announcements
+//	POST   /v1/replicate            accept one replicated envelope (replicas > 1 only)
+//	GET    /v1/antientropy/keys     durable-tier key listing (replicas > 1 only)
+//	GET    /v1/antientropy/entry    one validated envelope (replicas > 1 only)
 //	GET    /healthz, /statsz        liveness and counters
 //
 // SIGINT/SIGTERM trigger a graceful shutdown: the node announces its leave
@@ -97,6 +108,8 @@ func run(ctx context.Context, out io.Writer, args []string) error {
 		peers       = fs.String("peers", "", "comma-separated seed peer base URLs (same list on every node)")
 		vnodes      = fs.Int("vnodes", 0, "virtual nodes per member on the placement ring (0 = default; must match cluster-wide)")
 		probeIvl    = fs.Duration("probe-interval", 0, "peer health-probe period (0 = default 1s)")
+		replicas    = fs.Int("replicas", 0, "replica-set size k: each fingerprint's envelope lands on its owner plus the next k-1 ring successors (0 or 1 = unreplicated; must match cluster-wide)")
+		aeInterval  = fs.Duration("antientropy-interval", 0, "replica disk-tier reconciliation period (0 = default 30s; needs -replicas > 1 and -data)")
 		drain       = fs.Duration("drain", 5*time.Second, "graceful shutdown timeout")
 		pprofAddr   = fs.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060; empty disables)")
 		profileFrac = fs.Int("profile-fraction", 0, "sample 1/N of mutex-contention and blocking events for the -pprof mutex/block profiles (0 disables; requires -pprof)")
@@ -143,10 +156,12 @@ func run(ctx context.Context, out io.Writer, args []string) error {
 		JobHistory: *history,
 		Tenants:    tenantCfg,
 		Cluster: service.ClusterOptions{
-			Self:          strings.TrimRight(*self, "/"),
-			Peers:         seedPeers,
-			VNodes:        *vnodes,
-			ProbeInterval: *probeIvl,
+			Self:                strings.TrimRight(*self, "/"),
+			Peers:               seedPeers,
+			VNodes:              *vnodes,
+			ProbeInterval:       *probeIvl,
+			Replicas:            *replicas,
+			AntiEntropyInterval: *aeInterval,
 		},
 		Logger: logger,
 	})

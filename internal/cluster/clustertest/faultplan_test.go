@@ -1,0 +1,147 @@
+package clustertest
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// get issues one GET through the plan's transport for party from.
+func get(t *testing.T, p *FaultPlan, from, url string) (*http.Response, error) {
+	t.Helper()
+	c := &http.Client{Transport: p.Transport(from)}
+	resp, err := c.Get(url)
+	if err == nil {
+		resp.Body.Close()
+	}
+	return resp, err
+}
+
+func TestFaultPlanKillAndRevive(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	defer srv.Close()
+	p := NewFaultPlan(1)
+
+	if _, err := get(t, p, "a", srv.URL); err != nil {
+		t.Fatalf("healthy request failed: %v", err)
+	}
+	p.Kill(srv.URL)
+	if _, err := get(t, p, "a", srv.URL); err == nil {
+		t.Fatal("request to a killed node succeeded")
+	}
+	// Killing blocks both directions: the victim cannot send either.
+	p.Revive(srv.URL)
+	p.Kill("a")
+	if _, err := get(t, p, "a", srv.URL); err == nil {
+		t.Fatal("request from a killed node succeeded")
+	}
+	p.Revive("a")
+	if _, err := get(t, p, "a", srv.URL); err != nil {
+		t.Fatalf("request after revive failed: %v", err)
+	}
+}
+
+func TestFaultPlanKillAt(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	defer srv.Close()
+	p := NewFaultPlan(1)
+	p.KillAt(3, srv.URL)
+
+	for i := 1; i <= 2; i++ {
+		if _, err := get(t, p, "a", srv.URL); err != nil {
+			t.Fatalf("request at step %d failed before the scheduled kill: %v", i, err)
+		}
+	}
+	if _, err := get(t, p, "a", srv.URL); err == nil {
+		t.Fatal("request at the kill step succeeded")
+	}
+	if _, err := get(t, p, "a", srv.URL); err == nil {
+		t.Fatal("request after the kill step succeeded")
+	}
+	if got := p.Step(); got != 4 {
+		t.Fatalf("Step() = %d, want 4", got)
+	}
+}
+
+func TestFaultPlanPartitionAndHeal(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	defer srv.Close()
+	p := NewFaultPlan(1)
+	p.Partition("a", srv.URL)
+
+	if _, err := get(t, p, "a", srv.URL); err == nil {
+		t.Fatal("request across a partition succeeded")
+	}
+	// The cut is link-local: an unrelated party still gets through.
+	if _, err := get(t, p, "b", srv.URL); err != nil {
+		t.Fatalf("unrelated party was cut too: %v", err)
+	}
+	p.Heal("a", srv.URL)
+	if _, err := get(t, p, "a", srv.URL); err != nil {
+		t.Fatalf("request after heal failed: %v", err)
+	}
+}
+
+func TestFaultPlanDropEveryN(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	defer srv.Close()
+	p := NewFaultPlan(1)
+	p.DropEveryN(3)
+
+	for i := 1; i <= 9; i++ {
+		_, err := get(t, p, "a", srv.URL)
+		if i%3 == 0 && err == nil {
+			t.Fatalf("request %d should have been dropped", i)
+		}
+		if i%3 != 0 && err != nil {
+			t.Fatalf("request %d dropped unexpectedly: %v", i, err)
+		}
+	}
+	p.DropEveryN(0)
+	if _, err := get(t, p, "a", srv.URL); err != nil {
+		t.Fatalf("request after disabling drops failed: %v", err)
+	}
+}
+
+func TestFaultPlanSlowProxy(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	defer srv.Close()
+	p := NewFaultPlan(1)
+	p.SlowProxy(50 * time.Millisecond)
+
+	start := time.Now()
+	if _, err := get(t, p, "a", srv.URL); err != nil {
+		t.Fatalf("slowed request failed: %v", err)
+	}
+	if d := time.Since(start); d < 50*time.Millisecond {
+		t.Fatalf("slowed request took %v, want >= 50ms", d)
+	}
+	p.SlowProxy(0)
+}
+
+func TestFaultPlanObserverAndSeed(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	defer srv.Close()
+	p := NewFaultPlan(42)
+	var paths []string
+	p.OnRequest(func(from, to, path string) {
+		if from == "a" {
+			paths = append(paths, path)
+		}
+	})
+	if _, err := get(t, p, "a", srv.URL+"/v1/antientropy/keys"); err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 1 || paths[0] != "/v1/antientropy/keys" {
+		t.Fatalf("observer saw %v, want the one keys fetch", paths)
+	}
+
+	// Same seed, same choice sequence: a failing chaos run reproduces.
+	a, b := NewFaultPlan(7), NewFaultPlan(7)
+	for i := 0; i < 16; i++ {
+		if x, y := a.Intn(1000), b.Intn(1000); x != y {
+			t.Fatalf("draw %d diverged: %d vs %d", i, x, y)
+		}
+	}
+}

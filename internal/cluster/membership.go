@@ -56,6 +56,18 @@ type PeerInfo struct {
 	State    State
 	Failures int       // consecutive probe failures
 	LastSeen time.Time // last successful probe (zero: never)
+	// QueueDepth is the peer's self-reported scheduler backlog from its
+	// last successful probe. It is gossip, not a measurement: stale by up
+	// to one probe interval, and 0 until the first probe lands. Replicas
+	// use it to decide when to steal an overloaded owner's work.
+	QueueDepth int
+}
+
+// ProbeReport is what one successful probe learns about a peer: its member
+// list (the gossip payload) and its self-reported scheduler backlog.
+type ProbeReport struct {
+	Members    []string
+	QueueDepth int
 }
 
 // Config configures a Membership.
@@ -77,9 +89,17 @@ type Config struct {
 	// suspect to dead (default 3).
 	DeadAfter int
 	// Probe overrides the prober: it returns the peer's own member list
-	// (the gossip payload) or an error. Nil means the default HTTP probe
-	// of GET <peer>/v1/cluster.
-	Probe func(ctx context.Context, peerURL string) ([]string, error)
+	// and queue depth (the gossip payload) or an error. Nil means the
+	// default HTTP probe of GET <peer>/v1/cluster.
+	Probe func(ctx context.Context, peerURL string) (ProbeReport, error)
+	// OnRejoin, when non-nil, is invoked (without the membership lock
+	// held) each time a peer returns from the dead — a successful probe of
+	// a peer in StateDead — or re-enters after a graceful leave. It fires
+	// exactly once per recovery: an alive→suspect→alive flap inside the
+	// DeadAfter window never reaches StateDead and therefore never fires,
+	// which is what keeps rejoin-triggered work (anti-entropy pushes,
+	// Rejoin broadcasts) from doubling on a transient probe loss.
+	OnRejoin func(peerURL string)
 	// HTTPClient backs the default prober and Leave broadcasts; nil means
 	// a private client (per-probe timeouts come from ProbeTimeout).
 	HTTPClient *http.Client
@@ -90,11 +110,12 @@ type Config struct {
 
 // peer is the mutable tracking record of one remote member.
 type peer struct {
-	state     State
-	failures  int
-	lastSeen  time.Time
-	nextProbe time.Time
-	probing   bool // a probe goroutine is in flight
+	state      State
+	failures   int
+	lastSeen   time.Time
+	nextProbe  time.Time
+	probing    bool // a probe goroutine is in flight
+	queueDepth int  // last gossiped scheduler backlog
 }
 
 // Membership tracks the health of a cluster's peers and owns the placement
@@ -210,7 +231,7 @@ func (m *Membership) probeDue() {
 func (m *Membership) probeOne(url string) {
 	ctx, cancel := context.WithTimeout(context.Background(), m.cfg.ProbeTimeout)
 	defer cancel()
-	members, err := m.probe(ctx, url)
+	report, err := m.probe(ctx, url)
 	m.mu.Lock()
 	p, ok := m.peers[url]
 	if !ok || p.state == StateLeft {
@@ -229,16 +250,23 @@ func (m *Membership) probeOne(url string) {
 	if p.state != StateAlive {
 		m.log.Info("peer alive", "peer", url)
 	}
+	// Only a return from StateDead is a recovery; a suspect→alive flap is
+	// a transient probe loss and must not trigger rejoin work.
+	rejoined := p.state == StateDead
 	p.state = StateAlive
 	p.failures = 0
 	p.lastSeen = m.now()
 	p.nextProbe = p.lastSeen.Add(m.cfg.ProbeInterval)
-	m.mergeLocked(members)
+	p.queueDepth = report.QueueDepth
+	m.mergeLocked(report.Members)
 	m.mu.Unlock()
+	if rejoined && m.cfg.OnRejoin != nil {
+		m.cfg.OnRejoin(url)
+	}
 }
 
 // probe dispatches to the configured prober or the default HTTP one.
-func (m *Membership) probe(ctx context.Context, url string) ([]string, error) {
+func (m *Membership) probe(ctx context.Context, url string) (ProbeReport, error) {
 	if m.cfg.Probe != nil {
 		return m.cfg.Probe(ctx, url)
 	}
@@ -249,40 +277,46 @@ func (m *Membership) probe(ctx context.Context, url string) ([]string, error) {
 // field names match the dynring wire types.
 type clusterDoc struct {
 	Peers []struct {
-		URL   string `json:"url"`
-		State string `json:"state"`
+		URL        string `json:"url"`
+		Self       bool   `json:"self"`
+		State      string `json:"state"`
+		QueueDepth int    `json:"queue_depth"`
 	} `json:"peers"`
 }
 
 // httpProbe is the default prober: GET <peer>/v1/cluster. Any 2xx counts
 // as alive; the response's member list (minus peers the remote itself
-// considers left) is the gossip payload. A 2xx whose body fails to parse
-// still counts as alive — health and gossip are separable.
-func (m *Membership) httpProbe(ctx context.Context, url string) ([]string, error) {
+// considers left) is the gossip payload, and the remote's self entry
+// carries its queue depth. A 2xx whose body fails to parse still counts
+// as alive — health and gossip are separable.
+func (m *Membership) httpProbe(ctx context.Context, url string) (ProbeReport, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url+"/v1/cluster", nil)
 	if err != nil {
-		return nil, err
+		return ProbeReport{}, err
 	}
 	resp, err := m.client.Do(req)
 	if err != nil {
-		return nil, err
+		return ProbeReport{}, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode < 200 || resp.StatusCode > 299 {
 		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
-		return nil, fmt.Errorf("probe %s: %s", url, resp.Status)
+		return ProbeReport{}, fmt.Errorf("probe %s: %s", url, resp.Status)
 	}
 	var doc clusterDoc
 	if json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&doc) != nil {
-		return nil, nil
+		return ProbeReport{}, nil
 	}
-	var members []string
+	var report ProbeReport
 	for _, p := range doc.Peers {
 		if p.State != StateLeft.String() {
-			members = append(members, p.URL)
+			report.Members = append(report.Members, p.URL)
+		}
+		if p.Self {
+			report.QueueDepth = p.QueueDepth
 		}
 	}
-	return members, nil
+	return report, nil
 }
 
 // recordFailureLocked applies one probe (or routing) failure: suspect on
@@ -370,7 +404,6 @@ func (m *Membership) Rejoin(url string) {
 		return
 	}
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	p, ok := m.peers[url]
 	if ok && p.state != StateLeft {
 		if p.state != StateAlive {
@@ -378,11 +411,19 @@ func (m *Membership) Rejoin(url string) {
 			p.nextProbe = m.now()
 			m.log.Info("peer announced rejoin, probing now", "peer", url)
 		}
+		m.mu.Unlock()
 		return
 	}
+	// Readmitting a previously-left peer is a genuine recovery; a
+	// brand-new join is not (there is nothing to reconcile yet).
+	rejoined := ok && p.state == StateLeft
 	m.peers[url] = &peer{state: StateSuspect}
 	m.ring = nil
 	m.log.Info("peer joined", "peer", url)
+	m.mu.Unlock()
+	if rejoined && m.cfg.OnRejoin != nil {
+		m.cfg.OnRejoin(url)
+	}
 }
 
 // Alive reports whether url is this node (always alive) or a peer whose
@@ -395,6 +436,20 @@ func (m *Membership) Alive(url string) bool {
 	defer m.mu.Unlock()
 	p, ok := m.peers[url]
 	return ok && p.state == StateAlive
+}
+
+// QueueDepth returns the last gossiped scheduler backlog of an alive peer.
+// It reports false for Self, unknown URLs, peers not currently alive, and
+// peers never successfully probed — stealing decisions must not act on
+// absent or dead-stale evidence.
+func (m *Membership) QueueDepth(url string) (int, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	p, ok := m.peers[url]
+	if !ok || p.state != StateAlive || p.lastSeen.IsZero() {
+		return 0, false
+	}
+	return p.queueDepth, true
 }
 
 // Snapshot returns every member — Self first, then peers sorted by URL.
@@ -411,10 +466,11 @@ func (m *Membership) Snapshot() []PeerInfo {
 	for _, url := range urls {
 		p := m.peers[url]
 		out = append(out, PeerInfo{
-			URL:      url,
-			State:    p.state,
-			Failures: p.failures,
-			LastSeen: p.lastSeen,
+			URL:        url,
+			State:      p.state,
+			Failures:   p.failures,
+			LastSeen:   p.lastSeen,
+			QueueDepth: p.queueDepth,
 		})
 	}
 	return out

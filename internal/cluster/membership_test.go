@@ -16,21 +16,22 @@ type fakeProbe struct {
 	mu      sync.Mutex
 	fail    map[string]bool
 	members map[string][]string
+	depth   map[string]int
 	calls   map[string]int
 }
 
 func newFakeProbe() *fakeProbe {
-	return &fakeProbe{fail: map[string]bool{}, members: map[string][]string{}, calls: map[string]int{}}
+	return &fakeProbe{fail: map[string]bool{}, members: map[string][]string{}, depth: map[string]int{}, calls: map[string]int{}}
 }
 
-func (f *fakeProbe) probe(_ context.Context, url string) ([]string, error) {
+func (f *fakeProbe) probe(_ context.Context, url string) (ProbeReport, error) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	f.calls[url]++
 	if f.fail[url] {
-		return nil, errors.New("connection refused")
+		return ProbeReport{}, errors.New("connection refused")
 	}
-	return f.members[url], nil
+	return ProbeReport{Members: f.members[url], QueueDepth: f.depth[url]}, nil
 }
 
 func (f *fakeProbe) setFail(url string, v bool) {
@@ -235,12 +236,13 @@ func TestMembershipHTTPProbe(t *testing.T) {
 		fmt.Fprint(w, `{"peers":[]}`)
 	}))
 	defer peerB.Close()
-	peerA := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+	var peerA *httptest.Server
+	peerA = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/v1/cluster" {
 			http.NotFound(w, r)
 			return
 		}
-		fmt.Fprintf(w, `{"peers":[{"url":%q,"state":"alive"},{"url":"http://gone:1","state":"left"}]}`, peerB.URL)
+		fmt.Fprintf(w, `{"peers":[{"url":%q,"self":true,"state":"alive","queue_depth":7},{"url":%q,"state":"alive"},{"url":"http://gone:1","state":"left"}]}`, peerA.URL, peerB.URL)
 	}))
 	m := NewMembership(Config{
 		Self:          "http://self:1",
@@ -261,10 +263,122 @@ func TestMembershipHTTPProbe(t *testing.T) {
 		t.Fatalf("remote-left peer adopted with state %v", got)
 	}
 
+	// The self entry of peer A's /v1/cluster doc carries its queue depth;
+	// a successful probe gossips it into the table.
+	waitFor(t, func() bool {
+		d, ok := m.QueueDepth(peerA.URL)
+		return ok && d == 7
+	})
+
 	peerA.Close()
 	waitFor(t, func() bool { return state(m, peerA.URL) == StateDead })
 	if state(m, peerB.URL) != StateAlive {
 		t.Fatal("killing peer A must not affect peer B")
+	}
+	if _, ok := m.QueueDepth(peerA.URL); ok {
+		t.Fatal("dead peer's stale queue depth must not be offered to stealers")
+	}
+}
+
+// TestMembershipQueueDepthGossip: the scripted prober's queue depth lands
+// in the table and in snapshots; Self, unknown URLs, and never-probed
+// peers report no depth.
+func TestMembershipQueueDepthGossip(t *testing.T) {
+	probe := newFakeProbe()
+	probe.depth["http://a:1"] = 42
+	m := newTestMembership(t, probe, "http://a:1", "http://b:2")
+	if _, ok := m.QueueDepth("http://a:1"); ok {
+		t.Fatal("never-probed peer reported a queue depth")
+	}
+	m.probeDue()
+	settle(t, m, func() bool { return state(m, "http://a:1") == StateAlive })
+	if d, ok := m.QueueDepth("http://a:1"); !ok || d != 42 {
+		t.Fatalf("QueueDepth = %d, %v, want 42, true", d, ok)
+	}
+	if _, ok := m.QueueDepth("http://self:1"); ok {
+		t.Fatal("self must not report a gossiped depth")
+	}
+	if _, ok := m.QueueDepth("http://nope:9"); ok {
+		t.Fatal("unknown URL reported a queue depth")
+	}
+	for _, p := range m.Snapshot() {
+		if p.URL == "http://a:1" && p.QueueDepth != 42 {
+			t.Fatalf("snapshot depth = %d, want 42", p.QueueDepth)
+		}
+	}
+}
+
+// TestMembershipRejoinFiresOncePerRecovery pins the flap rule at the
+// membership layer: a suspect→alive flap fires no OnRejoin, a genuine
+// dead→alive recovery fires exactly one, and a left peer readmitted via
+// Rejoin fires one more. (The clustertest package pins the same rule over
+// real HTTP transports.)
+func TestMembershipRejoinFiresOncePerRecovery(t *testing.T) {
+	probe := newFakeProbe()
+	var mu sync.Mutex
+	rejoins := 0
+	m := NewMembership(Config{
+		Self:          "http://self:1",
+		Peers:         []string{"http://a:1"},
+		ProbeInterval: 10 * time.Millisecond,
+		DeadAfter:     3,
+		Probe:         probe.probe,
+		OnRejoin: func(string) {
+			mu.Lock()
+			rejoins++
+			mu.Unlock()
+		},
+	})
+	count := func() int {
+		mu.Lock()
+		defer mu.Unlock()
+		return rejoins
+	}
+
+	m.probeDue()
+	settle(t, m, func() bool { return state(m, "http://a:1") == StateAlive })
+
+	// Flap: one failed probe (alive→suspect) then an immediate success
+	// (suspect→alive), repeated — never dead, so never a rejoin.
+	for i := 0; i < 3; i++ {
+		probe.setFail("http://a:1", true)
+		advance(m, time.Hour)
+		m.probeDue()
+		settle(t, m, func() bool { return state(m, "http://a:1") == StateSuspect })
+		probe.setFail("http://a:1", false)
+		advance(m, time.Hour)
+		m.probeDue()
+		settle(t, m, func() bool { return state(m, "http://a:1") == StateAlive })
+	}
+	if got := count(); got != 0 {
+		t.Fatalf("flaps emitted %d rejoin events, want 0", got)
+	}
+
+	// Genuine death and recovery: exactly one event.
+	probe.setFail("http://a:1", true)
+	for i := 0; i < 3; i++ {
+		advance(m, time.Hour)
+		m.probeDue()
+		settle(t, m, func() bool { return true })
+	}
+	if got := state(m, "http://a:1"); got != StateDead {
+		t.Fatalf("state = %v, want dead", got)
+	}
+	probe.setFail("http://a:1", false)
+	advance(m, time.Hour)
+	m.probeDue()
+	settle(t, m, func() bool { return state(m, "http://a:1") == StateAlive })
+	if got := count(); got != 1 {
+		t.Fatalf("recovery emitted %d rejoin events, want exactly 1", got)
+	}
+
+	// A left peer readmitted by an explicit Rejoin announcement is also a
+	// recovery — one more event, not one per duplicate announcement.
+	m.MarkLeft("http://a:1")
+	m.Rejoin("http://a:1")
+	m.Rejoin("http://a:1") // duplicate announcement while suspect: no event
+	if got := count(); got != 2 {
+		t.Fatalf("left-rejoin emitted %d total events, want 2", got)
 	}
 }
 

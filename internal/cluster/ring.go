@@ -107,10 +107,46 @@ func (r *Ring) Owner(key string) string {
 	if len(r.points) == 0 {
 		return ""
 	}
+	return r.points[r.search(key)].member
+}
+
+// Owners returns key's replica set: the owner followed by the next k-1
+// distinct successor members clockwise from the key's position, so
+// Owners(key, 1)[0] == Owner(key) for every key and the sets for
+// consecutive k values nest. k larger than the member count returns every
+// member, ordered by successor walk; k < 1 is treated as 1. Like Owner,
+// the result is a pure function of (member set, vnodes) — health never
+// reorders a replica set — and the replica golden test pins it.
+func (r *Ring) Owners(key string, k int) []string {
+	if len(r.points) == 0 {
+		return nil
+	}
+	if k < 1 {
+		k = 1
+	}
+	if k > len(r.members) {
+		k = len(r.members)
+	}
+	start := r.search(key)
+	owners := make([]string, 0, k)
+	seen := make(map[string]bool, k)
+	for n := 0; n < len(r.points) && len(owners) < k; n++ {
+		m := r.points[(start+n)%len(r.points)].member
+		if !seen[m] {
+			seen[m] = true
+			owners = append(owners, m)
+		}
+	}
+	return owners
+}
+
+// search locates the index of the first point at or after key's hash,
+// wrapping to 0 past the end. Callers guarantee a non-empty ring.
+func (r *Ring) search(key string) int {
 	h := keyHash(key)
 	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
 	if i == len(r.points) {
 		i = 0
 	}
-	return r.points[i].member
+	return i
 }

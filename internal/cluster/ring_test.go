@@ -75,6 +75,125 @@ func TestPlacementGolden(t *testing.T) {
 	}
 }
 
+// TestReplicaPlacementGolden pins the k=3 replica sets the same way
+// TestPlacementGolden pins owners: fingerprint → ordered replica list must
+// stay byte-identical across releases or replicated envelopes land on the
+// wrong disk tiers. The first entry of every golden replica set must equal
+// the untouched owner golden — Owners(k, 1) and Owner are the same
+// function, so extending placement to replicas cannot move any existing
+// key. Regenerate both files together with -update-placement.
+func TestReplicaPlacementGolden(t *testing.T) {
+	r := NewRing(goldenMembers, 0)
+	got := make(map[string][]string)
+	for _, k := range goldenKeys() {
+		got[k] = r.Owners(k, 3)
+	}
+	path := filepath.Join("testdata", "placement_replicas_golden.json")
+	if *updatePlacement {
+		buf, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s with %d replica sets", path, len(got))
+		return
+	}
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read replica golden (regenerate with -update-placement): %v", err)
+	}
+	var want map[string][]string
+	if err := json.Unmarshal(buf, &want); err != nil {
+		t.Fatal(err)
+	}
+	if len(want) != len(got) {
+		t.Fatalf("replica golden has %d keys, ring produced %d", len(want), len(got))
+	}
+	for k, set := range want {
+		if !reflect.DeepEqual(got[k], set) {
+			t.Errorf("replica set shifted: key %s → %v, golden says %v", k, got[k], set)
+		}
+	}
+
+	// The owner golden stays authoritative: replica set position 0 must
+	// match it for every key, proving k=1 placement is untouched.
+	ownerPath := filepath.Join("testdata", "placement_golden.json")
+	ownerBuf, err := os.ReadFile(ownerPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var owners map[string]string
+	if err := json.Unmarshal(ownerBuf, &owners); err != nil {
+		t.Fatal(err)
+	}
+	for k, owner := range owners {
+		if len(got[k]) == 0 || got[k][0] != owner {
+			t.Errorf("key %s: replica set head %v disagrees with owner golden %s", k, got[k], owner)
+		}
+	}
+}
+
+// TestRingOwnersProperties covers the replica-set contract: position 0 is
+// Owner, members are distinct, k clamps to the member count, smaller k is
+// a prefix of larger k (nesting is what lets a cluster raise -replicas
+// without moving existing copies), and degenerate rings behave.
+func TestRingOwnersProperties(t *testing.T) {
+	r := NewRing(goldenMembers, 0)
+	for _, k := range goldenKeys() {
+		set := r.Owners(k, 3)
+		if len(set) != 3 {
+			t.Fatalf("key %s: Owners(·, 3) returned %d members", k, len(set))
+		}
+		if set[0] != r.Owner(k) {
+			t.Fatalf("key %s: Owners head %s != Owner %s", k, set[0], r.Owner(k))
+		}
+		seen := map[string]bool{}
+		for _, m := range set {
+			if seen[m] {
+				t.Fatalf("key %s: duplicate member %s in replica set %v", k, m, set)
+			}
+			seen[m] = true
+		}
+		if one := r.Owners(k, 1); len(one) != 1 || one[0] != set[0] {
+			t.Fatalf("key %s: Owners(·, 1) = %v, want [%s]", k, one, set[0])
+		}
+		if two := r.Owners(k, 2); !reflect.DeepEqual(two, set[:2]) {
+			t.Fatalf("key %s: Owners(·, 2) = %v is not a prefix of %v", k, two, set)
+		}
+		if clamped := r.Owners(k, 99); !reflect.DeepEqual(clamped, set) {
+			t.Fatalf("key %s: Owners(·, 99) = %v, want clamp to %v", k, clamped, set)
+		}
+		if zero := r.Owners(k, 0); len(zero) != 1 || zero[0] != set[0] {
+			t.Fatalf("key %s: Owners(·, 0) = %v, want owner only", k, zero)
+		}
+	}
+	if got := NewRing(nil, 8).Owners("k", 3); got != nil {
+		t.Fatalf("empty ring Owners = %v, want nil", got)
+	}
+	one := NewRing([]string{"http://only:1"}, 8)
+	if got := one.Owners("k", 3); len(got) != 1 || got[0] != "http://only:1" {
+		t.Fatalf("single-member Owners = %v", got)
+	}
+}
+
+// TestRingOwnersHealthIndependent: replica sets, like owners, are a pure
+// function of the member set — rebuilding the ring from any permutation
+// yields identical ordered sets.
+func TestRingOwnersHealthIndependent(t *testing.T) {
+	perm := []string{goldenMembers[1], goldenMembers[2], goldenMembers[0]}
+	a, b := NewRing(goldenMembers, 0), NewRing(perm, 0)
+	for _, k := range goldenKeys() {
+		if !reflect.DeepEqual(a.Owners(k, 3), b.Owners(k, 3)) {
+			t.Fatalf("replica set of %s differs across member orderings", k)
+		}
+	}
+}
+
 // TestRingDeterministic: any permutation of the member set builds an
 // identical ring, and repeated construction is stable.
 func TestRingDeterministic(t *testing.T) {

@@ -261,6 +261,22 @@ func (d *Disk[V]) Close() {
 	<-d.done
 }
 
+// Keys returns a point-in-time snapshot of the indexed keys, queued
+// reservations included, in no particular order. The anti-entropy pass
+// uses it as the set-union basis between replica disk tiers. An indexed
+// key is a claim, not a guarantee — a corrupt entry stays indexed until a
+// Get evicts it — so a serving side must re-read (and thereby validate)
+// every entry it hands out rather than trusting this listing.
+func (d *Disk[V]) Keys() []string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	keys := make([]string, 0, len(d.index))
+	for k := range d.index {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
 // DiskStats is a consistent snapshot of the durable tier.
 type DiskStats struct {
 	// Entries and Bytes describe the indexed entries (queued-but-unwritten

@@ -1,0 +1,305 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"time"
+
+	"dynring"
+	"dynring/internal/cluster"
+)
+
+// This file is the replication write path and the anti-entropy read-repair
+// path between replica disk tiers (ClusterOptions.Replicas > 1).
+//
+// Replication is push-on-completion: when this node executes a
+// fingerprint, the envelope is queued (bounded, backpressured — like the
+// disk tier's own write queue) and a background loop POSTs it to every
+// other member of the fingerprint's replica set via /v1/replicate; the
+// receiver lands it in its tiers through its own asynchronous disk write
+// queue. Pushes are best-effort: a dead replica misses the push and is
+// healed by anti-entropy instead.
+//
+// Anti-entropy makes replica -data directories converge to the set union
+// of their envelopes. Content addressing is what reduces reconciliation to
+// a union: equal fingerprints imply identical envelopes, so there is
+// nothing to merge and no version to compare — a replica either holds a
+// fingerprint's envelope or it doesn't. Each pass exchanges key listings
+// with one peer, pulls envelopes this node should hold but cannot read
+// (absent or corrupt — both read as absent, so corruption is repaired, not
+// special-cased), and pushes envelopes the peer should hold but does not
+// list. Both directions re-read and validate every envelope they ship:
+// the serving side's Durable read rejects a corrupt entry, so corruption
+// can be repaired from a healthy peer but never propagated to one.
+
+// replItem is one queued replication push.
+type replItem struct {
+	fp  string
+	res dynring.Result
+}
+
+// replicateRequest is the wire body of POST /v1/replicate and the response
+// of GET /v1/antientropy/entry: one content-addressed envelope.
+type replicateRequest struct {
+	Fingerprint string         `json:"fingerprint"`
+	Result      dynring.Result `json:"result"`
+}
+
+// antiEntropyKeys is the wire body of GET /v1/antientropy/keys.
+type antiEntropyKeys struct {
+	Keys []string `json:"keys"`
+}
+
+// replicaRPCTimeout bounds one replication push or anti-entropy fetch.
+const replicaRPCTimeout = 10 * time.Second
+
+// replicate queues fp's completed envelope for push to its other
+// replicas. No-op when unreplicated. A full queue blocks (backpressure)
+// unless the manager is shutting down.
+func (m *Manager) replicate(fp string, res dynring.Result) {
+	if m.membership == nil || m.replicas < 2 {
+		return
+	}
+	select {
+	case m.replq <- replItem{fp: fp, res: res}:
+	case <-m.auxStop:
+	}
+}
+
+// replicationLoop drains the replication queue until Close.
+func (m *Manager) replicationLoop() {
+	for {
+		select {
+		case <-m.auxStop:
+			return
+		case it := <-m.replq:
+			m.pushReplicas(it.fp, it.res)
+		}
+	}
+}
+
+// pushReplicas sends one envelope to every other currently-alive member of
+// its replica set. A dead or unreachable replica is skipped — anti-entropy
+// repairs it on recovery.
+func (m *Manager) pushReplicas(fp string, res dynring.Result) {
+	self := m.membership.Self()
+	for _, o := range m.membership.Ring().Owners(fp, m.replicas) {
+		if o == self || !m.membership.Alive(o) {
+			continue
+		}
+		if err := m.postReplicate(o, fp, res); err != nil {
+			m.log.Warn("replication push failed", "fingerprint", fp, "target", o, "error", err)
+		}
+	}
+}
+
+// postReplicate POSTs one envelope to target's /v1/replicate.
+func (m *Manager) postReplicate(target, fp string, res dynring.Result) error {
+	body, err := json.Marshal(replicateRequest{Fingerprint: fp, Result: res})
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), replicaRPCTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, target+"/v1/replicate", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := m.proxyHTTP.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return fmt.Errorf("replicate to %s: %s", target, resp.Status)
+	}
+	return nil
+}
+
+// AdoptEnvelope lands a replicated envelope in this node's cache tiers
+// (the durable write goes through the existing asynchronous write queue).
+// It is the receiving side of /v1/replicate and anti-entropy pushes; the
+// fingerprint contract — equal fingerprints imply identical results —
+// makes adoption idempotent and order-free.
+func (m *Manager) AdoptEnvelope(fp string, res dynring.Result) {
+	m.cache.Put(fp, res)
+}
+
+// Replicated reports whether this node runs a replicated cluster — the
+// gate for the /v1/replicate and /v1/antientropy endpoints.
+func (m *Manager) Replicated() bool {
+	return m.membership != nil && m.replicas > 1
+}
+
+// DurableKeys lists the durable tier's indexed fingerprints (the
+// /v1/antientropy/keys payload). Empty without a disk tier.
+func (m *Manager) DurableKeys() []string {
+	return m.cache.DurableKeys()
+}
+
+// DurableEnvelope re-reads and validates one durable envelope for serving
+// to a peer. A corrupt entry reports absent — never shipped.
+func (m *Manager) DurableEnvelope(fp string) (dynring.Result, bool) {
+	return m.cache.Durable(fp)
+}
+
+// antiEntropyLoop paces background reconciliation: a full sweep over alive
+// peers every aeInterval, plus immediate targeted syncs when a peer
+// returns from the dead (the OnRejoin kick) — that is how envelopes stolen
+// or executed on its behalf while it was down land back on its disk tier
+// without waiting out the interval.
+func (m *Manager) antiEntropyLoop() {
+	t := time.NewTicker(m.aeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-m.auxStop:
+			return
+		case peer := <-m.aeKick:
+			m.antiEntropySync(peer)
+		case <-t.C:
+			m.AntiEntropyNow()
+		}
+	}
+}
+
+// AntiEntropyNow runs one synchronous reconciliation pass against every
+// alive peer and returns the number of envelopes repaired (pulled or
+// pushed). Tests and targeted recovery use it; the background loop calls
+// it on each tick.
+func (m *Manager) AntiEntropyNow() int {
+	if m.membership == nil || m.replicas < 2 {
+		return 0
+	}
+	repairs := 0
+	for _, p := range m.membership.Snapshot() {
+		if p.Self || p.State != cluster.StateAlive {
+			continue
+		}
+		repairs += m.antiEntropySync(p.URL)
+	}
+	return repairs
+}
+
+// antiEntropySync reconciles this node's durable tier with one peer's:
+// pull every envelope the peer lists that this node should hold (self in
+// its replica set) but cannot read — absent and corrupt read the same, so
+// a corrupt local copy is repaired from the healthy peer — then push every
+// envelope this node holds that the peer should hold but does not list.
+// Returns the number of envelopes repaired in either direction.
+func (m *Manager) antiEntropySync(peer string) int {
+	remote, err := m.fetchKeys(peer)
+	if err != nil {
+		m.log.Warn("anti-entropy key exchange failed", "peer", peer, "error", err)
+		return 0
+	}
+	ring := m.membership.Ring()
+	self := m.membership.Self()
+	inSet := func(fp, member string) bool {
+		for _, o := range ring.Owners(fp, m.replicas) {
+			if o == member {
+				return true
+			}
+		}
+		return false
+	}
+	repairs := 0
+	remoteSet := make(map[string]bool, len(remote))
+	for _, fp := range remote {
+		remoteSet[fp] = true
+		if !inSet(fp, self) {
+			continue
+		}
+		if _, ok := m.cache.Durable(fp); ok {
+			continue // readable and valid locally; nothing to repair
+		}
+		res, err := m.fetchEntry(peer, fp)
+		if err != nil {
+			// The peer's copy may itself be corrupt (it serves only
+			// validated envelopes, so corruption surfaces as a 404 here) or
+			// the peer died mid-sync; skip, never fail the pass.
+			continue
+		}
+		m.AdoptEnvelope(fp, res)
+		repairs++
+	}
+	for _, fp := range m.cache.DurableKeys() {
+		if remoteSet[fp] || !inSet(fp, peer) {
+			continue
+		}
+		res, ok := m.cache.Durable(fp)
+		if !ok {
+			continue // our own copy is corrupt; it must not propagate
+		}
+		if err := m.postReplicate(peer, fp, res); err != nil {
+			continue
+		}
+		repairs++
+	}
+	if repairs > 0 {
+		m.aeRepairs.Add(uint64(repairs))
+		m.log.Info("anti-entropy repaired envelopes", "peer", peer, "repairs", repairs)
+	}
+	return repairs
+}
+
+// fetchKeys GETs a peer's durable key listing.
+func (m *Manager) fetchKeys(peer string) ([]string, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), replicaRPCTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, peer+"/v1/antientropy/keys", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := m.proxyHTTP.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return nil, fmt.Errorf("keys from %s: %s", peer, resp.Status)
+	}
+	var doc antiEntropyKeys
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 64<<20)).Decode(&doc); err != nil {
+		return nil, err
+	}
+	return doc.Keys, nil
+}
+
+// fetchEntry GETs one validated envelope from a peer, rejecting a response
+// whose embedded fingerprint disagrees with the request — a renamed or
+// confused entry can only miss, never land under the wrong key.
+func (m *Manager) fetchEntry(peer, fp string) (dynring.Result, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), replicaRPCTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		peer+"/v1/antientropy/entry?fp="+url.QueryEscape(fp), nil)
+	if err != nil {
+		return dynring.Result{}, err
+	}
+	resp, err := m.proxyHTTP.Do(req)
+	if err != nil {
+		return dynring.Result{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return dynring.Result{}, fmt.Errorf("entry %s from %s: %s", fp, peer, resp.Status)
+	}
+	var doc replicateRequest
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 8<<20)).Decode(&doc); err != nil {
+		return dynring.Result{}, err
+	}
+	if doc.Fingerprint != fp {
+		return dynring.Result{}, fmt.Errorf("entry %s from %s: body carries fingerprint %q", fp, peer, doc.Fingerprint)
+	}
+	return doc.Result, nil
+}

@@ -112,6 +112,29 @@ func (c *Cache) Put(key string, res dynring.Result) {
 	}
 }
 
+// DurableKeys snapshots the keys indexed by the durable tier (nil without
+// one). The anti-entropy pass exchanges these listings between replicas; a
+// listed key is a claim that Durable must still validate.
+func (c *Cache) DurableKeys() []string {
+	if c.disk == nil {
+		return nil
+	}
+	return c.disk.Keys()
+}
+
+// Durable reads key from the durable tier only, re-validating the entry on
+// the way out: a corrupt or truncated envelope is evicted and reported
+// absent, exactly as Get would treat it. Anti-entropy uses it on both
+// sides — a serving replica can never hand out a corrupt envelope, and a
+// pulling replica treats its own corrupt copy as missing (and thereby
+// repairable).
+func (c *Cache) Durable(key string) (dynring.Result, bool) {
+	if c.disk == nil {
+		return dynring.Result{}, false
+	}
+	return c.disk.Get(key)
+}
+
 // Close flushes every queued durable write — the ringsimd -drain
 // guarantee — and stops the background writer. The cache stays readable.
 func (c *Cache) Close() {

@@ -14,6 +14,10 @@ import (
 // maxSpecBytes bounds a POST /v1/sweeps body.
 const maxSpecBytes = 1 << 20
 
+// maxEnvelopeBytes bounds a POST /v1/replicate body: one result envelope,
+// whose Moves/TerminatedAt slices scale with ring size.
+const maxEnvelopeBytes = 8 << 20
+
 // NewHandler serves the ringsimd HTTP API on top of a Manager:
 //
 //	POST   /v1/sweeps               submit a dynring.SweepSpec, returns JobStatus (201)
@@ -25,6 +29,9 @@ const maxSpecBytes = 1 << 20
 //	GET    /v1/cluster              dynring.ClusterStatus (this node's cluster view)
 //	POST   /v1/cluster/leave        peer announces graceful shutdown ({"url": ...})
 //	POST   /v1/cluster/join         peer announces (re)join ({"url": ...})
+//	POST   /v1/replicate            peer pushes one completed envelope (replicated clusters only)
+//	GET    /v1/antientropy/keys     durable-tier fingerprint listing (replicated clusters only)
+//	GET    /v1/antientropy/entry    one validated envelope, ?fp=... (replicated clusters only)
 //	GET    /healthz                 liveness
 //	GET    /statsz                  dynring.ServiceStats (cache + execution counters)
 //	GET    /metrics                 Prometheus text exposition of the node's registry
@@ -255,6 +262,63 @@ func NewHandler(m *Manager) http.Handler {
 
 	mux.HandleFunc("GET /v1/cluster", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, m.ClusterStatus())
+	})
+
+	// The replication endpoints exist only on a replicated cluster node
+	// (Replicas > 1); elsewhere they 404 — a standalone or unreplicated
+	// node must not adopt third-party envelopes. Like the membership
+	// announcements they are peer-to-peer and stay outside tenant auth:
+	// they create no work, and envelopes are content-addressed (the
+	// receiver re-keys by the embedded fingerprint, so the worst a bogus
+	// push can do is cache a result nobody asks for).
+	mux.HandleFunc("POST /v1/replicate", func(w http.ResponseWriter, r *http.Request) {
+		if !m.Replicated() {
+			writeError(w, http.StatusNotFound, errors.New("replication not enabled"))
+			return
+		}
+		var req replicateRequest
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxEnvelopeBytes))
+		if err := dec.Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		if req.Fingerprint == "" {
+			writeError(w, http.StatusBadRequest, errors.New("missing fingerprint"))
+			return
+		}
+		m.AdoptEnvelope(req.Fingerprint, req.Result)
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+
+	mux.HandleFunc("GET /v1/antientropy/keys", func(w http.ResponseWriter, r *http.Request) {
+		if !m.Replicated() {
+			writeError(w, http.StatusNotFound, errors.New("replication not enabled"))
+			return
+		}
+		keys := m.DurableKeys()
+		if keys == nil {
+			keys = []string{}
+		}
+		writeJSON(w, http.StatusOK, antiEntropyKeys{Keys: keys})
+	})
+
+	mux.HandleFunc("GET /v1/antientropy/entry", func(w http.ResponseWriter, r *http.Request) {
+		if !m.Replicated() {
+			writeError(w, http.StatusNotFound, errors.New("replication not enabled"))
+			return
+		}
+		fp := r.URL.Query().Get("fp")
+		if fp == "" {
+			writeError(w, http.StatusBadRequest, errors.New("missing fp"))
+			return
+		}
+		res, ok := m.DurableEnvelope(fp)
+		if !ok {
+			// Absent or corrupt — both 404: corruption is never served.
+			writeError(w, http.StatusNotFound, errors.New("no durable envelope"))
+			return
+		}
+		writeJSON(w, http.StatusOK, replicateRequest{Fingerprint: fp, Result: res})
 	})
 
 	mux.HandleFunc("POST /v1/cluster/leave", func(w http.ResponseWriter, r *http.Request) {

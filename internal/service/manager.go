@@ -73,6 +73,23 @@ type ClusterOptions struct {
 	// membership defaults (1s, and probe timeout = interval).
 	ProbeInterval time.Duration
 	ProbeTimeout  time.Duration
+	// Replicas is the replica-set size k: each fingerprint is placed on its
+	// ring owner plus the next k-1 distinct successors, completed envelopes
+	// are pushed to every replica's disk tier, proxying tries owner then
+	// replicas before the local fallback, and replicas may steal an
+	// overloaded owner's work. Non-positive or 1 means no replication —
+	// exactly the pre-replica single-owner behavior. All nodes must agree
+	// on it.
+	Replicas int
+	// Transport, when non-nil, underlies every outbound cluster request —
+	// probes, proxy hops, replication pushes, anti-entropy fetches, and
+	// leave/join broadcasts. It is the fault-injection seam clustertest
+	// wraps; nil means the default transport.
+	Transport http.RoundTripper
+	// AntiEntropyInterval paces the background reconciliation of replica
+	// disk tiers (zero: a 30s default). Only meaningful with Replicas > 1
+	// and a DiskDir.
+	AntiEntropyInterval time.Duration
 }
 
 // defaultJobHistory is the settled-job retention bound when Options leaves
@@ -83,6 +100,24 @@ const defaultJobHistory = 1024
 // leaveTimeout bounds the graceful-leave (and join) broadcasts at
 // startup/shutdown; they are best-effort and must not stall either.
 const leaveTimeout = 2 * time.Second
+
+// stealThreshold is the minimum gossiped backlog advantage — owner queue
+// depth minus local queue depth — before a replica pulls an owned
+// fingerprint's work instead of proxying it. Stealing executes work the
+// owner never saw (the steal replaces the proxy hop, it does not race it),
+// so the only cost of stealing too eagerly is losing the owner's
+// singleflight concentration; the threshold keeps the steady state on the
+// owner and reserves stealing for genuine overload.
+const stealThreshold = 8
+
+// defaultAntiEntropyInterval paces replica disk-tier reconciliation when
+// ClusterOptions leaves it unset.
+const defaultAntiEntropyInterval = 30 * time.Second
+
+// replicateQueueDepth bounds the asynchronous replication-push queue.
+// Like the disk tier's write queue, a full queue blocks the producer
+// (backpressure) rather than silently dropping replication.
+const replicateQueueDepth = 256
 
 // task is one schedulable unit: scenario i of job j.
 type task struct {
@@ -135,6 +170,7 @@ type Manager struct {
 	workers    int
 	history    int
 	vnodes     int
+	replicas   int // replica-set size k; 1 means unreplicated
 	cache      *Cache
 	membership *cluster.Membership // nil when standalone
 	proxyHTTP  *http.Client
@@ -145,6 +181,21 @@ type Manager struct {
 	executions atomic.Uint64
 	proxied    atomic.Uint64
 	settled    atomic.Int64 // retained settled jobs; guards prune scans
+
+	// Replication and anti-entropy state (cluster mode with Replicas > 1).
+	// steals counts owned-elsewhere scenarios executed locally because the
+	// owner's gossiped backlog exceeded ours; replicaHits counts scenarios
+	// served by proxying to a non-owner replica; aeRepairs counts envelopes
+	// copied between replica disk tiers by the anti-entropy pass.
+	steals      atomic.Uint64
+	replicaHits atomic.Uint64
+	aeRepairs   atomic.Uint64
+	aeInterval  time.Duration
+	aeKick      chan string   // rejoin-triggered targeted syncs
+	auxStop     chan struct{} // stops the replication + anti-entropy loops
+	auxStopOnce sync.Once
+	auxWG       sync.WaitGroup
+	replq       chan replItem
 
 	// Admission state: tenants by name and by API key (both immutable
 	// after newManager; tenantList preserves declaration order for stats),
@@ -187,6 +238,20 @@ func New(opts Options) (*Manager, error) {
 		// Tell peers we are (back) up so any that hold us dead or left
 		// re-probe immediately instead of waiting out their backoff.
 		go m.membership.AnnounceJoin(leaveTimeout)
+		if m.replicas > 1 {
+			m.auxWG.Add(1)
+			go func() {
+				defer m.auxWG.Done()
+				m.replicationLoop()
+			}()
+			if m.cache.disk != nil {
+				m.auxWG.Add(1)
+				go func() {
+					defer m.auxWG.Done()
+					m.antiEntropyLoop()
+				}()
+			}
+		}
 	}
 	m.wg.Add(m.workers)
 	for w := 0; w < m.workers; w++ {
@@ -253,7 +318,18 @@ func newManager(opts Options) (*Manager, error) {
 		if m.vnodes <= 0 {
 			m.vnodes = cluster.DefaultVNodes
 		}
-		m.proxyHTTP = &http.Client{}
+		m.replicas = opts.Cluster.Replicas
+		if m.replicas < 1 {
+			m.replicas = 1
+		}
+		m.aeInterval = opts.Cluster.AntiEntropyInterval
+		if m.aeInterval <= 0 {
+			m.aeInterval = defaultAntiEntropyInterval
+		}
+		m.proxyHTTP = &http.Client{Transport: opts.Cluster.Transport}
+		m.aeKick = make(chan string, 8)
+		m.auxStop = make(chan struct{})
+		m.replq = make(chan replItem, replicateQueueDepth)
 		m.membership = cluster.NewMembership(cluster.Config{
 			Self:          opts.Cluster.Self,
 			Peers:         opts.Cluster.Peers,
@@ -262,7 +338,19 @@ func newManager(opts Options) (*Manager, error) {
 			ProbeTimeout:  opts.Cluster.ProbeTimeout,
 			HTTPClient:    m.proxyHTTP,
 			Logger:        base.With("component", "cluster"),
+			// A peer returning from the dead (never a transient flap — the
+			// membership fires this once per recovery) gets an immediate
+			// targeted anti-entropy sync, which is how envelopes stolen or
+			// re-homed while it was down land back on its disk tier.
+			OnRejoin: func(url string) {
+				select {
+				case m.aeKick <- url:
+				default: // a sync toward this peer is already pending
+				}
+			},
 		})
+	} else {
+		m.replicas = 1
 	}
 	m.met = newMetrics(m)
 	m.cond = sync.NewCond(&m.mu)
@@ -305,6 +393,9 @@ func (m *Manager) Close() {
 	m.cond.Broadcast()
 	m.mu.Unlock()
 	if m.membership != nil {
+		// Replication and anti-entropy use the membership; stop them first.
+		m.auxStopOnce.Do(func() { close(m.auxStop) })
+		m.auxWG.Wait()
 		m.membership.Leave(leaveTimeout)
 		m.membership.Close()
 	}
@@ -534,18 +625,25 @@ func (m *Manager) ClusterStatus() dynring.ClusterStatus {
 	peers := make([]dynring.PeerStatus, len(snap))
 	for i, p := range snap {
 		peers[i] = dynring.PeerStatus{
-			URL:      p.URL,
-			Self:     p.Self,
-			State:    p.State.String(),
-			Failures: p.Failures,
-			LastSeen: p.LastSeen,
+			URL:        p.URL,
+			Self:       p.Self,
+			State:      p.State.String(),
+			Failures:   p.Failures,
+			LastSeen:   p.LastSeen,
+			QueueDepth: p.QueueDepth,
+		}
+		if p.Self {
+			// The self entry carries this node's live backlog — the gossip
+			// payload peers read for steal decisions.
+			peers[i].QueueDepth = m.backlog()
 		}
 	}
 	return dynring.ClusterStatus{
-		Enabled: true,
-		Self:    m.membership.Self(),
-		VNodes:  m.vnodes,
-		Peers:   peers,
+		Enabled:  true,
+		Self:     m.membership.Self(),
+		VNodes:   m.vnodes,
+		Replicas: m.replicas,
+		Peers:    peers,
 	}
 }
 
@@ -685,17 +783,27 @@ func (m *Manager) runTask(t task) {
 		return
 	}
 	fp := j.fps[i]
-	if target := m.proxyTarget(fp); target != "" {
-		// Serve from our own tiers before hopping: adopted and previously
-		// proxied results answer repeats locally. (Standalone nodes skip
-		// straight to ExecuteLocal, whose own probe is then the only
-		// lookup — each scheduled scenario counts one hit or miss.)
+	rt := m.routeFor(fp)
+	if len(rt.targets) > 0 {
+		// Serve from our own tiers before hopping: adopted, replicated and
+		// previously proxied results answer repeats locally. (Standalone
+		// nodes skip straight to ExecuteLocal, whose own probe is then the
+		// only lookup — each scheduled scenario counts one hit or miss.)
 		if res, ok := m.cache.Get(fp); ok {
 			j.setRow(i, Row{Cached: true, Result: res})
 			span("cache-hit", nil)
 			return
 		}
-		if rr, ok := m.proxyRun(j.ctx, target, j.scenarios[i], fp, j.traceID, j.Tenant); ok {
+		for _, target := range rt.targets {
+			rr, ok := m.proxyRun(j.ctx, target, j.scenarios[i], fp, j.traceID, j.Tenant)
+			if !ok {
+				// Transient failure: try the next replica before falling
+				// back to local execution.
+				continue
+			}
+			if target != rt.owner {
+				m.replicaHits.Add(1)
+			}
 			// Adopt the owner's span first: under one trace ID the sweep's
 			// trace then shows both the hop (this node) and the work (the
 			// owner), which is the cross-node view /v1/sweeps/{id}/trace
@@ -727,6 +835,9 @@ func (m *Manager) runTask(t task) {
 		}
 	}
 	res, cached, err := m.ExecuteLocal(j.ctx, j.scenarios[i], fp)
+	if rt.steal && err == nil && !cached {
+		m.steals.Add(1)
+	}
 	j.setRow(i, Row{Cached: cached, Result: res, Err: err})
 	switch {
 	case err != nil:
@@ -738,19 +849,60 @@ func (m *Manager) runTask(t task) {
 	}
 }
 
-// proxyTarget returns the URL to proxy fp to: its ring owner, when that is
-// another node currently believed alive. Empty means execute locally —
-// standalone mode, we own it, or the owner is suspect/dead (placement
-// never moves on health; availability comes from this local fallback).
-func (m *Manager) proxyTarget(fp string) string {
+// route is one scenario's dispatch decision: the fingerprint's ring owner,
+// the ordered alive proxy candidates (owner first, then replica
+// successors), and whether this node decided to steal the work instead.
+type route struct {
+	owner   string
+	targets []string
+	steal   bool
+}
+
+// routeFor decides where fp runs. Empty targets means execute locally —
+// standalone mode, we own it (or are stealing it), or no replica is alive
+// (placement never moves on health; availability comes from the local
+// fallback). When this node is in fp's replica set and the owner's
+// gossiped queue depth exceeds our own by stealThreshold, the scenario is
+// stolen: executed locally even though the owner looks alive, with the
+// envelope replicated back to the owner's disk tier by the usual
+// replication push (or, if the owner dies before the push lands, by
+// anti-entropy on its recovery).
+func (m *Manager) routeFor(fp string) route {
 	if m.membership == nil || fp == "" {
-		return ""
+		return route{}
 	}
-	owner := m.membership.Ring().Owner(fp)
-	if owner == "" || owner == m.membership.Self() || !m.membership.Alive(owner) {
-		return ""
+	owners := m.membership.Ring().Owners(fp, m.replicas)
+	self := m.membership.Self()
+	if len(owners) == 0 || owners[0] == self {
+		return route{}
 	}
-	return owner
+	rt := route{owner: owners[0]}
+	selfReplica := false
+	for _, o := range owners[1:] {
+		if o == self {
+			selfReplica = true
+		}
+	}
+	if selfReplica && m.membership.Alive(rt.owner) {
+		if depth, ok := m.membership.QueueDepth(rt.owner); ok && depth >= m.backlog()+stealThreshold {
+			rt.steal = true
+			return rt
+		}
+	}
+	for _, o := range owners {
+		if o != self && m.membership.Alive(o) {
+			rt.targets = append(rt.targets, o)
+		}
+	}
+	return rt
+}
+
+// backlog is this node's undispatched scenario count — the queue depth it
+// gossips to peers and compares against theirs for steal decisions.
+func (m *Manager) backlog() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.sched.Len()
 }
 
 // proxyRun forwards one scenario to its owner via POST /v1/run, carrying
@@ -835,6 +987,10 @@ func (m *Manager) ExecuteLocal(ctx context.Context, sc dynring.Scenario, fp stri
 		res, err := m.execute(ctx, sc)
 		if err == nil {
 			m.cache.Put(fp, res)
+			// Push the completed envelope toward fp's other replicas; the
+			// replication loop fans it out to each replica's disk tier
+			// through that node's own async write queue.
+			m.replicate(fp, res)
 		}
 		f.err = err
 		m.flightMu.Lock()

@@ -41,6 +41,20 @@ func main() {
 		if shape == "tenants" && !strings.Contains(text, "dynring_admission_") {
 			problems = append(problems, "tenants: no dynring_admission_* families rendered")
 		}
+		// Likewise the cluster shape must carry the replication counters —
+		// steal, replica-hit, and anti-entropy-repair accounting is the
+		// observable half of the exactly-once argument under failover.
+		if shape == "cluster" {
+			for _, fam := range []string{
+				"dynring_cluster_steals_total",
+				"dynring_cluster_replica_hits_total",
+				"dynring_cluster_antientropy_repairs_total",
+			} {
+				if !strings.Contains(text, fam) {
+					problems = append(problems, "cluster: family "+fam+" not rendered")
+				}
+			}
+		}
 	}
 	if len(problems) > 0 {
 		for _, p := range problems {
@@ -65,8 +79,9 @@ func shapes() map[string]service.Options {
 		"standalone": {Workers: 1, CacheSize: 8},
 		"disk":       {Workers: 1, CacheSize: 8, DiskDir: dir},
 		"cluster": {Workers: 1, CacheSize: 8, Cluster: service.ClusterOptions{
-			Self:  "http://127.0.0.1:0",
-			Peers: []string{"http://127.0.0.1:1"},
+			Self:     "http://127.0.0.1:0",
+			Peers:    []string{"http://127.0.0.1:1"},
+			Replicas: 3,
 		}},
 		"tenants": {Workers: 1, CacheSize: 8, Tenants: []service.TenantConfig{
 			{Name: "alice", Key: "sk-alice", Weight: 3, MaxQueued: 64, MaxConcurrent: 4},

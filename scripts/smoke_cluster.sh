@@ -11,6 +11,16 @@
 # counters scraped from /metrics on all three peers sum to the grid size,
 # and (f) a proxied sweep's trace names spans from at least two distinct
 # nodes under one trace ID. Needs only bash, curl and the go toolchain.
+#
+# "smoke_cluster.sh chaos" instead runs the seeded chaos mode against a
+# -replicas 3 cluster: CHAOS_ITERS iterations of SIGKILL-a-random-victim
+# mid-sweep / assert zero errored rows / restart / reconverge, driven by
+# bash's RNG seeded from CHAOS_SEED so a failure reproduces exactly (the
+# seed is printed up front and again on failure). After the loop it waits
+# for anti-entropy to union every replica's -data tier, asserts a re-POST
+# of the first grid adds zero executions cluster-wide, and checks the
+# dynring_cluster_{steals,replica_hits,antientropy_repairs}_total families
+# are exposed on every node's /metrics.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -83,6 +93,95 @@ executions() {
 
 echo "== build"
 go build -o "$WORKDIR/ringsimd" ./cmd/ringsimd
+
+if [ "${1:-}" = "chaos" ]; then
+  CHAOS_SEED="${CHAOS_SEED:-20160808}"
+  CHAOS_ITERS="${CHAOS_ITERS:-5}"
+  RANDOM=$CHAOS_SEED
+  die() { echo "$*" >&2; echo "chaos smoke FAILED — reproduce with CHAOS_SEED=$CHAOS_SEED $0 chaos" >&2; exit 1; }
+  trap 'echo "chaos smoke aborted — reproduce with CHAOS_SEED=$CHAOS_SEED $0 chaos" >&2' ERR
+
+  NAMES=(n1 n2 n3); PORTS=("$P1" "$P2" "$P3"); BASES=("$N1" "$N2" "$N3")
+  CUR_PID=(0 0 0)
+
+  # chaos_boot IDX: (re)start node IDX with its persistent data dir and
+  # 3-way replication; fast probes and a tight anti-entropy interval so
+  # recovery converges within the test budget.
+  chaos_boot() {
+    local idx="$1"
+    mkdir -p "$WORKDIR/data-${NAMES[$idx]}"
+    "$WORKDIR/ringsimd" -addr "$HOST:${PORTS[$idx]}" -self "http://$HOST:${PORTS[$idx]}" \
+      -peers "$PEERS" -data "$WORKDIR/data-${NAMES[$idx]}" -workers 2 -cache 1024 \
+      -replicas 3 -probe-interval 250ms -antientropy-interval 500ms \
+      >>"$WORKDIR/${NAMES[$idx]}.log" 2>&1 &
+    CUR_PID[$idx]=$!
+    PIDS+=($!)
+  }
+
+  # disk_entries BASE: the node's durable-tier entry gauge from /metrics.
+  disk_entries() {
+    curl -fsS "$1/metrics" | awk '/^dynring_cache_entries{.*disk/ {v=$2} END {print v + 0}'
+  }
+
+  echo "== chaos mode: seed=$CHAOS_SEED iterations=$CHAOS_ITERS replicas=3"
+  chaos_boot 0; chaos_boot 1; chaos_boot 2
+  for base in "${BASES[@]}"; do wait_alive "$base" 3; done
+
+  GRID_SIZE=12
+  FIRST_SPEC=""
+  for it in $(seq "$CHAOS_ITERS"); do
+    c=$((RANDOM % 3))
+    v=$(( (c + 1 + RANDOM % 2) % 3 ))
+    s=$((it * 100))
+    SPECI='{"base":{"size":8,"landmark":0,"algorithm":"LandmarkWithChirality","adversary":{"kind":"random","p":0.5}},"algorithms":["KnownNNoChirality","LandmarkWithChirality"],"sizes":[6,8],"seeds":['"$s,$((s + 1)),$((s + 2))"']}'
+    [ -n "$FIRST_SPEC" ] || FIRST_SPEC="$SPECI"
+    echo "== iteration $it: submit to ${NAMES[$c]}, SIGKILL ${NAMES[$v]} mid-sweep"
+    IDI="$(submit "${BASES[$c]}" "$SPECI" "$WORKDIR/chaos-job.json")"
+    kill -KILL "${CUR_PID[$v]}" 2>/dev/null || true
+    wait_done "${BASES[$c]}" "$IDI"
+    curl -fsS "${BASES[$c]}/v1/sweeps/$IDI/results" >"$WORKDIR/chaos-run.ndjson"
+    if grep -q '"error"' "$WORKDIR/chaos-run.ndjson"; then
+      grep '"error"' "$WORKDIR/chaos-run.ndjson" >&2
+      die "iteration $it: sweep under SIGKILL carries errored rows"
+    fi
+    ROWS="$(wc -l <"$WORKDIR/chaos-run.ndjson")"
+    [ "$ROWS" = "$GRID_SIZE" ] || die "iteration $it: stream has $ROWS rows, want $GRID_SIZE"
+    chaos_boot "$v"
+    for base in "${BASES[@]}"; do wait_alive "$base" 3; done
+  done
+
+  echo "== anti-entropy: every replica's -data tier converges to the union"
+  WANT=$((GRID_SIZE * CHAOS_ITERS))
+  for base in "${BASES[@]}"; do
+    got=0
+    for _ in $(seq 300); do
+      got="$(disk_entries "$base")"
+      [ "${got:-0}" -ge "$WANT" ] && break
+      sleep 0.1
+    done
+    [ "${got:-0}" -ge "$WANT" ] || die "$base durable tier stuck at ${got:-0}/$WANT entries"
+  done
+
+  echo "== re-POST of iteration 1's grid executes nothing anywhere"
+  B1="$(executions "$N1")"; B2="$(executions "$N2")"; B3="$(executions "$N3")"
+  IDF="$(submit "$N1" "$FIRST_SPEC" "$WORKDIR/chaos-final.json")"
+  wait_done "$N1" "$IDF"
+  A1="$(executions "$N1")"; A2="$(executions "$N2")"; A3="$(executions "$N3")"
+  NEW=$(((A1 - B1) + (A2 - B2) + (A3 - B3)))
+  [ "$NEW" = 0 ] || die "re-POST after chaos re-executed $NEW scenarios (replicated tiers should serve all of them)"
+
+  echo "== replication metric families exposed on every node"
+  for base in "${BASES[@]}"; do
+    curl -fsS "$base/metrics" >"$WORKDIR/chaos-metrics.txt"
+    for fam in dynring_cluster_steals_total dynring_cluster_replica_hits_total dynring_cluster_antientropy_repairs_total; do
+      grep -q "^# TYPE $fam counter$" "$WORKDIR/chaos-metrics.txt" \
+        || die "$base/metrics missing the $fam family"
+    done
+  done
+
+  echo "chaos smoke OK: seed=$CHAOS_SEED, $CHAOS_ITERS SIGKILL/restart iterations with zero errored rows, replica tiers converged, re-POST ran nothing"
+  exit 0
+fi
 
 echo "== boot 3 peers"
 boot n1 "$P1"; boot n2 "$P2"; boot n3 "$P3"
