@@ -1,0 +1,60 @@
+package dynring
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBackoffJitterBounds pins the retry sleep distribution: full jitter
+// draws uniformly from (0, d], never zero (a zero sleep would turn a
+// retry loop into a hot spin) and never over the window (the doubling
+// schedule's cap must stay the worst case). The bounds here are a
+// regression contract — "equal jitter" or "d/2 + rand(d/2)" variants
+// would fail the min/mean checks, and removing the jitter entirely would
+// fail the spread check.
+func TestBackoffJitterBounds(t *testing.T) {
+	const d = 100 * time.Millisecond
+	const draws = 2000
+	var sum time.Duration
+	minSeen, maxSeen := time.Duration(1<<62), time.Duration(0)
+	for i := 0; i < draws; i++ {
+		got := backoffJitter(d)
+		if got <= 0 || got > d {
+			t.Fatalf("draw %d: backoffJitter(%v) = %v, want in (0, %v]", i, d, got, d)
+		}
+		sum += got
+		minSeen = min(minSeen, got)
+		maxSeen = max(maxSeen, got)
+	}
+	// Uniform over (0, d] has mean d/2; with 2000 draws the sample mean is
+	// within a few percent with overwhelming probability. The bounds are
+	// deliberately loose (±15%) so the test is deterministic in practice
+	// while still rejecting any non-uniform or offset variant.
+	mean := sum / draws
+	if mean < 35*time.Millisecond || mean > 65*time.Millisecond {
+		t.Fatalf("sample mean %v outside [35ms, 65ms]; distribution is not full jitter over (0, %v]", mean, d)
+	}
+	// Full jitter uses the whole window: across 2000 draws both tails must
+	// be visited (each tail decile is missed with probability ~0.9^2000).
+	if minSeen > d/10 {
+		t.Fatalf("minimum draw %v > %v; low tail never sampled", minSeen, d/10)
+	}
+	if maxSeen < 9*d/10 {
+		t.Fatalf("maximum draw %v < %v; high tail never sampled", maxSeen, 9*d/10)
+	}
+}
+
+// TestBackoffJitterDegenerate: non-positive windows sleep zero — callers
+// pass the pre-jitter schedule value directly and must not panic on a
+// zero base delay.
+func TestBackoffJitterDegenerate(t *testing.T) {
+	if got := backoffJitter(0); got != 0 {
+		t.Fatalf("backoffJitter(0) = %v, want 0", got)
+	}
+	if got := backoffJitter(-time.Second); got != 0 {
+		t.Fatalf("backoffJitter(-1s) = %v, want 0", got)
+	}
+	if got := backoffJitter(1); got != 1 {
+		t.Fatalf("backoffJitter(1ns) = %v, want 1ns (the only value in (0, 1])", got)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
 	"net/url"
 	"strconv"
@@ -287,6 +288,20 @@ func (c *Client) httpClient() *http.Client {
 	return http.DefaultClient
 }
 
+// backoffJitter draws one retry sleep from the "full jitter" distribution:
+// uniform in (0, d]. The doubling schedule still caps the window (so the
+// k-th retry waits at most base·2^k), but the actual sleep is randomized
+// across the whole window — deterministic backoff makes every client that
+// failed together retry together, re-spiking the very server they are
+// backing off from; jitter decorrelates the waves. The draw is never 0:
+// a zero sleep would skip the context-aware wait entirely.
+func backoffJitter(d time.Duration) time.Duration {
+	if d <= 0 {
+		return 0
+	}
+	return time.Duration(rand.Int64N(int64(d))) + 1
+}
+
 // errorDoc is the service's error body.
 type errorDoc struct {
 	Error string `json:"error"`
@@ -324,8 +339,9 @@ func (c *Client) doTraced(ctx context.Context, method, path, trace string, hdr m
 			return err
 		}
 		// Prefer the server's own Retry-After hint (a 429's statement of
-		// when quota headroom is expected) over the blind backoff step.
-		wait := delay
+		// when quota headroom is expected) over the blind backoff step;
+		// computed steps are jittered, the server's explicit hint is not.
+		wait := backoffJitter(delay)
 		var se *serverError
 		if errors.As(err, &se) && se.RetryAfter > 0 {
 			wait = se.RetryAfter
@@ -599,7 +615,7 @@ func (c *Client) StreamResultsFrom(ctx context.Context, id string, from int, fn 
 			return err
 		}
 		lastErr = err
-		if serr := sleepCtx(ctx, delay); serr != nil {
+		if serr := sleepCtx(ctx, backoffJitter(delay)); serr != nil {
 			return lastErr
 		}
 		delay = min(delay*2, retryMaxDelay)

@@ -21,14 +21,21 @@ import (
 // coordination.
 
 // PeerStatus is one cluster member as reported by /v1/cluster (and
-// /statsz). State is "alive", "suspect", "dead" or "left" as seen by the
-// reporting node; health is local opinion, placement is global.
+// /statsz). State is "alive", "suspect", "dead", "left" or "degraded" as
+// seen by the reporting node; health is local opinion, placement is
+// global.
 type PeerStatus struct {
 	URL  string `json:"url"`
 	Self bool   `json:"self,omitempty"`
 	// State is the probe-derived health state. Peers in any state except
-	// "left" are ring members.
+	// "left" are ring members. "degraded" means alive-but-gray: the peer
+	// answers probes but the reporting node's circuit breaker for it is
+	// not closed (recent proxy errors, timeouts, or slow RTTs), so routed
+	// work skips it until the breaker recovers.
 	State string `json:"state"`
+	// Breaker is the reporting node's circuit-breaker state for this peer:
+	// "closed", "open" or "half_open". Absent for the self entry.
+	Breaker string `json:"breaker,omitempty"`
 	// Failures counts consecutive failed probes; LastSeen is the last
 	// successful one (zero: never probed successfully).
 	Failures int       `json:"failures,omitempty"`
@@ -108,8 +115,24 @@ func (c *Client) RunScenario(ctx context.Context, spec ScenarioSpec) (RunRespons
 // under the caller's trace. The cluster proxy path uses this for every hop,
 // with the client's TenantKey identifying the originating tenant.
 func (c *Client) RunScenarioTraced(ctx context.Context, spec ScenarioSpec, traceID string) (RunResponse, error) {
+	return c.RunScenarioBudgeted(ctx, spec, traceID, 0)
+}
+
+// RunScenarioBudgeted is RunScenarioTraced carrying a remaining deadline
+// budget: budget (when positive) is sent in DeadlineHeader as a Go
+// duration, and the receiving node bounds its execution by it. The cluster
+// proxy path uses this to propagate a job's X-Dynring-Deadline across
+// hops — each hop forwards only what is left of the budget, so a sweep
+// with a 2s deadline can never hold a remote worker beyond those 2s no
+// matter how many nodes the scenario visits. A zero or negative budget
+// sends no header (the hop is bounded only by ctx).
+func (c *Client) RunScenarioBudgeted(ctx context.Context, spec ScenarioSpec, traceID string, budget time.Duration) (RunResponse, error) {
+	var hdr map[string]string
+	if budget > 0 {
+		hdr = map[string]string{DeadlineHeader: budget.String()}
+	}
 	var rr RunResponse
-	err := c.doTraced(ctx, http.MethodPost, "/v1/run", traceID, nil, RunRequest{Scenario: spec}, &rr)
+	err := c.doTraced(ctx, http.MethodPost, "/v1/run", traceID, hdr, RunRequest{Scenario: spec}, &rr)
 	return rr, err
 }
 
@@ -310,7 +333,11 @@ func (c *Client) retryShare(ctx context.Context, scenarios []Scenario, indices [
 }
 
 // aliveSet maps member URL → routable (alive, or the reporting node
-// itself).
+// itself). Degraded peers are deliberately not routable here: the
+// coordinator has breaker evidence that they are slow, so client-side
+// routing sends their shares to the next replica (or the coordinator)
+// exactly as routeShares does for dead peers — placement never moves,
+// only the serving node does.
 func aliveSet(cs ClusterStatus) map[string]bool {
 	alive := make(map[string]bool, len(cs.Peers))
 	for _, p := range cs.Peers {

@@ -15,6 +15,19 @@
 // a background anti-entropy pass (-antientropy-interval) reconciles
 // replica -data directories to their set union.
 //
+// Gray failures — peers that stay alive but turn slow — are handled by
+// four cooperating knobs: every outbound replica RPC is bounded by
+// -proxy-timeout and by the submitting job's remaining deadline budget
+// (propagated hop to hop via X-Dynring-Deadline); per-peer circuit
+// breakers open after -breaker-threshold consecutive errors, timeouts, or
+// slow probes and route traffic to the next replica (open-breaker peers
+// show as "degraded" in /v1/cluster); -hedge-after arms hedged replica
+// reads that race a backup request when the owner is slow,
+// first-response-wins; and -shed-queue-depth arms an overload brownout
+// that sheds anonymous and negative-priority submissions with 503 +
+// Retry-After while the queue is over depth (fully cached requests are
+// always admitted).
+//
 // Usage:
 //
 //	ringsimd -addr :8080 -workers 8 -cache 4096
@@ -110,6 +123,10 @@ func run(ctx context.Context, out io.Writer, args []string) error {
 		probeIvl    = fs.Duration("probe-interval", 0, "peer health-probe period (0 = default 1s)")
 		replicas    = fs.Int("replicas", 0, "replica-set size k: each fingerprint's envelope lands on its owner plus the next k-1 ring successors (0 or 1 = unreplicated; must match cluster-wide)")
 		aeInterval  = fs.Duration("antientropy-interval", 0, "replica disk-tier reconciliation period (0 = default 30s; needs -replicas > 1 and -data)")
+		proxyTO     = fs.Duration("proxy-timeout", 0, "per-hop bound on outbound replica RPCs: proxy runs, replication pushes, anti-entropy fetches (0 = default 10s; a tighter job deadline bounds a hop further)")
+		hedgeAfter  = fs.Duration("hedge-after", 0, "fire a hedged replica read when the owner has been silent this long on a proxy hop (0 disables hedging)")
+		breakThresh = fs.Int("breaker-threshold", 0, "consecutive bad observations — errors, timeouts, slow probes — that open a peer's circuit breaker (0 = default 5)")
+		shedDepth   = fs.Int("shed-queue-depth", 0, "queue depth at which the overload brownout sheds anonymous and negative-priority submissions with 503 (0 disables shedding)")
 		drain       = fs.Duration("drain", 5*time.Second, "graceful shutdown timeout")
 		pprofAddr   = fs.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060; empty disables)")
 		profileFrac = fs.Int("profile-fraction", 0, "sample 1/N of mutex-contention and blocking events for the -pprof mutex/block profiles (0 disables; requires -pprof)")
@@ -150,11 +167,12 @@ func run(ctx context.Context, out io.Writer, args []string) error {
 		runtime.SetBlockProfileRate(*profileFrac)
 	}
 	mgr, err := service.New(service.Options{
-		Workers:    *workers,
-		CacheSize:  *cacheSize,
-		DiskDir:    *dataDir,
-		JobHistory: *history,
-		Tenants:    tenantCfg,
+		Workers:        *workers,
+		CacheSize:      *cacheSize,
+		DiskDir:        *dataDir,
+		JobHistory:     *history,
+		Tenants:        tenantCfg,
+		ShedQueueDepth: *shedDepth,
 		Cluster: service.ClusterOptions{
 			Self:                strings.TrimRight(*self, "/"),
 			Peers:               seedPeers,
@@ -162,6 +180,9 @@ func run(ctx context.Context, out io.Writer, args []string) error {
 			ProbeInterval:       *probeIvl,
 			Replicas:            *replicas,
 			AntiEntropyInterval: *aeInterval,
+			ProxyTimeout:        *proxyTO,
+			HedgeAfter:          *hedgeAfter,
+			BreakerThreshold:    *breakThresh,
 		},
 		Logger: logger,
 	})

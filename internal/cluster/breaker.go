@@ -1,0 +1,154 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is one of the three classic circuit-breaker states.
+type BreakerState int
+
+const (
+	// BreakerClosed is the healthy state: requests flow, consecutive bad
+	// observations are counted.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen means the peer accumulated BreakerConfig.Threshold
+	// consecutive bad observations: requests are refused outright (the
+	// caller routes to the next replica immediately) until Cooldown
+	// elapses.
+	BreakerOpen
+	// BreakerHalfOpen means the cooldown elapsed and one trial request has
+	// been admitted: the next observation decides — success closes the
+	// breaker, failure re-opens it with a fresh cooldown.
+	BreakerHalfOpen
+)
+
+// String implements fmt.Stringer with the wire names used by /v1/cluster
+// and the dynring_cluster_breaker_state metric labels.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half_open"
+	default:
+		return "closed"
+	}
+}
+
+// BreakerConfig configures one per-peer circuit breaker.
+type BreakerConfig struct {
+	// Threshold is the consecutive bad-observation count (errors, timeouts,
+	// or slow RTTs) that trips a closed breaker open. Non-positive means
+	// the default of 5.
+	Threshold int
+	// Cooldown is how long an open breaker refuses requests before
+	// admitting a half-open trial. Non-positive means the default of 5s.
+	Cooldown time.Duration
+	// SlowRTT, when positive, makes a *successful* observation at or above
+	// this round-trip time count as bad: gray failure is slow-but-alive, so
+	// latency is failure evidence even when the request succeeds. Zero
+	// disables RTT-based tripping (only errors count).
+	SlowRTT time.Duration
+}
+
+// withDefaults fills zero fields with the documented defaults.
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.Threshold <= 0 {
+		c.Threshold = 5
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 5 * time.Second
+	}
+	return c
+}
+
+// Breaker is a circuit breaker guarding one peer. It is deliberately
+// evidence-agnostic: callers feed it every observation about the peer —
+// proxy results, probe results, out-of-band failures — through Observe,
+// and consult Allow before sending a request the breaker may veto.
+// Health probes are exempt from Allow (they are the detector, not the
+// load), which is how an open breaker ever sees the recovery evidence
+// that closes it. Safe for concurrent use.
+type Breaker struct {
+	cfg BreakerConfig
+
+	mu       sync.Mutex
+	state    BreakerState
+	failures int       // consecutive bad observations while closed
+	openedAt time.Time // when the breaker last tripped open
+	now      func() time.Time
+}
+
+// NewBreaker returns a closed breaker with cfg (zero fields defaulted).
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	return &Breaker{cfg: cfg.withDefaults(), now: time.Now}
+}
+
+// Allow reports whether a request to the guarded peer may be sent now.
+// A closed breaker always allows; an open one refuses until Cooldown has
+// elapsed, at which point it transitions to half-open and admits trials.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerOpen:
+		if b.now().Sub(b.openedAt) < b.cfg.Cooldown {
+			return false
+		}
+		b.state = BreakerHalfOpen
+		return true
+	default:
+		return true
+	}
+}
+
+// Observe records the outcome of one request or probe against the peer.
+// err != nil is always bad; a nil err with rtt at or above SlowRTT (when
+// configured) is bad too — that is the gray-failure signal. Good
+// observations reset the failure count, close a half-open breaker, and
+// close an open breaker whose cooldown has already elapsed (a successful
+// probe is the trial); a lone good observation during the cooldown is
+// ignored, so a breaker opened by proxy timeouts is not instantly closed
+// by one cheap probe. Bad observations trip a closed breaker at
+// Threshold, re-open a half-open one, and push an open one's cooldown
+// forward (the peer is still failing; no point trialing yet).
+func (b *Breaker) Observe(rtt time.Duration, err error) {
+	bad := err != nil || (b.cfg.SlowRTT > 0 && rtt >= b.cfg.SlowRTT)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if bad {
+		switch b.state {
+		case BreakerClosed:
+			b.failures++
+			if b.failures >= b.cfg.Threshold {
+				b.state = BreakerOpen
+				b.openedAt = b.now()
+			}
+		case BreakerHalfOpen, BreakerOpen:
+			b.state = BreakerOpen
+			b.openedAt = b.now()
+		}
+		return
+	}
+	switch b.state {
+	case BreakerClosed:
+		b.failures = 0
+	case BreakerHalfOpen:
+		b.state = BreakerClosed
+		b.failures = 0
+	case BreakerOpen:
+		if b.now().Sub(b.openedAt) >= b.cfg.Cooldown {
+			b.state = BreakerClosed
+			b.failures = 0
+		}
+	}
+}
+
+// State returns the breaker's current state without side effects (no
+// open→half-open transition; that only happens on Allow).
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}

@@ -38,6 +38,24 @@ type Options struct {
 	// Plan optionally supplies a pre-scripted fault plan (for KillAt
 	// schedules that must be laid down before boot traffic starts).
 	Plan *FaultPlan
+	// ProxyTimeout bounds every node's outbound replica RPCs (0 leaves
+	// the service's 10s default). Gray-failure tests lower it so a slowed
+	// node trips timeouts in test time.
+	ProxyTimeout time.Duration
+	// HedgeAfter arms hedged replica reads on every node (0 = disabled,
+	// the service default).
+	HedgeAfter time.Duration
+	// BreakerThreshold and BreakerCooldown tune every node's per-peer
+	// circuit breakers (0 = the breaker defaults of 5 and 5s).
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	// Tenants installs the same admission config on every node (nil = the
+	// open anonymous default).
+	Tenants []service.TenantConfig
+	// ShedQueueDepth and ShedOpenBreakers arm the overload brownout on
+	// every node (0 = shedding disabled, the service default).
+	ShedQueueDepth   int
+	ShedOpenBreakers int
 }
 
 // Cluster is a running in-process cluster and the fault plan every node's
@@ -101,7 +119,9 @@ func Start(t *testing.T, opts Options) *Cluster {
 	}
 	c := &Cluster{Plan: plan, t: t, nodes: make([]*Node, opts.Nodes)}
 	for i := range c.nodes {
-		o := service.Options{Workers: opts.Workers, CacheSize: opts.CacheSize}
+		o := service.Options{Workers: opts.Workers, CacheSize: opts.CacheSize,
+			Tenants: opts.Tenants, ShedQueueDepth: opts.ShedQueueDepth,
+			ShedOpenBreakers: opts.ShedOpenBreakers}
 		if opts.Disk {
 			o.DiskDir = t.TempDir()
 		}
@@ -113,6 +133,10 @@ func Start(t *testing.T, opts Options) *Cluster {
 			Replicas:            opts.Replicas,
 			Transport:           plan.Transport(urls[i]),
 			AntiEntropyInterval: opts.AntiEntropyInterval,
+			ProxyTimeout:        opts.ProxyTimeout,
+			HedgeAfter:          opts.HedgeAfter,
+			BreakerThreshold:    opts.BreakerThreshold,
+			BreakerCooldown:     opts.BreakerCooldown,
 		}
 		m, err := service.New(o)
 		if err != nil {
@@ -191,7 +215,8 @@ func (c *Cluster) WaitAlive() {
 }
 
 // WaitPeerState blocks until node viewer reports peer in one of the given
-// wire states ("alive", "suspect", "dead", "left"), failing after 10s.
+// wire states ("alive", "suspect", "dead", "left", "degraded"), failing
+// after 10s.
 func (c *Cluster) WaitPeerState(viewer int, peer string, states ...string) {
 	c.t.Helper()
 	deadline := time.Now().Add(10 * time.Second)

@@ -27,26 +27,28 @@ import (
 // participant's transport. All mutators are safe to call while the cluster
 // is running; the zero step is before any request has been intercepted.
 type FaultPlan struct {
-	mu     sync.Mutex
-	rng    *rand.Rand
-	step   int
-	killAt map[int][]string
-	killed map[string]bool
-	cut    map[[2]string]bool
-	slow   time.Duration
-	dropN  int
-	seen   int // requests considered by DropEveryN
-	watch  func(from, to, path string)
+	mu       sync.Mutex
+	rng      *rand.Rand
+	step     int
+	killAt   map[int][]string
+	killed   map[string]bool
+	cut      map[[2]string]bool
+	slow     time.Duration
+	slowNode map[string]time.Duration
+	dropN    int
+	seen     int // requests considered by DropEveryN
+	watch    func(from, to, path string)
 }
 
 // NewFaultPlan returns an empty plan whose random choices (Intn) derive
 // from seed, so a failing chaos test reproduces from its printed seed.
 func NewFaultPlan(seed int64) *FaultPlan {
 	return &FaultPlan{
-		rng:    rand.New(rand.NewSource(seed)),
-		killAt: make(map[int][]string),
-		killed: make(map[string]bool),
-		cut:    make(map[[2]string]bool),
+		rng:      rand.New(rand.NewSource(seed)),
+		killAt:   make(map[int][]string),
+		killed:   make(map[string]bool),
+		cut:      make(map[[2]string]bool),
+		slowNode: make(map[string]time.Duration),
 	}
 }
 
@@ -112,6 +114,24 @@ func (p *FaultPlan) SlowProxy(d time.Duration) {
 	p.slow = d
 }
 
+// SlowNode delays every admitted request to or from node by d (0 lifts
+// the fault) — a gray failure: the node stays alive, answers probes, and
+// loses no traffic, it is just slow for everyone. Requests touching two
+// slowed parties, or a slowed party under SlowProxy too, are delayed by
+// the largest applicable value, not the sum (one shared slow event, not
+// stacked ones). The delay honors the request context, so a caller whose
+// hedge or timeout fires mid-delay gets its cancellation immediately and
+// the request never reaches the node.
+func (p *FaultPlan) SlowNode(node string, d time.Duration) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if d <= 0 {
+		delete(p.slowNode, node)
+		return
+	}
+	p.slowNode[node] = d
+}
+
 // DropEveryN fails every nth admitted request (n <= 0 disables). One
 // dropped probe flaps a peer alive→suspect→alive without ever reaching
 // dead — the membership-flap reproducer.
@@ -172,7 +192,9 @@ func (p *FaultPlan) admit(from, to, path string) (time.Duration, error) {
 	if p.watch != nil {
 		p.watch(from, to, path)
 	}
-	return p.slow, nil
+	delay := p.slow
+	delay = max(delay, p.slowNode[from], p.slowNode[to])
+	return delay, nil
 }
 
 // pair canonicalizes an unordered link so Partition(a,b) and a b→a request

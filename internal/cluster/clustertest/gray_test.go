@@ -1,0 +1,331 @@
+package clustertest
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"testing"
+	"time"
+
+	"dynring"
+	"dynring/internal/service"
+)
+
+// seedsOwnedBy scans single-seed grids until want seeds are found whose
+// fingerprint's replica set starts with the given owner sequence (by node
+// index), so a test can build a spec whose every row takes a known route.
+func (c *Cluster) seedsOwnedBy(t *testing.T, k int, want int, owners ...int) []int64 {
+	t.Helper()
+	ring := c.placementRing()
+	var seeds []int64
+	for s := int64(9000); s < 12000 && len(seeds) < want; s++ {
+		spec := dynring.SweepSpec{
+			Algorithms:  []string{"KnownNNoChirality"},
+			Sizes:       []int{8},
+			Seeds:       []int64{s},
+			Adversaries: []dynring.AdversarySpec{{Kind: "random", P: 0.4}},
+		}
+		got := ring.Owners(fingerprints(t, spec)[0], k)
+		if len(got) < len(owners) {
+			continue
+		}
+		match := true
+		for i, o := range owners {
+			if got[i] != c.Node(o).URL {
+				match = false
+				break
+			}
+		}
+		if match {
+			seeds = append(seeds, s)
+		}
+	}
+	if len(seeds) < want {
+		t.Fatalf("found only %d/%d seeds with owner sequence %v", len(seeds), want, owners)
+	}
+	return seeds
+}
+
+// seedSpec is the single-alg single-size sweep over the given seeds that
+// seedsOwnedBy scanned with.
+func seedSpec(seeds []int64) dynring.SweepSpec {
+	return dynring.SweepSpec{
+		Algorithms:  []string{"KnownNNoChirality"},
+		Sizes:       []int{8},
+		Seeds:       seeds,
+		Adversaries: []dynring.AdversarySpec{{Kind: "random", P: 0.4}},
+	}
+}
+
+// TestGrayFailureHedgeWinsUnderDeadline is the tentpole acceptance test:
+// a slow-but-alive owner (500ms transport delay — it answers probes and
+// drops nothing) must not stall a deadline-bounded sweep. With hedging
+// armed at 250ms the coordinator fires each stuck fingerprint at its
+// second replica, adopts the replica's answer, and cancels the owner's
+// hop before it was ever delivered — so the sweep finishes in hedge time,
+// with zero errored rows, cluster-wide executions equal to the grid size
+// (exactly-once survives the race), at least one recorded hedge win, and
+// a result stream byte-identical to the fault-free rerun.
+func TestGrayFailureHedgeWinsUnderDeadline(t *testing.T) {
+	c := Start(t, Options{
+		Nodes: 3, Replicas: 2,
+		// ProxyTimeout (2s) far above the hedge delay: the hedge, not the
+		// hop timeout, must be what rescues the rows. Breakers are left at
+		// their effectively-inert defaults for the same reason (threshold
+		// high enough that the short test never opens one).
+		ProxyTimeout:     2 * time.Second,
+		HedgeAfter:       250 * time.Millisecond,
+		BreakerThreshold: 1000,
+	})
+	// Every row owned by node 1 with node 2 as the surviving replica;
+	// node 0 coordinates and holds no replica of them.
+	seeds := c.seedsOwnedBy(t, 2, 3, 1, 2)
+	spec := seedSpec(seeds)
+	fps := fingerprints(t, spec)
+
+	c.Plan.SlowNode(c.Node(1).URL, 500*time.Millisecond)
+	start := time.Now()
+	j, err := c.Node(0).Manager.SubmitJob(spec, service.SubmitOptions{Deadline: 20 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := j.Wait(ctx); err != nil {
+		t.Fatalf("hedged sweep did not settle: %v", err)
+	}
+	elapsed := time.Since(start)
+	st := j.Status()
+	if st.State != "done" {
+		t.Fatalf("sweep state %q, want done (deadline must not fire)", st.State)
+	}
+	if st.Errors != 0 {
+		t.Fatalf("sweep finished with %d errored rows", st.Errors)
+	}
+	// Sanity on the mechanism: the whole sweep finished in a few hedge
+	// delays, far under the 500ms-per-row a serial wait on the slow owner
+	// would cost, let alone the 2s hop timeouts.
+	if elapsed >= time.Duration(len(fps))*500*time.Millisecond {
+		t.Fatalf("sweep took %v — rows waited out the slow owner instead of hedging", elapsed)
+	}
+	if got := c.TotalExecutions(); got != uint64(len(fps)) {
+		t.Fatalf("cluster executed %d scenarios, want %d (hedging must stay exactly-once)", got, len(fps))
+	}
+	// The cancelled primaries never reached the slow owner.
+	if got := c.Node(1).Manager.Stats().Executions; got != 0 {
+		t.Fatalf("slow owner executed %d scenarios; cancelled hedged hops must never be delivered", got)
+	}
+	if wins := scrapeCounter(t, c, 0, "dynring_cluster_hedge_wins_total"); wins < 1 {
+		t.Fatalf("hedge_wins_total = %v, want >= 1", wins)
+	}
+	if hedges := scrapeCounter(t, c, 0, "dynring_cluster_hedges_total"); hedges < 1 {
+		t.Fatalf("hedges_total = %v, want >= 1", hedges)
+	}
+
+	// Fault-free rerun: byte-identical stream, zero new executions (every
+	// adopted result is in the coordinator's cache).
+	stream1 := readStream(t, c, c.Node(0).URL+"/v1/sweeps/"+j.ID+"/results")
+	c.Plan.SlowNode(c.Node(1).URL, 0)
+	execBefore := c.TotalExecutions()
+	j2, err := c.Node(0).Manager.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j2.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.TotalExecutions(); got != execBefore {
+		t.Fatalf("fault-free rerun executed %d new scenarios, want 0", got-execBefore)
+	}
+	stream2 := readStream(t, c, c.Node(0).URL+"/v1/sweeps/"+j2.ID+"/results")
+	if !bytes.Equal(stream1, stream2) {
+		t.Fatalf("hedged stream differs from fault-free stream:\n%s\nvs\n%s", stream1, stream2)
+	}
+}
+
+// TestGrayFailureBreakerOpensAndRecovers: sustained slow probes against a
+// gray peer open its breaker on every observer — the peer's reported
+// state turns "degraded" while it stays alive — and routing serves its
+// fingerprints from the next replica without a single errored row or an
+// execution on the gray node. Lifting the fault lets a post-cooldown good
+// probe close the breaker and restore the alive view.
+func TestGrayFailureBreakerOpensAndRecovers(t *testing.T) {
+	c := Start(t, Options{
+		Nodes: 3, Replicas: 2,
+		// SlowRTT rides ProxyTimeout: a 250ms answer against a 100ms hop
+		// budget is gray by definition, and two in a row open the breaker.
+		ProxyTimeout:     100 * time.Millisecond,
+		BreakerThreshold: 2,
+		BreakerCooldown:  300 * time.Millisecond,
+	})
+	c.Plan.SlowNode(c.Node(1).URL, 250*time.Millisecond)
+	c.WaitPeerState(0, c.Node(1).URL, "degraded")
+	if open := scrapeCounter(t, c, 0, `dynring_cluster_breaker_state{state="open"}`); open < 1 {
+		t.Fatalf("breaker_state{open} = %v, want >= 1", open)
+	}
+
+	// Rows owned by the degraded node: the open breaker routes them to
+	// their replica (or local fallback) immediately — no errors, no
+	// executions on the gray node, exactly-once intact.
+	seeds := c.seedsOwnedBy(t, 2, 2, 1)
+	j, err := c.Node(0).Manager.Submit(seedSpec(seeds))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := j.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if st := j.Status(); st.Errors != 0 {
+		t.Fatalf("sweep around degraded owner had %d errored rows", st.Errors)
+	}
+	if got := c.Node(1).Manager.Stats().Executions; got != 0 {
+		t.Fatalf("degraded owner executed %d scenarios, want 0 (breaker must route around it)", got)
+	}
+	if got := c.TotalExecutions(); got != uint64(len(seeds)) {
+		t.Fatalf("cluster executed %d scenarios, want %d", got, len(seeds))
+	}
+
+	// Recovery: fast probes again; after the cooldown one good probe
+	// closes the breaker and the view returns to alive.
+	c.Plan.SlowNode(c.Node(1).URL, 0)
+	c.WaitPeerState(0, c.Node(1).URL, "alive")
+	deadline := time.Now().Add(10 * time.Second)
+	for scrapeCounter(t, c, 0, `dynring_cluster_breaker_state{state="open"}`) != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("open breaker count never returned to 0 after recovery")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// postSweepHdr POSTs spec to node i with extra headers through the plan
+// transport, returning the response (caller closes the body).
+func (c *Cluster) postSweepHdr(t *testing.T, i int, spec dynring.SweepSpec, hdr map[string]string) *http.Response {
+	t.Helper()
+	buf, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, c.Node(i).URL+"/v1/sweeps", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	httpc := &http.Client{Transport: c.Plan.Transport("client")}
+	resp, err := httpc.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// TestGrayFailureBrownoutShedsAnonymousNotPremium: with the queue
+// saturated past the shed threshold, anonymous and negative-priority
+// submissions bounce with 503 + Retry-After while the premium tenant's
+// work is admitted and completes — and once the premium grid's results
+// are cached, the identical grid is admitted even anonymously (the
+// carve-out: cache hits cost no execution).
+func TestGrayFailureBrownoutShedsAnonymousNotPremium(t *testing.T) {
+	c := Start(t, Options{
+		Nodes: 1, Workers: 1,
+		// The memory tier must hold the whole test's results: the cached
+		// carve-out below probes residency, and the draining load would
+		// evict the premium grid out of a default-sized LRU.
+		CacheSize:      8192,
+		ShedQueueDepth: 40,
+		Tenants:        []service.TenantConfig{{Name: "premium", Key: "sk-premium", Weight: 1}},
+	})
+	m := c.Node(0).Manager
+
+	// Saturate the single worker far past the shed threshold, with rings
+	// big enough that the backlog outlives the shed assertions below
+	// (size-128 runs cost ~150µs each; 4000 of them hold the queue above
+	// the threshold for several hundred milliseconds even on a fast box).
+	loadSeeds := make([]int64, 4000)
+	for i := range loadSeeds {
+		loadSeeds[i] = int64(20000 + i)
+	}
+	load := dynring.SweepSpec{
+		Algorithms:  []string{"KnownNNoChirality"},
+		Sizes:       []int{128},
+		Seeds:       loadSeeds,
+		Adversaries: []dynring.AdversarySpec{{Kind: "random", P: 0.4}},
+	}
+	jLoad, err := m.SubmitJob(load, service.SubmitOptions{Tenant: "premium"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Anonymous work is shed at the door...
+	if _, err := m.Submit(seedSpec([]int64{30001})); !errors.Is(err, service.ErrOverloaded) {
+		t.Fatalf("anonymous submit under brownout: err %v, want ErrOverloaded", err)
+	}
+	// ...and over the wire a sheddable submission is 503 + Retry-After.
+	resp := c.postSweepHdr(t, 0, seedSpec([]int64{30002}), map[string]string{
+		"Authorization":        "Bearer sk-premium",
+		service.PriorityHeader: "-1",
+	})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("negative-priority submit under brownout: status %d, want 503", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Fatal("503 shed response carries no Retry-After hint")
+	}
+
+	// The premium tenant's own grid sails through at a priority that
+	// jumps the backlog, and completes while the node is still loaded.
+	premium := seedSpec([]int64{30003, 30004})
+	resp = c.postSweepHdr(t, 0, premium, map[string]string{
+		"Authorization":        "Bearer sk-premium",
+		service.PriorityHeader: "5",
+	})
+	var st dynring.JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("premium submit under brownout: status %d, want 201", resp.StatusCode)
+	}
+	jPremium, ok := m.Job(st.ID)
+	if !ok {
+		t.Fatalf("premium job %s unknown to the manager", st.ID)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := jPremium.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if ps := jPremium.Status(); ps.State != "done" || ps.Errors != 0 {
+		t.Fatalf("premium job state %q errors %d, want clean completion", ps.State, ps.Errors)
+	}
+
+	// Carve-out: the identical (now fully cached) grid is admitted even
+	// anonymously, brownout or not, and settles entirely from cache.
+	shedBefore := scrapeCounter(t, c, 0, "dynring_admission_shed_total")
+	if shedBefore < 2 {
+		t.Fatalf("shed_total = %v, want >= 2", shedBefore)
+	}
+	jCached, err := m.Submit(premium)
+	if err != nil {
+		t.Fatalf("fully cached anonymous submit: %v", err)
+	}
+	if err := jCached.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if got := scrapeCounter(t, c, 0, "dynring_admission_shed_total"); got != shedBefore {
+		t.Fatalf("cached carve-out bumped shed_total %v -> %v", shedBefore, got)
+	}
+
+	if err := jLoad.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -33,6 +33,14 @@ const (
 	// are removed from the ring — unlike death, leaving is deliberate and
 	// permanent until a fresh join — and are no longer probed.
 	StateLeft
+	// StateDegraded means the peer answers probes (it is alive) but its
+	// circuit breaker is not closed: recent proxy errors, timeouts, or slow
+	// probe RTTs marked it gray. Degraded is a reported view, not a stored
+	// state — internally the peer stays alive (placement and steal logic
+	// never shift on health), but routing skips it while its breaker
+	// refuses requests, and /v1/cluster gossips the degraded verdict so
+	// peers pull their own verification probes forward.
+	StateDegraded
 )
 
 // String implements fmt.Stringer with the wire names used by /v1/cluster.
@@ -44,6 +52,8 @@ func (s State) String() string {
 		return "dead"
 	case StateLeft:
 		return "left"
+	case StateDegraded:
+		return "degraded"
 	default:
 		return "suspect"
 	}
@@ -61,13 +71,24 @@ type PeerInfo struct {
 	// to one probe interval, and 0 until the first probe lands. Replicas
 	// use it to decide when to steal an overloaded owner's work.
 	QueueDepth int
+	// Breaker is the peer's circuit-breaker state as held by this node.
+	// A non-closed breaker on an alive peer is what State reports as
+	// StateDegraded.
+	Breaker BreakerState
 }
 
 // ProbeReport is what one successful probe learns about a peer: its member
-// list (the gossip payload) and its self-reported scheduler backlog.
+// list (the gossip payload), its self-reported scheduler backlog, and the
+// set of members the probed peer itself considers degraded.
 type ProbeReport struct {
 	Members    []string
 	QueueDepth int
+	// Degraded lists members the probed peer reports as gray (alive but
+	// breaker-open). The receiver treats it as advisory evidence only: it
+	// pulls its own verification probe of those members forward rather
+	// than adopting the verdict — one peer's slow path to a member is not
+	// proof the member is slow for everyone.
+	Degraded []string
 }
 
 // Config configures a Membership.
@@ -100,6 +121,11 @@ type Config struct {
 	// which is what keeps rejoin-triggered work (anti-entropy pushes,
 	// Rejoin broadcasts) from doubling on a transient probe loss.
 	OnRejoin func(peerURL string)
+	// Breaker configures the per-peer circuit breakers (zero fields take
+	// the BreakerConfig defaults). Every observation about a peer — probe
+	// outcomes and RTTs, proxy results reported via Observe/MarkFailed —
+	// feeds its breaker; Routable consults it.
+	Breaker BreakerConfig
 	// HTTPClient backs the default prober and Leave broadcasts; nil means
 	// a private client (per-probe timeouts come from ProbeTimeout).
 	HTTPClient *http.Client
@@ -116,6 +142,7 @@ type peer struct {
 	nextProbe  time.Time
 	probing    bool // a probe goroutine is in flight
 	queueDepth int  // last gossiped scheduler backlog
+	breaker    *Breaker
 }
 
 // Membership tracks the health of a cluster's peers and owns the placement
@@ -172,10 +199,15 @@ func NewMembership(cfg Config) *Membership {
 	}
 	for _, p := range cfg.Peers {
 		if p != "" && p != cfg.Self {
-			m.peers[p] = &peer{state: StateSuspect}
+			m.peers[p] = m.newPeer()
 		}
 	}
 	return m
+}
+
+// newPeer builds a fresh tracking record: suspect, with a closed breaker.
+func (m *Membership) newPeer() *peer {
+	return &peer{state: StateSuspect, breaker: NewBreaker(m.cfg.Breaker)}
 }
 
 // Self is this node's advertised URL.
@@ -228,10 +260,17 @@ func (m *Membership) probeDue() {
 }
 
 // probeOne runs a single health probe against url and applies the result.
+// The probe's round-trip time is breaker evidence: a probe that succeeds
+// slowly is the defining signature of gray failure, so it feeds the
+// peer's breaker exactly as an error would (when BreakerConfig.SlowRTT is
+// configured). Probes are never gated by Allow — they are the detector
+// that eventually closes an open breaker.
 func (m *Membership) probeOne(url string) {
 	ctx, cancel := context.WithTimeout(context.Background(), m.cfg.ProbeTimeout)
 	defer cancel()
+	start := m.now()
 	report, err := m.probe(ctx, url)
+	rtt := m.now().Sub(start)
 	m.mu.Lock()
 	p, ok := m.peers[url]
 	if !ok || p.state == StateLeft {
@@ -247,6 +286,7 @@ func (m *Membership) probeOne(url string) {
 		m.mu.Unlock()
 		return
 	}
+	p.breaker.Observe(rtt, nil)
 	if p.state != StateAlive {
 		m.log.Info("peer alive", "peer", url)
 	}
@@ -259,9 +299,32 @@ func (m *Membership) probeOne(url string) {
 	p.nextProbe = p.lastSeen.Add(m.cfg.ProbeInterval)
 	p.queueDepth = report.QueueDepth
 	m.mergeLocked(report.Members)
+	m.verifyDegradedLocked(report.Degraded)
 	m.mu.Unlock()
 	if rejoined && m.cfg.OnRejoin != nil {
 		m.cfg.OnRejoin(url)
+	}
+}
+
+// verifyDegradedLocked applies gossiped degraded verdicts: for every
+// listed member this node currently trusts (alive, breaker closed, no
+// probe in flight), the next probe is pulled forward so this node forms
+// its own opinion within one probe round instead of one interval. The
+// verdict itself is never adopted — degradation is per-path, and this
+// node's path to the member may be fine. Callers hold m.mu.
+func (m *Membership) verifyDegradedLocked(degraded []string) {
+	now := m.now()
+	for _, url := range degraded {
+		if url == "" || url == m.cfg.Self {
+			continue
+		}
+		p, ok := m.peers[url]
+		if !ok || p.probing || p.state != StateAlive || p.breaker.State() != BreakerClosed {
+			continue
+		}
+		if p.nextProbe.After(now) {
+			p.nextProbe = now
+		}
 	}
 }
 
@@ -312,6 +375,9 @@ func (m *Membership) httpProbe(ctx context.Context, url string) (ProbeReport, er
 		if p.State != StateLeft.String() {
 			report.Members = append(report.Members, p.URL)
 		}
+		if p.State == StateDegraded.String() {
+			report.Degraded = append(report.Degraded, p.URL)
+		}
 		if p.Self {
 			report.QueueDepth = p.QueueDepth
 		}
@@ -325,6 +391,7 @@ func (m *Membership) httpProbe(ctx context.Context, url string) (ProbeReport, er
 // a trickle, not a stream, of timeouts. Callers hold m.mu.
 func (m *Membership) recordFailureLocked(url string, p *peer, err error) {
 	m.probeFailures.Add(1)
+	p.breaker.Observe(0, err)
 	p.failures++
 	prev := p.state
 	if p.failures >= m.cfg.DeadAfter {
@@ -352,7 +419,7 @@ func (m *Membership) mergeLocked(members []string) {
 		if _, ok := m.peers[url]; ok {
 			continue
 		}
-		m.peers[url] = &peer{state: StateSuspect}
+		m.peers[url] = m.newPeer()
 		m.ring = nil
 		m.log.Info("peer discovered via gossip", "peer", url)
 	}
@@ -417,7 +484,7 @@ func (m *Membership) Rejoin(url string) {
 	// Readmitting a previously-left peer is a genuine recovery; a
 	// brand-new join is not (there is nothing to reconcile yet).
 	rejoined := ok && p.state == StateLeft
-	m.peers[url] = &peer{state: StateSuspect}
+	m.peers[url] = m.newPeer()
 	m.ring = nil
 	m.log.Info("peer joined", "peer", url)
 	m.mu.Unlock()
@@ -427,7 +494,10 @@ func (m *Membership) Rejoin(url string) {
 }
 
 // Alive reports whether url is this node (always alive) or a peer whose
-// state is alive.
+// state is alive. Degraded peers are alive — they answer probes — so
+// liveness-driven logic (steal evidence, replication targets) keeps
+// working against them; use Routable to decide whether to send them
+// latency-sensitive work.
 func (m *Membership) Alive(url string) bool {
 	if url == m.cfg.Self {
 		return true
@@ -436,6 +506,68 @@ func (m *Membership) Alive(url string) bool {
 	defer m.mu.Unlock()
 	p, ok := m.peers[url]
 	return ok && p.state == StateAlive
+}
+
+// Routable reports whether url should receive a routed request right now:
+// it is this node (always routable), or an alive peer whose circuit
+// breaker admits traffic. An open breaker makes Routable false even
+// though the peer is alive — that is the gray-failure cutoff that routes
+// a fingerprint to the next replica immediately instead of waiting out a
+// proxy timeout against a slow peer.
+func (m *Membership) Routable(url string) bool {
+	if url == m.cfg.Self {
+		return true
+	}
+	m.mu.Lock()
+	p, ok := m.peers[url]
+	alive := ok && p.state == StateAlive
+	m.mu.Unlock()
+	// The breaker consult stays outside m.mu: Breaker has its own lock,
+	// and Allow's half-open transition must not run under the membership
+	// lock routing's hot path contends on.
+	return alive && p.breaker.Allow()
+}
+
+// ObserveRTT records the round-trip time of one successful routed request
+// against url as breaker evidence. Failures go through MarkFailed
+// instead (they are also membership-level evidence); successes come here
+// so a slow-but-succeeding peer still trips its breaker when
+// BreakerConfig.SlowRTT is configured. Unknown URLs are ignored.
+func (m *Membership) ObserveRTT(url string, rtt time.Duration) {
+	m.mu.Lock()
+	p, ok := m.peers[url]
+	m.mu.Unlock()
+	if ok {
+		p.breaker.Observe(rtt, nil)
+	}
+}
+
+// OpenBreakers counts peers whose breaker is currently open. Admission
+// brownout uses it as an overload signal: many simultaneously-gray peers
+// mean locally-enqueued work will drain slowly.
+func (m *Membership) OpenBreakers() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for _, p := range m.peers {
+		if p.breaker.State() == BreakerOpen {
+			n++
+		}
+	}
+	return n
+}
+
+// BreakerStates returns the count of peers in each breaker state. The
+// dynring_cluster_breaker_state gauge family exposes these counts —
+// per-state, never per-peer, keeping metric cardinality constant.
+func (m *Membership) BreakerStates() map[BreakerState]int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := map[BreakerState]int{BreakerClosed: 0, BreakerOpen: 0, BreakerHalfOpen: 0}
+	for _, p := range m.peers {
+		out[p.breaker.State()]++
+	}
+	return out
 }
 
 // QueueDepth returns the last gossiped scheduler backlog of an alive peer.
@@ -465,12 +597,21 @@ func (m *Membership) Snapshot() []PeerInfo {
 	sort.Strings(urls)
 	for _, url := range urls {
 		p := m.peers[url]
+		st, bst := p.state, p.breaker.State()
+		// Degraded is the reported view of "alive but breaker not closed":
+		// the stored state stays alive (health never moves keys), but the
+		// snapshot — and through it /v1/cluster, gossip, and client-side
+		// routing — sees the gray verdict.
+		if st == StateAlive && bst != BreakerClosed {
+			st = StateDegraded
+		}
 		out = append(out, PeerInfo{
 			URL:        url,
-			State:      p.state,
+			State:      st,
 			Failures:   p.failures,
 			LastSeen:   p.lastSeen,
 			QueueDepth: p.queueDepth,
+			Breaker:    bst,
 		})
 	}
 	return out

@@ -11,27 +11,45 @@ import (
 	"time"
 )
 
-// fakeProbe is a scriptable prober: per-URL responses, call counting.
+// fakeProbe is a scriptable prober: per-URL responses, call counting, and
+// an optional per-URL artificial RTT (the gray-failure knob).
 type fakeProbe struct {
-	mu      sync.Mutex
-	fail    map[string]bool
-	members map[string][]string
-	depth   map[string]int
-	calls   map[string]int
+	mu       sync.Mutex
+	fail     map[string]bool
+	members  map[string][]string
+	depth    map[string]int
+	degraded map[string][]string
+	slow     map[string]time.Duration
+	calls    map[string]int
 }
 
 func newFakeProbe() *fakeProbe {
-	return &fakeProbe{fail: map[string]bool{}, members: map[string][]string{}, depth: map[string]int{}, calls: map[string]int{}}
+	return &fakeProbe{
+		fail: map[string]bool{}, members: map[string][]string{},
+		depth: map[string]int{}, degraded: map[string][]string{},
+		slow: map[string]time.Duration{}, calls: map[string]int{},
+	}
 }
 
 func (f *fakeProbe) probe(_ context.Context, url string) (ProbeReport, error) {
 	f.mu.Lock()
-	defer f.mu.Unlock()
 	f.calls[url]++
-	if f.fail[url] {
+	fail, delay := f.fail[url], f.slow[url]
+	report := ProbeReport{Members: f.members[url], QueueDepth: f.depth[url], Degraded: f.degraded[url]}
+	f.mu.Unlock()
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	if fail {
 		return ProbeReport{}, errors.New("connection refused")
 	}
-	return ProbeReport{Members: f.members[url], QueueDepth: f.depth[url]}, nil
+	return report, nil
+}
+
+func (f *fakeProbe) setSlow(url string, d time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.slow[url] = d
 }
 
 func (f *fakeProbe) setFail(url string, v bool) {

@@ -81,6 +81,20 @@ func (c *Cache[V]) Get(key string) (V, bool) {
 	return c.copy(el.Value.(*entry[V]).val), true
 }
 
+// Contains reports whether key is resident, without counting a hit or a
+// miss and without refreshing recency. It is a pure membership probe for
+// callers (admission's brownout carve-out) that need "would a Get hit?"
+// but must not distort the cache's usage statistics or eviction order.
+func (c *Cache[V]) Contains(key string) bool {
+	if c.capacity == 0 {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.items[key]
+	return ok
+}
+
 // Put stores a private copy of val under key, evicting the least recently
 // used entry when the cache is full. Storing an existing key refreshes its
 // recency without replacing the value (by the key contract the value is

@@ -55,8 +55,10 @@ type antiEntropyKeys struct {
 	Keys []string `json:"keys"`
 }
 
-// replicaRPCTimeout bounds one replication push or anti-entropy fetch.
-const replicaRPCTimeout = 10 * time.Second
+// Replica RPCs — replication pushes and anti-entropy fetches — are
+// bounded by Manager.proxyTimeout (ClusterOptions.ProxyTimeout, ringsimd
+// -proxy-timeout), the same per-hop budget that bounds proxy hops: one
+// knob governs how long this node will wait on any peer.
 
 // replicate queues fp's completed envelope for push to its other
 // replicas. No-op when unreplicated. A full queue blocks (backpressure)
@@ -104,13 +106,16 @@ func (m *Manager) postReplicate(target, fp string, res dynring.Result) error {
 	if err != nil {
 		return err
 	}
-	ctx, cancel := context.WithTimeout(context.Background(), replicaRPCTimeout)
+	ctx, cancel := context.WithTimeout(context.Background(), m.proxyTimeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, target+"/v1/replicate", bytes.NewReader(body))
 	if err != nil {
 		return err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	// The push's budget rides along, so the receiver bounds its own side
+	// of the hop exactly as /v1/run does with a propagated job deadline.
+	req.Header.Set(DeadlineHeader, m.proxyTimeout.String())
 	resp, err := m.proxyHTTP.Do(req)
 	if err != nil {
 		return err
@@ -252,7 +257,7 @@ func (m *Manager) antiEntropySync(peer string) int {
 
 // fetchKeys GETs a peer's durable key listing.
 func (m *Manager) fetchKeys(peer string) ([]string, error) {
-	ctx, cancel := context.WithTimeout(context.Background(), replicaRPCTimeout)
+	ctx, cancel := context.WithTimeout(context.Background(), m.proxyTimeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, peer+"/v1/antientropy/keys", nil)
 	if err != nil {
@@ -278,7 +283,7 @@ func (m *Manager) fetchKeys(peer string) ([]string, error) {
 // whose embedded fingerprint disagrees with the request — a renamed or
 // confused entry can only miss, never land under the wrong key.
 func (m *Manager) fetchEntry(peer, fp string) (dynring.Result, error) {
-	ctx, cancel := context.WithTimeout(context.Background(), replicaRPCTimeout)
+	ctx, cancel := context.WithTimeout(context.Background(), m.proxyTimeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
 		peer+"/v1/antientropy/entry?fp="+url.QueryEscape(fp), nil)

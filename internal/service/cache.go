@@ -99,6 +99,14 @@ func (c *Cache) Get(key string) (dynring.Result, bool) {
 	return copyResult(res), true
 }
 
+// Contains reports whether key is resident in the memory tier, without
+// counting a hit/miss or refreshing recency. Admission's brownout
+// carve-out uses it to recognise a fully cached grid: the probe must be
+// free (no disk IO under overload) and must not distort the hit-rate
+// statistics or the LRU order. A disk-only entry reports false — serving
+// it still costs IO the browned-out node is trying to avoid.
+func (c *Cache) Contains(key string) bool { return c.c.Contains(key) }
+
 // Promotions counts disk hits promoted into the memory tier since startup.
 func (c *Cache) Promotions() uint64 { return c.promotions.Load() }
 

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -40,7 +41,11 @@ const maxEnvelopeBytes = 8 << 20
 // dynring.TraceHeader (generating one otherwise) and stamps the job's ID
 // back on the response; POST /v1/run reads the same header so a proxy
 // hop's span is recorded under the originating sweep's trace and returned
-// in RunResponse.Span for the coordinator to adopt.
+// in RunResponse.Span for the coordinator to adopt. POST /v1/run also
+// honors DeadlineHeader as a remaining-budget bound: the coordinator
+// forwards the job's unexpired deadline budget on each hop and the owner
+// caps its execution context to it, so work whose answer can no longer
+// arrive in time is abandoned on the executing node too.
 //
 // Admission: on a node with a tenant config, the two work-creating
 // endpoints (POST /v1/sweeps, POST /v1/run) require a configured tenant's
@@ -99,6 +104,9 @@ func NewHandler(m *Manager) http.Handler {
 				code = http.StatusServiceUnavailable
 			case errors.Is(err, ErrQuotaExceeded):
 				code = http.StatusTooManyRequests
+				w.Header().Set("Retry-After", strconv.Itoa(int(RetryAfter.Seconds())))
+			case errors.Is(err, ErrOverloaded):
+				code = http.StatusServiceUnavailable
 				w.Header().Set("Retry-After", strconv.Itoa(int(RetryAfter.Seconds())))
 			}
 			writeError(w, code, err)
@@ -226,8 +234,24 @@ func NewHandler(m *Manager) http.Handler {
 			writeError(w, http.StatusBadRequest, err)
 			return
 		}
+		// The coordinator forwards the job's remaining deadline budget on
+		// every hop. Enforcing it here — not just client-side — means a
+		// hop whose budget expires stops burning this node's engine time
+		// the moment the answer can no longer be used.
+		runCtx := r.Context()
+		if d := r.Header.Get(DeadlineHeader); d != "" {
+			budget, err := time.ParseDuration(d)
+			if err != nil || budget <= 0 {
+				writeError(w, http.StatusBadRequest,
+					fmt.Errorf("bad %s: want a positive Go duration", DeadlineHeader))
+				return
+			}
+			var cancel context.CancelFunc
+			runCtx, cancel = context.WithTimeout(runCtx, budget)
+			defer cancel()
+		}
 		started := time.Now()
-		res, cached, err := m.ExecuteLocal(r.Context(), sc, fp)
+		res, cached, err := m.ExecuteLocal(runCtx, sc, fp)
 		resp := dynring.RunResponse{Fingerprint: fp, Cached: cached}
 		// This node's side of the hop, for the coordinator to adopt into
 		// its sweep trace: what happened here, under whose name.

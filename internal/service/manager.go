@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"log/slog"
 	"net/http"
+	"slices"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -48,6 +49,18 @@ type Options struct {
 	// single anonymous tenant with no quotas — scheduling is then identical
 	// to the pre-tenant service. Must pass ValidateTenants.
 	Tenants []TenantConfig
+	// ShedQueueDepth, when positive, arms overload brownout: once the
+	// scheduler backlog reaches this many undispatched scenarios, new
+	// anonymous and negative-priority submissions are shed with
+	// ErrOverloaded (HTTP 503 + Retry-After) while configured tenants'
+	// work, fully-cached grids, and every read endpoint keep being served.
+	// Zero disables queue-depth shedding (ringsimd -shed-queue-depth).
+	ShedQueueDepth int
+	// ShedOpenBreakers, when positive, adds a cluster-health brownout
+	// trigger: shedding also engages while at least this many peers have
+	// open circuit breakers — locally-admitted work would drain slowly
+	// when most of the ring is gray. Zero disables the trigger.
+	ShedOpenBreakers int
 	// Logger, when non-nil, receives structured operational records
 	// (cluster state transitions, skipped disk entries, proxy fallbacks,
 	// job lifecycle). The manager derives per-component child loggers
@@ -90,6 +103,34 @@ type ClusterOptions struct {
 	// disk tiers (zero: a 30s default). Only meaningful with Replicas > 1
 	// and a DiskDir.
 	AntiEntropyInterval time.Duration
+	// ProxyTimeout bounds every outbound replica RPC: proxy hops
+	// (POST /v1/run), replication pushes (POST /v1/replicate), and
+	// anti-entropy fetches. It is the gray-failure backstop — without it a
+	// slow-but-alive owner holds the coordinator's handler goroutine for
+	// as long as the peer cares to stall. Zero means the 10s default
+	// (ringsimd -proxy-timeout). A job deadline tighter than the timeout
+	// bounds the hop further: each hop gets min(ProxyTimeout, remaining
+	// budget).
+	ProxyTimeout time.Duration
+	// HedgeAfter, when positive, arms hedged replica reads: a proxy hop to
+	// a fingerprint's owner that has not answered after this delay fires
+	// the same fingerprint at the next replica, first response wins, the
+	// loser is cancelled before its result could be adopted. When the
+	// owner's recently observed latency already exceeds the delay, the
+	// hedge fires immediately. Exactly-once stays structural — both sides
+	// serve through their own cache and singleflight, and the replication
+	// push reconciles the winner's envelope. Zero disables hedging
+	// (ringsimd -hedge-after).
+	HedgeAfter time.Duration
+	// BreakerThreshold is the consecutive bad-observation count (proxy
+	// errors, timeouts, slow probe RTTs) that opens a peer's circuit
+	// breaker; an open breaker routes work to the next replica immediately
+	// and reports the peer "degraded". Zero means the breaker default of 5
+	// (ringsimd -breaker-threshold).
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker refuses a peer before
+	// admitting a half-open trial (zero: the breaker default of 5s).
+	BreakerCooldown time.Duration
 }
 
 // defaultJobHistory is the settled-job retention bound when Options leaves
@@ -118,6 +159,18 @@ const defaultAntiEntropyInterval = 30 * time.Second
 // Like the disk tier's write queue, a full queue blocks the producer
 // (backpressure) rather than silently dropping replication.
 const replicateQueueDepth = 256
+
+// defaultProxyTimeout bounds replica RPCs when ClusterOptions.ProxyTimeout
+// is unset: proxy hops, replication pushes, and anti-entropy fetches. It
+// is the historical replicaRPCTimeout value — generous enough for a slow
+// replica, finite so a gray one cannot pin goroutines forever.
+const defaultProxyTimeout = 10 * time.Second
+
+// latWindowSize is the per-peer latency window the hedging quantile is
+// computed over: the last 16 successful proxy RTTs. Small on purpose — a
+// peer turning gray should cross the hedge threshold within a handful of
+// observations, not after amortizing away an hour of healthy history.
+const latWindowSize = 16
 
 // task is one schedulable unit: scenario i of job j.
 type task struct {
@@ -196,6 +249,22 @@ type Manager struct {
 	auxStopOnce sync.Once
 	auxWG       sync.WaitGroup
 	replq       chan replItem
+
+	// Gray-failure resilience state. proxyTimeout bounds every replica
+	// RPC; hedgeAfter is the hedged-read delay (0: hedging off); hedges
+	// and hedgeWins count fired hedges and hedges whose response was
+	// adopted. peerLat holds the per-peer proxy-RTT windows the hedging
+	// quantile reads. shedQueueDepth / shedOpenBreakers arm admission
+	// brownout, and shed counts submissions rejected by it.
+	proxyTimeout     time.Duration
+	hedgeAfter       time.Duration
+	hedges           atomic.Uint64
+	hedgeWins        atomic.Uint64
+	shedQueueDepth   int
+	shedOpenBreakers int
+	shed             atomic.Uint64
+	latMu            sync.Mutex
+	peerLat          map[string]*latWindow
 
 	// Admission state: tenants by name and by API key (both immutable
 	// after newManager; tenantList preserves declaration order for stats),
@@ -313,6 +382,12 @@ func newManager(opts Options) (*Manager, error) {
 	}
 	m.cache = cache
 	m.runners.New = func() any { return dynring.NewRunner() }
+	m.shedQueueDepth = opts.ShedQueueDepth
+	m.shedOpenBreakers = opts.ShedOpenBreakers
+	m.proxyTimeout = opts.Cluster.ProxyTimeout
+	if m.proxyTimeout <= 0 {
+		m.proxyTimeout = defaultProxyTimeout
+	}
 	if opts.Cluster.Self != "" {
 		m.vnodes = opts.Cluster.VNodes
 		if m.vnodes <= 0 {
@@ -326,10 +401,12 @@ func newManager(opts Options) (*Manager, error) {
 		if m.aeInterval <= 0 {
 			m.aeInterval = defaultAntiEntropyInterval
 		}
+		m.hedgeAfter = opts.Cluster.HedgeAfter
 		m.proxyHTTP = &http.Client{Transport: opts.Cluster.Transport}
 		m.aeKick = make(chan string, 8)
 		m.auxStop = make(chan struct{})
 		m.replq = make(chan replItem, replicateQueueDepth)
+		m.peerLat = make(map[string]*latWindow)
 		m.membership = cluster.NewMembership(cluster.Config{
 			Self:          opts.Cluster.Self,
 			Peers:         opts.Cluster.Peers,
@@ -338,6 +415,14 @@ func newManager(opts Options) (*Manager, error) {
 			ProbeTimeout:  opts.Cluster.ProbeTimeout,
 			HTTPClient:    m.proxyHTTP,
 			Logger:        base.With("component", "cluster"),
+			// The breaker's slow-RTT cutoff is the per-hop proxy budget: a
+			// peer whose cheap health probe takes longer than we would wait
+			// for real work is gray by definition.
+			Breaker: cluster.BreakerConfig{
+				Threshold: opts.Cluster.BreakerThreshold,
+				Cooldown:  opts.Cluster.BreakerCooldown,
+				SlowRTT:   m.proxyTimeout,
+			},
 			// A peer returning from the dead (never a transient flap — the
 			// membership fires this once per recovery) gets an immediate
 			// targeted anti-entropy sync, which is how envelopes stolen or
@@ -445,9 +530,10 @@ type SubmitOptions struct {
 }
 
 // SubmitJob is the full submission path: expand and fingerprint the grid,
-// admit it against the tenant's quotas (ErrQuotaExceeded — HTTP 429 — when
-// over), register the job, arm its deadline and queue it on the tenant's
-// scheduler lane.
+// pass the brownout gate (ErrOverloaded — HTTP 503 — when the node is
+// shedding and this submission is sheddable), admit it against the
+// tenant's quotas (ErrQuotaExceeded — HTTP 429 — when over), register the
+// job, arm its deadline and queue it on the tenant's scheduler lane.
 func (m *Manager) SubmitJob(spec dynring.SweepSpec, opts SubmitOptions) (*Job, error) {
 	scenarios, err := spec.ScenarioList()
 	if err != nil {
@@ -476,6 +562,9 @@ func (m *Manager) SubmitJob(spec dynring.SweepSpec, opts SubmitOptions) (*Job, e
 	ts, ok := m.tenants[tenantName]
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownTenant, tenantName)
+	}
+	if err := m.shedLocked(ts, opts.Priority, fps); err != nil {
+		return nil, err
 	}
 	if err := m.admitLocked(ts, len(scenarios)); err != nil {
 		return nil, err
@@ -636,6 +725,10 @@ func (m *Manager) ClusterStatus() dynring.ClusterStatus {
 			// The self entry carries this node's live backlog — the gossip
 			// payload peers read for steal decisions.
 			peers[i].QueueDepth = m.backlog()
+		} else {
+			// This node's breaker verdict for the peer; a non-closed one is
+			// what the State field reports as "degraded".
+			peers[i].Breaker = p.Breaker.String()
 		}
 	}
 	return dynring.ClusterStatus{
@@ -794,13 +887,7 @@ func (m *Manager) runTask(t task) {
 			span("cache-hit", nil)
 			return
 		}
-		for _, target := range rt.targets {
-			rr, ok := m.proxyRun(j.ctx, target, j.scenarios[i], fp, j.traceID, j.Tenant)
-			if !ok {
-				// Transient failure: try the next replica before falling
-				// back to local execution.
-				continue
-			}
+		if rr, target, ok := m.proxyHedged(j, i, rt); ok {
 			if target != rt.owner {
 				m.replicaHits.Add(1)
 			}
@@ -890,7 +977,11 @@ func (m *Manager) routeFor(fp string) route {
 		}
 	}
 	for _, o := range owners {
-		if o != self && m.membership.Alive(o) {
+		// Routable, not Alive: an alive peer with an open breaker is gray,
+		// and the whole point of the breaker is to route to the next
+		// replica immediately instead of waiting out a proxy timeout
+		// against it.
+		if o != self && m.membership.Routable(o) {
 			rt.targets = append(rt.targets, o)
 		}
 	}
@@ -905,26 +996,141 @@ func (m *Manager) backlog() int {
 	return m.sched.Len()
 }
 
-// proxyRun forwards one scenario to its owner via POST /v1/run, carrying
-// the sweep's trace ID in TraceHeader so the owner's span lands in the same
-// trace, and the originating tenant's API key so the owner accounts the
-// execution to that tenant rather than to the proxying node. The second
-// return is false when the caller should fall back to local execution: the
-// scenario has no wire form (custom factory), or the owner failed — the
-// latter also feeds the membership's failure evidence so the prober
-// confirms promptly. Retries are disabled on the hop: the local fallback
-// IS the retry, and it cannot lose work. A tenant the owner does not know
-// (config skew across the cluster) is rejected there with 401, which lands
-// here as a failed hop and degrades to the same local fallback.
-func (m *Manager) proxyRun(ctx context.Context, target string, sc dynring.Scenario, fp, traceID, tenant string) (dynring.RunResponse, bool) {
+// hopResult is one proxy attempt's outcome inside proxyHedged's race.
+type hopResult struct {
+	rr     dynring.RunResponse
+	ok     bool
+	target string
+	hedge  bool // launched by the hedge timer, not primary or failover
+}
+
+// proxyHedged serves one routed scenario through rt.targets with hedged
+// replica reads. The primary request goes to the first target (the owner,
+// or the first routable replica). With hedging armed (ClusterOptions.
+// HedgeAfter > 0) and a second target available, a hedge fires the same
+// fingerprint at that replica once the primary has been silent for the
+// hedge delay — or immediately, when the primary's observed latency
+// quantile already exceeds the delay. First good response wins; the loser
+// is cancelled before its response could be adopted, which preserves
+// exactly-once structurally: each side serves through its own cache and
+// singleflight, the coordinator adopts exactly one result, and the
+// replication push reconciles the winner's envelope across the replica
+// set exactly as steal-then-reconcile does. A failed attempt (not a
+// cancellation) falls over to the next unused target, hedged or not, so
+// the pre-hedging sequential failover is the degenerate case. Returns
+// ok=false when every target failed — the caller's local execution is the
+// final fallback and cannot lose work.
+func (m *Manager) proxyHedged(j *Job, i int, rt route) (dynring.RunResponse, string, bool) {
+	ctx, cancel := context.WithCancel(j.ctx)
+	defer cancel()
+	results := make(chan hopResult, len(rt.targets))
+	launched := 0
+	launch := func(hedge bool) {
+		target := rt.targets[launched]
+		launched++
+		go func() {
+			rr, ok := m.proxyRun(ctx, target, j.scenarios[i], j.fps[i], j.traceID, j.Tenant, j.deadline)
+			results <- hopResult{rr: rr, ok: ok, target: target, hedge: hedge}
+		}()
+	}
+	launch(false)
+	pending := 1
+	var hedgeC <-chan time.Time
+	if m.hedgeAfter > 0 && len(rt.targets) > 1 {
+		delay := m.hedgeAfter
+		if m.peerLatencyHigh(rt.targets[0], delay) {
+			// The primary's recent p90 already exceeds the hedge delay:
+			// waiting it out again is pure tail latency, fire now.
+			delay = 0
+		}
+		t := time.NewTimer(delay)
+		defer t.Stop()
+		hedgeC = t.C
+	}
+	for pending > 0 {
+		select {
+		case <-hedgeC:
+			hedgeC = nil
+			if launched < len(rt.targets) {
+				m.hedges.Add(1)
+				launch(true)
+				pending++
+			}
+		case r := <-results:
+			pending--
+			if r.ok {
+				if r.hedge {
+					m.hedgeWins.Add(1)
+				}
+				// Cancel the losing attempt before adoption: its response,
+				// if any, is discarded unread, so exactly one result is
+				// ever adopted for this row.
+				cancel()
+				return r.rr, r.target, true
+			}
+			if j.ctx.Err() != nil {
+				return dynring.RunResponse{}, "", false
+			}
+			if pending == 0 && launched < len(rt.targets) {
+				// Plain failover: the attempt failed on its own (the peer,
+				// not our cancellation) — try the next replica.
+				launch(false)
+				pending++
+			}
+		}
+	}
+	return dynring.RunResponse{}, "", false
+}
+
+// proxyRun forwards one scenario to target via POST /v1/run, carrying the
+// sweep's trace ID in TraceHeader so the target's span lands in the same
+// trace, and the originating tenant's API key so the target accounts the
+// execution to that tenant rather than to the proxying node. Every hop is
+// bounded: its context times out after min(ProxyTimeout, the job's
+// remaining deadline budget), and that remaining budget is forwarded in
+// DeadlineHeader so the target bounds its own execution too — the
+// deadline a client set on POST /v1/sweeps follows the work across every
+// hop it takes. The second return is false when the caller should fall
+// back (next replica, then local execution): the scenario has no wire
+// form (custom factory), the budget is already spent, or the target
+// failed — a genuine failure also feeds the membership's failure evidence
+// (and through it the peer's breaker), while a hop cancelled from our own
+// side (a hedge lost its race, the job was cancelled) is not evidence
+// against the peer and feeds nothing. Successful hops report their RTT to
+// the breaker and the hedging latency window. Retries are disabled on the
+// hop: the local fallback IS the retry, and it cannot lose work. A tenant
+// the target does not know (config skew across the cluster) is rejected
+// there with 401, which lands here as a failed hop and degrades to the
+// same fallback.
+func (m *Manager) proxyRun(ctx context.Context, target string, sc dynring.Scenario, fp, traceID, tenant string, deadline time.Time) (dynring.RunResponse, bool) {
 	sp, err := sc.WireSpec()
 	if err != nil {
 		return dynring.RunResponse{}, false
 	}
+	timeout := m.proxyTimeout
+	var budget time.Duration
+	if !deadline.IsZero() {
+		budget = time.Until(deadline)
+		if budget <= 0 {
+			return dynring.RunResponse{}, false
+		}
+		if budget < timeout {
+			timeout = budget
+		}
+	}
+	hopCtx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
 	c := &dynring.Client{BaseURL: target, HTTPClient: m.proxyHTTP, Retries: -1, TenantKey: m.TenantKey(tenant)}
 	hop := time.Now()
-	rr, err := c.RunScenarioTraced(ctx, sp, traceID)
+	rr, err := c.RunScenarioBudgeted(hopCtx, sp, traceID, budget)
+	rtt := time.Since(hop)
 	if err != nil {
+		if ctx.Err() != nil {
+			// Our side ended the hop (hedge race decided, job cancelled or
+			// expired). The peer did nothing wrong: no failure evidence, no
+			// fallback noise.
+			return dynring.RunResponse{}, false
+		}
 		m.membership.MarkFailed(target, err)
 		m.met.proxyFallbacks.Inc()
 		m.log.Warn("proxy failed, executing locally",
@@ -937,9 +1143,61 @@ func (m *Manager) proxyRun(ctx context.Context, target string, sc dynring.Scenar
 			"fingerprint", fp, "target", target, "trace", traceID)
 		return dynring.RunResponse{}, false
 	}
-	m.met.proxyRTT.Observe(time.Since(hop).Seconds())
+	m.membership.ObserveRTT(target, rtt)
+	m.recordPeerLatency(target, rtt)
+	m.met.proxyRTT.Observe(rtt.Seconds())
 	m.proxied.Add(1)
 	return rr, true
+}
+
+// latWindow is a fixed-size ring of one peer's recent successful proxy
+// RTTs; the hedging decision reads its p90.
+type latWindow struct {
+	samples [latWindowSize]time.Duration
+	n       int // filled samples, ≤ latWindowSize
+	next    int
+}
+
+func (w *latWindow) add(d time.Duration) {
+	w.samples[w.next] = d
+	w.next = (w.next + 1) % latWindowSize
+	if w.n < latWindowSize {
+		w.n++
+	}
+}
+
+// p90 returns the window's 90th-percentile sample (0 when empty).
+func (w *latWindow) p90() time.Duration {
+	if w.n == 0 {
+		return 0
+	}
+	sorted := make([]time.Duration, w.n)
+	copy(sorted, w.samples[:w.n])
+	slices.Sort(sorted)
+	return sorted[w.n*9/10]
+}
+
+// recordPeerLatency adds one successful proxy RTT to target's window.
+func (m *Manager) recordPeerLatency(target string, rtt time.Duration) {
+	m.latMu.Lock()
+	defer m.latMu.Unlock()
+	w, ok := m.peerLat[target]
+	if !ok {
+		w = &latWindow{}
+		m.peerLat[target] = w
+	}
+	w.add(rtt)
+}
+
+// peerLatencyHigh reports whether target's observed p90 proxy RTT is at
+// or above threshold — the quantile signal that makes a hedge fire
+// immediately instead of waiting out the hedge delay. A peer with no
+// recorded RTTs reports false (no evidence, no haste).
+func (m *Manager) peerLatencyHigh(target string, threshold time.Duration) bool {
+	m.latMu.Lock()
+	defer m.latMu.Unlock()
+	w, ok := m.peerLat[target]
+	return ok && w.n > 0 && w.p90() >= threshold
 }
 
 // ExecuteLocal runs one scenario on this node — cache tiers first, then an

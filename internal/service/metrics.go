@@ -120,6 +120,13 @@ func newMetrics(m *Manager) *metrics {
 			"Work-creating requests rejected for a missing or unknown API key.",
 			func() float64 { return float64(m.unauthorized.Load()) })
 	}
+	// Registered unconditionally (unlike the per-tenant families): brownout
+	// shedding exists on every node — the anonymous tenant is sheddable even
+	// without a tenant config — and a flat zero is itself the signal that no
+	// brownout has occurred.
+	r.CounterFunc("dynring_admission_shed_total",
+		"Sweeps shed with 503 by the overload brownout (queue depth or open-breaker count over the shed thresholds).",
+		func() float64 { return float64(m.shed.Load()) })
 
 	// --- cache: the tiered result store ---
 	r.CounterFunc("dynring_cache_hits_total",
@@ -165,7 +172,7 @@ func newMetrics(m *Manager) *metrics {
 
 	// --- cluster: membership and the proxy path ---
 	if m.membership != nil {
-		for _, state := range []cluster.State{cluster.StateAlive, cluster.StateSuspect, cluster.StateDead, cluster.StateLeft} {
+		for _, state := range []cluster.State{cluster.StateAlive, cluster.StateSuspect, cluster.StateDead, cluster.StateLeft, cluster.StateDegraded} {
 			state := state
 			r.GaugeFunc("dynring_cluster_peers",
 				"Cluster members by probe-derived health state, as seen by this node (self counts as alive).",
@@ -198,6 +205,22 @@ func newMetrics(m *Manager) *metrics {
 		r.CounterFunc("dynring_cluster_antientropy_repairs_total",
 			"Envelopes copied between replica disk tiers by the anti-entropy pass (pulled repairs plus pushes to lagging peers).",
 			func() float64 { return float64(m.aeRepairs.Load()) })
+		// Per-state peer counts, not per-peer series: breaker state is a
+		// constant-cardinality label (three states) where peer URLs would be
+		// unbounded.
+		for _, bst := range []cluster.BreakerState{cluster.BreakerClosed, cluster.BreakerOpen, cluster.BreakerHalfOpen} {
+			bst := bst
+			r.GaugeFunc("dynring_cluster_breaker_state",
+				"Peers by circuit-breaker state as seen by this node (open and half_open peers are not routable until a trial succeeds).",
+				func() float64 { return float64(m.membership.BreakerStates()[bst]) },
+				telemetry.Label{Name: "state", Value: bst.String()})
+		}
+		r.CounterFunc("dynring_cluster_hedges_total",
+			"Hedged replica requests fired because the owner's observed latency crossed the hedge threshold.",
+			func() float64 { return float64(m.hedges.Load()) })
+		r.CounterFunc("dynring_cluster_hedge_wins_total",
+			"Hedged requests whose replica answered before the slow owner (the owner's in-flight hop is cancelled, never adopted).",
+			func() float64 { return float64(m.hedgeWins.Load()) })
 	}
 
 	// --- engine: per-run execution accounting ---

@@ -43,17 +43,26 @@ func main() {
 		}
 		// Likewise the cluster shape must carry the replication counters —
 		// steal, replica-hit, and anti-entropy-repair accounting is the
-		// observable half of the exactly-once argument under failover.
+		// observable half of the exactly-once argument under failover — plus
+		// the gray-failure families (breaker states, hedge accounting).
 		if shape == "cluster" {
 			for _, fam := range []string{
 				"dynring_cluster_steals_total",
 				"dynring_cluster_replica_hits_total",
 				"dynring_cluster_antientropy_repairs_total",
+				"dynring_cluster_breaker_state",
+				"dynring_cluster_hedges_total",
+				"dynring_cluster_hedge_wins_total",
 			} {
 				if !strings.Contains(text, fam) {
 					problems = append(problems, "cluster: family "+fam+" not rendered")
 				}
 			}
+		}
+		// The brownout shed counter registers unconditionally; every shape
+		// must render it or overload shedding has gone invisible.
+		if !strings.Contains(text, "dynring_admission_shed_total") {
+			problems = append(problems, shape+": family dynring_admission_shed_total not rendered")
 		}
 	}
 	if len(problems) > 0 {
